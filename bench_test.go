@@ -1,0 +1,197 @@
+package patchitpy
+
+// This file hosts the benchmark harness that regenerates every table and
+// figure of the paper's evaluation section. Each benchmark both exercises
+// the pipeline under `go test -bench` and reports the reproduced headline
+// numbers as custom metrics, so `go test -bench=. -benchmem` doubles as
+// the experiment runner:
+//
+//	BenchmarkPromptStats       — §III-A prompt-token statistics
+//	BenchmarkCorpusGeneration  — §III-B 609-sample corpus and vulnerability mix
+//	BenchmarkTable2Detection   — Table II (detection: P/R/F1/Accuracy, 7 tools)
+//	BenchmarkTable3Patching    — Table III (repair rates + suggestion rates)
+//	BenchmarkFig3Complexity    — Fig. 3 (cyclomatic-complexity distributions)
+//	BenchmarkQualityScores     — §III-C Pylint-score quality comparison
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/dessertlab/patchitpy/internal/baseline/banditlite"
+	"github.com/dessertlab/patchitpy/internal/baseline/llmsim"
+	"github.com/dessertlab/patchitpy/internal/baseline/querydb"
+	"github.com/dessertlab/patchitpy/internal/baseline/semgreplite"
+	"github.com/dessertlab/patchitpy/internal/complexity"
+	"github.com/dessertlab/patchitpy/internal/experiments"
+	"github.com/dessertlab/patchitpy/internal/generator"
+	"github.com/dessertlab/patchitpy/internal/lintscore"
+	"github.com/dessertlab/patchitpy/internal/prompts"
+	"github.com/dessertlab/patchitpy/internal/stats"
+)
+
+var (
+	benchOnce    sync.Once
+	benchResults *experiments.Results
+	benchErr     error
+)
+
+func benchRun(b *testing.B) *experiments.Results {
+	b.Helper()
+	benchOnce.Do(func() { benchResults, benchErr = experiments.Run() })
+	if benchErr != nil {
+		b.Fatalf("experiments.Run: %v", benchErr)
+	}
+	return benchResults
+}
+
+// BenchmarkPromptStats regenerates the §III-A prompt-length profile.
+func BenchmarkPromptStats(b *testing.B) {
+	var mean float64
+	for i := 0; i < b.N; i++ {
+		ps := prompts.All()
+		lengths := make([]float64, len(ps))
+		for j, p := range ps {
+			lengths[j] = float64(p.Tokens())
+		}
+		mean = stats.Mean(lengths)
+	}
+	b.ReportMetric(mean, "tokens-mean")
+}
+
+// BenchmarkCorpusGeneration regenerates the 609-sample corpus (§III-B).
+func BenchmarkCorpusGeneration(b *testing.B) {
+	ps := prompts.All()
+	var vulnerable int
+	for i := 0; i < b.N; i++ {
+		samples, err := generator.Corpus(ps)
+		if err != nil {
+			b.Fatal(err)
+		}
+		vulnerable = 0
+		for _, s := range samples {
+			if s.Truth.Vulnerable {
+				vulnerable++
+			}
+		}
+	}
+	b.ReportMetric(float64(vulnerable), "vulnerable-samples")
+}
+
+// BenchmarkTable2Detection runs all seven detectors over the corpus and
+// reports PatchitPy's headline metrics (paper Table II).
+func BenchmarkTable2Detection(b *testing.B) {
+	ps := prompts.All()
+	samples, err := generator.Corpus(ps)
+	if err != nil {
+		b.Fatal(err)
+	}
+	engine := New()
+	bandit := banditlite.New()
+	semgrep := semgreplite.New()
+	codeql := querydb.New()
+	assistants := llmsim.Assistants()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, s := range samples {
+			engine.Analyze(s.Code)
+			bandit.Vulnerable(s.Code)
+			semgrep.Vulnerable(s.Code)
+			codeql.Vulnerable(s.Code)
+			for _, a := range assistants {
+				a.Review(s)
+			}
+		}
+	}
+	b.StopTimer()
+	r := benchRun(b)
+	all := r.Table2[experiments.ToolPatchitPy][experiments.All]
+	b.ReportMetric(all.Precision(), "precision")
+	b.ReportMetric(all.Recall(), "recall")
+	b.ReportMetric(all.F1(), "f1")
+	b.ReportMetric(all.Accuracy(), "accuracy")
+}
+
+// BenchmarkTable3Patching runs the detect-and-patch pipeline over the
+// corpus and reports the repair rates (paper Table III).
+func BenchmarkTable3Patching(b *testing.B) {
+	ps := prompts.All()
+	samples, err := generator.Corpus(ps)
+	if err != nil {
+		b.Fatal(err)
+	}
+	engine := New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, s := range samples {
+			engine.Fix(s.Code)
+		}
+	}
+	b.StopTimer()
+	r := benchRun(b)
+	all := r.Table3[experiments.ToolPatchitPy][experiments.All]
+	b.ReportMetric(all.RateDetected(), "patched-det")
+	b.ReportMetric(all.RateTotal(), "patched-tot")
+	b.ReportMetric(r.SemgrepSuggestionRate, "semgrep-suggest")
+	b.ReportMetric(r.BanditSuggestionRate, "bandit-suggest")
+}
+
+// BenchmarkFig3Complexity computes the per-sample cyclomatic complexity of
+// the corpus and reports the distribution means (paper Fig. 3).
+func BenchmarkFig3Complexity(b *testing.B) {
+	ps := prompts.All()
+	samples, err := generator.Corpus(ps)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, s := range samples {
+			complexity.Program(s.Code)
+		}
+	}
+	b.StopTimer()
+	r := benchRun(b)
+	b.ReportMetric(r.Fig3Summary[experiments.FigGenerated].Mean, "generated-mean")
+	b.ReportMetric(r.Fig3Summary[experiments.ToolPatchitPy].Mean, "patchitpy-mean")
+	b.ReportMetric(r.Fig3Summary[experiments.ToolClaude].Mean, "claude-mean")
+}
+
+// BenchmarkQualityScores lints the corpus's patched outputs (§III-C).
+func BenchmarkQualityScores(b *testing.B) {
+	ps := prompts.All()
+	samples, err := generator.Corpus(ps)
+	if err != nil {
+		b.Fatal(err)
+	}
+	engine := New()
+	patched := make([]string, len(samples))
+	for i, s := range samples {
+		patched[i] = engine.Fix(s.Code).Result.Source
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range patched {
+			lintscore.Score(p)
+		}
+	}
+}
+
+// BenchmarkFullEvaluation runs the complete harness (all tables + figure).
+func BenchmarkFullEvaluation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEnginePerSample measures single-snippet latency — the
+// interactive editor path (VS Code extension substitute).
+func BenchmarkEnginePerSample(b *testing.B) {
+	engine := New()
+	b.SetBytes(int64(len(vulnSnippet)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		engine.Fix(vulnSnippet)
+	}
+}

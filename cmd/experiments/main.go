@@ -1,0 +1,61 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation. With no flags it prints everything; -table / -figure select
+// a single artifact.
+//
+//	experiments                 # all tables and figures
+//	experiments -table 2        # Table II (detection)
+//	experiments -table 3        # Table III (patching)
+//	experiments -table corpus   # §III-A/§III-B corpus statistics
+//	experiments -table quality  # Pylint-score comparison
+//	experiments -table ablation # design-choice ablations
+//	experiments -figure 3       # Fig. 3 (cyclomatic complexity)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/dessertlab/patchitpy/internal/experiments"
+)
+
+func main() {
+	table := flag.String("table", "", "render one table: 2, 3, corpus, prompts, quality or ablation")
+	figure := flag.String("figure", "", "render one figure: 3")
+	flag.Parse()
+	if err := run(*table, *figure); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(table, figure string) error {
+	res, err := experiments.Run()
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	switch {
+	case table == "" && figure == "":
+		res.WriteAll(w)
+	case table == "2":
+		res.WriteTable2(w)
+	case table == "3":
+		res.WriteTable3(w)
+	case table == "corpus" || table == "prompts":
+		res.WriteCorpus(w)
+	case table == "quality":
+		res.WriteQuality(w)
+	case table == "ablation":
+		ab, err := experiments.RunAblation()
+		if err != nil {
+			return err
+		}
+		ab.WriteAblation(w)
+	case figure == "3":
+		res.WriteFig3(w)
+	default:
+		return fmt.Errorf("unknown selection: table=%q figure=%q", table, figure)
+	}
+	return nil
+}

@@ -1,0 +1,78 @@
+// Command gencorpus writes the 609-sample evaluation corpus to disk: one
+// .py file per (model, prompt) plus a labels.csv with the ground truth, so
+// the corpus can be inspected or fed to external tools.
+//
+//	gencorpus -out corpus/
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"github.com/dessertlab/patchitpy/internal/generator"
+	"github.com/dessertlab/patchitpy/internal/prompts"
+)
+
+func main() {
+	out := flag.String("out", "corpus", "output directory")
+	flag.Parse()
+	if err := run(*out); err != nil {
+		fmt.Fprintln(os.Stderr, "gencorpus:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out string) error {
+	samples, err := generator.Corpus(prompts.All())
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	labels, err := os.Create(filepath.Join(out, "labels.csv"))
+	if err != nil {
+		return err
+	}
+	defer labels.Close()
+	w := csv.NewWriter(labels)
+	if err := w.Write([]string{"file", "model", "prompt", "scenario", "vulnerable", "class", "cwes"}); err != nil {
+		return err
+	}
+	for _, s := range samples {
+		dir := filepath.Join(out, slug(s.Model))
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+		name := s.PromptID + ".py"
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(s.Code), 0o644); err != nil {
+			return err
+		}
+		rec := []string{
+			filepath.Join(slug(s.Model), name), s.Model, s.PromptID,
+			s.Truth.ScenarioID, strconv.FormatBool(s.Truth.Vulnerable),
+			s.Truth.Class.String(), strings.Join(s.Truth.CWEs, ";"),
+		}
+		if err := w.Write(rec); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d samples under %s\n", len(samples), out)
+	return nil
+}
+
+func slug(s string) string {
+	s = strings.ToLower(s)
+	s = strings.ReplaceAll(s, " ", "-")
+	s = strings.ReplaceAll(s, ".", "")
+	return s
+}

@@ -1,0 +1,205 @@
+// Command patchitpy is the PatchitPy command-line front end.
+//
+//	patchitpy detect [-severity high] file.py  # report findings
+//	patchitpy patch  file.py [file2.py ...]   # patch in place (-o to stdout)
+//	patchitpy rules                            # list the rule catalog
+//	patchitpy serve                            # JSON editor protocol on stdio
+//
+// `serve` speaks the newline-delimited JSON protocol the paper's VS Code
+// extension uses: {"cmd":"detect","code":"..."} and
+// {"cmd":"patch","code":"..."} requests, one response per line.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/dessertlab/patchitpy"
+	"github.com/dessertlab/patchitpy/internal/detect"
+	"github.com/dessertlab/patchitpy/internal/experiments"
+	"github.com/dessertlab/patchitpy/internal/rules"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "patchitpy:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: patchitpy <detect|patch|rules|serve|eval> [args]")
+	}
+	cmd, rest := args[0], args[1:]
+	engine := patchitpy.New()
+	switch cmd {
+	case "detect":
+		return detectFiles(engine, rest)
+	case "patch":
+		return patchFiles(engine, rest)
+	case "rules":
+		return listRules(engine)
+	case "serve":
+		return engine.Serve(os.Stdin, os.Stdout)
+	case "eval":
+		res, err := experiments.Run()
+		if err != nil {
+			return err
+		}
+		res.WriteAll(os.Stdout)
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+func detectFiles(engine *patchitpy.Engine, args []string) error {
+	fs := flag.NewFlagSet("detect", flag.ContinueOnError)
+	severity := fs.String("severity", "", "minimum severity: low, medium, high or critical")
+	asJSON := fs.Bool("json", false, "emit findings as JSON (one object per file)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	paths := fs.Args()
+	if len(paths) == 0 {
+		return fmt.Errorf("detect: at least one file required")
+	}
+	var opt detect.Options
+	if *severity != "" {
+		min, err := parseSeverity(*severity)
+		if err != nil {
+			return err
+		}
+		opt.MinSeverity = min
+	}
+	scanner := detect.New(engine.Catalog())
+	exit := 0
+	for _, path := range paths {
+		code, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		findings := scanner.ScanWith(string(code), opt)
+		if *asJSON {
+			if err := writeFindingsJSON(path, findings); err != nil {
+				return err
+			}
+			if len(findings) > 0 {
+				exit = 2
+			}
+			continue
+		}
+		if len(findings) == 0 {
+			fmt.Printf("%s: no findings\n", path)
+			continue
+		}
+		exit = 2
+		for _, f := range findings {
+			note := ""
+			if f.Rule.Fix != nil {
+				note = " [fix available]"
+			}
+			fmt.Printf("%s:%d: %s %s %s — %s%s\n",
+				path, f.Line, f.Rule.ID, f.Rule.CWE, f.Rule.Severity, f.Rule.Title, note)
+		}
+	}
+	if exit != 0 && !*asJSON {
+		// Findings are not an execution error, but scripts want a signal;
+		// report via a trailing summary instead of a non-zero exit so the
+		// CLI composes with pipelines.
+		fmt.Println("findings detected")
+	}
+	return nil
+}
+
+// findingJSON is the machine-readable finding record for -json output.
+type findingJSON struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	RuleID   string `json:"ruleId"`
+	CWE      string `json:"cwe"`
+	Severity string `json:"severity"`
+	Category string `json:"category"`
+	Title    string `json:"title"`
+	CanFix   bool   `json:"canFix"`
+}
+
+func writeFindingsJSON(path string, findings []detect.Finding) error {
+	records := make([]findingJSON, 0, len(findings))
+	for _, f := range findings {
+		records = append(records, findingJSON{
+			File: path, Line: f.Line, RuleID: f.Rule.ID, CWE: f.Rule.CWE,
+			Severity: f.Rule.Severity.String(), Category: f.Rule.Category.String(),
+			Title: f.Rule.Title, CanFix: f.Rule.HasFix(),
+		})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	return enc.Encode(map[string]any{"file": path, "findings": records})
+}
+
+func parseSeverity(s string) (rules.Severity, error) {
+	switch strings.ToLower(s) {
+	case "low":
+		return rules.SeverityLow, nil
+	case "medium":
+		return rules.SeverityMedium, nil
+	case "high":
+		return rules.SeverityHigh, nil
+	case "critical":
+		return rules.SeverityCritical, nil
+	}
+	return 0, fmt.Errorf("unknown severity %q (use low, medium, high or critical)", s)
+}
+
+func patchFiles(engine *patchitpy.Engine, args []string) error {
+	fs := flag.NewFlagSet("patch", flag.ContinueOnError)
+	stdout := fs.Bool("o", false, "write the patched code to stdout instead of in place")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	paths := fs.Args()
+	if len(paths) == 0 {
+		return fmt.Errorf("patch: at least one file required")
+	}
+	for _, path := range paths {
+		code, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		outcome := engine.Fix(string(code))
+		for _, a := range outcome.Result.Applied {
+			fmt.Fprintf(os.Stderr, "%s:%d: %s %s patched — %s\n",
+				path, a.Finding.Line, a.Finding.Rule.ID, a.Finding.Rule.CWE, a.Note)
+		}
+		for _, u := range outcome.Result.Unpatched {
+			fmt.Fprintf(os.Stderr, "%s:%d: %s %s detected, no automatic fix\n",
+				path, u.Line, u.Rule.ID, u.Rule.CWE)
+		}
+		if *stdout {
+			fmt.Print(outcome.Result.Source)
+			continue
+		}
+		if outcome.Result.Changed() {
+			if err := os.WriteFile(path, []byte(outcome.Result.Source), 0o644); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func listRules(engine *patchitpy.Engine) error {
+	for _, r := range engine.Catalog().Rules() {
+		fix := "detect-only"
+		if r.HasFix() {
+			fix = "fix"
+		}
+		fmt.Printf("%-12s %-8s %-11s %-45s %s\n", r.ID, r.CWE, fix, r.Title, r.Category)
+	}
+	fmt.Printf("%d rules, %d distinct CWEs\n", engine.Catalog().Len(), len(engine.Catalog().CWEs()))
+	return nil
+}

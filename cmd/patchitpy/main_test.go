@@ -1,0 +1,116 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const vulnFile = `from flask import Flask, request
+import sqlite3
+app = Flask(__name__)
+
+@app.route("/user")
+def get_user():
+    uid = request.args.get("id", "")
+    cur.execute("SELECT * FROM users WHERE id = " + uid)
+    return {"rows": cur.fetchall()}
+
+app.run(debug=True)
+`
+
+func writeTemp(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "app.py")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("no args should error")
+	}
+	if err := run([]string{"bogus"}); err == nil {
+		t.Error("unknown command should error")
+	}
+	if err := run([]string{"detect"}); err == nil {
+		t.Error("detect without files should error")
+	}
+	if err := run([]string{"patch"}); err == nil {
+		t.Error("patch without files should error")
+	}
+}
+
+func TestRunDetect(t *testing.T) {
+	path := writeTemp(t, vulnFile)
+	if err := run([]string{"detect", path}); err != nil {
+		t.Fatalf("detect: %v", err)
+	}
+	if err := run([]string{"detect", filepath.Join(t.TempDir(), "missing.py")}); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func TestRunPatchInPlace(t *testing.T) {
+	path := writeTemp(t, vulnFile)
+	if err := run([]string{"patch", path}); err != nil {
+		t.Fatalf("patch: %v", err)
+	}
+	patched, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(patched)
+	if !strings.Contains(out, `"SELECT * FROM users WHERE id = ?", (uid,)`) {
+		t.Errorf("SQL not parameterized:\n%s", out)
+	}
+	if !strings.Contains(out, "debug=False") {
+		t.Errorf("debug not disabled:\n%s", out)
+	}
+}
+
+func TestRunPatchCleanFileUntouched(t *testing.T) {
+	clean := "def add(a, b):\n    return a + b\n"
+	path := writeTemp(t, clean)
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"patch", path}); err != nil {
+		t.Fatalf("patch: %v", err)
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(after) != clean {
+		t.Error("clean file modified")
+	}
+	_ = info
+}
+
+func TestRunRules(t *testing.T) {
+	if err := run([]string{"rules"}); err != nil {
+		t.Fatalf("rules: %v", err)
+	}
+}
+
+func TestRunDetectSeverityFilter(t *testing.T) {
+	path := writeTemp(t, vulnFile)
+	if err := run([]string{"detect", "-severity", "critical", path}); err != nil {
+		t.Fatalf("detect -severity: %v", err)
+	}
+	if err := run([]string{"detect", "-severity", "bogus", path}); err == nil {
+		t.Error("bad severity should error")
+	}
+}
+
+func TestRunDetectJSON(t *testing.T) {
+	path := writeTemp(t, vulnFile)
+	if err := run([]string{"detect", "-json", path}); err != nil {
+		t.Fatalf("detect -json: %v", err)
+	}
+}

@@ -1,0 +1,48 @@
+// Aigen-review: the paper's end-to-end scenario — an AI code generator
+// produces implementations for natural-language prompts, and PatchitPy
+// reviews each suggestion before it reaches the developer, patching what
+// it can. This drives the same simulated generators used in the paper's
+// evaluation corpus.
+package main
+
+import (
+	"fmt"
+
+	"github.com/dessertlab/patchitpy"
+	"github.com/dessertlab/patchitpy/internal/generator"
+	"github.com/dessertlab/patchitpy/internal/prompts"
+)
+
+func main() {
+	engine := patchitpy.New()
+	copilot := generator.ModelByName("GitHub Copilot")
+
+	// Review the first ten prompts' suggestions.
+	ps := prompts.All()[:10]
+	samples, err := copilot.Generate(ps)
+	if err != nil {
+		fmt.Println("generate:", err)
+		return
+	}
+
+	accepted, patched, flagged := 0, 0, 0
+	for i, s := range samples {
+		fmt.Printf("== prompt %s: %q\n", s.PromptID, ps[i].Text)
+		outcome := engine.Fix(s.Code)
+		switch {
+		case !outcome.Report.Vulnerable:
+			accepted++
+			fmt.Println("   clean — suggestion accepted as-is")
+		case outcome.Result.Changed() && len(outcome.Result.Unpatched) == 0:
+			patched++
+			fmt.Printf("   %d finding(s) patched automatically: %v\n",
+				len(outcome.Result.Applied), outcome.Report.CWEs)
+		default:
+			flagged++
+			fmt.Printf("   flagged for manual review: %v (%d unpatched)\n",
+				outcome.Report.CWEs, len(outcome.Result.Unpatched))
+		}
+	}
+	fmt.Printf("\nreview summary: %d accepted, %d auto-patched, %d flagged of %d suggestions\n",
+		accepted, patched, flagged, len(samples))
+}

@@ -1,0 +1,93 @@
+// Flaskaudit: audit a realistic multi-endpoint Flask application the way a
+// developer would run PatchitPy over a whole file — grouping findings by
+// OWASP category and severity, then producing the patched file.
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/dessertlab/patchitpy"
+	"github.com/dessertlab/patchitpy/internal/rules"
+)
+
+// app is a small but realistic Flask service with several classes of
+// weakness spread across endpoints.
+const app = `import os
+import pickle
+import sqlite3
+import hashlib
+from flask import Flask, request, make_response
+
+app = Flask(__name__)
+app.secret_key = "dev-key-1234"
+
+@app.route("/user")
+def get_user():
+    uid = request.args.get("id", "")
+    conn = sqlite3.connect("users.db")
+    cur = conn.cursor()
+    cur.execute("SELECT * FROM users WHERE id = " + uid)
+    return {"rows": cur.fetchall()}
+
+@app.route("/profile")
+def profile():
+    name = request.args.get("name", "")
+    return make_response(f"Hello {name}")
+
+@app.route("/restore", methods=["POST"])
+def restore():
+    state = pickle.loads(request.get_data())
+    return {"restored": str(state)}
+
+@app.route("/avatar", methods=["POST"])
+def avatar():
+    image = request.files["avatar"]
+    image.save(image.filename)
+    return "saved"
+
+def checksum(path):
+    with open(path, "rb") as fh:
+        return hashlib.md5(fh.read()).hexdigest()
+
+@app.route("/ping")
+def ping():
+    host = request.args.get("host", "")
+    return {"exit": os.system("ping -c 1 " + host)}
+
+if __name__ == "__main__":
+    app.run(host="0.0.0.0", debug=True)
+`
+
+func main() {
+	engine := patchitpy.New()
+	report := engine.Analyze(app)
+
+	byCategory := map[rules.Category][]patchitpy.Finding{}
+	for _, f := range report.Findings {
+		byCategory[f.Rule.Category] = append(byCategory[f.Rule.Category], f)
+	}
+	categories := make([]rules.Category, 0, len(byCategory))
+	for cat := range byCategory {
+		categories = append(categories, cat)
+	}
+	sort.Slice(categories, func(i, j int) bool { return categories[i] < categories[j] })
+
+	fmt.Printf("audit: %d findings across %d OWASP categories\n\n", len(report.Findings), len(categories))
+	for _, cat := range categories {
+		fmt.Println(cat)
+		for _, f := range byCategory[cat] {
+			fixable := "no automatic fix"
+			if f.Rule.HasFix() {
+				fixable = "fix available"
+			}
+			fmt.Printf("  line %2d  %-8s %-8s %s (%s)\n", f.Line, f.Rule.CWE, f.Rule.Severity, f.Rule.Title, fixable)
+		}
+	}
+
+	outcome := engine.Fix(app)
+	fmt.Printf("\npatched %d of %d findings; %d left for manual review\n",
+		len(outcome.Result.Applied), len(report.Findings), len(outcome.Result.Unpatched))
+	fmt.Println("\n--- patched file ---")
+	fmt.Print(outcome.Result.Source)
+}

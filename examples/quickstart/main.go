@@ -1,0 +1,49 @@
+// Quickstart: detect and patch a vulnerable AI-generated snippet with the
+// public PatchitPy API — the paper's Table I example end to end.
+package main
+
+import (
+	"fmt"
+
+	"github.com/dessertlab/patchitpy"
+)
+
+// snippet is the paper's running example (Table I, v1): an XSS sink plus
+// Flask debug mode.
+const snippet = `from flask import Flask, request
+app = Flask(__name__)
+
+@app.route("/comments")
+def comments():
+    comment = request.args.get("q", "")
+    return f"<p>{comment}</p>"
+
+if __name__ == "__main__":
+    app.run(debug=True)
+`
+
+func main() {
+	engine := patchitpy.New()
+
+	// Phase 1: detection.
+	report := engine.Analyze(snippet)
+	fmt.Printf("vulnerable: %v, CWEs: %v\n\n", report.Vulnerable, report.CWEs)
+	for _, f := range report.Findings {
+		fmt.Printf("line %d: %s (%s, %s)\n    %s\n", f.Line, f.Rule.Title, f.Rule.CWE, f.Rule.Severity, f.Snippet)
+	}
+
+	// Phase 2: patching.
+	outcome := engine.Fix(snippet)
+	fmt.Println("\n--- patched ---")
+	fmt.Print(outcome.Result.Source)
+	fmt.Println("\napplied fixes:")
+	for _, a := range outcome.Result.Applied {
+		fmt.Printf("  %s: %s\n", a.Finding.Rule.ID, a.Note)
+	}
+	if len(outcome.Result.ImportsAdded) > 0 {
+		fmt.Printf("imports added: %v\n", outcome.Result.ImportsAdded)
+	}
+
+	// The patched code is quiet on re-scan.
+	fmt.Printf("\nre-scan vulnerable: %v\n", engine.Analyze(outcome.Result.Source).Vulnerable)
+}

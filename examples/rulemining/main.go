@@ -1,0 +1,80 @@
+// Rulemining: the paper's Fig. 2 workflow, run on the Table I sample
+// pairs — standardize both vulnerable samples and their hand-written safe
+// versions, extract the common patterns with LCS, diff them with the
+// SequenceMatcher, and print the rule candidate (detection regex + patch
+// payload) that an analyst would refine into a catalog rule.
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/dessertlab/patchitpy/internal/rulemining"
+	"github.com/dessertlab/patchitpy/internal/standardize"
+)
+
+var (
+	v1 = `from flask import Flask, request
+app = Flask(__name__)
+@app.route("/comments")
+def comments():
+    comment = request.args.get("q", "default")
+    return f"<p>{comment}</p>"
+if __name__ == "__main__":
+    app.run(debug=True)
+`
+	s1 = `from flask import Flask, request, escape
+app = Flask(__name__)
+@app.route("/comments")
+def comments():
+    comment = request.args.get("q", "default")
+    return f"<p>{escape(comment)}</p>"
+if __name__ == "__main__":
+    app.run(debug=False, use_reloader=False)
+`
+	v2 = `from flask import Flask, request, make_response
+appl = Flask(__name__)
+@appl.route("/showName")
+def name():
+    user = request.args.get("name")
+    return make_response(f"Hello {user}")
+if __name__ == "__main__":
+    appl.run(debug=True)
+`
+	s2 = `from flask import Flask, request, make_response, escape
+appl = Flask(__name__)
+@appl.route("/showName")
+def name():
+    user = request.args.get("name")
+    return make_response(f"Hello {escape(user)}")
+if __name__ == "__main__":
+    appl.run(debug=False, use_debugger=False, use_reloader=False)
+`
+)
+
+func main() {
+	// Step 1 — standardization (the named-entity tagger of §II-A).
+	std := standardize.Standardize(v1)
+	fmt.Println("standardized v1:")
+	fmt.Println(indent(std.Text))
+	fmt.Printf("mapping: %v\n\n", std.Mapping)
+
+	// Steps 2-4 — LCS over the pair, diff of (LCSv, LCSs), rule candidate.
+	mined := rulemining.Mine(
+		rulemining.Pair{Vulnerable: v1, Safe: s1},
+		rulemining.Pair{Vulnerable: v2, Safe: s2},
+	)
+	fmt.Printf("pair similarity: %.2f (usable: %v)\n\n", mined.Similarity, mined.Usable())
+
+	fmt.Println("common vulnerable pattern (LCSv):")
+	fmt.Println(indent(strings.Join(mined.VulnerablePattern, " ")))
+	fmt.Println("\nsafe additions (the blue tokens of Table I):")
+	fmt.Println(indent(mined.PatchPayload()))
+
+	fmt.Println("\ndetection-regex candidate:")
+	fmt.Println(indent(mined.DetectionRegex()))
+}
+
+func indent(s string) string {
+	return "    " + strings.ReplaceAll(strings.TrimRight(s, "\n"), "\n", "\n    ")
+}

@@ -1,0 +1,3 @@
+module github.com/dessertlab/patchitpy
+
+go 1.22

@@ -1,0 +1,491 @@
+// Package banditlite reproduces the architecture and evaluation role of
+// Bandit v1.7.7 (the paper's §III-C baseline): it parses Python into an
+// AST and runs a set of test plugins over the nodes, emitting findings
+// with B-codes. Like the real tool it cannot patch — for a subset of
+// findings it attaches a remediation *suggestion comment* (the paper
+// measured Bandit suggesting fixes for ~17% of its detections), and it
+// never modifies the code.
+package banditlite
+
+import (
+	"strings"
+
+	"github.com/dessertlab/patchitpy/internal/pyast"
+)
+
+// Finding is one Bandit-style result.
+type Finding struct {
+	// TestID is the plugin identifier, e.g. "B602".
+	TestID string
+	// Name is the plugin name, e.g. "subprocess_popen_with_shell_equals_true".
+	Name string
+	// Severity is LOW/MEDIUM/HIGH.
+	Severity string
+	// Line is the 1-based source line.
+	Line int
+	// Suggestion is a remediation comment for the subset of plugins that
+	// carry one; empty otherwise (Bandit fixes nothing, it only comments).
+	Suggestion string
+}
+
+// Scanner runs the plugin set.
+type Scanner struct {
+	plugins []plugin
+}
+
+// New returns a scanner with the built-in plugin set.
+func New() *Scanner {
+	return &Scanner{plugins: allPlugins()}
+}
+
+// Scan analyzes src. Like Bandit, it works from the AST: statements that
+// failed to parse are invisible to the plugins (one reason AST tools
+// underperform on incomplete AI snippets, per the paper).
+func (s *Scanner) Scan(src string) []Finding {
+	mod, err := pyast.Parse(src)
+	if err != nil {
+		return nil
+	}
+	ctx := &context{src: src, module: mod}
+	var out []Finding
+	for _, p := range s.plugins {
+		out = append(out, p(ctx)...)
+	}
+	return out
+}
+
+// Vulnerable reports whether any plugin fires.
+func (s *Scanner) Vulnerable(src string) bool { return len(s.Scan(src)) > 0 }
+
+// SuggestionRate returns the fraction of findings carrying a remediation
+// suggestion comment.
+func SuggestionRate(findings []Finding) float64 {
+	if len(findings) == 0 {
+		return 0
+	}
+	n := 0
+	for _, f := range findings {
+		if f.Suggestion != "" {
+			n++
+		}
+	}
+	return float64(n) / float64(len(findings))
+}
+
+type context struct {
+	src    string
+	module *pyast.Module
+}
+
+func (c *context) calls() []*pyast.Call { return pyast.Calls(c.module) }
+
+func (c *context) hasImport(name string) bool {
+	return pyast.ImportedModules(c.module)[name]
+}
+
+type plugin func(*context) []Finding
+
+func allPlugins() []plugin {
+	return []plugin{
+		pluginAssert,
+		pluginExec,
+		pluginEval,
+		pluginPickle,
+		pluginMarshal,
+		pluginYAMLLoad,
+		pluginShellTrue,
+		pluginOSSystem,
+		pluginMD5SHA1,
+		pluginCipherModes,
+		pluginWeakCiphers,
+		pluginHardcodedPassword,
+		pluginRequestsVerify,
+		pluginHardcodedTmp,
+		pluginMktemp,
+		pluginChmod,
+		pluginBindAll,
+		pluginTryExceptPass,
+		pluginXMLEtree,
+		pluginRandom,
+		pluginSQLExpressions,
+		pluginFlaskDebug,
+		pluginBadTLSVersion,
+		pluginParamikoAutoAdd,
+		pluginTarfileExtract,
+		pluginMarkSafe,
+		pluginMakoTemplates,
+		pluginURLOpen,
+	}
+}
+
+func callFindings(ctx *context, match func(*pyast.Call) bool, f Finding) []Finding {
+	var out []Finding
+	for _, c := range ctx.calls() {
+		if match(c) {
+			g := f
+			g.Line = c.Pos().Line
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+func callNamed(name string) func(*pyast.Call) bool {
+	return func(c *pyast.Call) bool { return pyast.CallName(c) == name }
+}
+
+func pluginAssert(ctx *context) []Finding {
+	var out []Finding
+	pyast.Walk(ctx.module, func(n pyast.Node) bool {
+		if a, ok := n.(*pyast.Assert); ok {
+			out = append(out, Finding{
+				TestID: "B101", Name: "assert_used", Severity: "LOW",
+				Line: a.Position.Line,
+			})
+		}
+		return true
+	})
+	return out
+}
+
+func pluginExec(ctx *context) []Finding {
+	return callFindings(ctx, callNamed("exec"), Finding{
+		TestID: "B102", Name: "exec_used", Severity: "MEDIUM",
+	})
+}
+
+func pluginEval(ctx *context) []Finding {
+	return callFindings(ctx, callNamed("eval"), Finding{
+		TestID: "B307", Name: "blacklist_eval", Severity: "MEDIUM",
+	})
+}
+
+func pluginPickle(ctx *context) []Finding {
+	return callFindings(ctx, func(c *pyast.Call) bool {
+		name := pyast.CallName(c)
+		return name == "pickle.loads" || name == "pickle.load" || name == "dill.loads" || name == "dill.load"
+	}, Finding{
+		TestID: "B301", Name: "blacklist_pickle", Severity: "MEDIUM",
+	})
+}
+
+func pluginMarshal(ctx *context) []Finding {
+	return callFindings(ctx, func(c *pyast.Call) bool {
+		name := pyast.CallName(c)
+		return name == "marshal.loads" || name == "marshal.load"
+	}, Finding{TestID: "B302", Name: "blacklist_marshal", Severity: "MEDIUM"})
+}
+
+func pluginYAMLLoad(ctx *context) []Finding {
+	return callFindings(ctx, func(c *pyast.Call) bool {
+		return pyast.CallName(c) == "yaml.load"
+	}, Finding{
+		TestID: "B506", Name: "yaml_load", Severity: "MEDIUM",
+		Suggestion: "# bandit: use yaml.safe_load",
+	})
+}
+
+func pluginShellTrue(ctx *context) []Finding {
+	return callFindings(ctx, func(c *pyast.Call) bool {
+		name := pyast.CallName(c)
+		if !strings.HasPrefix(name, "subprocess.") {
+			return false
+		}
+		kw := pyast.KeywordArg(c, "shell")
+		return kw != nil && pyast.IsConst(kw, "True")
+	}, Finding{
+		TestID: "B602", Name: "subprocess_popen_with_shell_equals_true", Severity: "HIGH",
+		Suggestion: "# bandit: pass an argument list and shell=False",
+	})
+}
+
+func pluginOSSystem(ctx *context) []Finding {
+	return callFindings(ctx, func(c *pyast.Call) bool {
+		name := pyast.CallName(c)
+		return name == "os.system" || name == "os.popen"
+	}, Finding{TestID: "B605", Name: "start_process_with_a_shell", Severity: "HIGH"})
+}
+
+func pluginMD5SHA1(ctx *context) []Finding {
+	return callFindings(ctx, func(c *pyast.Call) bool {
+		name := pyast.CallName(c)
+		if name == "hashlib.md5" || name == "hashlib.sha1" {
+			return true
+		}
+		if name == "hashlib.new" && len(c.Args) > 0 {
+			if s, ok := c.Args[0].(*pyast.StringLit); ok {
+				v := strings.ToLower(s.Value)
+				return v == "md5" || v == "sha1"
+			}
+		}
+		return false
+	}, Finding{
+		TestID: "B324", Name: "hashlib_insecure_functions", Severity: "HIGH",
+	})
+}
+
+func pluginCipherModes(ctx *context) []Finding {
+	var out []Finding
+	pyast.Walk(ctx.module, func(n pyast.Node) bool {
+		if attr, ok := n.(*pyast.Attribute); ok && attr.Attr == "MODE_ECB" {
+			out = append(out, Finding{
+				TestID: "B305", Name: "blacklist_cipher_modes", Severity: "MEDIUM",
+				Line: attr.Position.Line,
+			})
+		}
+		return true
+	})
+	return out
+}
+
+func pluginWeakCiphers(ctx *context) []Finding {
+	return callFindings(ctx, func(c *pyast.Call) bool {
+		name := pyast.CallName(c)
+		return name == "DES.new" || name == "ARC4.new" || name == "Blowfish.new"
+	}, Finding{TestID: "B304", Name: "blacklist_ciphers", Severity: "HIGH"})
+}
+
+func pluginHardcodedPassword(ctx *context) []Finding {
+	var out []Finding
+	pyast.Walk(ctx.module, func(n pyast.Node) bool {
+		as, ok := n.(*pyast.Assign)
+		if !ok {
+			return true
+		}
+		str, ok := as.Value.(*pyast.StringLit)
+		if !ok || str.Value == "" {
+			return true
+		}
+		for _, target := range as.Targets {
+			name := ""
+			switch t := target.(type) {
+			case *pyast.Name:
+				name = t.ID
+			case *pyast.Attribute:
+				name = t.Attr
+			}
+			lower := strings.ToLower(name)
+			if lower == "password" || lower == "passwd" || lower == "pwd" || lower == "secret_key" {
+				out = append(out, Finding{
+					TestID: "B105", Name: "hardcoded_password_string", Severity: "LOW",
+					Line: as.Position.Line,
+				})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func pluginRequestsVerify(ctx *context) []Finding {
+	return callFindings(ctx, func(c *pyast.Call) bool {
+		name := pyast.CallName(c)
+		if !strings.HasPrefix(name, "requests.") {
+			return false
+		}
+		kw := pyast.KeywordArg(c, "verify")
+		return kw != nil && pyast.IsConst(kw, "False")
+	}, Finding{
+		TestID: "B501", Name: "request_with_no_cert_validation", Severity: "HIGH",
+		Suggestion: "# bandit: keep verify=True",
+	})
+}
+
+func pluginHardcodedTmp(ctx *context) []Finding {
+	var out []Finding
+	pyast.Walk(ctx.module, func(n pyast.Node) bool {
+		if s, ok := n.(*pyast.StringLit); ok && strings.HasPrefix(s.Value, "/tmp/") {
+			out = append(out, Finding{
+				TestID: "B108", Name: "hardcoded_tmp_directory", Severity: "MEDIUM",
+				Line: s.Position.Line,
+			})
+		}
+		return true
+	})
+	return out
+}
+
+func pluginMktemp(ctx *context) []Finding {
+	return callFindings(ctx, callNamed("tempfile.mktemp"), Finding{
+		TestID: "B306", Name: "mktemp_q", Severity: "MEDIUM",
+		Suggestion: "# bandit: use tempfile.mkstemp",
+	})
+}
+
+func pluginChmod(ctx *context) []Finding {
+	return callFindings(ctx, func(c *pyast.Call) bool {
+		if pyast.CallName(c) != "os.chmod" || len(c.Args) < 2 {
+			return false
+		}
+		if num, ok := c.Args[1].(*pyast.NumberLit); ok {
+			return num.Text == "0o777" || num.Text == "0777" || num.Text == "777"
+		}
+		return false
+	}, Finding{TestID: "B103", Name: "set_bad_file_permissions", Severity: "HIGH"})
+}
+
+func pluginBindAll(ctx *context) []Finding {
+	var out []Finding
+	pyast.Walk(ctx.module, func(n pyast.Node) bool {
+		if s, ok := n.(*pyast.StringLit); ok && s.Value == "0.0.0.0" {
+			out = append(out, Finding{
+				TestID: "B104", Name: "hardcoded_bind_all_interfaces", Severity: "MEDIUM",
+				Line: s.Position.Line,
+			})
+		}
+		return true
+	})
+	return out
+}
+
+func pluginTryExceptPass(ctx *context) []Finding {
+	var out []Finding
+	pyast.Walk(ctx.module, func(n pyast.Node) bool {
+		t, ok := n.(*pyast.Try)
+		if !ok {
+			return true
+		}
+		for _, h := range t.Handlers {
+			if len(h.Body) == 1 {
+				if _, isPass := h.Body[0].(*pyast.Pass); isPass {
+					out = append(out, Finding{
+						TestID: "B110", Name: "try_except_pass", Severity: "LOW",
+						Line: h.Position.Line,
+					})
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func pluginXMLEtree(ctx *context) []Finding {
+	if !ctx.hasImport("xml") {
+		return nil
+	}
+	return callFindings(ctx, func(c *pyast.Call) bool {
+		name := pyast.CallName(c)
+		return strings.HasSuffix(name, ".fromstring") || strings.HasSuffix(name, ".parse") ||
+			name == "xml.sax.parseString"
+	}, Finding{
+		TestID: "B314", Name: "blacklist_xml", Severity: "MEDIUM",
+		Suggestion: "# bandit: use defusedxml",
+	})
+}
+
+func pluginRandom(ctx *context) []Finding {
+	return callFindings(ctx, func(c *pyast.Call) bool {
+		name := pyast.CallName(c)
+		return strings.HasPrefix(name, "random.")
+	}, Finding{TestID: "B311", Name: "blacklist_random", Severity: "LOW"})
+}
+
+// pluginSQLExpressions approximates B608: execute() whose argument is
+// string-built SQL (concatenation, %, .format or an f-string).
+func pluginSQLExpressions(ctx *context) []Finding {
+	isSQLString := func(e pyast.Expr) bool {
+		s, ok := e.(*pyast.StringLit)
+		if !ok {
+			return false
+		}
+		upper := strings.ToUpper(s.Value)
+		for _, kw := range []string{"SELECT ", "INSERT ", "UPDATE ", "DELETE "} {
+			if strings.Contains(upper, kw) {
+				return true
+			}
+		}
+		return false
+	}
+	return callFindings(ctx, func(c *pyast.Call) bool {
+		attr, ok := c.Func.(*pyast.Attribute)
+		if !ok || attr.Attr != "execute" || len(c.Args) == 0 {
+			return false
+		}
+		switch arg := c.Args[0].(type) {
+		case *pyast.BinOp:
+			return (arg.Op == "+" || arg.Op == "%") && (isSQLString(arg.Left) || isSQLString(arg.Right))
+		case *pyast.Call:
+			inner, ok := arg.Func.(*pyast.Attribute)
+			return ok && inner.Attr == "format" && isSQLString(inner.Value)
+		case *pyast.StringLit:
+			return arg.FString && isSQLString(arg)
+		}
+		return false
+	}, Finding{TestID: "B608", Name: "hardcoded_sql_expressions", Severity: "MEDIUM"})
+}
+
+func pluginFlaskDebug(ctx *context) []Finding {
+	if !ctx.hasImport("flask") {
+		return nil
+	}
+	return callFindings(ctx, func(c *pyast.Call) bool {
+		attr, ok := c.Func.(*pyast.Attribute)
+		if !ok || attr.Attr != "run" {
+			return false
+		}
+		kw := pyast.KeywordArg(c, "debug")
+		return kw != nil && pyast.IsConst(kw, "True")
+	}, Finding{
+		TestID: "B201", Name: "flask_debug_true", Severity: "HIGH",
+	})
+}
+
+func pluginBadTLSVersion(ctx *context) []Finding {
+	var out []Finding
+	pyast.Walk(ctx.module, func(n pyast.Node) bool {
+		if attr, ok := n.(*pyast.Attribute); ok {
+			switch attr.Attr {
+			case "PROTOCOL_SSLv2", "PROTOCOL_SSLv3", "PROTOCOL_TLSv1", "PROTOCOL_TLSv1_1":
+				out = append(out, Finding{
+					TestID: "B502", Name: "ssl_with_bad_version", Severity: "HIGH",
+					Line: attr.Position.Line,
+				})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func pluginParamikoAutoAdd(ctx *context) []Finding {
+	return callFindings(ctx, callNamed("paramiko.AutoAddPolicy"), Finding{
+		TestID: "B507", Name: "ssh_no_host_key_verification", Severity: "HIGH",
+	})
+}
+
+func pluginTarfileExtract(ctx *context) []Finding {
+	if !ctx.hasImport("tarfile") {
+		return nil
+	}
+	return callFindings(ctx, func(c *pyast.Call) bool {
+		attr, ok := c.Func.(*pyast.Attribute)
+		if !ok || attr.Attr != "extractall" {
+			return false
+		}
+		return pyast.KeywordArg(c, "filter") == nil
+	}, Finding{TestID: "B202", Name: "tarfile_unsafe_members", Severity: "HIGH"})
+}
+
+func pluginMarkSafe(ctx *context) []Finding {
+	return callFindings(ctx, func(c *pyast.Call) bool {
+		name := pyast.CallName(c)
+		return name == "mark_safe" || name == "Markup"
+	}, Finding{TestID: "B703", Name: "django_mark_safe", Severity: "MEDIUM"})
+}
+
+func pluginMakoTemplates(ctx *context) []Finding {
+	if !ctx.hasImport("mako") {
+		return nil
+	}
+	return callFindings(ctx, callNamed("Template"), Finding{
+		TestID: "B702", Name: "use_of_mako_templates", Severity: "MEDIUM",
+	})
+}
+
+func pluginURLOpen(ctx *context) []Finding {
+	return callFindings(ctx, func(c *pyast.Call) bool {
+		name := pyast.CallName(c)
+		return name == "urlopen" || name == "urllib.request.urlopen"
+	}, Finding{TestID: "B310", Name: "blacklist_urlopen", Severity: "MEDIUM"})
+}

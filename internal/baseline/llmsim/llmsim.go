@@ -1,0 +1,200 @@
+// Package llmsim simulates the LLM-assistant baselines of the paper's
+// §III-C (ChatGPT-4o, Claude-3.7-Sonnet and Gemini-2.0-Flash queried with
+// the Zero-Shot Role-Oriented prompt "Act as a security expert... Is this
+// code vulnerable? ... If it is vulnerable, patch the code.").
+//
+// The real study calls remote proprietary chat models; this reproduction
+// replaces each with a stochastic reviewer/patcher whose judgement profile
+// matches the error characteristics the paper reports: high sensitivity
+// but imperfect specificity (false positives), repair rates below
+// PatchitPy's, and rewrites that add logic beyond the original code —
+// which is exactly what drives the complexity growth in Fig. 3.
+package llmsim
+
+import (
+	"math/rand"
+	"strings"
+
+	"github.com/dessertlab/patchitpy/internal/generator"
+)
+
+// Assistant is one simulated LLM reviewer/patcher.
+type Assistant struct {
+	// Name is the display name.
+	Name string
+	// Sensitivity is P(answer "vulnerable" | truly vulnerable).
+	Sensitivity float64
+	// Specificity is P(answer "not vulnerable" | truly safe).
+	Specificity float64
+	// RepairRate is P(the produced patch actually removes the weakness |
+	// answered "vulnerable" on a truly vulnerable sample). Failures model
+	// the "oversimplified patches" the literature reports.
+	RepairRate float64
+	// WrapProb is the chance a rewrite adds a validation/retry helper
+	// beyond the original structure.
+	WrapProb float64
+	// WrapDepth indexes how much logic the added helper carries (0..len(wrappers)-1 cap).
+	WrapDepth int
+	// Seed drives all the assistant's randomness.
+	Seed int64
+}
+
+// Assistants returns the three simulated baselines with calibrated
+// profiles.
+func Assistants() []*Assistant {
+	return []*Assistant{
+		{
+			Name: "ChatGPT-4o", Sensitivity: 0.94, Specificity: 0.62,
+			RepairRate: 0.62, WrapProb: 0.13, WrapDepth: 0, Seed: 11,
+		},
+		{
+			Name: "Claude-3.7-Sonnet", Sensitivity: 0.97, Specificity: 0.46,
+			RepairRate: 0.72, WrapProb: 0.20, WrapDepth: 1, Seed: 22,
+		},
+		{
+			Name: "Gemini-2.0-Flash", Sensitivity: 0.91, Specificity: 0.55,
+			RepairRate: 0.64, WrapProb: 0.13, WrapDepth: 1, Seed: 33,
+		},
+	}
+}
+
+// Review is the assistant's answer for one sample.
+type Review struct {
+	// Detected is the yes/no vulnerability answer.
+	Detected bool
+	// Patched is the code the assistant returns. When it answered "not
+	// vulnerable" this is the original code unchanged.
+	Patched string
+}
+
+// Review simulates the ZS-RO exchange for one sample, deterministically
+// for a given (assistant, sample).
+func (a *Assistant) Review(s generator.Sample) Review {
+	rng := rand.New(rand.NewSource(a.Seed ^ int64(hash(s.PromptID+"|"+s.Model))))
+	var detected bool
+	if s.Truth.Vulnerable {
+		detected = rng.Float64() < a.Sensitivity
+	} else {
+		detected = rng.Float64() >= a.Specificity
+	}
+	if !detected {
+		return Review{Detected: false, Patched: s.Code}
+	}
+
+	var body string
+	if s.Truth.Vulnerable && rng.Float64() < a.RepairRate {
+		body = generator.SafeRewrite(s)
+	} else if s.Truth.Vulnerable {
+		// Oversimplified patch: cosmetic hardening that leaves the
+		// weakness in place.
+		body = cosmeticPatch(s.Code)
+	} else {
+		// False positive: the assistant "fixes" safe code by rewriting it.
+		body = s.Code
+	}
+	if rng.Float64() < a.WrapProb {
+		body = addWrapper(body, a.WrapDepth, rng)
+	}
+	return Review{Detected: true, Patched: body}
+}
+
+func cosmeticPatch(code string) string {
+	return code + `
+
+def sanitize_placeholder(value):
+    if value is None:
+        return ""
+    return str(value)
+`
+}
+
+// wrappers are validation/retry helpers of increasing cyclomatic
+// complexity that LLM rewrites tend to bolt on (the "function completions
+// beyond the original signatures" of Fig. 3).
+var wrappers = []string{
+	`
+
+def validate_input(value):
+    if value is None:
+        return ""
+    if len(str(value)) > 1024:
+        return str(value)[:1024]
+    return str(value)
+`,
+	`
+
+def validate_request_value(value, limit=1024):
+    if value is None:
+        return ""
+    if not isinstance(value, str):
+        value = str(value)
+    if len(value) > limit:
+        value = value[:limit]
+    if "\x00" in value:
+        value = value.replace("\x00", "")
+    return value
+`,
+	`
+
+def check_and_normalize(value, limit=1024, strict=False):
+    if value is None:
+        if strict:
+            raise ValueError("value required")
+        return ""
+    if not isinstance(value, str):
+        value = str(value)
+    if len(value) > limit:
+        value = value[:limit]
+    cleaned = []
+    for ch in value:
+        if ch.isprintable() or ch in "\t\n":
+            cleaned.append(ch)
+    return "".join(cleaned)
+`,
+	`
+
+def guarded_execute(operation, retries=3, strict=True):
+    last_error = None
+    for attempt in range(retries):
+        try:
+            result = operation()
+        except ValueError as exc:
+            last_error = exc
+            if strict and attempt == retries - 1:
+                raise
+        except Exception as exc:
+            last_error = exc
+            if attempt == retries - 1 and strict:
+                raise RuntimeError("operation failed") from exc
+        else:
+            if result is not None:
+                return result
+    if last_error is not None and strict:
+        raise last_error
+    return None
+`,
+}
+
+func addWrapper(code string, depth int, rng *rand.Rand) string {
+	if depth < 0 {
+		depth = 0
+	}
+	if depth >= len(wrappers) {
+		depth = len(wrappers) - 1
+	}
+	// Occasionally the model adds a lighter helper than its usual style.
+	idx := depth
+	if depth > 0 && rng.Float64() < 0.3 {
+		idx = depth - 1
+	}
+	return strings.TrimRight(code, "\n") + wrappers[idx] + ""
+}
+
+func hash(s string) uint32 {
+	var h uint32 = 2166136261
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}

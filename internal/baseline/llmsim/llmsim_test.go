@@ -1,0 +1,151 @@
+package llmsim
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/dessertlab/patchitpy/internal/generator"
+	"github.com/dessertlab/patchitpy/internal/oracle"
+	"github.com/dessertlab/patchitpy/internal/prompts"
+	"github.com/dessertlab/patchitpy/internal/pyast"
+)
+
+func corpus(t *testing.T) []generator.Sample {
+	t.Helper()
+	samples, err := generator.Corpus(prompts.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return samples
+}
+
+func TestThreeAssistants(t *testing.T) {
+	as := Assistants()
+	if len(as) != 3 {
+		t.Fatalf("assistants = %d", len(as))
+	}
+	names := map[string]bool{}
+	for _, a := range as {
+		names[a.Name] = true
+		if a.Sensitivity <= a.RepairRate*0 || a.Sensitivity > 1 || a.Specificity > 1 {
+			t.Errorf("%s: bad profile %+v", a.Name, a)
+		}
+	}
+	for _, want := range []string{"ChatGPT-4o", "Claude-3.7-Sonnet", "Gemini-2.0-Flash"} {
+		if !names[want] {
+			t.Errorf("missing assistant %s", want)
+		}
+	}
+}
+
+func TestReviewDeterministic(t *testing.T) {
+	samples := corpus(t)
+	a := Assistants()[0]
+	for _, s := range samples[:20] {
+		r1, r2 := a.Review(s), a.Review(s)
+		if r1.Detected != r2.Detected || r1.Patched != r2.Patched {
+			t.Fatalf("%s/%s: nondeterministic review", s.Model, s.PromptID)
+		}
+	}
+}
+
+func TestSensitivityAndSpecificityRealized(t *testing.T) {
+	samples := corpus(t)
+	for _, a := range Assistants() {
+		var tp, fn, fp, tn int
+		for _, s := range samples {
+			r := a.Review(s)
+			switch {
+			case s.Truth.Vulnerable && r.Detected:
+				tp++
+			case s.Truth.Vulnerable:
+				fn++
+			case r.Detected:
+				fp++
+			default:
+				tn++
+			}
+		}
+		sens := float64(tp) / float64(tp+fn)
+		spec := float64(tn) / float64(tn+fp)
+		if diff := sens - a.Sensitivity; diff > 0.05 || diff < -0.05 {
+			t.Errorf("%s: realized sensitivity %.3f vs profile %.3f", a.Name, sens, a.Sensitivity)
+		}
+		if diff := spec - a.Specificity; diff > 0.08 || diff < -0.08 {
+			t.Errorf("%s: realized specificity %.3f vs profile %.3f", a.Name, spec, a.Specificity)
+		}
+	}
+}
+
+func TestRepairRateRealized(t *testing.T) {
+	samples := corpus(t)
+	orc := oracle.New()
+	for _, a := range Assistants() {
+		var detected, repaired int
+		for _, s := range samples {
+			if !s.Truth.Vulnerable {
+				continue
+			}
+			r := a.Review(s)
+			if !r.Detected {
+				continue
+			}
+			detected++
+			if orc.Repaired(s, r.Patched) {
+				repaired++
+			}
+		}
+		rate := float64(repaired) / float64(detected)
+		if diff := rate - a.RepairRate; diff > 0.06 || diff < -0.06 {
+			t.Errorf("%s: realized repair rate %.3f vs profile %.3f", a.Name, rate, a.RepairRate)
+		}
+	}
+}
+
+func TestUndetectedLeavesCodeUnchanged(t *testing.T) {
+	samples := corpus(t)
+	a := Assistants()[0]
+	for _, s := range samples {
+		r := a.Review(s)
+		if !r.Detected && r.Patched != s.Code {
+			t.Fatalf("%s/%s: undetected sample was modified", s.Model, s.PromptID)
+		}
+	}
+}
+
+func TestPatchedOutputParses(t *testing.T) {
+	samples := corpus(t)
+	for _, a := range Assistants() {
+		for _, s := range samples[:100] {
+			r := a.Review(s)
+			mod, err := pyast.Parse(r.Patched)
+			if err != nil {
+				t.Fatalf("%s on %s/%s: unparseable output: %v", a.Name, s.Model, s.PromptID, err)
+			}
+			if len(mod.Errors) > 0 {
+				t.Fatalf("%s on %s/%s: parse errors %v in:\n%s", a.Name, s.Model, s.PromptID, mod.Errors, r.Patched)
+			}
+		}
+	}
+}
+
+func TestWrappersAddLogic(t *testing.T) {
+	for i, w := range wrappers {
+		mod, err := pyast.Parse(strings.TrimLeft(w, "\n"))
+		if err != nil || len(mod.Errors) > 0 {
+			t.Errorf("wrapper %d does not parse: %v %v", i, err, mod.Errors)
+		}
+	}
+}
+
+func BenchmarkReview(b *testing.B) {
+	samples, err := generator.Corpus(prompts.All())
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := Assistants()[1]
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a.Review(samples[i%len(samples)])
+	}
+}

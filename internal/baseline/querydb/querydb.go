@@ -1,0 +1,368 @@
+// Package querydb reproduces the architecture and evaluation role of
+// CodeQL (the paper's §III-C baseline): source code is parsed into an AST,
+// the AST is flattened into relational fact tables, and security queries
+// run against those tables. Like CodeQL's ruleset for Python, it detects
+// but offers no patching.
+package querydb
+
+import (
+	"strings"
+
+	"github.com/dessertlab/patchitpy/internal/pyast"
+)
+
+// CallFact is one row of the calls relation.
+type CallFact struct {
+	Name          string // dotted callee ("os.system"), or "" if dynamic
+	Line          int
+	HasConcatArg  bool              // an argument is a BinOp over +/%
+	HasFStringArg bool              // an argument is an f-string with holes
+	HasFormatArg  bool              // an argument is <str>.format(...)
+	StringArgs    []string          // literal string argument values
+	NumberArgs    []string          // literal numeric argument texts
+	Kwargs        map[string]string // keyword name -> rendered constant ("True", "False", "'x'") or "expr"
+}
+
+// AssignFact is one row of the assignments relation.
+type AssignFact struct {
+	Target          string // plain or attribute target name (last component)
+	Line            int
+	IsStringLiteral bool
+	StringValue     string
+}
+
+// Database is the extracted fact set for one file.
+type Database struct {
+	Imports     map[string]bool
+	Calls       []CallFact
+	Assigns     []AssignFact
+	Attributes  []string // attribute names referenced (e.g. "MODE_ECB")
+	Strings     []string // every string literal value
+	Decorators  []string // rendered decorator call names + first string arg
+	ParseErrors int
+}
+
+// Extract builds the database from source. Statements that fail to parse
+// contribute nothing but are counted, mirroring how extractor errors cost
+// CodeQL coverage on incomplete snippets.
+func Extract(src string) *Database {
+	db := &Database{Imports: map[string]bool{}}
+	mod, err := pyast.Parse(src)
+	if err != nil {
+		db.ParseErrors++
+		return db
+	}
+	db.ParseErrors = len(mod.Errors)
+	for m := range pyast.ImportedModules(mod) {
+		db.Imports[m] = true
+	}
+	pyast.Walk(mod, func(n pyast.Node) bool {
+		switch x := n.(type) {
+		case *pyast.Call:
+			db.Calls = append(db.Calls, extractCall(x))
+		case *pyast.Assign:
+			for _, t := range x.Targets {
+				fact := AssignFact{Line: x.Position.Line}
+				switch tt := t.(type) {
+				case *pyast.Name:
+					fact.Target = tt.ID
+				case *pyast.Attribute:
+					fact.Target = tt.Attr
+				default:
+					continue
+				}
+				if s, ok := x.Value.(*pyast.StringLit); ok {
+					fact.IsStringLiteral = true
+					fact.StringValue = s.Value
+				}
+				db.Assigns = append(db.Assigns, fact)
+			}
+		case *pyast.Attribute:
+			db.Attributes = append(db.Attributes, x.Attr)
+		case *pyast.StringLit:
+			db.Strings = append(db.Strings, x.Value)
+		case *pyast.FunctionDef:
+			for _, d := range x.Decorators {
+				if c, ok := d.(*pyast.Call); ok {
+					name := pyast.CallName(c)
+					arg := ""
+					if len(c.Args) > 0 {
+						if s, ok := c.Args[0].(*pyast.StringLit); ok {
+							arg = s.Value
+						}
+					}
+					db.Decorators = append(db.Decorators, name+" "+arg)
+				}
+			}
+		}
+		return true
+	})
+	return db
+}
+
+func extractCall(c *pyast.Call) CallFact {
+	fact := CallFact{
+		Name:   pyast.CallName(c),
+		Line:   c.Pos().Line,
+		Kwargs: map[string]string{},
+	}
+	for _, arg := range c.Args {
+		switch a := arg.(type) {
+		case *pyast.BinOp:
+			if a.Op == "+" || a.Op == "%" {
+				fact.HasConcatArg = true
+			}
+		case *pyast.StringLit:
+			if a.FString && strings.Contains(a.Raw, "{") {
+				fact.HasFStringArg = true
+			} else {
+				fact.StringArgs = append(fact.StringArgs, a.Value)
+			}
+		case *pyast.NumberLit:
+			fact.NumberArgs = append(fact.NumberArgs, a.Text)
+		case *pyast.Call:
+			if attr, ok := a.Func.(*pyast.Attribute); ok && attr.Attr == "format" {
+				fact.HasFormatArg = true
+			}
+		}
+	}
+	for _, kw := range c.Keywords {
+		fact.Kwargs[kw.Name] = renderConst(kw.Value)
+	}
+	return fact
+}
+
+func renderConst(e pyast.Expr) string {
+	switch v := e.(type) {
+	case *pyast.ConstLit:
+		return v.Kind
+	case *pyast.StringLit:
+		return "'" + v.Value + "'"
+	case *pyast.NumberLit:
+		return v.Text
+	case *pyast.Dict:
+		// render simple dicts of string->const for the JWT options query
+		var parts []string
+		for i := range v.Keys {
+			if v.Keys[i] == nil {
+				continue
+			}
+			k, ok := v.Keys[i].(*pyast.StringLit)
+			if !ok {
+				continue
+			}
+			parts = append(parts, k.Value+"="+renderConst(v.Values[i]))
+		}
+		return "{" + strings.Join(parts, ",") + "}"
+	}
+	return "expr"
+}
+
+// Result is one query hit.
+type Result struct {
+	Query string // query id, e.g. "py/sql-injection"
+	CWE   string
+	Line  int
+}
+
+// Query is a security query over the database.
+type Query struct {
+	ID  string
+	CWE string
+	Run func(*Database) []Result
+}
+
+// Engine bundles the query suite.
+type Engine struct {
+	queries []Query
+}
+
+// New returns an engine with the built-in security suite.
+func New() *Engine { return &Engine{queries: securitySuite()} }
+
+// Scan extracts facts and runs every query.
+func (e *Engine) Scan(src string) []Result {
+	db := Extract(src)
+	var out []Result
+	for _, q := range e.queries {
+		out = append(out, q.Run(db)...)
+	}
+	return out
+}
+
+// Vulnerable reports whether any query returns results.
+func (e *Engine) Vulnerable(src string) bool { return len(e.Scan(src)) > 0 }
+
+// QueryCount returns the suite size.
+func (e *Engine) QueryCount() int { return len(e.queries) }
+
+func callQuery(id, cwe string, match func(CallFact) bool) Query {
+	return Query{ID: id, CWE: cwe, Run: func(db *Database) []Result {
+		var out []Result
+		for _, c := range db.Calls {
+			if match(c) {
+				out = append(out, Result{Query: id, CWE: cwe, Line: c.Line})
+			}
+		}
+		return out
+	}}
+}
+
+func securitySuite() []Query {
+	return []Query{
+		callQuery("py/sql-injection", "CWE-089", func(c CallFact) bool {
+			return strings.HasSuffix(c.Name, ".execute") &&
+				(c.HasConcatArg || c.HasFStringArg || c.HasFormatArg)
+		}),
+		callQuery("py/command-line-injection", "CWE-078", func(c CallFact) bool {
+			if (c.Name == "os.system" || c.Name == "os.popen") && c.HasConcatArg {
+				return true
+			}
+			return strings.HasPrefix(c.Name, "subprocess.") && c.Kwargs["shell"] == "True"
+		}),
+		callQuery("py/code-injection", "CWE-095", func(c CallFact) bool {
+			return c.Name == "eval" || c.Name == "exec"
+		}),
+		callQuery("py/unsafe-deserialization", "CWE-502", func(c CallFact) bool {
+			switch c.Name {
+			case "pickle.loads", "pickle.load", "marshal.loads", "marshal.load", "dill.loads":
+				return true
+			case "yaml.load":
+				return true
+			}
+			return false
+		}),
+		callQuery("py/weak-sensitive-data-hashing", "CWE-327", func(c CallFact) bool {
+			if c.Name == "hashlib.md5" || c.Name == "hashlib.sha1" {
+				return true
+			}
+			if c.Name == "hashlib.new" {
+				for _, s := range c.StringArgs {
+					lower := strings.ToLower(s)
+					if lower == "md5" || lower == "sha1" {
+						return true
+					}
+				}
+			}
+			return false
+		}),
+		callQuery("py/insecure-protocol", "CWE-327", func(c CallFact) bool {
+			return c.Name == "DES.new" || c.Name == "ARC4.new"
+		}),
+		{ID: "py/insecure-cipher-mode", CWE: "CWE-327", Run: func(db *Database) []Result {
+			var out []Result
+			for _, a := range db.Attributes {
+				if a == "MODE_ECB" {
+					out = append(out, Result{Query: "py/insecure-cipher-mode", CWE: "CWE-327"})
+				}
+			}
+			return out
+		}},
+		callQuery("py/request-without-cert-validation", "CWE-295", func(c CallFact) bool {
+			return strings.HasPrefix(c.Name, "requests.") && c.Kwargs["verify"] == "False"
+		}),
+		callQuery("py/unverified-ssl-context", "CWE-295", func(c CallFact) bool {
+			return c.Name == "ssl._create_unverified_context" || c.Name == "ssl.wrap_socket"
+		}),
+		{ID: "py/insecure-default-protocol", CWE: "CWE-326", Run: func(db *Database) []Result {
+			var out []Result
+			for _, a := range db.Attributes {
+				switch a {
+				case "PROTOCOL_SSLv2", "PROTOCOL_SSLv3", "PROTOCOL_TLSv1", "PROTOCOL_TLSv1_1":
+					out = append(out, Result{Query: "py/insecure-default-protocol", CWE: "CWE-326"})
+				}
+			}
+			return out
+		}},
+		callQuery("py/paramiko-missing-host-key-validation", "CWE-295", func(c CallFact) bool {
+			return c.Name == "paramiko.AutoAddPolicy"
+		}),
+		callQuery("py/jwt-missing-verification", "CWE-347", func(c CallFact) bool {
+			if c.Name != "jwt.decode" {
+				return false
+			}
+			if c.Kwargs["verify"] == "False" {
+				return true
+			}
+			return strings.Contains(c.Kwargs["options"], "verify_signature=False")
+		}),
+		{ID: "py/hardcoded-credentials", CWE: "CWE-798", Run: func(db *Database) []Result {
+			var out []Result
+			for _, a := range db.Assigns {
+				if !a.IsStringLiteral || a.StringValue == "" {
+					continue
+				}
+				lower := strings.ToLower(a.Target)
+				if lower == "password" || lower == "passwd" || lower == "secret_key" || lower == "api_key" {
+					out = append(out, Result{Query: "py/hardcoded-credentials", CWE: "CWE-798", Line: a.Line})
+				}
+			}
+			return out
+		}},
+		{ID: "py/flask-debug", CWE: "CWE-215", Run: func(db *Database) []Result {
+			if !db.Imports["flask"] {
+				return nil
+			}
+			var out []Result
+			for _, c := range db.Calls {
+				if strings.HasSuffix(c.Name, ".run") && c.Kwargs["debug"] == "True" {
+					out = append(out, Result{Query: "py/flask-debug", CWE: "CWE-215", Line: c.Line})
+				}
+			}
+			return out
+		}},
+		{ID: "py/reflective-xss", CWE: "CWE-079", Run: func(db *Database) []Result {
+			// CodeQL's taint query needs a sink; our fact tables record
+			// f-strings with holes passed to make_response or returned via
+			// render-free handlers only when flask is imported.
+			if !db.Imports["flask"] {
+				return nil
+			}
+			var out []Result
+			for _, c := range db.Calls {
+				if c.Name == "make_response" && c.HasFStringArg {
+					out = append(out, Result{Query: "py/reflective-xss", CWE: "CWE-079", Line: c.Line})
+				}
+			}
+			return out
+		}},
+		callQuery("py/path-injection", "CWE-022", func(c CallFact) bool {
+			return c.Name == "open" && (c.HasConcatArg || c.HasFStringArg)
+		}),
+		callQuery("py/tarslip", "CWE-022", func(c CallFact) bool {
+			return strings.HasSuffix(c.Name, ".extractall") && c.Kwargs["filter"] == ""
+		}),
+		callQuery("py/insecure-randomness", "CWE-330", func(c CallFact) bool {
+			return strings.HasPrefix(c.Name, "random.")
+		}),
+		callQuery("py/insecure-temporary-file", "CWE-377", func(c CallFact) bool {
+			return c.Name == "tempfile.mktemp"
+		}),
+		{ID: "py/bind-to-all-interfaces", CWE: "CWE-605", Run: func(db *Database) []Result {
+			var out []Result
+			for _, s := range db.Strings {
+				if s == "0.0.0.0" {
+					out = append(out, Result{Query: "py/bind-to-all-interfaces", CWE: "CWE-605"})
+				}
+			}
+			return out
+		}},
+		callQuery("py/overly-permissive-file", "CWE-732", func(c CallFact) bool {
+			if c.Name != "os.chmod" {
+				return false
+			}
+			for _, n := range c.NumberArgs {
+				if n == "0o777" || n == "0777" || n == "777" {
+					return true
+				}
+			}
+			return false
+		}),
+		callQuery("py/full-ssrf", "CWE-918", func(c CallFact) bool {
+			return c.Name == "urlopen"
+		}),
+		callQuery("py/xxe-local", "CWE-611", func(c CallFact) bool {
+			return c.Name == "xml.sax.parseString"
+		}),
+	}
+}

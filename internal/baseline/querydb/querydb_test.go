@@ -1,0 +1,152 @@
+package querydb
+
+import (
+	"testing"
+)
+
+func queryHits(rs []Result) map[string]int {
+	out := make(map[string]int)
+	for _, r := range rs {
+		out[r.Query]++
+	}
+	return out
+}
+
+func TestExtractFacts(t *testing.T) {
+	src := `import sqlite3
+from flask import Flask, request
+app = Flask(__name__)
+
+@app.route("/user")
+def handler():
+    uid = request.args.get("id", "")
+    cur.execute("SELECT * FROM users WHERE id = " + uid)
+    requests.get(url, verify=False, timeout=5)
+    password = "hunter2"
+`
+	db := Extract(src)
+	if !db.Imports["sqlite3"] || !db.Imports["flask"] {
+		t.Errorf("imports = %v", db.Imports)
+	}
+	var sawExecute, sawVerify bool
+	for _, c := range db.Calls {
+		if c.Name == "cur.execute" && c.HasConcatArg {
+			sawExecute = true
+		}
+		if c.Name == "requests.get" && c.Kwargs["verify"] == "False" {
+			sawVerify = true
+		}
+	}
+	if !sawExecute {
+		t.Error("execute concat fact missing")
+	}
+	if !sawVerify {
+		t.Error("verify=False fact missing")
+	}
+	var sawPassword bool
+	for _, a := range db.Assigns {
+		if a.Target == "password" && a.IsStringLiteral && a.StringValue == "hunter2" {
+			sawPassword = true
+		}
+	}
+	if !sawPassword {
+		t.Errorf("password assign fact missing: %+v", db.Assigns)
+	}
+	var sawRoute bool
+	for _, d := range db.Decorators {
+		if d == "app.route /user" {
+			sawRoute = true
+		}
+	}
+	if !sawRoute {
+		t.Errorf("decorator facts = %v", db.Decorators)
+	}
+}
+
+func TestQueriesFireOnTargets(t *testing.T) {
+	cases := map[string]string{
+		"py/sql-injection":                   `cur.execute("SELECT * FROM t WHERE id = " + uid)` + "\n",
+		"py/command-line-injection":          "import subprocess\nsubprocess.run(cmd, shell=True)\n",
+		"py/code-injection":                  "eval(expr)\n",
+		"py/unsafe-deserialization":          "import pickle\nobj = pickle.loads(blob)\n",
+		"py/weak-sensitive-data-hashing":     "import hashlib\nh = hashlib.md5(x)\n",
+		"py/request-without-cert-validation": "import requests\nrequests.get(url, verify=False, timeout=5)\n",
+		"py/flask-debug":                     "from flask import Flask\napp = Flask(__name__)\napp.run(debug=True)\n",
+		"py/hardcoded-credentials":           `password = "hunter2"` + "\n",
+		"py/path-injection":                  `fh = open("data/" + name)` + "\n",
+		"py/tarslip":                         "import tarfile\narchive.extractall(dest)\n",
+		"py/insecure-temporary-file":         "import tempfile\np = tempfile.mktemp()\n",
+		"py/bind-to-all-interfaces":          `sock.bind(("0.0.0.0", 80))` + "\n",
+		"py/overly-permissive-file":          "import os\nos.chmod(p, 0o777)\n",
+		"py/jwt-missing-verification":        `import jwt` + "\n" + `jwt.decode(tok, key, options={"verify_signature": False})` + "\n",
+	}
+	e := New()
+	for q, src := range cases {
+		if queryHits(e.Scan(src))[q] == 0 {
+			t.Errorf("%s: did not fire on %q (got %v)", q, src, queryHits(e.Scan(src)))
+		}
+	}
+}
+
+func TestQueriesQuietOnSafeForms(t *testing.T) {
+	cases := []string{
+		`cur.execute("SELECT * FROM t WHERE id = ?", (uid,))` + "\n",
+		"import subprocess\nsubprocess.run([\"ls\"], shell=False)\n",
+		"import hashlib\nh = hashlib.sha256(x)\n",
+		"import requests\nrequests.get(url, timeout=5)\n",
+		"from flask import Flask\napp = Flask(__name__)\napp.run(debug=False)\n",
+		"import os\npassword = os.environ.get(\"PASSWORD\", \"\")\n",
+		"import tarfile\narchive.extractall(dest, filter=\"data\")\n",
+		"import os\nos.chmod(p, 0o600)\n",
+	}
+	e := New()
+	for _, src := range cases {
+		if rs := e.Scan(src); len(rs) != 0 {
+			t.Errorf("fired %v on safe code %q", queryHits(rs), src)
+		}
+	}
+}
+
+func TestParseErrorsCounted(t *testing.T) {
+	db := Extract("def broken(:)\nx = 1\n")
+	if db.ParseErrors == 0 {
+		t.Error("parse errors not counted")
+	}
+}
+
+func TestQueryCount(t *testing.T) {
+	if n := New().QueryCount(); n < 20 {
+		t.Errorf("suite has %d queries; expected a substantial security suite", n)
+	}
+}
+
+func TestResultsCarryCWE(t *testing.T) {
+	e := New()
+	for _, r := range e.Scan("eval(expr)\n") {
+		if r.CWE == "" {
+			t.Errorf("result without CWE: %+v", r)
+		}
+	}
+}
+
+func BenchmarkQueryDBScan(b *testing.B) {
+	src := `import sqlite3, hashlib, pickle
+from flask import Flask, request
+app = Flask(__name__)
+
+@app.route("/user")
+def handler():
+    uid = request.args.get("id", "")
+    cur.execute("SELECT * FROM users WHERE id = " + uid)
+    h = hashlib.md5(uid.encode()).hexdigest()
+    return h
+
+app.run(debug=True)
+`
+	e := New()
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Scan(src)
+	}
+}

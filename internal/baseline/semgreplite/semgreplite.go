@@ -1,0 +1,175 @@
+// Package semgreplite reproduces the evaluation role of Semgrep v1.116.0
+// with the public Python registry rules (the paper's §III-C baseline):
+// pattern matching over source text with metavariable-style captures. Like
+// the registry rules the paper describes, a minority of rules (~19% of
+// detections in the paper's corpus) attach a *suggestion comment* rather
+// than rewriting code — Semgrep's autofix exists but the public rules
+// ship suggestions, and the tool never modified the evaluated files.
+package semgreplite
+
+import "regexp"
+
+// Rule is one registry-style pattern rule.
+type Rule struct {
+	// ID is the registry rule path, e.g. "python.flask.security.audit.debug-enabled".
+	ID string
+	// Message describes the finding.
+	Message string
+	// Severity is INFO/WARNING/ERROR.
+	Severity string
+	// Pattern is the compiled matcher.
+	Pattern *regexp.Regexp
+	// Suggestion, when non-empty, is the fix comment the rule attaches.
+	Suggestion string
+}
+
+// Finding is one Semgrep-style result.
+type Finding struct {
+	RuleID     string
+	Message    string
+	Severity   string
+	Line       int
+	Suggestion string
+}
+
+// Scanner runs the registry rule set.
+type Scanner struct {
+	rules []Rule
+}
+
+// New returns a scanner with the built-in registry subset.
+func New() *Scanner {
+	return &Scanner{rules: registryRules()}
+}
+
+// Rules returns the rule set (copy).
+func (s *Scanner) Rules() []Rule {
+	out := make([]Rule, len(s.rules))
+	copy(out, s.rules)
+	return out
+}
+
+// Scan analyzes src and returns findings in rule order.
+func (s *Scanner) Scan(src string) []Finding {
+	var out []Finding
+	for _, r := range s.rules {
+		for _, idx := range r.Pattern.FindAllStringIndex(src, -1) {
+			line := 1
+			for i := 0; i < idx[0]; i++ {
+				if src[i] == '\n' {
+					line++
+				}
+			}
+			out = append(out, Finding{
+				RuleID:     r.ID,
+				Message:    r.Message,
+				Severity:   r.Severity,
+				Line:       line,
+				Suggestion: r.Suggestion,
+			})
+		}
+	}
+	return out
+}
+
+// Vulnerable reports whether any rule fires.
+func (s *Scanner) Vulnerable(src string) bool { return len(s.Scan(src)) > 0 }
+
+// SuggestionRate returns the fraction of findings carrying a suggestion.
+func SuggestionRate(findings []Finding) float64 {
+	if len(findings) == 0 {
+		return 0
+	}
+	n := 0
+	for _, f := range findings {
+		if f.Suggestion != "" {
+			n++
+		}
+	}
+	return float64(n) / float64(len(findings))
+}
+
+func registryRules() []Rule {
+	mk := func(id, msg, sev, pattern, suggestion string) Rule {
+		return Rule{
+			ID: id, Message: msg, Severity: sev,
+			Pattern:    regexp.MustCompile(pattern),
+			Suggestion: suggestion,
+		}
+	}
+	return []Rule{
+		mk("python.lang.security.audit.eval-detected",
+			"eval() on dynamic data", "ERROR", `(?m)\beval\(\s*[a-zA-Z_]`, ""),
+		mk("python.lang.security.audit.exec-detected",
+			"exec() on dynamic data", "ERROR", `(?m)\bexec\(\s*[a-zA-Z_]`, ""),
+		mk("python.lang.security.audit.dangerous-system-call",
+			"os.system with dynamic input", "ERROR", `(?m)os\.system\([^)\n]*\+`, ""),
+		mk("python.lang.security.audit.dangerous-popen",
+			"os.popen with dynamic input", "ERROR", `(?m)os\.popen\([^)\n]*\+`, ""),
+		mk("python.lang.security.audit.subprocess-shell-true",
+			"subprocess with shell=True", "ERROR", `(?m)subprocess\.\w+\([^)\n]*shell\s*=\s*True`, ""),
+		mk("python.sqlalchemy.security.sqlalchemy-execute-raw-query",
+			"SQL built by concatenation", "ERROR", `(?m)\.execute\(\s*"[^"\n]*"\s*\+`,
+			"# semgrep: use parameterized queries"),
+		mk("python.sqlalchemy.security.sqlalchemy-fstring-query",
+			"SQL built with an f-string", "ERROR", `(?m)\.execute\(\s*f"[^"\n]*\{`,
+			"# semgrep: use parameterized queries"),
+		mk("python.sqlalchemy.security.sqlalchemy-format-query",
+			"SQL built with %/.format", "ERROR", `(?m)\.execute\(\s*"[^"\n]*"(?:\s*%|\.format\()`, ""),
+		mk("python.flask.security.audit.debug-enabled",
+			"Flask app run with debug=True", "WARNING", `(?m)\.run\([^)\n]*debug\s*=\s*True`,
+			"# semgrep: disable debug mode in production"),
+		mk("python.flask.security.injection.raw-html-format",
+			"user data interpolated into HTML response", "ERROR",
+			`(?m)return\s+f"[^"\n]*<[^"\n]*\{[a-zA-Z_]\w*\}`, ""),
+		mk("python.flask.security.audit.render-template-string",
+			"render_template_string with dynamic template", "ERROR",
+			`(?m)render_template_string\(\s*[a-zA-Z_]`, ""),
+		mk("python.lang.security.deserialization.pickle",
+			"pickle deserialization of untrusted data", "ERROR", `(?m)pickle\.loads?\(`, ""),
+		mk("python.lang.security.deserialization.marshal",
+			"marshal deserialization", "ERROR", `(?m)marshal\.loads?\(`, ""),
+		mk("python.lang.security.audit.avoid-pyyaml-load",
+			"yaml.load without SafeLoader", "ERROR", `(?m)yaml\.load\(`,
+			"# semgrep: use yaml.safe_load"),
+		mk("python.lang.security.audit.md5-used-as-password",
+			"weak hash algorithm", "WARNING", `(?m)hashlib\.(?:md5|sha1)\(`, ""),
+		mk("python.lang.security.audit.insecure-cipher-mode-ecb",
+			"ECB cipher mode", "WARNING", `(?m)MODE_ECB`, ""),
+		mk("python.lang.security.audit.insecure-cipher-algorithms",
+			"broken cipher algorithm", "WARNING", `(?m)\b(?:DES|ARC4)\.new\(`, ""),
+		mk("python.requests.security.disabled-cert-validation",
+			"certificate validation disabled", "ERROR", `(?m)verify\s*=\s*False`,
+			"# semgrep: keep verify=True"),
+		mk("python.lang.security.audit.ssl-wrap-socket",
+			"deprecated unverified wrap_socket", "WARNING", `(?m)ssl\.wrap_socket\(`, ""),
+		mk("python.lang.security.audit.unverified-ssl-context",
+			"unverified SSL context", "ERROR", `(?m)ssl\._create_unverified_context\(`, ""),
+		mk("python.jwt.security.unverified-jwt-decode",
+			"JWT decoded without verification", "ERROR",
+			`(?m)(?:"verify_signature"\s*:\s*False|jwt\.decode\([^)\n]*verify\s*=\s*False)`, ""),
+		mk("python.paramiko.security.ssh-no-host-key-verification",
+			"SSH host keys auto-accepted", "ERROR", `(?m)AutoAddPolicy\(\)`, ""),
+		mk("python.flask.security.audit.hardcoded-flask-secret",
+			"hardcoded Flask secret key", "ERROR", `(?m)\.secret_key\s*=\s*b?"`, ""),
+		mk("python.lang.security.audit.hardcoded-password-default",
+			"hardcoded password literal", "WARNING",
+			`(?mi)\b(?:password|passwd)\s*=\s*"[^"\n]+"`, ""),
+		mk("python.lang.security.audit.insecure-tmp-file",
+			"insecure temporary file", "WARNING", `(?m)tempfile\.mktemp\(`,
+			"# semgrep: use tempfile.mkstemp / NamedTemporaryFile"),
+		mk("python.lang.security.audit.chmod-world-writable",
+			"world-writable permissions", "WARNING", `(?m)os\.chmod\([^)\n]*0o?777`, ""),
+		mk("python.lang.security.audit.weak-random",
+			"PRNG used for security material", "WARNING",
+			`(?m)random\.(?:choice|randint)\([^)\n]*\)[^\n]*\n[^\n]*(?:token|secret)|token[^\n]*\n[^\n]*random\.(?:choice|randint)\(`, ""),
+		mk("python.django.security.audit.xss.mark-safe",
+			"mark_safe/Markup on user data", "WARNING", `(?m)\b(?:mark_safe|Markup)\(\s*[a-zA-Z_]\w*\s*\)`, ""),
+		mk("python.lang.security.audit.tarfile-extractall-traversal",
+			"archive extraction without member validation", "ERROR",
+			`(?m)tarfile[^\n]*\n(?:[^\n]*\n)*?[^\n]*\.extractall\(\s*[^)f]*\)`, ""),
+		mk("python.flask.security.open-redirect",
+			"redirect to user-controlled URL", "WARNING",
+			`(?m)redirect\(\s*request\.`, ""),
+	}
+}

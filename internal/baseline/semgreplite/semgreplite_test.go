@@ -1,0 +1,126 @@
+package semgreplite
+
+import (
+	"strings"
+	"testing"
+)
+
+func ruleIDs(fs []Finding) map[string]int {
+	out := make(map[string]int)
+	for _, f := range fs {
+		out[f.RuleID]++
+	}
+	return out
+}
+
+func TestRulesFireOnTargets(t *testing.T) {
+	cases := map[string]string{
+		"eval-detected":                "x = eval(expr)\n",
+		"exec-detected":                "exec(code)\n",
+		"dangerous-system-call":        "os.system(\"ping \" + host)\n",
+		"subprocess-shell-true":        "subprocess.run(cmd, shell=True)\n",
+		"sqlalchemy-execute-raw-query": `cur.execute("SELECT * FROM t WHERE id = " + uid)` + "\n",
+		"sqlalchemy-fstring-query":     `cur.execute(f"SELECT * FROM t WHERE id = {uid}")` + "\n",
+		"debug-enabled":                "app.run(debug=True)\n",
+		"raw-html-format":              "return f\"<p>{name}</p>\"\n",
+		"render-template-string":       "render_template_string(template)\n",
+		"deserialization.pickle":       "obj = pickle.loads(blob)\n",
+		"avoid-pyyaml-load":            "cfg = yaml.load(stream)\n",
+		"md5-used-as-password":         "h = hashlib.md5(x)\n",
+		"disabled-cert-validation":     "requests.get(url, verify=False)\n",
+		"unverified-jwt-decode":        `jwt.decode(tok, key, options={"verify_signature": False})` + "\n",
+		"ssh-no-host-key-verification": "c.set_missing_host_key_policy(paramiko.AutoAddPolicy())\n",
+		"hardcoded-flask-secret":       "app.secret_key = \"dev\"\n",
+		"insecure-tmp-file":            "p = tempfile.mktemp()\n",
+		"open-redirect":                "return redirect(request.args.get(\"next\"))\n",
+	}
+	s := New()
+	for fragment, src := range cases {
+		fs := s.Scan(src)
+		found := false
+		for id := range ruleIDs(fs) {
+			if strings.Contains(id, fragment) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: did not fire on %q (got %v)", fragment, src, ruleIDs(fs))
+		}
+	}
+}
+
+func TestQuietOnSafeForms(t *testing.T) {
+	cases := []string{
+		"x = ast.literal_eval(expr)\n",
+		`cur.execute("SELECT * FROM t WHERE id = ?", (uid,))` + "\n",
+		"app.run(debug=False)\n",
+		"cfg = yaml.safe_load(stream)\n",
+		"h = hashlib.sha256(x)\n",
+		"requests.get(url, verify=True, timeout=5)\n",
+		"p = tempfile.mkstemp()\n",
+	}
+	s := New()
+	for _, src := range cases {
+		if fs := s.Scan(src); len(fs) != 0 {
+			t.Errorf("fired %v on safe code %q", ruleIDs(fs), src)
+		}
+	}
+}
+
+func TestSuggestionsAreMinority(t *testing.T) {
+	s := New()
+	var withFix, total int
+	for _, r := range s.Rules() {
+		total++
+		if r.Suggestion != "" {
+			withFix++
+		}
+	}
+	if withFix == 0 {
+		t.Fatal("no rules carry suggestions")
+	}
+	if float64(withFix)/float64(total) > 0.5 {
+		t.Errorf("%d/%d rules carry suggestions; the registry ships suggestions for a minority", withFix, total)
+	}
+}
+
+func TestSuggestionRate(t *testing.T) {
+	if SuggestionRate(nil) != 0 {
+		t.Error("empty rate should be 0")
+	}
+	fs := []Finding{{Suggestion: "x"}, {}}
+	if got := SuggestionRate(fs); got != 0.5 {
+		t.Errorf("rate = %v", got)
+	}
+}
+
+func TestLineNumbers(t *testing.T) {
+	s := New()
+	fs := s.Scan("x = 1\ny = 2\nz = eval(expr)\n")
+	if len(fs) == 0 || fs[0].Line != 3 {
+		t.Errorf("findings = %+v, want line 3", fs)
+	}
+}
+
+func TestVulnerable(t *testing.T) {
+	s := New()
+	if !s.Vulnerable("exec(code)\n") {
+		t.Error("exec not flagged")
+	}
+	if s.Vulnerable("print('hello')\n") {
+		t.Error("clean code flagged")
+	}
+}
+
+func BenchmarkSemgrepScan(b *testing.B) {
+	src := strings.Repeat(`cur.execute("SELECT * FROM t WHERE id = " + uid)
+app.run(debug=True)
+h = hashlib.md5(x)
+`, 10)
+	s := New()
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Scan(src)
+	}
+}

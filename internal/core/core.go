@@ -1,0 +1,76 @@
+// Package core wires PatchitPy's two-phase workflow (paper Fig. 1)
+// together: phase one scans Python source with the 85-rule catalog, phase
+// two applies the mined safe alternatives and inserts required imports.
+// The root patchitpy package re-exports this API for library users.
+package core
+
+import (
+	"github.com/dessertlab/patchitpy/internal/detect"
+	"github.com/dessertlab/patchitpy/internal/editor"
+	"github.com/dessertlab/patchitpy/internal/patch"
+	"github.com/dessertlab/patchitpy/internal/rules"
+)
+
+// PatchitPy is the analysis-and-remediation engine. It is safe for
+// concurrent use: all state is immutable after construction.
+type PatchitPy struct {
+	detector *detect.Detector
+}
+
+// New returns an engine using the built-in 85-rule catalog.
+func New() *PatchitPy {
+	return NewWithCatalog(nil)
+}
+
+// NewWithCatalog returns an engine over a custom catalog (nil = built-in).
+func NewWithCatalog(catalog *rules.Catalog) *PatchitPy {
+	return &PatchitPy{detector: detect.New(catalog)}
+}
+
+// Catalog exposes the rule catalog in use.
+func (p *PatchitPy) Catalog() *rules.Catalog { return p.detector.Catalog() }
+
+// Report is the outcome of the detection phase.
+type Report struct {
+	// Findings are the rule matches, in source order.
+	Findings []detect.Finding
+	// Vulnerable is the per-sample binary judgement used by the paper.
+	Vulnerable bool
+	// CWEs is the sorted set of distinct CWEs detected.
+	CWEs []string
+}
+
+// Analyze runs the detection phase on src.
+func (p *PatchitPy) Analyze(src string) Report {
+	findings := p.detector.Scan(src)
+	return Report{
+		Findings:   findings,
+		Vulnerable: len(findings) > 0,
+		CWEs:       detect.DistinctCWEs(findings),
+	}
+}
+
+// FixOutcome is the outcome of the remediation phase.
+type FixOutcome struct {
+	// Report is the detection report the fixes were derived from.
+	Report Report
+	// Result carries the patched source, applied fixes and any findings
+	// left unpatched (detection-only rules).
+	Result patch.Result
+	// Edits are the equivalent editor TextEdits for the applied fixes,
+	// expressed against the *original* source (the extension's
+	// editBuilder.replace() payload). Import insertions are not included;
+	// they are separate top-of-file insertions.
+	Edits []editor.TextEdit
+}
+
+// Fix runs both phases: detection followed by patching.
+func (p *PatchitPy) Fix(src string) FixOutcome {
+	report := p.Analyze(src)
+	result := patch.Apply(src, report.Findings)
+	edits := make([]editor.TextEdit, 0, len(result.Applied))
+	for _, a := range result.Applied {
+		edits = append(edits, editor.SpanEdit(src, a.Finding.Start, a.Finding.End, a.Replacement))
+	}
+	return FixOutcome{Report: report, Result: result, Edits: edits}
+}

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"github.com/dessertlab/patchitpy/internal/editor"
+)
+
+const vulnerableApp = `from flask import Flask, request
+app = Flask(__name__)
+
+@app.route("/comments")
+def comments():
+    comment = request.args.get("q", "")
+    return f"<p>{comment}</p>"
+
+if __name__ == "__main__":
+    app.run(debug=True)
+`
+
+func TestAnalyzeVulnerable(t *testing.T) {
+	p := New()
+	report := p.Analyze(vulnerableApp)
+	if !report.Vulnerable {
+		t.Fatal("not flagged vulnerable")
+	}
+	joined := strings.Join(report.CWEs, ",")
+	if !strings.Contains(joined, "CWE-079") || !strings.Contains(joined, "CWE-209") {
+		t.Errorf("CWEs = %v", report.CWEs)
+	}
+}
+
+func TestFixEndToEnd(t *testing.T) {
+	p := New()
+	outcome := p.Fix(vulnerableApp)
+	src := outcome.Result.Source
+	for _, want := range []string{"escape(comment)", "debug=False, use_reloader=False", "from markupsafe import escape"} {
+		if !strings.Contains(src, want) {
+			t.Errorf("missing %q:\n%s", want, src)
+		}
+	}
+	// rescanning the patched source must be clean
+	if rescan := p.Analyze(src); rescan.Vulnerable {
+		t.Errorf("patched source still vulnerable: %v", rescan.CWEs)
+	}
+}
+
+func TestFixEditsMatchPatches(t *testing.T) {
+	p := New()
+	outcome := p.Fix(vulnerableApp)
+	if len(outcome.Edits) != len(outcome.Result.Applied) {
+		t.Fatalf("edits = %d, applied = %d", len(outcome.Edits), len(outcome.Result.Applied))
+	}
+	// Applying the TextEdits to the original source must reproduce the
+	// patched body (modulo the import insertion, which is separate).
+	edited, err := editor.ApplyEdits(vulnerableApp, outcome.Edits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(edited, "escape(comment)") {
+		t.Errorf("edit application diverged:\n%s", edited)
+	}
+}
+
+func TestAnalyzeClean(t *testing.T) {
+	p := New()
+	report := p.Analyze("def add(a, b):\n    return a + b\n")
+	if report.Vulnerable || len(report.Findings) != 0 {
+		t.Errorf("clean code flagged: %+v", report)
+	}
+}
+
+func TestCatalogExposed(t *testing.T) {
+	p := New()
+	if p.Catalog().Len() != 85 {
+		t.Errorf("catalog size = %d", p.Catalog().Len())
+	}
+}
+
+func TestServeProtocol(t *testing.T) {
+	p := New()
+	var in bytes.Buffer
+	reqs := []Request{
+		{Cmd: "rules"},
+		{Cmd: "detect", Code: vulnerableApp},
+		{Cmd: "patch", Code: vulnerableApp},
+		{Cmd: "nope"},
+	}
+	for _, r := range reqs {
+		b, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in.Write(b)
+		in.WriteByte('\n')
+	}
+	var out bytes.Buffer
+	if err := p.Serve(&in, &out); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("responses = %d, want 4", len(lines))
+	}
+	var resp Response
+
+	if err := json.Unmarshal([]byte(lines[0]), &resp); err != nil || !resp.OK || resp.RuleCount != 85 {
+		t.Errorf("rules response: %+v (%v)", resp, err)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &resp); err != nil || !resp.OK || !resp.Vulnerable || len(resp.Findings) == 0 {
+		t.Errorf("detect response: %+v (%v)", resp, err)
+	}
+	for _, f := range resp.Findings {
+		if f.RuleID == "" || f.CWE == "" || f.Severity == "" {
+			t.Errorf("incomplete finding DTO: %+v", f)
+		}
+	}
+	if err := json.Unmarshal([]byte(lines[2]), &resp); err != nil || !resp.OK || !strings.Contains(resp.Patched, "escape(") {
+		t.Errorf("patch response: %+v (%v)", resp, err)
+	}
+	if err := json.Unmarshal([]byte(lines[3]), &resp); err != nil || resp.OK {
+		t.Errorf("unknown-cmd response: %+v (%v)", resp, err)
+	}
+}
+
+func TestServeMalformedLine(t *testing.T) {
+	p := New()
+	in := strings.NewReader("{not json}\n{\"cmd\":\"rules\"}\n")
+	var out bytes.Buffer
+	if err := p.Serve(in, &out); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("responses = %d, want 2", len(lines))
+	}
+	if !strings.Contains(lines[0], "bad request") {
+		t.Errorf("first response: %s", lines[0])
+	}
+	if !strings.Contains(lines[1], `"ok":true`) {
+		t.Errorf("session did not survive the bad line: %s", lines[1])
+	}
+}
+
+func BenchmarkFixPipeline(b *testing.B) {
+	p := New()
+	b.SetBytes(int64(len(vulnerableApp)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Fix(vulnerableApp)
+	}
+}
+
+func TestServeSuggestPreviews(t *testing.T) {
+	p := New()
+	in := strings.NewReader(`{"cmd":"suggest","code":"import hashlib\nh = hashlib.md5(x)\n"}` + "\n")
+	var out bytes.Buffer
+	if err := p.Serve(in, &out); err != nil {
+		t.Fatal(err)
+	}
+	var resp Response
+	if err := json.Unmarshal(out.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.OK || !resp.Vulnerable || len(resp.Previews) != 1 {
+		t.Fatalf("suggest response: %+v", resp)
+	}
+	pv := resp.Previews[0]
+	if pv.RuleID != "PIP-CRY-001" || pv.Replacement != "hashlib.sha256(" || pv.Note == "" {
+		t.Errorf("preview: %+v", pv)
+	}
+	if resp.Patched != "" {
+		t.Error("suggest must not return patched code")
+	}
+	// applying the preview edit manually must reproduce the fix
+	edited, err := editor.ApplyEdits("import hashlib\nh = hashlib.md5(x)\n", []editor.TextEdit{pv.Edit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(edited, "hashlib.sha256(x)") {
+		t.Errorf("edit application: %q", edited)
+	}
+}

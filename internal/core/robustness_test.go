@@ -1,0 +1,95 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/dessertlab/patchitpy/internal/generator"
+	"github.com/dessertlab/patchitpy/internal/prompts"
+)
+
+// TestFixConvergesOnCorpus: the detect-and-patch pass must reach a fixed
+// point — running Fix on already-patched output applies nothing further.
+func TestFixConvergesOnCorpus(t *testing.T) {
+	samples, err := generator.Corpus(prompts.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine := New()
+	for _, s := range samples {
+		first := engine.Fix(s.Code)
+		second := engine.Fix(first.Result.Source)
+		if len(second.Result.Applied) != 0 {
+			t.Fatalf("%s/%s: second pass applied %d more fixes (first applied %d):\n%s",
+				s.Model, s.PromptID, len(second.Result.Applied), len(first.Result.Applied),
+				second.Result.Source)
+		}
+	}
+}
+
+// TestFixRobustToTruncation: AI snippets arrive cut off mid-line; the
+// pipeline must survive arbitrary prefixes of real corpus files without
+// panicking, and any patch it produces must still converge.
+func TestFixRobustToTruncation(t *testing.T) {
+	samples, err := generator.Corpus(prompts.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine := New()
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 300; i++ {
+		s := samples[rng.Intn(len(samples))]
+		cut := rng.Intn(len(s.Code) + 1)
+		truncated := s.Code[:cut]
+		first := engine.Fix(truncated)
+		second := engine.Fix(first.Result.Source)
+		if len(second.Result.Applied) != 0 {
+			t.Fatalf("truncated %s/%s@%d: patching did not converge", s.Model, s.PromptID, cut)
+		}
+	}
+}
+
+// TestFixRobustToLineShuffling: dropping random lines (another common
+// generation failure) must not panic the pipeline.
+func TestFixRobustToLineDrops(t *testing.T) {
+	samples, err := generator.Corpus(prompts.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine := New()
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		s := samples[rng.Intn(len(samples))]
+		lines := strings.Split(s.Code, "\n")
+		if len(lines) < 3 {
+			continue
+		}
+		drop := rng.Intn(len(lines))
+		mutated := strings.Join(append(append([]string{}, lines[:drop]...), lines[drop+1:]...), "\n")
+		_ = engine.Fix(mutated) // must not panic
+	}
+}
+
+// TestPatchedOutputsNeverGainFindings: patching must be monotone — the
+// patched source never triggers a rule the original did not.
+func TestPatchedOutputsNeverGainFindings(t *testing.T) {
+	samples, err := generator.Corpus(prompts.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine := New()
+	for _, s := range samples {
+		before := map[string]bool{}
+		outcome := engine.Fix(s.Code)
+		for _, f := range outcome.Report.Findings {
+			before[f.Rule.ID] = true
+		}
+		for _, f := range engine.Analyze(outcome.Result.Source).Findings {
+			if !before[f.Rule.ID] {
+				t.Fatalf("%s/%s: patch introduced new finding %s:\n%s",
+					s.Model, s.PromptID, f.Rule.ID, outcome.Result.Source)
+			}
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/dessertlab/patchitpy/internal/editor"
+)
+
+// The session protocol mirrors the VS Code extension's interaction: the
+// editor sends the selected code, PatchitPy answers with findings and fix
+// previews, and — if the user clicks "Yes" in the popup — the editor sends
+// a patch request and receives the TextEdits plus the patched buffer.
+
+// Request is one line of the JSON session protocol.
+type Request struct {
+	// Cmd is "detect", "suggest", "patch" or "rules".
+	Cmd string `json:"cmd"`
+	// Code is the selected Python code (detect/suggest/patch).
+	Code string `json:"code,omitempty"`
+}
+
+// FixPreview shows one fix as a TextEdit against the submitted code, so
+// the editor can render the popup's preview before the user accepts.
+type FixPreview struct {
+	RuleID      string          `json:"ruleId"`
+	Note        string          `json:"note"`
+	Edit        editor.TextEdit `json:"edit"`
+	Replacement string          `json:"replacement"`
+}
+
+// FindingDTO is a finding serialized for the editor.
+type FindingDTO struct {
+	RuleID   string `json:"ruleId"`
+	CWE      string `json:"cwe"`
+	Category string `json:"category"`
+	Severity string `json:"severity"`
+	Title    string `json:"title"`
+	Line     int    `json:"line"`
+	Snippet  string `json:"snippet"`
+	FixNote  string `json:"fixNote,omitempty"`
+	CanFix   bool   `json:"canFix"`
+}
+
+// Response is one line of the JSON session protocol.
+type Response struct {
+	OK         bool         `json:"ok"`
+	Error      string       `json:"error,omitempty"`
+	Vulnerable bool         `json:"vulnerable,omitempty"`
+	Findings   []FindingDTO `json:"findings,omitempty"`
+	Patched    string       `json:"patched,omitempty"`
+	Imports    []string     `json:"importsAdded,omitempty"`
+	Previews   []FixPreview `json:"previews,omitempty"`
+	RuleCount  int          `json:"ruleCount,omitempty"`
+	CWEs       []string     `json:"cwes,omitempty"`
+}
+
+// Serve reads newline-delimited JSON requests from r and writes one JSON
+// response per line to w, until EOF. Malformed requests produce error
+// responses; the session keeps running.
+func (p *PatchitPy) Serve(r io.Reader, w io.Writer) error {
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	enc := json.NewEncoder(w)
+	for scanner.Scan() {
+		line := scanner.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var req Request
+		if err := json.Unmarshal(line, &req); err != nil {
+			if err := enc.Encode(Response{OK: false, Error: "bad request: " + err.Error()}); err != nil {
+				return fmt.Errorf("write response: %w", err)
+			}
+			continue
+		}
+		if err := enc.Encode(p.handle(req)); err != nil {
+			return fmt.Errorf("write response: %w", err)
+		}
+	}
+	return scanner.Err()
+}
+
+func (p *PatchitPy) handle(req Request) Response {
+	switch req.Cmd {
+	case "detect":
+		report := p.Analyze(req.Code)
+		return Response{
+			OK:         true,
+			Vulnerable: report.Vulnerable,
+			Findings:   toDTOs(report),
+			CWEs:       report.CWEs,
+		}
+	case "suggest":
+		outcome := p.Fix(req.Code)
+		previews := make([]FixPreview, 0, len(outcome.Result.Applied))
+		for i, a := range outcome.Result.Applied {
+			previews = append(previews, FixPreview{
+				RuleID:      a.Finding.Rule.ID,
+				Note:        a.Note,
+				Edit:        outcome.Edits[i],
+				Replacement: a.Replacement,
+			})
+		}
+		return Response{
+			OK:         true,
+			Vulnerable: outcome.Report.Vulnerable,
+			Findings:   toDTOs(outcome.Report),
+			Previews:   previews,
+			Imports:    outcome.Result.ImportsAdded,
+			CWEs:       outcome.Report.CWEs,
+		}
+	case "patch":
+		outcome := p.Fix(req.Code)
+		return Response{
+			OK:         true,
+			Vulnerable: outcome.Report.Vulnerable,
+			Findings:   toDTOs(outcome.Report),
+			Patched:    outcome.Result.Source,
+			Imports:    outcome.Result.ImportsAdded,
+			CWEs:       outcome.Report.CWEs,
+		}
+	case "rules":
+		return Response{OK: true, RuleCount: p.Catalog().Len(), CWEs: p.Catalog().CWEs()}
+	default:
+		return Response{OK: false, Error: "unknown command " + req.Cmd}
+	}
+}
+
+func toDTOs(report Report) []FindingDTO {
+	out := make([]FindingDTO, 0, len(report.Findings))
+	for _, f := range report.Findings {
+		dto := FindingDTO{
+			RuleID:   f.Rule.ID,
+			CWE:      f.Rule.CWE,
+			Category: f.Rule.Category.String(),
+			Severity: f.Rule.Severity.String(),
+			Title:    f.Rule.Title,
+			Line:     f.Line,
+			Snippet:  f.Snippet,
+			CanFix:   f.Rule.HasFix(),
+		}
+		if f.Rule.Fix != nil {
+			dto.FixNote = f.Rule.Fix.Note
+		}
+		out = append(out, dto)
+	}
+	return out
+}

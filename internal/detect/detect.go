@@ -1,0 +1,182 @@
+// Package detect implements PatchitPy's detection engine: it runs the rule
+// catalog's patterns over Python source and reports findings with precise
+// spans, mirroring the first phase of the paper's workflow (Fig. 1).
+package detect
+
+import (
+	"sort"
+	"strings"
+
+	"github.com/dessertlab/patchitpy/internal/pytoken"
+	"github.com/dessertlab/patchitpy/internal/rules"
+)
+
+// Finding is one detected vulnerability occurrence.
+type Finding struct {
+	// Rule is the rule that fired.
+	Rule *rules.Rule
+	// Start and End are byte offsets of the matched span in the source.
+	Start, End int
+	// Line is the 1-based line of the match start.
+	Line int
+	// Snippet is the matched source text.
+	Snippet string
+	// Groups holds the capture-group spans (pairs of offsets) needed by
+	// the patch engine's template expansion.
+	Groups []int
+}
+
+// CWE returns the finding's CWE identifier.
+func (f Finding) CWE() string { return f.Rule.CWE }
+
+// Detector scans source code with a rule catalog.
+type Detector struct {
+	catalog *rules.Catalog
+}
+
+// New returns a Detector over the given catalog; a nil catalog uses the
+// built-in one.
+func New(catalog *rules.Catalog) *Detector {
+	if catalog == nil {
+		catalog = rules.NewCatalog()
+	}
+	return &Detector{catalog: catalog}
+}
+
+// Catalog returns the detector's rule catalog.
+func (d *Detector) Catalog() *rules.Catalog { return d.catalog }
+
+// Options narrows a scan to a subset of the catalog.
+type Options struct {
+	// MinSeverity drops findings below the given severity (zero = all).
+	MinSeverity rules.Severity
+	// Categories, when non-empty, keeps only rules in these OWASP
+	// categories.
+	Categories []rules.Category
+	// RuleIDs, when non-empty, keeps only the named rules.
+	RuleIDs []string
+	// FixableOnly keeps only rules that carry a fix template.
+	FixableOnly bool
+}
+
+func (o Options) admits(r *rules.Rule) bool {
+	if o.MinSeverity != 0 && r.Severity < o.MinSeverity {
+		return false
+	}
+	if o.FixableOnly && !r.HasFix() {
+		return false
+	}
+	if len(o.Categories) > 0 {
+		ok := false
+		for _, c := range o.Categories {
+			if r.Category == c {
+				ok = true
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	if len(o.RuleIDs) > 0 {
+		ok := false
+		for _, id := range o.RuleIDs {
+			if r.ID == id {
+				ok = true
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Scan runs every applicable rule over src and returns the findings sorted
+// by position then rule ID. Matches beginning inside comments are dropped.
+func (d *Detector) Scan(src string) []Finding {
+	return d.ScanWith(src, Options{})
+}
+
+// ScanWith runs the scan restricted by opt.
+func (d *Detector) ScanWith(src string, opt Options) []Finding {
+	mask := commentMask(src)
+	var out []Finding
+	for _, rule := range d.catalog.Rules() {
+		if !opt.admits(rule) {
+			continue
+		}
+		if rule.Requires != nil && !rule.Requires.MatchString(src) {
+			continue
+		}
+		if rule.Excludes != nil && rule.Excludes.MatchString(src) {
+			continue
+		}
+		for _, idx := range rule.Pattern.FindAllStringSubmatchIndex(src, -1) {
+			start, end := idx[0], idx[1]
+			if inMask(mask, start) {
+				continue
+			}
+			out = append(out, Finding{
+				Rule:    rule,
+				Start:   start,
+				End:     end,
+				Line:    1 + strings.Count(src[:start], "\n"),
+				Snippet: src[start:end],
+				Groups:  append([]int(nil), idx...),
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].Rule.ID < out[j].Rule.ID
+	})
+	return out
+}
+
+// Vulnerable reports whether src triggers at least one rule — the binary
+// per-sample judgement used by the paper's detection evaluation.
+func (d *Detector) Vulnerable(src string) bool {
+	return len(d.Scan(src)) > 0
+}
+
+// DistinctCWEs returns the sorted distinct CWE identifiers among findings.
+func DistinctCWEs(findings []Finding) []string {
+	seen := make(map[string]bool)
+	for _, f := range findings {
+		seen[f.Rule.CWE] = true
+	}
+	out := make([]string, 0, len(seen))
+	for cwe := range seen {
+		out = append(out, cwe)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// span is a half-open byte interval.
+type span struct{ start, end int }
+
+// commentMask returns the byte spans of comments in src, so matches inside
+// them can be suppressed. It tokenizes best-effort: on a tokenizer error
+// the spans collected so far are still used.
+func commentMask(src string) []span {
+	toks, _ := pytoken.TokenizeAll(src)
+	var out []span
+	for _, t := range toks {
+		if t.Kind == pytoken.KindComment {
+			out = append(out, span{t.Pos.Offset, t.Pos.Offset + len(t.Text)})
+		}
+	}
+	return out
+}
+
+func inMask(mask []span, off int) bool {
+	for _, s := range mask {
+		if off >= s.start && off < s.end {
+			return true
+		}
+	}
+	return false
+}

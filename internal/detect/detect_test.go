@@ -1,0 +1,283 @@
+package detect
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/dessertlab/patchitpy/internal/rules"
+)
+
+func findIDs(fs []Finding) []string {
+	out := make([]string, len(fs))
+	for i, f := range fs {
+		out[i] = f.Rule.ID
+	}
+	return out
+}
+
+func hasID(fs []Finding, id string) bool {
+	for _, f := range fs {
+		if f.Rule.ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+func TestScanTableOneExample(t *testing.T) {
+	// Paper Table I, v1: XSS (CWE-079) + debug mode (CWE-209).
+	src := `from flask import Flask, request
+app = Flask(__name__)
+
+@app.route("/comments")
+def comments():
+    comment = request.args.get("q", "")
+    return f"<p>{comment}</p>"
+
+if __name__ == "__main__":
+    app.run(debug=True)
+`
+	d := New(nil)
+	fs := d.Scan(src)
+	if !hasID(fs, "PIP-INJ-014") {
+		t.Errorf("XSS rule did not fire: %v", findIDs(fs))
+	}
+	if !hasID(fs, "PIP-CFG-001") {
+		t.Errorf("debug-mode rule did not fire: %v", findIDs(fs))
+	}
+	cwes := DistinctCWEs(fs)
+	joined := strings.Join(cwes, ",")
+	if !strings.Contains(joined, "CWE-079") || !strings.Contains(joined, "CWE-209") {
+		t.Errorf("CWEs = %v", cwes)
+	}
+}
+
+func TestScanCleanCodeQuiet(t *testing.T) {
+	src := `from flask import Flask, request
+from markupsafe import escape
+app = Flask(__name__)
+
+@app.route("/comments")
+def comments():
+    comment = request.args.get("q", "")
+    return f"<p>{escape(comment)}</p>"
+
+if __name__ == "__main__":
+    app.run(debug=False, use_reloader=False)
+`
+	d := New(nil)
+	if fs := d.Scan(src); len(fs) != 0 {
+		t.Errorf("clean sample triggered: %v", findIDs(fs))
+	}
+}
+
+func TestScanSQLInjectionShapes(t *testing.T) {
+	shapes := []string{
+		`cur.execute("SELECT * FROM users WHERE id = " + uid)`,
+		`cur.execute(f"SELECT * FROM users WHERE id = {uid}")`,
+		`cur.execute("SELECT * FROM users WHERE id = %s" % uid)`,
+		`cur.execute("SELECT * FROM users WHERE id = {}".format(uid))`,
+	}
+	d := New(nil)
+	for _, s := range shapes {
+		src := "import sqlite3\n" + s + "\n"
+		fs := d.Scan(src)
+		if len(fs) == 0 {
+			t.Errorf("no finding for %q", s)
+			continue
+		}
+		if fs[0].Rule.CWE != "CWE-089" {
+			t.Errorf("%q: CWE = %s", s, fs[0].Rule.CWE)
+		}
+	}
+	safe := "import sqlite3\ncur.execute(\"SELECT * FROM users WHERE id = ?\", (uid,))\n"
+	if fs := d.Scan(safe); len(fs) != 0 {
+		t.Errorf("parameterized query flagged: %v", findIDs(fs))
+	}
+}
+
+func TestRequiresGate(t *testing.T) {
+	d := New(nil)
+	// shell=True without any subprocess usage must not fire PIP-INJ-007
+	src := "config = dict(shell=True)\n"
+	if hasID(d.Scan(src), "PIP-INJ-007") {
+		t.Error("requires-gate failed: rule fired without subprocess in scope")
+	}
+	src2 := "import subprocess\nsubprocess.run(cmd, shell=True)\n"
+	if !hasID(d.Scan(src2), "PIP-INJ-007") {
+		t.Error("rule did not fire with subprocess in scope")
+	}
+}
+
+func TestExcludesGate(t *testing.T) {
+	d := New(nil)
+	src := "import hashlib\nh = hashlib.sha256(password.encode()).hexdigest()\n"
+	fs := d.Scan(src)
+	if hasID(fs, "PIP-CRY-001") {
+		t.Error("md5 rule fired on sha256")
+	}
+	// CWE-916 weak password hash fires instead
+	if !hasID(fs, "PIP-CRY-004") {
+		t.Errorf("weak password-hash rule missing: %v", findIDs(fs))
+	}
+	// but with pbkdf2 present, the excludes gate silences it
+	safe := "import hashlib\ndk = hashlib.pbkdf2_hmac(\"sha256\", password.encode(), salt, 100000)\n"
+	if hasID(d.Scan(safe), "PIP-CRY-004") {
+		t.Error("excludes-gate failed for pbkdf2")
+	}
+}
+
+func TestCommentsSuppressed(t *testing.T) {
+	d := New(nil)
+	src := "# do not use eval(user_input) here\nx = 1\n"
+	if fs := d.Scan(src); len(fs) != 0 {
+		t.Errorf("comment content triggered rules: %v", findIDs(fs))
+	}
+}
+
+func TestFindingPositions(t *testing.T) {
+	d := New(nil)
+	src := "import pickle\n\nobj = pickle.loads(data)\n"
+	fs := d.Scan(src)
+	if len(fs) != 1 {
+		t.Fatalf("findings = %v", findIDs(fs))
+	}
+	f := fs[0]
+	if f.Line != 3 {
+		t.Errorf("line = %d, want 3", f.Line)
+	}
+	if src[f.Start:f.End] != f.Snippet {
+		t.Errorf("span/snippet mismatch: %q vs %q", src[f.Start:f.End], f.Snippet)
+	}
+	if !strings.HasPrefix(f.Snippet, "pickle.loads(") {
+		t.Errorf("snippet = %q", f.Snippet)
+	}
+}
+
+func TestFindingsSorted(t *testing.T) {
+	d := New(nil)
+	src := "import pickle\nimport hashlib\nh = hashlib.md5(x)\nobj = pickle.loads(y)\n"
+	fs := d.Scan(src)
+	for i := 1; i < len(fs); i++ {
+		if fs[i].Start < fs[i-1].Start {
+			t.Errorf("findings out of order: %v", findIDs(fs))
+		}
+	}
+}
+
+func TestVulnerable(t *testing.T) {
+	d := New(nil)
+	if !d.Vulnerable("eval(x)\n") {
+		t.Error("eval not vulnerable?")
+	}
+	if d.Vulnerable("print('hello')\n") {
+		t.Error("print flagged")
+	}
+}
+
+func TestMultipleFindingsSameRule(t *testing.T) {
+	d := New(nil)
+	src := "import hashlib\na = hashlib.md5(x)\nb = hashlib.md5(y)\n"
+	fs := d.Scan(src)
+	var count int
+	for _, f := range fs {
+		if f.Rule.ID == "PIP-CRY-001" {
+			count++
+		}
+	}
+	if count != 2 {
+		t.Errorf("md5 findings = %d, want 2", count)
+	}
+}
+
+func TestScanEmptyAndWeird(t *testing.T) {
+	d := New(nil)
+	for _, src := range []string{"", "\n", "   ", "x=(", "'unterminated"} {
+		_ = d.Scan(src) // must not panic
+	}
+}
+
+func TestCustomCatalogRespected(t *testing.T) {
+	c := rules.NewCatalog()
+	d := New(c)
+	if d.Catalog() != c {
+		t.Error("catalog not retained")
+	}
+}
+
+func BenchmarkScanVulnerableSample(b *testing.B) {
+	src := `from flask import Flask, request
+import sqlite3, pickle, hashlib
+app = Flask(__name__)
+
+@app.route("/user")
+def get_user():
+    uid = request.args.get("id", "")
+    conn = sqlite3.connect("app.db")
+    cur = conn.cursor()
+    cur.execute("SELECT * FROM users WHERE id = " + uid)
+    token = hashlib.md5(uid.encode()).hexdigest()
+    return f"<p>{uid}</p>"
+
+if __name__ == "__main__":
+    app.run(debug=True)
+`
+	d := New(nil)
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.Scan(src)
+	}
+}
+
+func TestScanWithSeverityFilter(t *testing.T) {
+	d := New(nil)
+	src := "import subprocess\nfrom flask import Flask, request\napp = Flask(__name__)\nsubprocess.run(cmd, shell=True)\nresp.set_cookie(\"sid\", v)\n"
+	all := d.Scan(src)
+	high := d.ScanWith(src, Options{MinSeverity: rules.SeverityHigh})
+	if len(high) >= len(all) {
+		t.Errorf("severity filter dropped nothing: %d vs %d", len(high), len(all))
+	}
+	for _, f := range high {
+		if f.Rule.Severity < rules.SeverityHigh {
+			t.Errorf("low-severity finding leaked: %s", f.Rule.ID)
+		}
+	}
+}
+
+func TestScanWithCategoryFilter(t *testing.T) {
+	d := New(nil)
+	src := "import hashlib, pickle\nh = hashlib.md5(x)\no = pickle.loads(y)\n"
+	crypto := d.ScanWith(src, Options{Categories: []rules.Category{rules.CryptographicFailures}})
+	if len(crypto) == 0 {
+		t.Fatal("category filter returned nothing")
+	}
+	for _, f := range crypto {
+		if f.Rule.Category != rules.CryptographicFailures {
+			t.Errorf("wrong category leaked: %s (%s)", f.Rule.ID, f.Rule.Category)
+		}
+	}
+}
+
+func TestScanWithRuleIDFilter(t *testing.T) {
+	d := New(nil)
+	src := "import hashlib, pickle\nh = hashlib.md5(x)\no = pickle.loads(y)\n"
+	only := d.ScanWith(src, Options{RuleIDs: []string{"PIP-CRY-001"}})
+	if len(only) != 1 || only[0].Rule.ID != "PIP-CRY-001" {
+		t.Errorf("rule filter: %v", findIDs(only))
+	}
+}
+
+func TestScanWithFixableOnly(t *testing.T) {
+	d := New(nil)
+	src := "result = exec(code)\nimport hashlib\nh = hashlib.md5(x)\n"
+	fixable := d.ScanWith(src, Options{FixableOnly: true})
+	for _, f := range fixable {
+		if !f.Rule.HasFix() {
+			t.Errorf("detection-only rule leaked: %s", f.Rule.ID)
+		}
+	}
+	if !hasID(fixable, "PIP-CRY-001") {
+		t.Errorf("fixable finding missing: %v", findIDs(fixable))
+	}
+}

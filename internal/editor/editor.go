@@ -1,0 +1,116 @@
+// Package editor reproduces the editor-integration layer of the paper's
+// VS Code extension: Position/Range/TextEdit types modelled on the VS Code
+// Extension API, an edit applier equivalent to editBuilder.replace(), and
+// a line-oriented JSON session protocol (served by `patchitpy serve`) that
+// mirrors the extension's detect → popup → patch interaction.
+package editor
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Position is a zero-based line/character location, as in the VS Code API.
+type Position struct {
+	Line      int `json:"line"`
+	Character int `json:"character"`
+}
+
+// Range is a half-open [Start, End) span.
+type Range struct {
+	Start Position `json:"start"`
+	End   Position `json:"end"`
+}
+
+// TextEdit replaces the text in Range with NewText.
+type TextEdit struct {
+	Range   Range  `json:"range"`
+	NewText string `json:"newText"`
+}
+
+// WorkspaceEdit is an ordered set of edits to one document.
+type WorkspaceEdit struct {
+	Edits []TextEdit `json:"edits"`
+}
+
+// OffsetToPosition converts a byte offset in src to a Position.
+func OffsetToPosition(src string, offset int) Position {
+	if offset > len(src) {
+		offset = len(src)
+	}
+	line := strings.Count(src[:offset], "\n")
+	col := offset
+	if idx := strings.LastIndexByte(src[:offset], '\n'); idx >= 0 {
+		col = offset - idx - 1
+	}
+	return Position{Line: line, Character: col}
+}
+
+// PositionToOffset converts a Position to a byte offset in src. Positions
+// past the end of a line clamp to the line end; lines past the end clamp to
+// len(src).
+func PositionToOffset(src string, pos Position) int {
+	offset := 0
+	for line := 0; line < pos.Line; line++ {
+		nl := strings.IndexByte(src[offset:], '\n')
+		if nl < 0 {
+			return len(src)
+		}
+		offset += nl + 1
+	}
+	lineEnd := strings.IndexByte(src[offset:], '\n')
+	if lineEnd < 0 {
+		lineEnd = len(src) - offset
+	}
+	col := pos.Character
+	if col > lineEnd {
+		col = lineEnd
+	}
+	return offset + col
+}
+
+// SpanEdit builds a TextEdit replacing src[start:end] with newText.
+func SpanEdit(src string, start, end int, newText string) TextEdit {
+	return TextEdit{
+		Range: Range{
+			Start: OffsetToPosition(src, start),
+			End:   OffsetToPosition(src, end),
+		},
+		NewText: newText,
+	}
+}
+
+// ApplyEdits applies the edits to src — the equivalent of the extension's
+// editBuilder.replace() loop. Overlapping edits are an error.
+func ApplyEdits(src string, edits []TextEdit) (string, error) {
+	type offsetEdit struct {
+		start, end int
+		text       string
+	}
+	resolved := make([]offsetEdit, 0, len(edits))
+	for _, e := range edits {
+		start := PositionToOffset(src, e.Range.Start)
+		end := PositionToOffset(src, e.Range.End)
+		if end < start {
+			return "", fmt.Errorf("edit range inverted: %+v", e.Range)
+		}
+		resolved = append(resolved, offsetEdit{start, end, e.NewText})
+	}
+	sort.Slice(resolved, func(i, j int) bool { return resolved[i].start < resolved[j].start })
+	for i := 1; i < len(resolved); i++ {
+		if resolved[i].start < resolved[i-1].end {
+			return "", fmt.Errorf("overlapping edits at offset %d", resolved[i].start)
+		}
+	}
+	var b strings.Builder
+	b.Grow(len(src))
+	last := 0
+	for _, e := range resolved {
+		b.WriteString(src[last:e.start])
+		b.WriteString(e.text)
+		last = e.end
+	}
+	b.WriteString(src[last:])
+	return b.String(), nil
+}

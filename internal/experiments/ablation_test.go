@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	ablationOnce sync.Once
+	ablationRes  *Ablation
+	ablationErr  error
+)
+
+func ablation(t *testing.T) *Ablation {
+	t.Helper()
+	ablationOnce.Do(func() { ablationRes, ablationErr = RunAblation() })
+	if ablationErr != nil {
+		t.Fatalf("RunAblation: %v", ablationErr)
+	}
+	return ablationRes
+}
+
+// TestGatesBuyPrecision: removing the Requires/Excludes context gates must
+// cost precision (patterns fire on mitigated or out-of-context code) while
+// recall can only stay equal or rise.
+func TestGatesBuyPrecision(t *testing.T) {
+	a := ablation(t)
+	if a.Ungated.Precision() >= a.Gated.Precision() {
+		t.Errorf("ungated precision %.3f >= gated %.3f; gates should matter",
+			a.Ungated.Precision(), a.Gated.Precision())
+	}
+	if a.Gated.Precision()-a.Ungated.Precision() < 0.05 {
+		t.Errorf("gates contribute only %.3f precision; expected a substantial gap",
+			a.Gated.Precision()-a.Ungated.Precision())
+	}
+	if a.Ungated.Recall() < a.Gated.Recall() {
+		t.Errorf("removing gates lowered recall (%.3f < %.3f)?",
+			a.Ungated.Recall(), a.Gated.Recall())
+	}
+}
+
+// TestStandardizationBuysSimilarity: the var# rewriting is what lets
+// structurally identical snippets share enough text for LCS mining.
+func TestStandardizationBuysSimilarity(t *testing.T) {
+	a := ablation(t)
+	if a.StandardizedSimilarity <= a.RawSimilarity {
+		t.Errorf("standardized similarity %.3f <= raw %.3f",
+			a.StandardizedSimilarity, a.RawSimilarity)
+	}
+	if a.StandardizedSimilarity < 0.5 {
+		t.Errorf("standardized same-scenario similarity only %.3f", a.StandardizedSimilarity)
+	}
+}
+
+// TestImportInsertionLoadBearing: a meaningful share of corpus patches
+// introduce APIs from modules the vulnerable code never imported.
+func TestImportInsertionLoadBearing(t *testing.T) {
+	a := ablation(t)
+	if a.PatchesNeedingImports < 30 {
+		t.Errorf("only %d patches needed imports; insertion should be load-bearing", a.PatchesNeedingImports)
+	}
+	if a.MissingImportBreaks != a.PatchesNeedingImports {
+		t.Errorf("accounting mismatch: %d vs %d", a.MissingImportBreaks, a.PatchesNeedingImports)
+	}
+}
+
+func TestWriteAblation(t *testing.T) {
+	a := ablation(t)
+	var buf bytes.Buffer
+	a.WriteAblation(&buf)
+	for _, want := range []string{"Context gates", "Standardization", "Import insertion"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("ablation report missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,294 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§III): the corpus statistics, the detection comparison
+// (Table II), the patching comparison (Table III), the cyclomatic-
+// complexity analysis (Fig. 3) and the Pylint-score quality analysis.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/dessertlab/patchitpy/internal/baseline/banditlite"
+	"github.com/dessertlab/patchitpy/internal/baseline/llmsim"
+	"github.com/dessertlab/patchitpy/internal/baseline/querydb"
+	"github.com/dessertlab/patchitpy/internal/baseline/semgreplite"
+	"github.com/dessertlab/patchitpy/internal/complexity"
+	"github.com/dessertlab/patchitpy/internal/core"
+	"github.com/dessertlab/patchitpy/internal/generator"
+	"github.com/dessertlab/patchitpy/internal/lintscore"
+	"github.com/dessertlab/patchitpy/internal/metrics"
+	"github.com/dessertlab/patchitpy/internal/oracle"
+	"github.com/dessertlab/patchitpy/internal/prompts"
+	"github.com/dessertlab/patchitpy/internal/stats"
+)
+
+// Tool names used as map keys throughout the results.
+const (
+	ToolPatchitPy = "PatchitPy"
+	ToolCodeQL    = "CodeQL"
+	ToolSemgrep   = "Semgrep"
+	ToolBandit    = "Bandit"
+	ToolChatGPT   = "ChatGPT-4o"
+	ToolClaude    = "Claude-3.7-Sonnet"
+	ToolGemini    = "Gemini-2.0-Flash"
+)
+
+// DetectionTools lists the Table II rows in paper order.
+var DetectionTools = []string{
+	ToolPatchitPy, ToolCodeQL, ToolSemgrep, ToolBandit,
+	ToolChatGPT, ToolClaude, ToolGemini,
+}
+
+// PatchingTools lists the Table III rows in paper order.
+var PatchingTools = []string{ToolPatchitPy, ToolChatGPT, ToolClaude, ToolGemini}
+
+// ModelNames lists the generator columns in paper order.
+var ModelNames = []string{"GitHub Copilot", "Claude-3.7-Sonnet", "DeepSeek-V3"}
+
+// All is the aggregate column key.
+const All = "All models"
+
+// CorpusStats reproduces the §III-A/§III-B numbers.
+type CorpusStats struct {
+	Prompts           int
+	PromptTokenMean   float64
+	PromptTokenMed    float64
+	PromptTokenMin    int
+	PromptTokenMax    int
+	Samples           int
+	VulnerableByModel map[string]int
+	VulnerableTotal   int
+	DistinctCWEs      int
+	TopCWEs           []CWECount
+}
+
+// CWECount is one row of the CWE frequency ranking.
+type CWECount struct {
+	CWE   string
+	Count int
+}
+
+// Results holds everything the harness computes.
+type Results struct {
+	Corpus CorpusStats
+
+	// Table2[tool][model] is the detection confusion matrix; model may be
+	// the All key.
+	Table2 map[string]map[string]*metrics.Confusion
+	// CWECoverage[model] is the number of distinct CWEs among the
+	// vulnerable samples PatchitPy correctly identified.
+	CWECoverage map[string]int
+
+	// Table3[tool][model] is the repair tally; model may be the All key.
+	Table3 map[string]map[string]*metrics.Repair
+	// SemgrepSuggestionRate and BanditSuggestionRate are the fractions of
+	// detections for which the tool attached a fix-suggestion comment.
+	SemgrepSuggestionRate float64
+	BanditSuggestionRate  float64
+
+	// Fig3 maps series name -> per-sample complexity values (609 each).
+	Fig3 map[string][]float64
+	// Fig3Summary maps series name -> distribution statistics.
+	Fig3Summary map[string]complexity.Distribution
+	// Fig3Wilcoxon maps series name -> p-value of the rank-sum test
+	// against the Generated series.
+	Fig3Wilcoxon map[string]float64
+
+	// Quality maps series name -> Pylint scores of produced patches;
+	// QualityWilcoxon maps series name -> p against the ground truth.
+	Quality         map[string][]float64
+	QualityWilcoxon map[string]float64
+}
+
+// FigGenerated is the Fig. 3 base series name.
+const FigGenerated = "Generated"
+
+// Run executes the full evaluation. It is deterministic.
+func Run() (*Results, error) {
+	ps := prompts.All()
+	samples, err := generator.Corpus(ps)
+	if err != nil {
+		return nil, fmt.Errorf("generate corpus: %w", err)
+	}
+
+	res := &Results{
+		Table2:          map[string]map[string]*metrics.Confusion{},
+		Table3:          map[string]map[string]*metrics.Repair{},
+		CWECoverage:     map[string]int{},
+		Fig3:            map[string][]float64{},
+		Fig3Summary:     map[string]complexity.Distribution{},
+		Fig3Wilcoxon:    map[string]float64{},
+		Quality:         map[string][]float64{},
+		QualityWilcoxon: map[string]float64{},
+	}
+	for _, tool := range DetectionTools {
+		res.Table2[tool] = map[string]*metrics.Confusion{All: {}}
+		for _, m := range ModelNames {
+			res.Table2[tool][m] = &metrics.Confusion{}
+		}
+	}
+	for _, tool := range PatchingTools {
+		res.Table3[tool] = map[string]*metrics.Repair{All: {}}
+		for _, m := range ModelNames {
+			res.Table3[tool][m] = &metrics.Repair{}
+		}
+	}
+
+	res.Corpus = corpusStats(ps, samples)
+
+	engine := core.New()
+	orc := oracle.New()
+	bandit := banditlite.New()
+	semgrep := semgreplite.New()
+	codeql := querydb.New()
+	assistants := llmsim.Assistants()
+
+	cweSeen := map[string]map[string]bool{}
+	for _, m := range ModelNames {
+		cweSeen[m] = map[string]bool{}
+	}
+
+	var banditFindings []banditlite.Finding
+	var semgrepFindings []semgreplite.Finding
+
+	for _, s := range samples {
+		truth := s.Truth.Vulnerable
+
+		// --- PatchitPy: detect + patch ---
+		outcome := engine.Fix(s.Code)
+		detected := outcome.Report.Vulnerable
+		res.addDetection(ToolPatchitPy, s.Model, detected, truth)
+		repaired := detected && orc.Repaired(s, outcome.Result.Source)
+		res.addRepair(ToolPatchitPy, s.Model, detected && truth, truth, repaired && truth)
+		if detected && truth {
+			for _, cwe := range s.Truth.CWEs {
+				cweSeen[s.Model][cwe] = true
+			}
+		}
+		res.Fig3[FigGenerated] = append(res.Fig3[FigGenerated], complexity.Program(s.Code))
+		res.Fig3[ToolPatchitPy] = append(res.Fig3[ToolPatchitPy], complexity.Program(outcome.Result.Source))
+		if truth && repaired {
+			res.Quality[ToolPatchitPy] = append(res.Quality[ToolPatchitPy], lintscore.Score(outcome.Result.Source))
+		}
+		if truth {
+			res.Quality["Ground truth"] = append(res.Quality["Ground truth"], lintscore.Score(generator.SafeRewrite(s)))
+		}
+
+		// --- static baselines: detect only ---
+		bf := bandit.Scan(s.Code)
+		banditFindings = append(banditFindings, bf...)
+		res.addDetection(ToolBandit, s.Model, len(bf) > 0, truth)
+
+		sf := semgrep.Scan(s.Code)
+		semgrepFindings = append(semgrepFindings, sf...)
+		res.addDetection(ToolSemgrep, s.Model, len(sf) > 0, truth)
+
+		res.addDetection(ToolCodeQL, s.Model, codeql.Vulnerable(s.Code), truth)
+
+		// --- LLM baselines: detect + patch ---
+		for _, a := range assistants {
+			review := a.Review(s)
+			res.addDetection(a.Name, s.Model, review.Detected, truth)
+			llmRepaired := review.Detected && orc.Repaired(s, review.Patched)
+			res.addRepair(a.Name, s.Model, review.Detected && truth, truth, llmRepaired && truth)
+			res.Fig3[a.Name] = append(res.Fig3[a.Name], complexity.Program(review.Patched))
+			if truth && llmRepaired {
+				res.Quality[a.Name] = append(res.Quality[a.Name], lintscore.Score(review.Patched))
+			}
+		}
+	}
+
+	for _, m := range ModelNames {
+		res.CWECoverage[m] = len(cweSeen[m])
+	}
+	res.BanditSuggestionRate = banditlite.SuggestionRate(banditFindings)
+	res.SemgrepSuggestionRate = semgreplite.SuggestionRate(semgrepFindings)
+
+	for name, values := range res.Fig3 {
+		res.Fig3Summary[name] = complexity.Summarize(values)
+		if name == FigGenerated {
+			continue
+		}
+		if rs, err := stats.RankSum(values, res.Fig3[FigGenerated]); err == nil {
+			res.Fig3Wilcoxon[name] = rs.P
+		}
+	}
+	for name, scores := range res.Quality {
+		if name == "Ground truth" {
+			continue
+		}
+		if rs, err := stats.RankSum(scores, res.Quality["Ground truth"]); err == nil {
+			res.QualityWilcoxon[name] = rs.P
+		}
+	}
+	return res, nil
+}
+
+func (r *Results) addDetection(tool, model string, predicted, actual bool) {
+	r.Table2[tool][model].Add(predicted, actual)
+	r.Table2[tool][All].Add(predicted, actual)
+}
+
+func (r *Results) addRepair(tool, model string, detected, vulnerable, patched bool) {
+	row, ok := r.Table3[tool]
+	if !ok {
+		return
+	}
+	for _, key := range []string{model, All} {
+		if detected {
+			row[key].Detected++
+		}
+		if vulnerable {
+			row[key].TotalVulnerable++
+		}
+		if patched {
+			row[key].Patched++
+		}
+	}
+}
+
+func corpusStats(ps []prompts.Prompt, samples []generator.Sample) CorpusStats {
+	cs := CorpusStats{
+		Prompts:           len(ps),
+		Samples:           len(samples),
+		VulnerableByModel: map[string]int{},
+	}
+	lengths := make([]float64, len(ps))
+	minTok, maxTok := 1<<30, 0
+	for i, p := range ps {
+		n := p.Tokens()
+		lengths[i] = float64(n)
+		if n < minTok {
+			minTok = n
+		}
+		if n > maxTok {
+			maxTok = n
+		}
+	}
+	cs.PromptTokenMean = stats.Mean(lengths)
+	cs.PromptTokenMed = stats.Median(lengths)
+	cs.PromptTokenMin = minTok
+	cs.PromptTokenMax = maxTok
+
+	cweCounts := map[string]int{}
+	for _, s := range samples {
+		if s.Truth.Vulnerable {
+			cs.VulnerableByModel[s.Model]++
+			cs.VulnerableTotal++
+			for _, cwe := range s.Truth.CWEs {
+				cweCounts[cwe]++
+			}
+		}
+	}
+	cs.DistinctCWEs = len(cweCounts)
+	for cwe, n := range cweCounts {
+		cs.TopCWEs = append(cs.TopCWEs, CWECount{CWE: cwe, Count: n})
+	}
+	sort.Slice(cs.TopCWEs, func(i, j int) bool {
+		if cs.TopCWEs[i].Count != cs.TopCWEs[j].Count {
+			return cs.TopCWEs[i].Count > cs.TopCWEs[j].Count
+		}
+		return cs.TopCWEs[i].CWE < cs.TopCWEs[j].CWE
+	})
+	return cs
+}

@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteCorpus renders the §III-A/§III-B corpus statistics.
+func (r *Results) WriteCorpus(w io.Writer) {
+	c := r.Corpus
+	fmt.Fprintf(w, "Prompts: %d (tokens mean %.1f, median %.0f, min %d, max %d)\n",
+		c.Prompts, c.PromptTokenMean, c.PromptTokenMed, c.PromptTokenMin, c.PromptTokenMax)
+	fmt.Fprintf(w, "Samples: %d\n", c.Samples)
+	for _, m := range ModelNames {
+		n := c.VulnerableByModel[m]
+		fmt.Fprintf(w, "  %-18s vulnerable %3d/203 (%.0f%%)\n", m, n, 100*float64(n)/203)
+	}
+	fmt.Fprintf(w, "  %-18s vulnerable %3d/609 (%.0f%%)\n", "All models", c.VulnerableTotal, 100*float64(c.VulnerableTotal)/609)
+	fmt.Fprintf(w, "Distinct CWEs in vulnerable code: %d\n", c.DistinctCWEs)
+	fmt.Fprintf(w, "Most frequent CWEs:")
+	for i, cc := range c.TopCWEs {
+		if i == 5 {
+			break
+		}
+		fmt.Fprintf(w, " %s(%d)", cc.CWE, cc.Count)
+	}
+	fmt.Fprintln(w)
+}
+
+// WriteTable2 renders the detection comparison (paper Table II).
+func (r *Results) WriteTable2(w io.Writer) {
+	fmt.Fprintln(w, "TABLE II — Detection results (Precision / Recall / F1 / Accuracy)")
+	fmt.Fprintf(w, "%-19s %-25s %-25s %-25s %-25s\n", "Tool", "Copilot", "Claude", "DeepSeek", "All models")
+	cols := append(append([]string{}, ModelNames...), All)
+	for _, tool := range DetectionTools {
+		fmt.Fprintf(w, "%-19s", tool)
+		for _, m := range cols {
+			c := r.Table2[tool][m]
+			fmt.Fprintf(w, " %.2f/%.2f/%.2f/%.2f     ", c.Precision(), c.Recall(), c.F1(), c.Accuracy())
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "PatchitPy CWE coverage:")
+	for _, m := range ModelNames {
+		fmt.Fprintf(w, " %s=%d", m, r.CWECoverage[m])
+	}
+	fmt.Fprintln(w)
+}
+
+// WriteTable3 renders the patching comparison (paper Table III).
+func (r *Results) WriteTable3(w io.Writer) {
+	fmt.Fprintln(w, "TABLE III — Patching results (Patched[Det.] / Patched[Tot.])")
+	fmt.Fprintf(w, "%-19s %-12s %-12s %-12s %-12s\n", "Tool", "Copilot", "Claude", "DeepSeek", "All models")
+	cols := append(append([]string{}, ModelNames...), All)
+	for _, tool := range PatchingTools {
+		fmt.Fprintf(w, "%-19s", tool)
+		for _, m := range cols {
+			rep := r.Table3[tool][m]
+			fmt.Fprintf(w, " %.2f/%.2f   ", rep.RateDetected(), rep.RateTotal())
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "Fix suggestions (comments only): Semgrep %.0f%%, Bandit %.0f%% of detections\n",
+		100*r.SemgrepSuggestionRate, 100*r.BanditSuggestionRate)
+}
+
+// WriteFig3 renders the complexity distributions (paper Fig. 3).
+func (r *Results) WriteFig3(w io.Writer) {
+	fmt.Fprintln(w, "FIG. 3 — Cyclomatic complexity distribution across 609 samples")
+	fmt.Fprintf(w, "%-19s %7s %7s %7s %7s %7s  %s\n", "Series", "mean", "median", "Q1", "Q3", "IQR", "Wilcoxon vs generated")
+	names := make([]string, 0, len(r.Fig3Summary))
+	for name := range r.Fig3Summary {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	// Generated first, then the tools.
+	ordered := []string{FigGenerated, ToolPatchitPy, ToolChatGPT, ToolClaude, ToolGemini}
+	for _, name := range ordered {
+		d, ok := r.Fig3Summary[name]
+		if !ok {
+			continue
+		}
+		line := fmt.Sprintf("%-19s %7.2f %7.2f %7.2f %7.2f %7.2f", name, d.Mean, d.Median, d.Q1, d.Q3, d.IQR)
+		if p, ok := r.Fig3Wilcoxon[name]; ok {
+			sig := "n.s."
+			if p < 0.05 {
+				sig = "significant"
+			}
+			line += fmt.Sprintf("  p=%.4f (%s)", p, sig)
+		}
+		fmt.Fprintln(w, line)
+	}
+}
+
+// WriteQuality renders the Pylint-score quality comparison (§III-C).
+func (r *Results) WriteQuality(w io.Writer) {
+	fmt.Fprintln(w, "Patch quality (Pylint-style scores, median)")
+	names := make([]string, 0, len(r.Quality))
+	for name := range r.Quality {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		scores := r.Quality[name]
+		med := median(scores)
+		line := fmt.Sprintf("%-19s median %.1f/10 over %d patches", name, med, len(scores))
+		if p, ok := r.QualityWilcoxon[name]; ok {
+			verdict := "equivalent to ground truth"
+			if p < 0.05 {
+				verdict = "differs from ground truth"
+			}
+			line += fmt.Sprintf("  (Wilcoxon p=%.3f, %s)", p, verdict)
+		}
+		fmt.Fprintln(w, line)
+	}
+}
+
+// WriteAll renders every section.
+func (r *Results) WriteAll(w io.Writer) {
+	r.WriteCorpus(w)
+	fmt.Fprintln(w)
+	r.WriteTable2(w)
+	fmt.Fprintln(w)
+	r.WriteTable3(w)
+	fmt.Fprintln(w)
+	r.WriteFig3(w)
+	fmt.Fprintln(w)
+	r.WriteQuality(w)
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		return sorted[mid]
+	}
+	return (sorted[mid-1] + sorted[mid]) / 2
+}

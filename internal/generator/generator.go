@@ -1,0 +1,329 @@
+package generator
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"github.com/dessertlab/patchitpy/internal/prompts"
+)
+
+// Truth is the ground-truth label the generator records for each sample —
+// the stand-in for the paper's three-evaluator manual consensus (the
+// generator is the author of the vulnerability, so its label plays the
+// role of the human one).
+type Truth struct {
+	// Vulnerable is the binary per-sample label.
+	Vulnerable bool
+	// CWEs are the weaknesses present (empty when not vulnerable).
+	CWEs []string
+	// Class records which variant class was generated.
+	Class VariantClass
+	// ScenarioID links back to the scenario.
+	ScenarioID string
+}
+
+// Sample is one generated program.
+type Sample struct {
+	PromptID string
+	Model    string
+	Code     string
+	Truth    Truth
+}
+
+// Model simulates one AI code generator with a calibrated behaviour
+// profile.
+type Model struct {
+	// Name is the display name ("GitHub Copilot", ...).
+	Name string
+	// VulnCount is the exact number of vulnerable samples the model emits
+	// over the 203 prompts (paper §III-B: 169 / 126 / 166).
+	VulnCount int
+	// GapAvoidance raises the chance that prompts whose only vulnerable
+	// shapes are rule-evasive come out safe instead (models differ in how
+	// often they pick APIs outside the rule catalog).
+	GapAvoidance float64
+	// DetectOnlyAvoidance raises the chance that prompts whose scenarios
+	// offer no fixable shape come out safe instead.
+	DetectOnlyAvoidance float64
+	// NoisyAttraction raises the chance that prompts whose scenarios have
+	// a safe-but-noisy shape come out safe (feeding the false-positive
+	// pool).
+	NoisyAttraction float64
+	// EvasiveRate is the chance a vulnerable sample uses a rule-evasive
+	// shape when the scenario offers one.
+	EvasiveRate float64
+	// DetectOnlyBias is the chance a detected vulnerable sample uses a
+	// shape only detection-only rules cover, when the scenario offers one.
+	DetectOnlyBias float64
+	// NoisySafeRate is the chance a safe sample uses a shape that trips a
+	// low-severity rule (the false-positive source), when available.
+	NoisySafeRate float64
+	// Seed drives all of the model's randomness.
+	Seed int64
+}
+
+// Models returns the three simulated generators with profiles calibrated
+// to the paper's corpus statistics.
+func Models() []*Model {
+	return []*Model{
+		{
+			Name: "GitHub Copilot", VulnCount: 169,
+			GapAvoidance: 0.05, DetectOnlyAvoidance: 0, NoisyAttraction: 0.30,
+			EvasiveRate: 0.12, DetectOnlyBias: 0.10, NoisySafeRate: 0.38,
+			Seed: 101,
+		},
+		{
+			Name: "Claude-3.7-Sonnet", VulnCount: 126,
+			GapAvoidance: 0.70, DetectOnlyAvoidance: 0.60, NoisyAttraction: 0.35,
+			EvasiveRate: 0.02, DetectOnlyBias: 0.10, NoisySafeRate: 0.45,
+			Seed: 202,
+		},
+		{
+			Name: "DeepSeek-V3", VulnCount: 166,
+			GapAvoidance: 0.35, DetectOnlyAvoidance: 0.55, NoisyAttraction: 0.15,
+			EvasiveRate: 0.05, DetectOnlyBias: 0.04, NoisySafeRate: 0.30,
+			Seed: 303,
+		},
+	}
+}
+
+// ModelByName returns the model with the given name, or nil.
+func ModelByName(name string) *Model {
+	for _, m := range Models() {
+		if m.Name == name {
+			return m
+		}
+	}
+	return nil
+}
+
+// Generate emits one sample per prompt, deterministically for a given
+// (model profile, prompt list).
+func (m *Model) Generate(ps []prompts.Prompt) ([]Sample, error) {
+	scenarios := Scenarios()
+	for _, p := range ps {
+		if scenarios[p.ScenarioID] == nil {
+			return nil, fmt.Errorf("prompt %s references unknown scenario %q", p.ID, p.ScenarioID)
+		}
+	}
+
+	vulnerable := m.pickVulnerable(ps, scenarios)
+	out := make([]Sample, 0, len(ps))
+	for _, p := range ps {
+		sc := scenarios[p.ScenarioID]
+		rng := rand.New(rand.NewSource(m.Seed ^ int64(hashString(p.ID))))
+		sample := m.generateOne(p, sc, vulnerable[p.ID], rng)
+		out = append(out, sample)
+	}
+	return out, nil
+}
+
+// pickVulnerable chooses exactly VulnCount prompts to come out vulnerable.
+// Prompts whose scenarios only offer evasive vulnerable shapes are scored
+// with the model's GapAvoidance so that models differ in how much of the
+// corpus falls into rule blind spots.
+func (m *Model) pickVulnerable(ps []prompts.Prompt, scenarios map[string]*Scenario) map[string]bool {
+	rng := rand.New(rand.NewSource(m.Seed))
+	type scored struct {
+		id    string
+		score float64
+	}
+	items := make([]scored, 0, len(ps))
+	for _, p := range ps {
+		sc := scenarios[p.ScenarioID]
+		score := rng.Float64()
+		if len(sc.Fixable) == 0 && len(sc.DetectOnly) == 0 {
+			score += m.GapAvoidance
+		} else if len(sc.Fixable) == 0 {
+			score += m.DetectOnlyAvoidance
+		}
+		if len(sc.SafeNoisy) > 0 {
+			score += m.NoisyAttraction
+		}
+		items = append(items, scored{p.ID, score})
+	}
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].score != items[j].score {
+			return items[i].score < items[j].score
+		}
+		return items[i].id < items[j].id
+	})
+	out := make(map[string]bool, len(ps))
+	count := m.VulnCount
+	if count > len(items) {
+		count = len(items)
+	}
+	for i := 0; i < count; i++ {
+		out[items[i].id] = true
+	}
+	return out
+}
+
+func (m *Model) generateOne(p prompts.Prompt, sc *Scenario, vulnerable bool, rng *rand.Rand) Sample {
+	var tpl Template
+	var class VariantClass
+	if vulnerable {
+		tpl, class = m.pickVulnerableVariant(sc, rng)
+	} else {
+		tpl, class = m.pickSafeVariant(sc, rng)
+	}
+	code := appendHelpers(substitute(tpl.Code, p.ID, m.Name, rng), p.ID, m.Name)
+	truth := Truth{
+		Vulnerable: class.Vulnerable(),
+		Class:      class,
+		ScenarioID: sc.ID,
+	}
+	if truth.Vulnerable {
+		truth.CWEs = append([]string(nil), tpl.CWEs...)
+	}
+	return Sample{PromptID: p.ID, Model: m.Name, Code: code, Truth: truth}
+}
+
+func (m *Model) pickVulnerableVariant(sc *Scenario, rng *rand.Rand) (Template, VariantClass) {
+	hasFix := len(sc.Fixable) > 0
+	hasDet := len(sc.DetectOnly) > 0
+	hasEva := len(sc.Evasive) > 0
+
+	if hasEva && (!hasFix && !hasDet || rng.Float64() < m.EvasiveRate) {
+		return pick(sc.Evasive, rng), ClassEvasive
+	}
+	if hasDet && (!hasFix || rng.Float64() < m.DetectOnlyBias) {
+		return pick(sc.DetectOnly, rng), ClassDetectOnly
+	}
+	if hasFix {
+		return pick(sc.Fixable, rng), ClassFixable
+	}
+	if hasDet {
+		return pick(sc.DetectOnly, rng), ClassDetectOnly
+	}
+	return pick(sc.Evasive, rng), ClassEvasive
+}
+
+func (m *Model) pickSafeVariant(sc *Scenario, rng *rand.Rand) (Template, VariantClass) {
+	if len(sc.SafeNoisy) > 0 && rng.Float64() < m.NoisySafeRate {
+		return pick(sc.SafeNoisy, rng), ClassSafeNoisy
+	}
+	if len(sc.Safe) > 0 {
+		return pick(sc.Safe, rng), ClassSafe
+	}
+	return pick(sc.SafeNoisy, rng), ClassSafeNoisy
+}
+
+func pick(tpls []Template, rng *rand.Rand) Template {
+	return tpls[rng.Intn(len(tpls))]
+}
+
+// Name pools for placeholder substitution. Deliberately free of tokens
+// that would trip context-sensitive rules (no "token", "password", "url",
+// "admin", ...), so substitution never changes a variant's class.
+var (
+	funcPool  = []string{"handler", "process_request", "fetch_records", "show_page", "run_task", "load_item", "submit_form", "render_view", "serve_request", "get_resource", "build_response", "do_work"}
+	varPool   = []string{"value", "data", "item", "param", "content", "entry", "text_input", "payload", "record", "result"}
+	var2Pool  = []string{"extra", "detail", "field", "part", "chunk", "piece"}
+	routePool = []string{"items", "search", "view", "submit", "lookup", "records", "query", "page", "resource", "list", "feed", "detail"}
+	tablePool = []string{"users", "orders", "products", "articles", "events", "customers", "accounts", "tickets"}
+	filePool  = []string{"report.txt", "data.bin", "notes.md", "export.csv", "archive.dat"}
+)
+
+// substitute fills the template placeholders with names drawn
+// deterministically from the prompt/model pair.
+func substitute(code, promptID, model string, rng *rand.Rand) string {
+	h := hashString(promptID + "|" + model)
+	pickName := func(pool []string, salt uint32) string {
+		return pool[(h+salt)%uint32(len(pool))]
+	}
+	r := strings.NewReplacer(
+		"@FUNC@", pickName(funcPool, 1),
+		"@VAR@", pickName(varPool, 2),
+		"@VAR2@", pickName(var2Pool, 3),
+		"@ROUTE@", pickName(routePool, 4),
+		"@TABLE@", pickName(tablePool, 5),
+		"@FILE@", pickName(filePool, 6),
+	)
+	return r.Replace(code)
+}
+
+func hashString(s string) uint32 {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(s))
+	return h.Sum32()
+}
+
+// SafeRewrite returns the sample's scenario rendered as its safe
+// implementation with the same naming — what an ideal assistant rewrite of
+// the sample looks like. It is used by the LLM-baseline simulators.
+func SafeRewrite(s Sample) string {
+	sc := Scenarios()[s.Truth.ScenarioID]
+	if sc == nil {
+		return s.Code
+	}
+	pool := sc.Safe
+	if len(pool) == 0 {
+		pool = sc.SafeNoisy
+	}
+	if len(pool) == 0 {
+		return s.Code
+	}
+	rng := rand.New(rand.NewSource(int64(hashString(s.PromptID + "|" + s.Model))))
+	tpl := pool[rng.Intn(len(pool))]
+	// Same helper appendix as the generated sample, so a rewrite carries
+	// the same surrounding structure the original file had.
+	return appendHelpers(substitute(tpl.Code, s.PromptID, s.Model, rng), s.PromptID, s.Model)
+}
+
+// benignHelpers are security-neutral utility functions that real model
+// output often includes alongside the requested code. They never trip a
+// rule or an oracle marker, but they carry decision points — appending
+// them at calibrated rates gives the corpus the cyclomatic-complexity
+// variance of real generations (the IQR of the paper's Fig. 3).
+var benignHelpers = []string{
+	`
+
+def clamp_limit(value, maximum=100):
+    if value > maximum:
+        return maximum
+    return value
+`,
+	`
+
+def describe_status(code):
+    if code < 400:
+        return "ok"
+    if code < 500:
+        return "client error"
+    return "server error"
+`,
+}
+
+// appendHelpers deterministically decorates a sample with 0–2 benign
+// helpers based on the (prompt, model) hash: roughly a quarter of samples
+// gain a small helper and a few gain a larger one.
+func appendHelpers(code, promptID, model string) string {
+	h := hashString("helpers|" + promptID + "|" + model)
+	roll := h % 100
+	switch {
+	case roll < 25:
+		return strings.TrimRight(code, "\n") + benignHelpers[0]
+	case roll < 33:
+		return strings.TrimRight(code, "\n") + benignHelpers[1]
+	default:
+		return code
+	}
+}
+
+// Corpus generates all three models' samples over the prompt corpus —
+// the 609-sample evaluation set of the paper.
+func Corpus(ps []prompts.Prompt) ([]Sample, error) {
+	var out []Sample
+	for _, m := range Models() {
+		samples, err := m.Generate(ps)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", m.Name, err)
+		}
+		out = append(out, samples...)
+	}
+	return out, nil
+}

@@ -1,0 +1,133 @@
+// Package generator simulates the three AI code generators of the paper's
+// case study (GitHub Copilot, Claude-3.7-Sonnet, DeepSeek-V3).
+//
+// The real study prompts remote proprietary models; this reproduction
+// replaces them with deterministic seeded generators that expand the same
+// 203 prompt scenarios into Python code. Each scenario carries several
+// implementation variants:
+//
+//   - Fixable:    vulnerable, detected by a PatchitPy rule that has a fix
+//   - DetectOnly: vulnerable, detected by a detection-only rule
+//   - Evasive:    vulnerable, but shaped so no rule matches (false
+//     negatives — detection gaps exist for real tools too)
+//   - Safe:       secure implementation, quiet under every rule
+//   - SafeNoisy:  secure per the human oracle, but triggering a low-severity
+//     rule (false-positive fodder, e.g. a missing request timeout)
+//
+// Model profiles choose among the classes at calibrated rates so that the
+// corpus reproduces the paper's §III-B vulnerability mix (84% / 62% / 82%)
+// and the per-model detection/repair shapes of Tables II and III.
+package generator
+
+import "fmt"
+
+// VariantClass classifies a code template.
+type VariantClass int
+
+// Variant classes.
+const (
+	ClassFixable VariantClass = iota + 1
+	ClassDetectOnly
+	ClassEvasive
+	ClassSafe
+	ClassSafeNoisy
+)
+
+// String names the class.
+func (c VariantClass) String() string {
+	switch c {
+	case ClassFixable:
+		return "fixable"
+	case ClassDetectOnly:
+		return "detect-only"
+	case ClassEvasive:
+		return "evasive"
+	case ClassSafe:
+		return "safe"
+	case ClassSafeNoisy:
+		return "safe-noisy"
+	}
+	return fmt.Sprintf("VariantClass(%d)", int(c))
+}
+
+// Vulnerable reports whether the class denotes a vulnerable variant.
+func (c VariantClass) Vulnerable() bool {
+	return c == ClassFixable || c == ClassDetectOnly || c == ClassEvasive
+}
+
+// Template is one implementation variant of a scenario. Code may contain
+// the placeholders @FUNC@, @VAR@, @VAR2@, @ROUTE@, @TABLE@ and @FILE@,
+// which the generator substitutes per (prompt, model) for lexical
+// diversity.
+type Template struct {
+	// Code is the Python source template.
+	Code string
+	// CWEs lists every weakness the variant exhibits (primary first);
+	// empty for safe variants.
+	CWEs []string
+}
+
+// Scenario is one security task family shared by one or more prompts.
+type Scenario struct {
+	// ID is the stable scenario identifier, e.g. "sqli".
+	ID string
+	// Title is a short human-readable description.
+	Title string
+	// Fixable, DetectOnly and Evasive are the vulnerable variants by
+	// class; any may be empty (the generator falls back to another class).
+	Fixable    []Template
+	DetectOnly []Template
+	Evasive    []Template
+	// Safe and SafeNoisy are the secure variants.
+	Safe      []Template
+	SafeNoisy []Template
+	// Markers are regexes over source code that characterize the
+	// scenario's vulnerability independently of the rule catalog; the
+	// oracle uses them to verify patches. Every vulnerable variant must
+	// match at least one marker and every safe variant none.
+	Markers []string
+}
+
+// vulnerableTemplates returns all vulnerable variants with their classes.
+func (s *Scenario) vulnerableTemplates() []classedTemplate {
+	var out []classedTemplate
+	for i := range s.Fixable {
+		out = append(out, classedTemplate{s.Fixable[i], ClassFixable})
+	}
+	for i := range s.DetectOnly {
+		out = append(out, classedTemplate{s.DetectOnly[i], ClassDetectOnly})
+	}
+	for i := range s.Evasive {
+		out = append(out, classedTemplate{s.Evasive[i], ClassEvasive})
+	}
+	return out
+}
+
+type classedTemplate struct {
+	tpl   Template
+	class VariantClass
+}
+
+// Scenarios returns the full scenario registry keyed by ID.
+func Scenarios() map[string]*Scenario {
+	all := allScenarios()
+	out := make(map[string]*Scenario, len(all))
+	for _, s := range all {
+		out[s.ID] = s
+	}
+	return out
+}
+
+// ScenarioList returns the scenarios in definition order.
+func ScenarioList() []*Scenario { return allScenarios() }
+
+func allScenarios() []*Scenario {
+	var out []*Scenario
+	out = append(out, webScenarios()...)
+	out = append(out, injectionScenarios()...)
+	out = append(out, cryptoScenarios()...)
+	out = append(out, dataScenarios()...)
+	out = append(out, uncoveredScenarios()...)
+	out = append(out, moreUncoveredScenarios()...)
+	return out
+}

@@ -1,0 +1,554 @@
+package generator
+
+// dataScenarios covers deserialization, configuration loading, archives,
+// XML parsing, temp files and permissions.
+func dataScenarios() []*Scenario {
+	return []*Scenario{
+		{
+			ID: "cache-load", Title: "restore the cached session object from the store",
+			Fixable: []Template{
+				{
+					Code: `import pickle
+from flask import Flask, request
+app = Flask(__name__)
+
+@app.route("/@ROUTE@", methods=["POST"])
+def @FUNC@():
+    @VAR@ = pickle.loads(request.get_data())
+    return {"restored": str(@VAR@)}
+
+if __name__ == "__main__":
+    app.run()
+`,
+					CWEs: []string{"CWE-502"},
+				},
+				{
+					Code: `import pickle
+
+def @FUNC@(path):
+    if not path:
+        raise ValueError("path required")
+    with open(path, "rb") as fh:
+        @VAR@ = pickle.load(fh)
+    return @VAR@
+`,
+					CWEs: []string{"CWE-502"},
+				},
+			},
+			Evasive: []Template{
+				{
+					Code: `import pickle
+
+def @FUNC@(path):
+    if not path:
+        raise ValueError("path required")
+    with open(path, "rb") as fh:
+        unpickler = pickle.Unpickler(fh)
+        @VAR@ = unpickler.load()
+    return @VAR@
+`,
+					CWEs: []string{"CWE-502"},
+				},
+			},
+			Safe: []Template{
+				{Code: `import json
+
+def @FUNC@(path):
+    if not path:
+        raise ValueError("path required")
+    with open(path, "r") as fh:
+        @VAR@ = json.load(fh)
+    return @VAR@
+`},
+			},
+			Markers: []string{`pickle\.loads?\(`, `pickle\.Unpickler\(`},
+		},
+		{
+			ID: "config-load", Title: "read the service configuration from a YAML file",
+			Fixable: []Template{
+				{
+					Code: `import yaml
+
+def @FUNC@(path):
+    if not path:
+        raise ValueError("path required")
+    with open(path) as fh:
+        @VAR@ = yaml.load(fh)
+    return @VAR@
+`,
+					CWEs: []string{"CWE-502"},
+				},
+			},
+			Evasive: []Template{
+				{
+					Code: `import yaml
+
+def @FUNC@(path):
+    if not path:
+        raise ValueError("path required")
+    with open(path) as fh:
+        @VAR@ = yaml.unsafe_load(fh)
+    return @VAR@
+`,
+					CWEs: []string{"CWE-502"},
+				},
+			},
+			Safe: []Template{
+				{Code: `import yaml
+
+def @FUNC@(path):
+    if not path:
+        raise ValueError("path required")
+    with open(path) as fh:
+        @VAR@ = yaml.safe_load(fh)
+    return @VAR@
+`},
+			},
+			Markers: []string{`yaml\.load\(`, `yaml\.unsafe_load\(`},
+		},
+		{
+			ID: "model-load", Title: "load the trained model checkpoint for inference",
+			DetectOnly: []Template{
+				{
+					Code: `import torch
+
+def @FUNC@(path):
+    if not path:
+        raise ValueError("path required")
+    model = torch.load(path)
+    model.eval()
+    return model
+`,
+					CWEs: []string{"CWE-502"},
+				},
+				{
+					Code: `import joblib
+
+def @FUNC@(path):
+    if not path:
+        raise ValueError("path required")
+    model = joblib.load(path)
+    return model
+`,
+					CWEs: []string{"CWE-502"},
+				},
+			},
+			Safe: []Template{
+				{Code: `import torch
+
+def @FUNC@(path):
+    if not path:
+        raise ValueError("path required")
+    model = torch.load(path, weights_only=True)
+    model.eval()
+    return model
+`},
+			},
+			Markers: []string{`torch\.load\(path\)`, `joblib\.load\(`},
+		},
+		{
+			ID: "xml-parse", Title: "parse the uploaded XML invoice",
+			Fixable: []Template{
+				{
+					Code: `import xml.etree.ElementTree as ET
+from flask import Flask, request
+app = Flask(__name__)
+
+@app.route("/@ROUTE@", methods=["POST"])
+def @FUNC@():
+    root = ET.fromstring(request.get_data())
+    return {"invoice": root.findtext("id")}
+
+if __name__ == "__main__":
+    app.run()
+`,
+					CWEs: []string{"CWE-611"},
+				},
+			},
+			DetectOnly: []Template{
+				{
+					Code: `import xml.sax
+from flask import Flask, request
+app = Flask(__name__)
+
+class InvoiceHandler(xml.sax.ContentHandler):
+    def __init__(self):
+        self.ids = []
+
+@app.route("/@ROUTE@", methods=["POST"])
+def @FUNC@():
+    handler = InvoiceHandler()
+    xml.sax.parseString(request.get_data(), handler)
+    return {"count": len(handler.ids)}
+
+if __name__ == "__main__":
+    app.run()
+`,
+					CWEs: []string{"CWE-611"},
+				},
+			},
+			Safe: []Template{
+				{Code: `import defusedxml.ElementTree as ET
+from flask import Flask, request
+app = Flask(__name__)
+
+@app.route("/@ROUTE@", methods=["POST"])
+def @FUNC@():
+    root = ET.fromstring(request.get_data())
+    return {"invoice": root.findtext("id")}
+
+if __name__ == "__main__":
+    app.run()
+`},
+			},
+			Markers: []string{`import xml\.etree`, `xml\.sax\.parseString`},
+		},
+		{
+			ID: "archive-extract", Title: "unpack the uploaded archive into the work directory",
+			Fixable: []Template{
+				{
+					Code: `import tarfile
+
+def @FUNC@(path, dest):
+    if not path:
+        raise ValueError("path required")
+    with tarfile.open(path) as archive:
+        archive.extractall(dest)
+    return dest
+`,
+					CWEs: []string{"CWE-022"},
+				},
+			},
+			DetectOnly: []Template{
+				{
+					Code: `import zipfile
+
+def @FUNC@(path, dest):
+    if not path:
+        raise ValueError("path required")
+    with zipfile.ZipFile(path) as archive:
+        archive.extractall(dest)
+    return dest
+`,
+					CWEs: []string{"CWE-022"},
+				},
+			},
+			Safe: []Template{
+				{Code: `import tarfile
+
+def @FUNC@(path, dest):
+    if not path:
+        raise ValueError("path required")
+    with tarfile.open(path) as archive:
+        archive.extractall(dest, filter="data")
+    return dest
+`},
+			},
+			Markers: []string{`extractall\((?:dest)?\)`},
+		},
+		{
+			ID: "temp-report", Title: "write the export to a temporary file",
+			Fixable: []Template{
+				{
+					Code: `import tempfile
+
+def @FUNC@(rows):
+    if not rows:
+        raise ValueError("rows required")
+    path = tempfile.mktemp(suffix=".csv")
+    with open(path, "w") as fh:
+        for row in rows:
+            fh.write(",".join(row) + "\n")
+    return path
+`,
+					CWEs: []string{"CWE-377"},
+				},
+			},
+			DetectOnly: []Template{
+				{
+					Code: `def @FUNC@(rows):
+    if not rows:
+        raise ValueError("rows required")
+    path = "/tmp/export.csv"
+    with open("/tmp/export.csv", "w") as fh:
+        for row in rows:
+            fh.write(",".join(row) + "\n")
+    return path
+`,
+					CWEs: []string{"CWE-377"},
+				},
+			},
+			Safe: []Template{
+				{Code: `import tempfile
+
+def @FUNC@(rows):
+    if not rows:
+        raise ValueError("rows required")
+    fd, path = tempfile.mkstemp(suffix=".csv")
+    with open(fd, "w") as fh:
+        for row in rows:
+            fh.write(",".join(row) + "\n")
+    return path
+`},
+			},
+			Markers: []string{`tempfile\.mktemp\(`, `"/tmp/export\.csv"`},
+		},
+		{
+			ID: "share-permissions", Title: "make the generated report available to the service",
+			Fixable: []Template{
+				{
+					Code: `import os
+
+def @FUNC@(path):
+    if not path:
+        raise ValueError("path required")
+    with open(path, "w") as fh:
+        fh.write("report body")
+    os.chmod(path, 0o777)
+    return path
+`,
+					CWEs: []string{"CWE-732"},
+				},
+			},
+			Safe: []Template{
+				{Code: `import os
+
+def @FUNC@(path):
+    if not path:
+        raise ValueError("path required")
+    with open(path, "w") as fh:
+        fh.write("report body")
+    os.chmod(path, 0o600)
+    return path
+`},
+			},
+			Markers: []string{`0o?777`},
+		},
+		{
+			ID: "quiet-errors", Title: "retry the sync job and keep the daemon alive",
+			DetectOnly: []Template{
+				{
+					Code: `import time
+
+def @FUNC@():
+    while True:
+        try:
+            sync_records()
+        except:
+            pass
+        time.sleep(60)
+`,
+					CWEs: []string{"CWE-703"},
+				},
+			},
+			Safe: []Template{
+				{Code: `import logging
+import time
+
+def @FUNC@():
+    while True:
+        try:
+            sync_records()
+        except Exception:
+            logging.exception("sync_records failed")
+        time.sleep(60)
+`},
+			},
+			SafeNoisy: []Template{
+				{Code: `import logging
+import time
+
+def @FUNC@():
+    while True:
+        done = sync_records()
+        if done:
+            logging.info("sync complete")
+        try:
+            flush_metrics()
+        except Exception:
+            pass
+        time.sleep(60)
+`},
+			},
+			Markers: []string{`except:\n            pass`},
+		},
+		{
+			ID: "fetch-exec", Title: "run the maintenance script published by the tools server",
+			DetectOnly: []Template{
+				{
+					Code: `import requests
+
+def @FUNC@():
+    response = requests.get("https://tools.internal/maintenance.py", timeout=5)
+    exec(response.text)
+    return "executed"
+`,
+					CWEs: []string{"CWE-494", "CWE-095"},
+				},
+			},
+			Safe: []Template{
+				{Code: `import hashlib
+import requests
+
+EXPECTED_SHA256 = "0d7e21c0a9ff3e2f4f5a6b7c8d9e0f1a2b3c4d5e6f708192a3b4c5d6e7f80912"
+
+def @FUNC@():
+    response = requests.get("https://tools.internal/maintenance.py", timeout=5)
+    digest = hashlib.sha256(response.content).hexdigest()
+    if digest != EXPECTED_SHA256:
+        raise RuntimeError("integrity check failed")
+    run_reviewed_script(response.text)
+    return "executed"
+`},
+			},
+			Markers: []string{`exec\(response\.text\)`},
+		},
+		{
+			ID: "bind-service", Title: "start the metrics listener socket",
+			DetectOnly: []Template{
+				{
+					Code: `import socket
+
+def @FUNC@(port):
+    if not port:
+        raise ValueError("port required")
+    server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    server.bind(("0.0.0.0", port))
+    server.listen(5)
+    return server
+`,
+					CWEs: []string{"CWE-605"},
+				},
+			},
+			Safe: []Template{
+				{Code: `import socket
+
+def @FUNC@(port):
+    if not port:
+        raise ValueError("port required")
+    server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    server.bind(("127.0.0.1", port))
+    server.listen(5)
+    return server
+`},
+			},
+			Markers: []string{`bind\(\("0\.0\.0\.0"`},
+		},
+		{
+			ID: "marshal-cache", Title: "deserialize the compiled expression cache",
+			DetectOnly: []Template{
+				{
+					Code: `import marshal
+
+def @FUNC@(path):
+    if not path:
+        raise ValueError("path required")
+    with open(path, "rb") as fh:
+        code = marshal.loads(fh.read())
+    return code
+`,
+					CWEs: []string{"CWE-502"},
+				},
+			},
+			Safe: []Template{
+				{Code: `import json
+
+def @FUNC@(path):
+    if not path:
+        raise ValueError("path required")
+    with open(path, "r") as fh:
+        entries = json.load(fh)
+    return entries
+`},
+			},
+			Markers: []string{`marshal\.loads\(`},
+		},
+		{
+			ID: "secret-log", Title: "trace authentication attempts for debugging",
+			Evasive: []Template{
+				{
+					Code: `import logging
+
+def @FUNC@(username, password):
+    if not username:
+        raise ValueError("username required")
+    logging.basicConfig(filename="auth.log")
+    logging.debug("login attempt user=%s pass=%s", username, password)
+    return authenticate(username, password)
+`,
+					CWEs: []string{"CWE-532"},
+				},
+			},
+			Safe: []Template{
+				{Code: `import logging
+
+def @FUNC@(username, password):
+    if not username:
+        raise ValueError("username required")
+    logging.basicConfig(filename="auth.log")
+    logging.debug("login attempt user=%s", username)
+    return authenticate(username, password)
+`},
+			},
+			Markers: []string{`pass=%s`},
+		},
+		{
+			ID: "toctou-read", Title: "read the job spec if it exists",
+			Evasive: []Template{
+				{
+					Code: `import os
+
+def @FUNC@(path):
+    if not path:
+        raise ValueError("path required")
+    if os.path.exists(path):
+        with open(path) as fh:
+            return fh.read()
+    return None
+`,
+					CWEs: []string{"CWE-367"},
+				},
+			},
+			Safe: []Template{
+				{Code: `def @FUNC@(path):
+    if not path:
+        raise ValueError("path required")
+    try:
+        with open(path) as fh:
+            return fh.read()
+    except FileNotFoundError:
+        return None
+`},
+			},
+			Markers: []string{`os\.path\.exists\(path\):\n        with open\(path\)`},
+		},
+		{
+			ID: "cleartext-store", Title: "persist the API credentials for later runs",
+			Evasive: []Template{
+				{
+					Code: `import json
+
+def @FUNC@(credentials):
+    if not credentials:
+        raise ValueError("credentials required")
+    with open("credentials.json", "w") as fh:
+        json.dump({"api_key": credentials}, fh)
+    return True
+`,
+					CWEs: []string{"CWE-312"},
+				},
+			},
+			Safe: []Template{
+				{Code: `import keyring
+
+def @FUNC@(credentials):
+    if not credentials:
+        raise ValueError("credentials required")
+    keyring.set_password("reporting-service", "api_key", credentials)
+    return True
+`},
+			},
+			Markers: []string{`json\.dump\(\{"api_key"`},
+		},
+	}
+}

@@ -1,0 +1,656 @@
+package generator
+
+// injectionScenarios covers SQL injection, OS command injection, code
+// injection and SSRF-style tasks.
+func injectionScenarios() []*Scenario {
+	return []*Scenario{
+		{
+			ID: "sqli-lookup", Title: "look up a record by the id in the request",
+			Fixable: []Template{
+				{
+					Code: `import sqlite3
+from flask import Flask, request
+app = Flask(__name__)
+
+@app.route("/@ROUTE@")
+def @FUNC@():
+    @VAR@ = request.args.get("id", "")
+    conn = sqlite3.connect("app.db")
+    cur = conn.cursor()
+    cur.execute("SELECT * FROM @TABLE@ WHERE id = " + @VAR@)
+    return {"rows": cur.fetchall()}
+
+if __name__ == "__main__":
+    app.run()
+`,
+					CWEs: []string{"CWE-089"},
+				},
+				{
+					Code: `import sqlite3
+from flask import Flask, request
+app = Flask(__name__)
+
+@app.route("/@ROUTE@")
+def @FUNC@():
+    @VAR@ = request.args.get("id", "")
+    conn = sqlite3.connect("app.db")
+    cur = conn.cursor()
+    cur.execute(f"SELECT * FROM @TABLE@ WHERE id = {@VAR@}")
+    return {"rows": cur.fetchall()}
+
+if __name__ == "__main__":
+    app.run()
+`,
+					CWEs: []string{"CWE-089"},
+				},
+				{
+					Code: `import sqlite3
+
+def @FUNC@(@VAR@):
+    conn = sqlite3.connect("app.db")
+    cur = conn.cursor()
+    cur.execute("SELECT * FROM @TABLE@ WHERE name = %s" % @VAR@)
+    return cur.fetchall()
+`,
+					CWEs: []string{"CWE-089"},
+				},
+			},
+			Evasive: []Template{
+				{
+					Code: `import sqlite3
+from flask import Flask, request
+app = Flask(__name__)
+
+@app.route("/@ROUTE@")
+def @FUNC@():
+    @VAR@ = request.args.get("id", "")
+    query = "SELECT * FROM @TABLE@ WHERE id = " + @VAR@
+    conn = sqlite3.connect("app.db")
+    cur = conn.cursor()
+    cur.execute(query)
+    return {"rows": cur.fetchall()}
+
+if __name__ == "__main__":
+    app.run()
+`,
+					CWEs: []string{"CWE-089"},
+				},
+			},
+			Safe: []Template{
+				{Code: `import sqlite3
+from flask import Flask, request
+app = Flask(__name__)
+
+@app.route("/@ROUTE@")
+def @FUNC@():
+    @VAR@ = request.args.get("id", "")
+    conn = sqlite3.connect("app.db")
+    cur = conn.cursor()
+    cur.execute("SELECT * FROM @TABLE@ WHERE id = ?", (@VAR@,))
+    return {"rows": cur.fetchall()}
+
+if __name__ == "__main__":
+    app.run()
+`},
+			},
+			Markers: []string{
+				`execute\(\s*f?"[^"\n]*(?:"\s*\+|\{\w+\})`,
+				`execute\([^)\n]*%\s*\w+`,
+				`query\s*=\s*f?"[^"\n]*"\s*\+`,
+			},
+		},
+		{
+			ID: "sqli-insert", Title: "insert a new row built from form fields",
+			Fixable: []Template{
+				{
+					Code: `import sqlite3
+from flask import Flask, request
+app = Flask(__name__)
+
+@app.route("/@ROUTE@", methods=["POST"])
+def @FUNC@():
+    @VAR@ = request.form.get("title", "")
+    conn = sqlite3.connect("app.db")
+    cur = conn.cursor()
+    cur.execute("INSERT INTO @TABLE@ (title) VALUES ('{}')".format(@VAR@))
+    conn.commit()
+    return "created"
+
+if __name__ == "__main__":
+    app.run()
+`,
+					CWEs: []string{"CWE-089"},
+				},
+			},
+			Safe: []Template{
+				{Code: `import sqlite3
+from flask import Flask, request
+app = Flask(__name__)
+
+@app.route("/@ROUTE@", methods=["POST"])
+def @FUNC@():
+    @VAR@ = request.form.get("title", "")
+    conn = sqlite3.connect("app.db")
+    cur = conn.cursor()
+    cur.execute("INSERT INTO @TABLE@ (title) VALUES (?)", (@VAR@,))
+    conn.commit()
+    return "created"
+
+if __name__ == "__main__":
+    app.run()
+`},
+			},
+			Markers: []string{`"\.format\(`, `VALUES \('\{`},
+		},
+		{
+			ID: "cmd-ping", Title: "ping a host supplied by the user and return the output",
+			Fixable: []Template{
+				{
+					Code: `import os
+from flask import Flask, request
+app = Flask(__name__)
+
+@app.route("/@ROUTE@")
+def @FUNC@():
+    @VAR@ = request.args.get("host", "")
+    result = os.system("ping -c 1 " + @VAR@)
+    return {"exit": result}
+
+if __name__ == "__main__":
+    app.run()
+`,
+					CWEs: []string{"CWE-078"},
+				},
+				{
+					Code: `import os
+
+def @FUNC@(@VAR@):
+    output = os.popen("nslookup " + @VAR@)
+    return output.read()
+`,
+					CWEs: []string{"CWE-078"},
+				},
+				{
+					Code: `import subprocess
+from flask import Flask, request
+app = Flask(__name__)
+
+@app.route("/@ROUTE@")
+def @FUNC@():
+    @VAR@ = request.args.get("host", "")
+    proc = subprocess.run("ping -c 1 " + @VAR@, shell=True, capture_output=True)
+    return proc.stdout.decode()
+
+if __name__ == "__main__":
+    app.run()
+`,
+					CWEs: []string{"CWE-078"},
+				},
+			},
+			DetectOnly: []Template{
+				{
+					Code: `import os
+from flask import Flask, request
+app = Flask(__name__)
+
+@app.route("/@ROUTE@")
+def @FUNC@():
+    @VAR@ = request.args.get("tool", "ping")
+    os.execlp(@VAR@, @VAR@ + " -c 1 localhost")
+    return "started"
+
+if __name__ == "__main__":
+    app.run()
+`,
+					CWEs: []string{"CWE-078"},
+				},
+			},
+			Evasive: []Template{
+				{
+					Code: `import subprocess
+from flask import Flask, request
+app = Flask(__name__)
+
+@app.route("/@ROUTE@")
+def @FUNC@():
+    @VAR@ = request.args.get("host", "")
+    command = "ping -c 1 " + @VAR@
+    proc = subprocess.Popen(["sh", "-c", command], stdout=subprocess.PIPE)
+    out, _ = proc.communicate()
+    return out.decode()
+
+if __name__ == "__main__":
+    app.run()
+`,
+					CWEs: []string{"CWE-078"},
+				},
+			},
+			Safe: []Template{
+				{Code: `import shlex
+import subprocess
+from flask import Flask, request
+app = Flask(__name__)
+
+@app.route("/@ROUTE@")
+def @FUNC@():
+    @VAR@ = request.args.get("host", "")
+    if not @VAR@.replace(".", "").replace("-", "").isalnum():
+        return "invalid host", 400
+    proc = subprocess.run(["ping", "-c", "1", @VAR@], capture_output=True, check=False)
+    return proc.stdout.decode()
+
+if __name__ == "__main__":
+    app.run()
+`},
+			},
+			Markers: []string{
+				`os\.system\(`,
+				`os\.popen\(`,
+				`shell\s*=\s*True`,
+				`os\.execlp\(`,
+				`\["sh", "-c", command\]`,
+			},
+		},
+		{
+			ID: "eval-calc", Title: "evaluate an arithmetic expression from the user",
+			Fixable: []Template{
+				{
+					Code: `from flask import Flask, request
+app = Flask(__name__)
+
+@app.route("/@ROUTE@")
+def @FUNC@():
+    @VAR@ = request.args.get("expr", "0")
+    result = eval(@VAR@)
+    return {"result": result}
+
+if __name__ == "__main__":
+    app.run()
+`,
+					CWEs: []string{"CWE-095"},
+				},
+			},
+			DetectOnly: []Template{
+				{
+					Code: `from flask import Flask, request
+app = Flask(__name__)
+
+@app.route("/@ROUTE@", methods=["POST"])
+def @FUNC@():
+    @VAR@ = request.form.get("script", "")
+    exec(@VAR@)
+    return "executed"
+
+if __name__ == "__main__":
+    app.run()
+`,
+					CWEs: []string{"CWE-095"},
+				},
+			},
+			Evasive: []Template{
+				{
+					Code: `from flask import Flask, request
+app = Flask(__name__)
+evaluate = eval
+
+@app.route("/@ROUTE@")
+def @FUNC@():
+    @VAR@ = request.args.get("expr", "0")
+    result = evaluate(@VAR@)
+    return {"result": result}
+
+if __name__ == "__main__":
+    app.run()
+`,
+					CWEs: []string{"CWE-095"},
+				},
+			},
+			Safe: []Template{
+				{Code: `import ast
+from flask import Flask, request
+app = Flask(__name__)
+
+@app.route("/@ROUTE@")
+def @FUNC@():
+    @VAR@ = request.args.get("expr", "0")
+    try:
+        result = ast.literal_eval(@VAR@)
+    except (ValueError, SyntaxError):
+        return "invalid expression", 400
+    return {"result": result}
+
+if __name__ == "__main__":
+    app.run()
+`},
+			},
+			Markers: []string{`\beval\(`, `\bexec\(`, `evaluate\s*=\s*eval`},
+		},
+		{
+			ID: "dynamic-import", Title: "load a plugin module chosen by the caller",
+			DetectOnly: []Template{
+				{
+					Code: `from flask import Flask, request
+app = Flask(__name__)
+
+@app.route("/@ROUTE@")
+def @FUNC@():
+    @VAR@ = request.args.get("plugin", "")
+    module = __import__(@VAR@)
+    return {"loaded": module.__name__}
+
+if __name__ == "__main__":
+    app.run()
+`,
+					CWEs: []string{"CWE-094"},
+				},
+			},
+			Safe: []Template{
+				{Code: `import importlib
+from flask import Flask, request
+app = Flask(__name__)
+KNOWN_PLUGINS = {"csv_export", "pdf_export"}
+
+@app.route("/@ROUTE@")
+def @FUNC@():
+    @VAR@ = request.args.get("plugin", "")
+    if @VAR@ not in KNOWN_PLUGINS:
+        return "unknown plugin", 404
+    module = importlib.import_module(@VAR@)
+    return {"loaded": module.__name__}
+
+if __name__ == "__main__":
+    app.run()
+`},
+			},
+			Markers: []string{`__import__\(\s*\w+`},
+		},
+		{
+			ID: "ssrf-proxy", Title: "fetch the page at the URL passed in the request",
+			DetectOnly: []Template{
+				{
+					Code: `import requests
+from flask import Flask, request
+app = Flask(__name__)
+
+@app.route("/@ROUTE@")
+def @FUNC@():
+    url = request.args.get("url", "")
+    if not url:
+        return "missing parameter", 400
+    response = requests.get(url, timeout=5)
+    return response.text
+
+if __name__ == "__main__":
+    app.run()
+`,
+					CWEs: []string{"CWE-918"},
+				},
+				{
+					Code: `from urllib.request import urlopen
+from flask import Flask, request
+app = Flask(__name__)
+
+@app.route("/@ROUTE@")
+def @FUNC@():
+    url = request.args.get("url", "")
+    if not url:
+        return "missing parameter", 400
+    with urlopen(url) as resp:
+        return resp.read().decode()
+
+if __name__ == "__main__":
+    app.run()
+`,
+					CWEs: []string{"CWE-918"},
+				},
+			},
+			Safe: []Template{
+				{Code: `import requests
+from urllib.parse import urlparse
+from flask import Flask, request
+app = Flask(__name__)
+ALLOWED_HOSTS = {"api.example.com", "cdn.example.com"}
+
+@app.route("/@ROUTE@")
+def @FUNC@():
+    url = request.args.get("url", "")
+    if not url:
+        return "missing parameter", 400
+    host = urlparse(url).hostname or ""
+    if host not in ALLOWED_HOSTS:
+        return "host not allowed", 400
+    response = requests.get(url, timeout=5)
+    body = response.text
+    return body
+
+if __name__ == "__main__":
+    app.run()
+`},
+			},
+			SafeNoisy: []Template{
+				{Code: `import requests
+from urllib.parse import urlparse
+from flask import Flask, request
+app = Flask(__name__)
+ALLOWED_HOSTS = {"api.example.com", "cdn.example.com"}
+
+@app.route("/@ROUTE@")
+def @FUNC@():
+    url = request.args.get("url", "")
+    if not url:
+        return "missing parameter", 400
+    host = urlparse(url).hostname or ""
+    if host not in ALLOWED_HOSTS:
+        return "host not allowed", 400
+    response = requests.get(url)
+    body = response.text
+    return body
+
+if __name__ == "__main__":
+    app.run()
+`},
+			},
+			Markers: []string{`requests\.get\(url, timeout=5\)\n    return response\.text`, `urlopen\(url\)`},
+		},
+		{
+			ID: "ldap-search", Title: "search the directory for a user entry",
+			Evasive: []Template{
+				{
+					Code: `import ldap
+from flask import Flask, request
+app = Flask(__name__)
+
+@app.route("/@ROUTE@")
+def @FUNC@():
+    @VAR@ = request.args.get("user", "")
+    conn = ldap.initialize("ldap://directory.local")
+    query = "(uid=" + @VAR@ + ")"
+    results = conn.search_s("dc=example,dc=com", ldap.SCOPE_SUBTREE, query)
+    return {"entries": len(results)}
+
+if __name__ == "__main__":
+    app.run()
+`,
+					CWEs: []string{"CWE-090"},
+				},
+			},
+			Safe: []Template{
+				{Code: `import ldap
+import ldap.filter
+from flask import Flask, request
+app = Flask(__name__)
+
+@app.route("/@ROUTE@")
+def @FUNC@():
+    @VAR@ = request.args.get("user", "")
+    conn = ldap.initialize("ldap://directory.local")
+    query = ldap.filter.filter_format("(uid=%s)", [@VAR@])
+    results = conn.search_s("dc=example,dc=com", ldap.SCOPE_SUBTREE, query)
+    return {"entries": len(results)}
+
+if __name__ == "__main__":
+    app.run()
+`},
+			},
+			Markers: []string{`"\(uid="\s*\+`},
+		},
+		{
+			ID: "log-entry", Title: "log each request with the visitor supplied name",
+			Evasive: []Template{
+				{
+					Code: `import logging
+from flask import Flask, request
+app = Flask(__name__)
+logging.basicConfig(filename="access.log")
+
+@app.route("/@ROUTE@")
+def @FUNC@():
+    @VAR@ = request.args.get("user", "anonymous")
+    logging.info("access by " + @VAR@)
+    return "logged"
+
+if __name__ == "__main__":
+    app.run()
+`,
+					CWEs: []string{"CWE-117"},
+				},
+			},
+			Safe: []Template{
+				{Code: `import logging
+from flask import Flask, request
+app = Flask(__name__)
+logging.basicConfig(filename="access.log")
+
+@app.route("/@ROUTE@")
+def @FUNC@():
+    @VAR@ = request.args.get("user", "anonymous")
+    sanitized = @VAR@.replace("\n", "_").replace("\r", "_")
+    logging.info("access by %s", sanitized)
+    return "logged"
+
+if __name__ == "__main__":
+    app.run()
+`},
+			},
+			Markers: []string{`logging\.info\("[^"\n]*"\s*\+`},
+		},
+		{
+			ID: "regex-user", Title: "filter rows with a pattern provided by the caller",
+			Evasive: []Template{
+				{
+					Code: `import re
+from flask import Flask, request
+app = Flask(__name__)
+
+@app.route("/@ROUTE@")
+def @FUNC@():
+    @VAR@ = request.args.get("pattern", "")
+    matcher = re.compile(@VAR@)
+    rows = [r for r in load_rows() if matcher.search(r)]
+    return {"rows": rows}
+
+if __name__ == "__main__":
+    app.run()
+`,
+					CWEs: []string{"CWE-1333"},
+				},
+			},
+			Safe: []Template{
+				{Code: `from flask import Flask, request
+app = Flask(__name__)
+
+@app.route("/@ROUTE@")
+def @FUNC@():
+    @VAR@ = request.args.get("pattern", "")
+    needle = @VAR@[:64]
+    rows = [r for r in load_rows() if needle in r]
+    return {"rows": rows}
+
+if __name__ == "__main__":
+    app.run()
+`},
+			},
+			Markers: []string{`re\.compile\(\s*\w+\s*\)`},
+		},
+		{
+			ID: "header-inject", Title: "set a response header from a query parameter",
+			Evasive: []Template{
+				{
+					Code: `from flask import Flask, request, make_response
+app = Flask(__name__)
+
+@app.route("/@ROUTE@")
+def @FUNC@():
+    @VAR@ = request.args.get("lang", "en")
+    resp = make_response("ok")
+    resp.headers["Content-Language"] = @VAR@
+    return resp
+
+if __name__ == "__main__":
+    app.run()
+`,
+					CWEs: []string{"CWE-113"},
+				},
+			},
+			Safe: []Template{
+				{Code: `from flask import Flask, request, make_response
+app = Flask(__name__)
+SUPPORTED = {"en", "it", "de", "fr"}
+
+@app.route("/@ROUTE@")
+def @FUNC@():
+    @VAR@ = request.args.get("lang", "en")
+    if @VAR@ not in SUPPORTED:
+        @VAR@ = "en"
+    resp = make_response("ok")
+    resp.headers["Content-Language"] = @VAR@
+    return resp
+
+if __name__ == "__main__":
+    app.run()
+`},
+			},
+			Markers: []string{`get\("lang", "en"\)\n    resp = make_response`},
+		},
+		{
+			ID: "unchecked-int", Title: "paginate results using the page number parameter",
+			Evasive: []Template{
+				{
+					Code: `from flask import Flask, request
+app = Flask(__name__)
+
+@app.route("/@ROUTE@")
+def @FUNC@():
+    page = int(request.args.get("page", "1"))
+    size = int(request.args.get("size", "20"))
+    rows = load_rows()[(page - 1) * size : page * size]
+    return {"rows": rows}
+
+if __name__ == "__main__":
+    app.run()
+`,
+					CWEs: []string{"CWE-020"},
+				},
+			},
+			Safe: []Template{
+				{Code: `from flask import Flask, request
+app = Flask(__name__)
+
+@app.route("/@ROUTE@")
+def @FUNC@():
+    try:
+        page = max(1, int(request.args.get("page", "1")))
+        size = min(100, max(1, int(request.args.get("size", "20"))))
+    except ValueError:
+        return "bad paging parameters", 400
+    rows = load_rows()[(page - 1) * size : page * size]
+    return {"rows": rows}
+
+if __name__ == "__main__":
+    app.run()
+`},
+			},
+			Markers: []string{`page = int\(request\.args\.get\("page", "1"\)\)\n    size`},
+		},
+	}
+}

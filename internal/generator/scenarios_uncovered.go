@@ -1,0 +1,495 @@
+package generator
+
+// uncoveredScenarios are tasks whose vulnerable implementations fall
+// outside the 85-rule catalog — every real pattern-based tool has such
+// gaps, and they are what produces PatchitPy's false negatives in the
+// paper's Table II. All vulnerable variants here are Evasive by
+// construction (tests enforce that no rule fires on them).
+func uncoveredScenarios() []*Scenario {
+	return []*Scenario{
+		{
+			ID: "info-leak-list", Title: "list the accounts for the support dashboard",
+			Evasive: []Template{
+				{
+					Code: `from flask import Flask
+app = Flask(__name__)
+
+@app.route("/@ROUTE@")
+def @FUNC@():
+    accounts = load_accounts()
+    return {"accounts": [
+        {"user": a.name, "email": a.email, "password_hash": a.password_hash}
+        for a in accounts
+    ]}
+
+if __name__ == "__main__":
+    app.run()
+`,
+					CWEs: []string{"CWE-200"},
+				},
+			},
+			Safe: []Template{
+				{Code: `from flask import Flask
+app = Flask(__name__)
+
+@app.route("/@ROUTE@")
+def @FUNC@():
+    accounts = load_accounts()
+    return {"accounts": [{"user": a.name} for a in accounts]}
+
+if __name__ == "__main__":
+    app.run()
+`},
+			},
+			Markers: []string{`"password_hash": a\.password_hash`},
+		},
+		{
+			ID: "login-throttle", Title: "check the submitted credentials and sign the user in",
+			Evasive: []Template{
+				{
+					Code: `from flask import Flask, request, session
+app = Flask(__name__)
+
+@app.route("/@ROUTE@", methods=["POST"])
+def @FUNC@():
+    user = request.form.get("user", "")
+    if not user:
+        return "missing parameter", 400
+    pw = request.form.get("pw", "")
+    if check_credentials(user, pw):
+        session["user"] = user
+        return "welcome"
+    return "try again", 401
+
+if __name__ == "__main__":
+    app.run()
+`,
+					CWEs: []string{"CWE-307"},
+				},
+			},
+			Safe: []Template{
+				{Code: `from flask import Flask, request, session
+app = Flask(__name__)
+limiter = RateLimiter(max_attempts=5, window_seconds=300)
+
+@app.route("/@ROUTE@", methods=["POST"])
+def @FUNC@():
+    user = request.form.get("user", "")
+    if not user:
+        return "missing parameter", 400
+    pw = request.form.get("pw", "")
+    if not limiter.allow(request.remote_addr):
+        return "too many attempts", 429
+    if check_credentials(user, pw):
+        session["user"] = user
+        return "welcome"
+    return "try again", 401
+
+if __name__ == "__main__":
+    app.run()
+`},
+			},
+			Markers: []string{`pw = request\.form\.get\("pw", ""\)\n    if check_credentials`},
+		},
+		{
+			ID: "weak-policy", Title: "validate the new password during registration",
+			Evasive: []Template{
+				{
+					Code: `def @FUNC@(candidate):
+    if not candidate:
+        raise ValueError("candidate required")
+    if len(candidate) >= 4:
+        return True
+    return False
+`,
+					CWEs: []string{"CWE-521"},
+				},
+			},
+			Safe: []Template{
+				{Code: `def @FUNC@(candidate):
+    if not candidate:
+        raise ValueError("candidate required")
+    if len(candidate) < 12:
+        return False
+    classes = [
+        any(c.islower() for c in candidate),
+        any(c.isupper() for c in candidate),
+        any(c.isdigit() for c in candidate),
+    ]
+    return all(classes)
+`},
+			},
+			Markers: []string{`len\(candidate\) >= 4`},
+		},
+		{
+			ID: "recovery-question", Title: "let the user recover the account",
+			Evasive: []Template{
+				{
+					Code: `from flask import Flask, request
+app = Flask(__name__)
+
+@app.route("/@ROUTE@", methods=["POST"])
+def @FUNC@():
+    user = request.form.get("user", "")
+    if not user:
+        return "missing parameter", 400
+    answer = request.form.get("answer", "")
+    account = find_account(user)
+    if account and answer.lower() == account.security_answer.lower():
+        return {"new_password_link": make_reset_link(user)}
+    return "no", 403
+
+if __name__ == "__main__":
+    app.run()
+`,
+					CWEs: []string{"CWE-640"},
+				},
+			},
+			Safe: []Template{
+				{Code: `from flask import Flask, request
+app = Flask(__name__)
+
+@app.route("/@ROUTE@", methods=["POST"])
+def @FUNC@():
+    user = request.form.get("user", "")
+    if not user:
+        return "missing parameter", 400
+    account = find_account(user)
+    if account:
+        send_reset_email(account.email)
+    return "if the account exists, an email was sent"
+
+if __name__ == "__main__":
+    app.run()
+`},
+			},
+			Markers: []string{`account\.security_answer`},
+		},
+		{
+			ID: "unbounded-read", Title: "accept a JSON document on the ingest endpoint",
+			Evasive: []Template{
+				{
+					Code: `import json
+from flask import Flask, request
+app = Flask(__name__)
+
+@app.route("/@ROUTE@", methods=["POST"])
+def @FUNC@():
+    payload = json.loads(request.get_data())
+    store_event(payload)
+    return "accepted"
+
+if __name__ == "__main__":
+    app.run()
+`,
+					CWEs: []string{"CWE-770"},
+				},
+			},
+			Safe: []Template{
+				{Code: `import json
+from flask import Flask, request
+app = Flask(__name__)
+MAX_BODY = 1 << 20
+
+@app.route("/@ROUTE@", methods=["POST"])
+def @FUNC@():
+    body = request.get_data()
+    if len(body) > MAX_BODY:
+        return "payload too large", 413
+    payload = json.loads(body)
+    store_event(payload)
+    return "accepted"
+
+if __name__ == "__main__":
+    app.run()
+`},
+			},
+			Markers: []string{`json\.loads\(request\.get_data\(\)\)`},
+		},
+		{
+			ID: "mass-assign", Title: "apply the submitted profile changes to the user",
+			Evasive: []Template{
+				{
+					Code: `from flask import Flask, request
+app = Flask(__name__)
+
+@app.route("/@ROUTE@", methods=["POST"])
+def @FUNC@():
+    user = current_account()
+    for field, value in request.form.items():
+        setattr(user, field, value)
+    user.save()
+    return "updated"
+
+if __name__ == "__main__":
+    app.run()
+`,
+					CWEs: []string{"CWE-915"},
+				},
+			},
+			Safe: []Template{
+				{Code: `from flask import Flask, request
+app = Flask(__name__)
+EDITABLE_FIELDS = {"display_name", "bio", "timezone"}
+
+@app.route("/@ROUTE@", methods=["POST"])
+def @FUNC@():
+    user = current_account()
+    for field, value in request.form.items():
+        if field in EDITABLE_FIELDS:
+            setattr(user, field, value)
+    user.save()
+    return "updated"
+
+if __name__ == "__main__":
+    app.run()
+`},
+			},
+			Markers: []string{`for field, value in request\.form\.items\(\):\n        setattr`},
+		},
+		{
+			ID: "entity-expand", Title: "count the items in the submitted catalog XML",
+			Evasive: []Template{
+				{
+					Code: `from lxml import etree
+from flask import Flask, request
+app = Flask(__name__)
+
+@app.route("/@ROUTE@", methods=["POST"])
+def @FUNC@():
+    parser = etree.XMLParser(resolve_entities=True)
+    root = etree.fromstring(request.get_data(), parser)
+    return {"items": len(root)}
+
+if __name__ == "__main__":
+    app.run()
+`,
+					CWEs: []string{"CWE-776"},
+				},
+			},
+			Safe: []Template{
+				{Code: `from lxml import etree
+from flask import Flask, request
+app = Flask(__name__)
+
+@app.route("/@ROUTE@", methods=["POST"])
+def @FUNC@():
+    parser = etree.XMLParser(resolve_entities=False, no_network=True)
+    root = etree.fromstring(request.get_data(), parser)
+    return {"items": len(root)}
+
+if __name__ == "__main__":
+    app.run()
+`},
+			},
+			Markers: []string{`resolve_entities=True`},
+		},
+		{
+			ID: "zip-bomb", Title: "report the total size of the uploaded archive",
+			Evasive: []Template{
+				{
+					Code: `import zipfile
+
+def @FUNC@(path):
+    if not path:
+        raise ValueError("path required")
+    total = 0
+    with zipfile.ZipFile(path) as archive:
+        for info in archive.infolist():
+            total += len(archive.read(info.filename))
+    return total
+`,
+					CWEs: []string{"CWE-409"},
+				},
+			},
+			Safe: []Template{
+				{Code: `import zipfile
+MAX_TOTAL = 100 << 20
+
+def @FUNC@(path):
+    if not path:
+        raise ValueError("path required")
+    total = 0
+    with zipfile.ZipFile(path) as archive:
+        for info in archive.infolist():
+            total += info.file_size
+            if total > MAX_TOTAL:
+                raise ValueError("archive too large when expanded")
+    return total
+`},
+			},
+			Markers: []string{`len\(archive\.read\(info\.filename\)\)`},
+		},
+		{
+			ID: "csv-export", Title: "export the submitted survey answers to CSV",
+			Evasive: []Template{
+				{
+					Code: `import csv
+from flask import Flask, request
+app = Flask(__name__)
+
+@app.route("/@ROUTE@", methods=["POST"])
+def @FUNC@():
+    answer = request.form.get("answer", "")
+    if not answer:
+        return "missing parameter", 400
+    with open("answers.csv", "a", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow([answer])
+    return "saved"
+
+if __name__ == "__main__":
+    app.run()
+`,
+					CWEs: []string{"CWE-1236"},
+				},
+			},
+			Safe: []Template{
+				{Code: `import csv
+from flask import Flask, request
+app = Flask(__name__)
+
+def neutralize(cell):
+    if cell.startswith(("=", "+", "-", "@")):
+        return "'" + cell
+    return cell
+
+@app.route("/@ROUTE@", methods=["POST"])
+def @FUNC@():
+    answer = request.form.get("answer", "")
+    if not answer:
+        return "missing parameter", 400
+    with open("answers.csv", "a", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow([neutralize(answer)])
+    return "saved"
+
+if __name__ == "__main__":
+    app.run()
+`},
+			},
+			Markers: []string{`writer\.writerow\(\[answer\]\)`},
+		},
+		{
+			ID: "idor-record", Title: "return the invoice the customer asked for",
+			Evasive: []Template{
+				{
+					Code: `from flask import Flask, request
+app = Flask(__name__)
+
+@app.route("/@ROUTE@")
+def @FUNC@():
+    invoice_id = request.args.get("invoice", "")
+    if not invoice_id:
+        return "missing parameter", 400
+    record = fetch_invoice(invoice_id)
+    return {"invoice": record}
+
+if __name__ == "__main__":
+    app.run()
+`,
+					CWEs: []string{"CWE-639"},
+				},
+			},
+			Safe: []Template{
+				{Code: `from flask import Flask, request
+app = Flask(__name__)
+
+@app.route("/@ROUTE@")
+def @FUNC@():
+    invoice_id = request.args.get("invoice", "")
+    if not invoice_id:
+        return "missing parameter", 400
+    record = fetch_invoice(invoice_id)
+    if record is None or record.owner != current_account().id:
+        return "not found", 404
+    return {"invoice": record}
+
+if __name__ == "__main__":
+    app.run()
+`},
+			},
+			Markers: []string{`record = fetch_invoice\(invoice_id\)\n    return`},
+		},
+		{
+			ID: "session-fixed", Title: "sign the user in after password verification",
+			Evasive: []Template{
+				{
+					Code: `from flask import Flask, request, session
+app = Flask(__name__)
+
+@app.route("/@ROUTE@", methods=["POST"])
+def @FUNC@():
+    user = request.form.get("user", "")
+    if not user:
+        return "missing parameter", 400
+    if verify_user(user, request.form.get("pw", "")):
+        session["user"] = user
+        session.permanent = True
+        return "signed in"
+    return "denied", 401
+
+if __name__ == "__main__":
+    app.run()
+`,
+					CWEs: []string{"CWE-384"},
+				},
+			},
+			Safe: []Template{
+				{Code: `from flask import Flask, request, session
+app = Flask(__name__)
+
+@app.route("/@ROUTE@", methods=["POST"])
+def @FUNC@():
+    user = request.form.get("user", "")
+    if not user:
+        return "missing parameter", 400
+    if verify_user(user, request.form.get("pw", "")):
+        session.clear()
+        session["user"] = user
+        return "signed in"
+    return "denied", 401
+
+if __name__ == "__main__":
+    app.run()
+`},
+			},
+			Markers: []string{`session\["user"\] = user\n        session\.permanent`},
+		},
+		{
+			ID: "stale-session", Title: "keep the user signed in across visits",
+			Evasive: []Template{
+				{
+					Code: `import datetime
+from flask import Flask, session
+app = Flask(__name__)
+app.permanent_session_lifetime = datetime.timedelta(days=365)
+
+@app.route("/@ROUTE@")
+def @FUNC@():
+    return {"user": session.get("user")}
+
+if __name__ == "__main__":
+    app.run()
+`,
+					CWEs: []string{"CWE-613"},
+				},
+			},
+			Safe: []Template{
+				{Code: `import datetime
+from flask import Flask, session
+app = Flask(__name__)
+app.permanent_session_lifetime = datetime.timedelta(minutes=30)
+
+@app.route("/@ROUTE@")
+def @FUNC@():
+    return {"user": session.get("user")}
+
+if __name__ == "__main__":
+    app.run()
+`},
+			},
+			Markers: []string{`timedelta\(days=365\)`},
+		},
+	}
+}

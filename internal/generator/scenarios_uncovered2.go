@@ -1,0 +1,230 @@
+package generator
+
+// moreUncoveredScenarios extends the detection-gap set with seven further
+// weakness classes, bringing the corpus to the paper's CWE breadth.
+func moreUncoveredScenarios() []*Scenario {
+	return []*Scenario{
+		{
+			ID: "get-credentials", Title: "build the login link for the email campaign",
+			Evasive: []Template{
+				{
+					Code: `from flask import Flask, request
+app = Flask(__name__)
+
+@app.route("/@ROUTE@")
+def @FUNC@():
+    user = request.args.get("user", "")
+    pw = request.args.get("pw", "")
+    if sign_in(user, pw):
+        return "welcome"
+    return "denied", 401
+`,
+					CWEs: []string{"CWE-598"},
+				},
+			},
+			Safe: []Template{
+				{Code: `from flask import Flask, request
+app = Flask(__name__)
+
+@app.route("/@ROUTE@", methods=["POST"])
+def @FUNC@():
+    user = request.form.get("user", "")
+    pw = request.form.get("pw", "")
+    if sign_in(user, pw):
+        return "welcome"
+    return "denied", 401
+`},
+			},
+			Markers: []string{`pw = request\.args\.get\("pw", ""\)`},
+		},
+		{
+			ID: "unsalted-digest", Title: "store a recovery PIN digest for the kiosk",
+			Evasive: []Template{
+				{
+					Code: `import hashlib
+
+def @FUNC@(pin):
+    if not pin:
+        raise ValueError("pin required")
+    digest = hashlib.sha512(pin.encode()).hexdigest()
+    return digest
+`,
+					CWEs: []string{"CWE-759"},
+				},
+			},
+			Safe: []Template{
+				{Code: `import hashlib
+import os
+
+def @FUNC@(pin):
+    if not pin:
+        raise ValueError("pin required")
+    salt = os.urandom(16)
+    digest = hashlib.pbkdf2_hmac("sha512", pin.encode(), salt, 200000)
+    return salt.hex() + ":" + digest.hex()
+`},
+			},
+			Markers: []string{`hashlib\.sha512\(pin\.encode\(\)\)`},
+		},
+		{
+			ID: "missing-authz", Title: "let a user close any open ticket",
+			Evasive: []Template{
+				{
+					Code: `from flask import Flask, request
+app = Flask(__name__)
+
+@app.route("/tickets/close", methods=["POST"])
+def @FUNC@():
+    ticket_id = request.form.get("ticket", "")
+    ticket = load_ticket(ticket_id)
+    ticket.close()
+    return "closed"
+`,
+					CWEs: []string{"CWE-862"},
+				},
+			},
+			Safe: []Template{
+				{Code: `from flask import Flask, request
+app = Flask(__name__)
+
+@app.route("/tickets/close", methods=["POST"])
+def @FUNC@():
+    ticket_id = request.form.get("ticket", "")
+    ticket = load_ticket(ticket_id)
+    if ticket.owner != current_account().id:
+        return "forbidden", 403
+    ticket.close()
+    return "closed"
+`},
+			},
+			Markers: []string{`load_ticket\(ticket_id\)\n    ticket\.close\(\)`},
+		},
+		{
+			ID: "silent-auth-fail", Title: "reject bad tokens on the payments callback",
+			Evasive: []Template{
+				{
+					Code: `from flask import Flask, request
+app = Flask(__name__)
+
+@app.route("/@ROUTE@", methods=["POST"])
+def @FUNC@():
+    supplied = request.headers.get("X-Callback-Token", "")
+    if not token_valid(supplied):
+        return "unauthorized", 401
+    record_payment(request.get_json())
+    return "ok"
+`,
+					CWEs: []string{"CWE-778"},
+				},
+			},
+			Safe: []Template{
+				{Code: `import logging
+from flask import Flask, request
+app = Flask(__name__)
+
+@app.route("/@ROUTE@", methods=["POST"])
+def @FUNC@():
+    supplied = request.headers.get("X-Callback-Token", "")
+    if not token_valid(supplied):
+        logging.warning("callback auth failure from %s", request.remote_addr)
+        return "unauthorized", 401
+    record_payment(request.get_json())
+    return "ok"
+`},
+			},
+			Markers: []string{`if not token_valid\(supplied\):\n        return "unauthorized"`},
+		},
+		{
+			ID: "frame-options", Title: "serve the account settings page",
+			Evasive: []Template{
+				{
+					Code: `from flask import Flask, make_response
+app = Flask(__name__)
+
+@app.route("/@ROUTE@")
+def @FUNC@():
+    resp = make_response(render_settings_page())
+    resp.headers["Cache-Control"] = "no-store"
+    return resp
+`,
+					CWEs: []string{"CWE-1021"},
+				},
+			},
+			Safe: []Template{
+				{Code: `from flask import Flask, make_response
+app = Flask(__name__)
+
+@app.route("/@ROUTE@")
+def @FUNC@():
+    resp = make_response(render_settings_page())
+    resp.headers["Cache-Control"] = "no-store"
+    resp.headers["X-Frame-Options"] = "DENY"
+    resp.headers["Content-Security-Policy"] = "frame-ancestors 'none'"
+    return resp
+`},
+			},
+			Markers: []string{`"Cache-Control"\] = "no-store"\n    return resp`},
+		},
+		{
+			ID: "leaked-handle", Title: "append an audit record to the ledger file",
+			Evasive: []Template{
+				{
+					Code: `import json
+
+def @FUNC@(event):
+    if not event:
+        raise ValueError("event required")
+    fh = open("ledger.jsonl", "a")
+    fh.write(json.dumps(event) + "\n")
+    return True
+`,
+					CWEs: []string{"CWE-772"},
+				},
+			},
+			Safe: []Template{
+				{Code: `import json
+
+def @FUNC@(event):
+    if not event:
+        raise ValueError("event required")
+    with open("ledger.jsonl", "a") as fh:
+        fh.write(json.dumps(event) + "\n")
+    return True
+`},
+			},
+			Markers: []string{`fh = open\("ledger\.jsonl", "a"\)`},
+		},
+		{
+			ID: "debug-backdoor", Title: "authenticate API callers against the key registry",
+			Evasive: []Template{
+				{
+					Code: `import os
+from flask import Flask, request
+app = Flask(__name__)
+
+@app.route("/@ROUTE@", methods=["POST"])
+def @FUNC@():
+    supplied = request.headers.get("X-Api-Key", "")
+    if os.environ.get("APP_ENV") == "development" or key_registered(supplied):
+        return handle_call(request.get_json())
+    return "unauthorized", 401
+`,
+					CWEs: []string{"CWE-287"},
+				},
+			},
+			Safe: []Template{
+				{Code: `from flask import Flask, request
+app = Flask(__name__)
+
+@app.route("/@ROUTE@", methods=["POST"])
+def @FUNC@():
+    supplied = request.headers.get("X-Api-Key", "")
+    if not key_registered(supplied):
+        return "unauthorized", 401
+    return handle_call(request.get_json())
+`},
+			},
+			Markers: []string{`== "development" or key_registered`},
+		},
+	}
+}

@@ -1,0 +1,690 @@
+package generator
+
+// webScenarios covers the Flask/web-facing tasks: XSS, debug mode, SSTI,
+// cookies, CORS, uploads, path traversal, redirects and admin exposure.
+func webScenarios() []*Scenario {
+	return []*Scenario{
+		{
+			ID: "xss-comment", Title: "render a user comment in an HTML page",
+			Fixable: []Template{
+				{
+					Code: `from flask import Flask, request
+app = Flask(__name__)
+
+@app.route("/@ROUTE@")
+def @FUNC@():
+    @VAR@ = request.args.get("q", "")
+    return f"<p>{@VAR@}</p>"
+
+if __name__ == "__main__":
+    app.run(debug=True)
+`,
+					CWEs: []string{"CWE-079", "CWE-209"},
+				},
+				{
+					Code: `from flask import Flask, request, make_response
+app = Flask(__name__)
+
+@app.route("/@ROUTE@")
+def @FUNC@():
+    @VAR@ = request.args.get("name")
+    return make_response(f"Hello {@VAR@}")
+
+if __name__ == "__main__":
+    app.run()
+`,
+					CWEs: []string{"CWE-079"},
+				},
+			},
+			Evasive: []Template{
+				{
+					Code: `from flask import Flask, request
+app = Flask(__name__)
+
+@app.route("/@ROUTE@")
+def @FUNC@():
+    @VAR@ = request.args.get("q", "")
+    body = "<p>" + @VAR@ + "</p>"
+    return body
+
+if __name__ == "__main__":
+    app.run()
+`,
+					CWEs: []string{"CWE-079"},
+				},
+			},
+			Safe: []Template{
+				{Code: `from flask import Flask, request
+from markupsafe import escape
+app = Flask(__name__)
+
+@app.route("/@ROUTE@")
+def @FUNC@():
+    @VAR@ = request.args.get("q", "")
+    return f"<p>{escape(@VAR@)}</p>"
+
+if __name__ == "__main__":
+    app.run(debug=False, use_reloader=False)
+`},
+			},
+			Markers: []string{
+				`return\s+f"[^"\n]*<[^"\n]*\{\w+\}`,
+				`make_response\(f"[^"\n]*\{\w+\}`,
+				`"<[a-z]+>"\s*\+\s*\w+`,
+			},
+		},
+		{
+			ID: "debug-server", Title: "start the web application server",
+			Fixable: []Template{
+				{
+					Code: `from flask import Flask
+app = Flask(__name__)
+
+@app.route("/")
+def @FUNC@():
+    return "service is up"
+
+if __name__ == "__main__":
+    app.run(debug=True)
+`,
+					CWEs: []string{"CWE-209"},
+				},
+				{
+					Code: `from flask import Flask
+app = Flask(__name__)
+
+@app.route("/health")
+def @FUNC@():
+    return {"status": "ok"}
+
+app.config["DEBUG"] = True
+app.run(host="0.0.0.0", port=5000)
+`,
+					CWEs: []string{"CWE-489", "CWE-605"},
+				},
+			},
+			Safe: []Template{
+				{Code: `from flask import Flask
+app = Flask(__name__)
+
+@app.route("/")
+def @FUNC@():
+    return "service is up"
+
+if __name__ == "__main__":
+    app.run(debug=False, use_reloader=False)
+`},
+			},
+			Markers: []string{`debug\s*=\s*True`, `\["DEBUG"\]\s*=\s*True`},
+		},
+		{
+			ID: "ssti", Title: "render a greeting template with the visitor name",
+			DetectOnly: []Template{
+				{
+					Code: `from flask import Flask, request, render_template_string
+app = Flask(__name__)
+
+@app.route("/@ROUTE@")
+def @FUNC@():
+    @VAR@ = request.args.get("name", "guest")
+    template = "<h1>Welcome " + @VAR@ + "</h1>"
+    return render_template_string(template)
+
+if __name__ == "__main__":
+    app.run()
+`,
+					CWEs: []string{"CWE-094"},
+				},
+			},
+			Safe: []Template{
+				{Code: `from flask import Flask, request, render_template_string
+from markupsafe import escape
+app = Flask(__name__)
+
+@app.route("/@ROUTE@")
+def @FUNC@():
+    @VAR@ = request.args.get("name", "guest")
+    return render_template_string("<h1>Welcome {{ name }}</h1>", name=escape(@VAR@))
+
+if __name__ == "__main__":
+    app.run()
+`},
+			},
+			Markers: []string{`render_template_string\(\s*template`, `render_template_string\(\s*"[^"]*"\s*\+`},
+		},
+		{
+			ID: "autoescape", Title: "configure a Jinja2 environment for report templates",
+			Fixable: []Template{
+				{
+					Code: `from jinja2 import Environment, FileSystemLoader
+
+def @FUNC@(name, context):
+    if not name:
+        raise ValueError("name required")
+    env = Environment(loader=FileSystemLoader("templates"), autoescape=False)
+    template = env.get_template(name)
+    return template.render(context)
+`,
+					CWEs: []string{"CWE-079"},
+				},
+			},
+			Safe: []Template{
+				{Code: `from jinja2 import Environment, FileSystemLoader
+
+def @FUNC@(name, context):
+    if not name:
+        raise ValueError("name required")
+    env = Environment(loader=FileSystemLoader("templates"), autoescape=True)
+    template = env.get_template(name)
+    return template.render(context)
+`},
+			},
+			Markers: []string{`autoescape\s*=\s*False`},
+		},
+		{
+			ID: "markup-wrap", Title: "show a formatted user biography on the profile page",
+			Fixable: []Template{
+				{
+					Code: `from flask import Flask, request
+from markupsafe import Markup
+app = Flask(__name__)
+
+@app.route("/@ROUTE@")
+def @FUNC@():
+    @VAR@ = request.args.get("bio", "")
+    rendered = Markup(@VAR@)
+    return rendered
+
+if __name__ == "__main__":
+    app.run()
+`,
+					CWEs: []string{"CWE-079"},
+				},
+			},
+			Safe: []Template{
+				{Code: `from flask import Flask, request
+from markupsafe import escape
+app = Flask(__name__)
+
+@app.route("/@ROUTE@")
+def @FUNC@():
+    @VAR@ = request.args.get("bio", "")
+    return escape(@VAR@)
+
+if __name__ == "__main__":
+    app.run()
+`},
+			},
+			Markers: []string{`Markup\(\s*\w+\s*\)`},
+		},
+		{
+			ID: "cookie-flags", Title: "remember the visitor with a session cookie",
+			Fixable: []Template{
+				{
+					Code: `from flask import Flask, request, make_response
+app = Flask(__name__)
+
+@app.route("/@ROUTE@")
+def @FUNC@():
+    @VAR@ = request.args.get("sid", "")
+    resp = make_response("welcome back")
+    resp.set_cookie("session_id", @VAR@)
+    return resp
+
+if __name__ == "__main__":
+    app.run()
+`,
+					CWEs: []string{"CWE-614", "CWE-1004"},
+				},
+			},
+			Safe: []Template{
+				{Code: `from flask import Flask, request, make_response
+app = Flask(__name__)
+
+@app.route("/@ROUTE@")
+def @FUNC@():
+    @VAR@ = request.args.get("sid", "")
+    resp = make_response("welcome back")
+    resp.set_cookie("session_id", @VAR@, secure=True, httponly=True, samesite="Lax")
+    return resp
+
+if __name__ == "__main__":
+    app.run()
+`},
+			},
+			Markers: []string{`set_cookie\("session_id", \w+\)`},
+		},
+		{
+			ID: "cors-any", Title: "enable cross-origin requests for the API",
+			DetectOnly: []Template{
+				{
+					Code: `from flask import Flask
+from flask_cors import CORS
+app = Flask(__name__)
+CORS(app, origins="*")
+
+@app.route("/api/@ROUTE@")
+def @FUNC@():
+    return {"data": []}
+
+if __name__ == "__main__":
+    app.run()
+`,
+					CWEs: []string{"CWE-942"},
+				},
+			},
+			Safe: []Template{
+				{Code: `from flask import Flask
+from flask_cors import CORS
+app = Flask(__name__)
+CORS(app, origins=["https://app.example.com"])
+
+@app.route("/api/@ROUTE@")
+def @FUNC@():
+    return {"data": []}
+
+if __name__ == "__main__":
+    app.run()
+`},
+			},
+			Markers: []string{`origins\s*=\s*"\*"`},
+		},
+		{
+			ID: "upload-save", Title: "accept a document upload and store it",
+			Fixable: []Template{
+				{
+					Code: `import os
+from flask import Flask, request
+app = Flask(__name__)
+UPLOAD_DIR = "uploads"
+
+@app.route("/@ROUTE@", methods=["POST"])
+def @FUNC@():
+    @VAR@ = request.files["document"]
+    @VAR@.save(os.path.join(UPLOAD_DIR, @VAR@.filename))
+    return "stored"
+
+if __name__ == "__main__":
+    app.run()
+`,
+					CWEs: []string{"CWE-434", "CWE-022"},
+				},
+			},
+			DetectOnly: []Template{
+				{
+					Code: `from flask import Flask, request
+app = Flask(__name__)
+
+@app.route("/@ROUTE@", methods=["POST"])
+def @FUNC@():
+    @VAR@ = request.files["attachment"]
+    content = @VAR@.read()
+    with open("inbox/" + "latest.bin", "wb") as fh:
+        fh.write(content)
+    return "received"
+
+if __name__ == "__main__":
+    app.run()
+`,
+					CWEs: []string{"CWE-434"},
+				},
+			},
+			Safe: []Template{
+				{Code: `import os
+from flask import Flask, request
+from werkzeug.utils import secure_filename
+app = Flask(__name__)
+UPLOAD_DIR = "uploads"
+ALLOWED_EXTENSIONS = {".pdf", ".txt", ".png"}
+
+def allowed_file(name):
+    return os.path.splitext(name)[1].lower() in ALLOWED_EXTENSIONS
+
+@app.route("/@ROUTE@", methods=["POST"])
+def @FUNC@():
+    @VAR@ = request.files["document"]
+    if not allowed_file(@VAR@.filename):
+        return "unsupported type", 400
+    @VAR@.save(os.path.join(UPLOAD_DIR, secure_filename(@VAR@.filename)))
+    return "stored"
+
+if __name__ == "__main__":
+    app.run()
+`},
+			},
+			SafeNoisy: []Template{
+				{Code: `import os
+from flask import Flask, request
+from werkzeug.utils import secure_filename
+app = Flask(__name__)
+UPLOAD_DIR = "uploads"
+
+def name_ok(candidate):
+    if "." not in candidate:
+        return False
+    ext = candidate.rsplit(".", 1)[1].lower()
+    return ext in {"pdf", "txt", "png"}
+
+@app.route("/@ROUTE@", methods=["POST"])
+def @FUNC@():
+    @VAR@ = request.files["document"]
+    if not name_ok(@VAR@.filename):
+        return "unsupported type", 400
+    @VAR@.save(os.path.join(UPLOAD_DIR, secure_filename(@VAR@.filename)))
+    return "stored"
+
+if __name__ == "__main__":
+    app.run()
+`},
+			},
+			Markers: []string{`, \w+\.filename\)\)`, `request\.files\["attachment"\]`},
+		},
+		{
+			ID: "path-read", Title: "serve a requested file from the data directory",
+			Fixable: []Template{
+				{
+					Code: `from flask import Flask, request
+app = Flask(__name__)
+
+@app.route("/@ROUTE@")
+def @FUNC@():
+    @VAR@ = request.args.get("name", "")
+    with open("data/" + @VAR@) as fh:
+        return fh.read()
+
+if __name__ == "__main__":
+    app.run()
+`,
+					CWEs: []string{"CWE-022"},
+				},
+				{
+					Code: `from flask import Flask, request
+app = Flask(__name__)
+
+@app.route("/@ROUTE@")
+def @FUNC@():
+    @VAR@ = request.args.get("name", "")
+    with open(f"data/{@VAR@}") as fh:
+        return fh.read()
+
+if __name__ == "__main__":
+    app.run()
+`,
+					CWEs: []string{"CWE-022"},
+				},
+			},
+			DetectOnly: []Template{
+				{
+					Code: `import os
+from flask import Flask, request, send_file
+app = Flask(__name__)
+
+@app.route("/@ROUTE@")
+def @FUNC@():
+    @VAR@ = request.args.get("name", "")
+    path = os.path.join("data", @VAR@)
+    return send_file(path)
+
+if __name__ == "__main__":
+    app.run()
+`,
+					CWEs: []string{"CWE-022"},
+				},
+			},
+			Evasive: []Template{
+				{
+					Code: `from flask import Flask, request
+app = Flask(__name__)
+BASE = "data"
+
+@app.route("/@ROUTE@")
+def @FUNC@():
+    @VAR@ = request.args.get("name", "")
+    target = BASE + "/" + @VAR@
+    with open(target) as fh:
+        return fh.read()
+
+if __name__ == "__main__":
+    app.run()
+`,
+					CWEs: []string{"CWE-022"},
+				},
+			},
+			Safe: []Template{
+				{Code: `import os
+from flask import Flask, request, send_from_directory
+app = Flask(__name__)
+
+@app.route("/@ROUTE@")
+def @FUNC@():
+    @VAR@ = os.path.basename(request.args.get("name", ""))
+    return send_from_directory("data", @VAR@)
+
+if __name__ == "__main__":
+    app.run()
+`},
+			},
+			Markers: []string{
+				`open\(\s*f?"data/`,
+				`os\.path\.join\("data",\s*\w+\)`,
+				`BASE\s*\+\s*"/"\s*\+`,
+			},
+		},
+		{
+			ID: "admin-route", Title: "add an endpoint that deletes a user account",
+			DetectOnly: []Template{
+				{
+					Code: `from flask import Flask, request
+app = Flask(__name__)
+
+@app.route("/admin/@ROUTE@", methods=["POST"])
+def @FUNC@():
+    uid = request.form.get("uid", "")
+    if not uid:
+        return "missing parameter", 400
+    remove_account(uid)
+    return "deleted"
+
+if __name__ == "__main__":
+    app.run()
+`,
+					CWEs: []string{"CWE-306"},
+				},
+			},
+			Safe: []Template{
+				{Code: `from flask import Flask, request
+from flask_login import login_required, current_user
+app = Flask(__name__)
+
+@app.route("/admin/@ROUTE@", methods=["POST"])
+@login_required
+def @FUNC@():
+    if not current_user.is_admin:
+        return "forbidden", 403
+    uid = request.form.get("uid", "")
+    if not uid:
+        return "missing parameter", 400
+    remove_account(uid)
+    return "deleted"
+
+if __name__ == "__main__":
+    app.run()
+`},
+			},
+			Markers: []string{`@app\.route\("/admin[^"\n]*", methods=\["POST"\]\)\ndef `},
+		},
+		{
+			ID: "error-detail", Title: "handle database errors in the request handler",
+			Fixable: []Template{
+				{
+					Code: `from flask import Flask
+app = Flask(__name__)
+
+@app.route("/@ROUTE@")
+def @FUNC@():
+    try:
+        rows = load_records()
+        return {"rows": rows}
+    except Exception as e:
+        return str(e)
+
+if __name__ == "__main__":
+    app.run()
+`,
+					CWEs: []string{"CWE-209"},
+				},
+			},
+			DetectOnly: []Template{
+				{
+					Code: `import traceback
+from flask import Flask
+app = Flask(__name__)
+
+@app.route("/@ROUTE@")
+def @FUNC@():
+    try:
+        rows = load_records()
+        return {"rows": rows}
+    except Exception:
+        return traceback.format_exc()
+
+if __name__ == "__main__":
+    app.run()
+`,
+					CWEs: []string{"CWE-209"},
+				},
+			},
+			Safe: []Template{
+				{Code: `import logging
+from flask import Flask
+app = Flask(__name__)
+
+@app.route("/@ROUTE@")
+def @FUNC@():
+    try:
+        rows = load_records()
+        return {"rows": rows}
+    except Exception:
+        logging.exception("load_records failed")
+        return "Internal Server Error", 500
+
+if __name__ == "__main__":
+    app.run()
+`},
+			},
+			Markers: []string{`return\s+str\(\s*e\s*\)`, `return\s+traceback\.format_exc\(\)`},
+		},
+		{
+			ID: "open-redirect", Title: "redirect the user back after login",
+			Evasive: []Template{
+				{
+					Code: `from flask import Flask, request, redirect
+app = Flask(__name__)
+
+@app.route("/@ROUTE@")
+def @FUNC@():
+    @VAR@ = request.args.get("next", "/")
+    return redirect(@VAR@)
+
+if __name__ == "__main__":
+    app.run()
+`,
+					CWEs: []string{"CWE-601"},
+				},
+			},
+			Safe: []Template{
+				{Code: `from flask import Flask, request, redirect
+app = Flask(__name__)
+ALLOWED_PATHS = {"/", "/dashboard", "/profile"}
+
+@app.route("/@ROUTE@")
+def @FUNC@():
+    @VAR@ = request.args.get("next", "/")
+    if @VAR@ not in ALLOWED_PATHS:
+        @VAR@ = "/"
+    return redirect(@VAR@)
+
+if __name__ == "__main__":
+    app.run()
+`},
+			},
+			Markers: []string{`request\.args\.get\("next", "/"\)\n    return redirect`},
+		},
+		{
+			ID: "csrf-off", Title: "set up the form handling configuration",
+			Evasive: []Template{
+				{
+					Code: `from flask import Flask
+from flask_wtf import CSRFProtect
+app = Flask(__name__)
+app.config["WTF_CSRF_ENABLED"] = False
+csrf = CSRFProtect(app)
+
+@app.route("/@ROUTE@", methods=["POST"])
+def @FUNC@():
+    return "saved"
+
+if __name__ == "__main__":
+    app.run()
+`,
+					CWEs: []string{"CWE-352"},
+				},
+			},
+			Safe: []Template{
+				{Code: `from flask import Flask
+from flask_wtf import CSRFProtect
+app = Flask(__name__)
+app.config["WTF_CSRF_ENABLED"] = True
+csrf = CSRFProtect(app)
+
+@app.route("/@ROUTE@", methods=["POST"])
+def @FUNC@():
+    return "saved"
+
+if __name__ == "__main__":
+    app.run()
+`},
+			},
+			Markers: []string{`WTF_CSRF_ENABLED"\]\s*=\s*False`},
+		},
+		{
+			ID: "http-fetch", Title: "download a resource from a configured URL",
+			Fixable: []Template{
+				{
+					Code: `import requests
+
+def @FUNC@(url):
+    if not url:
+        raise ValueError("url required")
+    response = requests.get(url, verify=False, timeout=5)
+    return response.content
+`,
+					CWEs: []string{"CWE-295"},
+				},
+			},
+			Safe: []Template{
+				{Code: `import requests
+
+def @FUNC@(url):
+    if not url:
+        raise ValueError("url required")
+    response = requests.get(url, timeout=5)
+    response.raise_for_status()
+    return response.content
+`},
+			},
+			SafeNoisy: []Template{
+				{Code: `import requests
+
+def @FUNC@(url):
+    if not url:
+        raise ValueError("url required")
+    response = requests.get(url)
+    response.raise_for_status()
+    return response.content
+`},
+			},
+			Markers: []string{`verify\s*=\s*False`},
+		},
+	}
+}

@@ -1,0 +1,88 @@
+// Package lcs computes longest common subsequences over token sequences.
+//
+// The paper's rule-mining step (§II-A) extracts "meaningful common
+// implementation patterns" — the LCS of each standardized pair of
+// vulnerable samples (LCSv) and of safe samples (LCSs). This package
+// provides the dynamic-programming LCS used for that step.
+package lcs
+
+// Strings returns a longest common subsequence of a and b. When several
+// LCSes of the same length exist, the one preferring earlier elements of a
+// is returned (standard DP backtrack order), which keeps rule mining
+// deterministic.
+func Strings(a, b []string) []string {
+	n, m := len(a), len(b)
+	if n == 0 || m == 0 {
+		return nil
+	}
+	// dp[i][j] = LCS length of a[i:], b[j:]
+	dp := make([][]int32, n+1)
+	cells := make([]int32, (n+1)*(m+1))
+	for i := range dp {
+		dp[i] = cells[i*(m+1) : (i+1)*(m+1)]
+	}
+	for i := n - 1; i >= 0; i-- {
+		for j := m - 1; j >= 0; j-- {
+			if a[i] == b[j] {
+				dp[i][j] = dp[i+1][j+1] + 1
+			} else if dp[i+1][j] >= dp[i][j+1] {
+				dp[i][j] = dp[i+1][j]
+			} else {
+				dp[i][j] = dp[i][j+1]
+			}
+		}
+	}
+	if dp[0][0] == 0 {
+		return nil
+	}
+	out := make([]string, 0, dp[0][0])
+	i, j := 0, 0
+	for i < n && j < m {
+		switch {
+		case a[i] == b[j]:
+			out = append(out, a[i])
+			i++
+			j++
+		case dp[i+1][j] >= dp[i][j+1]:
+			i++
+		default:
+			j++
+		}
+	}
+	return out
+}
+
+// Length returns only the length of the LCS of a and b, using O(min(n,m))
+// memory.
+func Length(a, b []string) int {
+	if len(a) < len(b) {
+		a, b = b, a
+	}
+	if len(b) == 0 {
+		return 0
+	}
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for i := len(a) - 1; i >= 0; i-- {
+		for j := len(b) - 1; j >= 0; j-- {
+			if a[i] == b[j] {
+				cur[j] = prev[j+1] + 1
+			} else if prev[j] >= cur[j+1] {
+				cur[j] = prev[j]
+			} else {
+				cur[j] = cur[j+1]
+			}
+		}
+		prev, cur = cur, prev
+	}
+	return prev[0]
+}
+
+// Similarity returns 2*|LCS| / (|a|+|b|), a symmetric measure in [0, 1].
+func Similarity(a, b []string) float64 {
+	total := len(a) + len(b)
+	if total == 0 {
+		return 1
+	}
+	return 2 * float64(Length(a, b)) / float64(total)
+}

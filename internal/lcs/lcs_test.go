@@ -1,0 +1,120 @@
+package lcs
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestStringsBasic(t *testing.T) {
+	cases := []struct {
+		a, b, want []string
+	}{
+		{nil, nil, nil},
+		{[]string{"a"}, nil, nil},
+		{[]string{"a", "b", "c"}, []string{"a", "b", "c"}, []string{"a", "b", "c"}},
+		{[]string{"a", "b", "c"}, []string{"x", "y"}, nil},
+		{[]string{"a", "b", "c", "d"}, []string{"b", "d"}, []string{"b", "d"}},
+		{
+			[]string{"def", "f", "(", ")", ":", "return", "1"},
+			[]string{"def", "g", "(", "x", ")", ":", "return", "x"},
+			[]string{"def", "(", ")", ":", "return"},
+		},
+	}
+	for _, tc := range cases {
+		got := Strings(tc.a, tc.b)
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("Strings(%v, %v) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestLengthMatchesStrings(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	alphabet := []string{"a", "b", "c", "d"}
+	for trial := 0; trial < 200; trial++ {
+		a := randomSeq(rng, alphabet, 30)
+		b := randomSeq(rng, alphabet, 30)
+		if got, want := Length(a, b), len(Strings(a, b)); got != want {
+			t.Fatalf("Length(%v, %v) = %d, want %d", a, b, got, want)
+		}
+	}
+}
+
+func randomSeq(rng *rand.Rand, alphabet []string, maxLen int) []string {
+	n := rng.Intn(maxLen)
+	out := make([]string, n)
+	for i := range out {
+		out[i] = alphabet[rng.Intn(len(alphabet))]
+	}
+	return out
+}
+
+// Property: the LCS is a subsequence of both inputs.
+func TestLCSIsSubsequence(t *testing.T) {
+	isSubseq := func(sub, full []string) bool {
+		i := 0
+		for _, s := range full {
+			if i < len(sub) && sub[i] == s {
+				i++
+			}
+		}
+		return i == len(sub)
+	}
+	f := func(a, b []string) bool {
+		got := Strings(a, b)
+		return isSubseq(got, a) && isSubseq(got, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: LCS length is symmetric and bounded by min length.
+func TestLCSSymmetricBounded(t *testing.T) {
+	f := func(a, b []string) bool {
+		l1, l2 := Length(a, b), Length(b, a)
+		if l1 != l2 {
+			return false
+		}
+		minLen := len(a)
+		if len(b) < minLen {
+			minLen = len(b)
+		}
+		return l1 <= minLen
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLCSIdentity(t *testing.T) {
+	f := func(a []string) bool {
+		return Length(a, a) == len(a) && Similarity(a, a) == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSimilarityRange(t *testing.T) {
+	f := func(a, b []string) bool {
+		s := Similarity(a, b)
+		return s >= 0 && s <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkLCSTokens(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	alphabet := []string{"def", "(", ")", ":", "return", "var0", "var1", "=", ".", "import", "request", "escape"}
+	x := randomSeq(rng, alphabet, 200)
+	y := randomSeq(rng, alphabet, 200)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Strings(x, y)
+	}
+}

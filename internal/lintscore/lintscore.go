@@ -1,0 +1,327 @@
+// Package lintscore is a Pylint-style code-quality scorer for Python
+// source. It mirrors the parts of Pylint the paper's evaluation relies on:
+// a small set of error/warning/convention checks aggregated into the
+// familiar 0–10 score with Pylint's formula
+//
+//	10.0 - 10 * (5*error + warning + refactor + convention) / statements
+//
+// so that patch quality can be compared across tools the way §III-C does.
+package lintscore
+
+import (
+	"strings"
+
+	"github.com/dessertlab/patchitpy/internal/pyast"
+)
+
+// IssueKind classifies a lint finding, following Pylint's categories.
+type IssueKind int
+
+// Issue kinds.
+const (
+	KindError IssueKind = iota + 1
+	KindWarning
+	KindRefactor
+	KindConvention
+)
+
+// String returns the Pylint-style single-word label.
+func (k IssueKind) String() string {
+	switch k {
+	case KindError:
+		return "error"
+	case KindWarning:
+		return "warning"
+	case KindRefactor:
+		return "refactor"
+	case KindConvention:
+		return "convention"
+	}
+	return "unknown"
+}
+
+// Issue is one lint finding.
+type Issue struct {
+	Kind    IssueKind
+	Code    string // e.g. "W0702"
+	Message string
+	Line    int
+}
+
+// Report is the outcome of linting one source file.
+type Report struct {
+	Issues     []Issue
+	Statements int
+	// Score is the Pylint-formula score clamped to [0, 10].
+	Score float64
+}
+
+// Lint analyzes src and returns the quality report.
+func Lint(src string) Report {
+	var rep Report
+	mod, err := pyast.Parse(src)
+	if err != nil {
+		rep.Statements = 1
+		rep.Issues = append(rep.Issues, Issue{Kind: KindError, Code: "E0001", Message: "syntax error: " + err.Error(), Line: 1})
+		rep.Score = 0
+		return rep
+	}
+	for _, pe := range mod.Errors {
+		rep.Issues = append(rep.Issues, Issue{
+			Kind: KindError, Code: "E0001",
+			Message: "syntax error: " + pe.Msg, Line: pe.Position.Line,
+		})
+	}
+
+	rep.Statements = countStatements(mod)
+	rep.Issues = append(rep.Issues, checkBareExcept(mod)...)
+	rep.Issues = append(rep.Issues, checkUnusedImports(mod)...)
+	rep.Issues = append(rep.Issues, checkRedefinedBuiltins(mod)...)
+	rep.Issues = append(rep.Issues, checkMutableDefaults(mod)...)
+	rep.Issues = append(rep.Issues, checkNaming(mod)...)
+	rep.Issues = append(rep.Issues, checkLongLines(src)...)
+	rep.Issues = append(rep.Issues, checkFStringWithoutInterp(mod)...)
+
+	var e, w, r, c int
+	for _, is := range rep.Issues {
+		switch is.Kind {
+		case KindError:
+			e++
+		case KindWarning:
+			w++
+		case KindRefactor:
+			r++
+		case KindConvention:
+			c++
+		}
+	}
+	stmts := rep.Statements
+	if stmts == 0 {
+		stmts = 1
+	}
+	score := 10 - 10*float64(5*e+w+r+c)/float64(stmts)
+	if score < 0 {
+		score = 0
+	}
+	if score > 10 {
+		score = 10
+	}
+	rep.Score = score
+	return rep
+}
+
+// Score is shorthand for Lint(src).Score.
+func Score(src string) float64 { return Lint(src).Score }
+
+func countStatements(mod *pyast.Module) int {
+	count := 0
+	pyast.Walk(mod, func(n pyast.Node) bool {
+		if _, ok := n.(pyast.Stmt); ok {
+			count++
+		}
+		return true
+	})
+	return count
+}
+
+func checkBareExcept(mod *pyast.Module) []Issue {
+	var out []Issue
+	pyast.Walk(mod, func(n pyast.Node) bool {
+		if t, ok := n.(*pyast.Try); ok {
+			for _, h := range t.Handlers {
+				if h.Type == nil {
+					out = append(out, Issue{
+						Kind: KindWarning, Code: "W0702",
+						Message: "no exception type specified (bare-except)",
+						Line:    h.Position.Line,
+					})
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func checkUnusedImports(mod *pyast.Module) []Issue {
+	type imported struct {
+		name string
+		line int
+	}
+	var imports []imported
+	for _, s := range mod.Body {
+		switch im := s.(type) {
+		case *pyast.Import:
+			for _, a := range im.Names {
+				name := a.AsName
+				if name == "" {
+					name = a.Name
+					if dot := strings.IndexByte(name, '.'); dot >= 0 {
+						name = name[:dot]
+					}
+				}
+				imports = append(imports, imported{name, im.Position.Line})
+			}
+		case *pyast.ImportFrom:
+			if im.Star {
+				continue
+			}
+			for _, a := range im.Names {
+				name := a.AsName
+				if name == "" {
+					name = a.Name
+				}
+				imports = append(imports, imported{name, im.Position.Line})
+			}
+		}
+	}
+	if len(imports) == 0 {
+		return nil
+	}
+	used := make(map[string]bool)
+	pyast.Walk(mod, func(n pyast.Node) bool {
+		switch x := n.(type) {
+		case *pyast.Name:
+			used[x.ID] = true
+		case *pyast.StringLit:
+			if x.FString {
+				// names may be referenced inside f-strings
+				for _, imp := range imports {
+					if strings.Contains(x.Raw, imp.name) {
+						used[imp.name] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	var out []Issue
+	for _, imp := range imports {
+		if !used[imp.name] {
+			out = append(out, Issue{
+				Kind: KindWarning, Code: "W0611",
+				Message: "unused import " + imp.name,
+				Line:    imp.line,
+			})
+		}
+	}
+	return out
+}
+
+var pyBuiltins = map[string]bool{
+	"list": true, "dict": true, "set": true, "str": true, "int": true,
+	"float": true, "bool": true, "type": true, "open": true, "input": true,
+	"id": true, "len": true, "max": true, "min": true, "sum": true,
+	"filter": true, "map": true, "format": true, "hash": true, "bytes": true,
+}
+
+func checkRedefinedBuiltins(mod *pyast.Module) []Issue {
+	var out []Issue
+	pyast.Walk(mod, func(n pyast.Node) bool {
+		if as, ok := n.(*pyast.Assign); ok {
+			for _, t := range as.Targets {
+				if name, ok := t.(*pyast.Name); ok && pyBuiltins[name.ID] {
+					out = append(out, Issue{
+						Kind: KindWarning, Code: "W0622",
+						Message: "redefining built-in '" + name.ID + "'",
+						Line:    name.Position.Line,
+					})
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func checkMutableDefaults(mod *pyast.Module) []Issue {
+	var out []Issue
+	for _, fd := range pyast.Functions(mod) {
+		for _, p := range fd.Params {
+			switch p.Default.(type) {
+			case *pyast.List, *pyast.Dict, *pyast.Set:
+				out = append(out, Issue{
+					Kind: KindWarning, Code: "W0102",
+					Message: "dangerous default value for parameter " + p.Name,
+					Line:    fd.Position.Line,
+				})
+			}
+		}
+	}
+	return out
+}
+
+func checkNaming(mod *pyast.Module) []Issue {
+	var out []Issue
+	for _, fd := range pyast.Functions(mod) {
+		if !isSnakeCase(fd.Name) {
+			out = append(out, Issue{
+				Kind: KindConvention, Code: "C0103",
+				Message: "function name \"" + fd.Name + "\" doesn't conform to snake_case",
+				Line:    fd.Position.Line,
+			})
+		}
+	}
+	pyast.Walk(mod, func(n pyast.Node) bool {
+		if cd, ok := n.(*pyast.ClassDef); ok {
+			if !isCapWords(cd.Name) {
+				out = append(out, Issue{
+					Kind: KindConvention, Code: "C0103",
+					Message: "class name \"" + cd.Name + "\" doesn't conform to CapWords",
+					Line:    cd.Position.Line,
+				})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func isSnakeCase(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if c >= 'A' && c <= 'Z' {
+			return false
+		}
+	}
+	return true
+}
+
+func isCapWords(name string) bool {
+	if name == "" {
+		return false
+	}
+	return name[0] >= 'A' && name[0] <= 'Z' && !strings.Contains(name, "_")
+}
+
+func checkLongLines(src string) []Issue {
+	var out []Issue
+	for i, line := range strings.Split(src, "\n") {
+		if len(line) > 100 {
+			out = append(out, Issue{
+				Kind: KindConvention, Code: "C0301",
+				Message: "line too long",
+				Line:    i + 1,
+			})
+		}
+	}
+	return out
+}
+
+func checkFStringWithoutInterp(mod *pyast.Module) []Issue {
+	var out []Issue
+	pyast.Walk(mod, func(n pyast.Node) bool {
+		if s, ok := n.(*pyast.StringLit); ok && s.FString && !strings.Contains(s.Raw, "{") {
+			out = append(out, Issue{
+				Kind: KindWarning, Code: "W1309",
+				Message: "f-string without any interpolated variables",
+				Line:    s.Position.Line,
+			})
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,198 @@
+package lintscore
+
+import (
+	"strings"
+	"testing"
+)
+
+func issuesWithCode(rep Report, code string) int {
+	n := 0
+	for _, is := range rep.Issues {
+		if is.Code == code {
+			n++
+		}
+	}
+	return n
+}
+
+func TestCleanCodeScoresHigh(t *testing.T) {
+	src := `import os
+
+
+def read_config(path):
+    with open(path) as fh:
+        return fh.read() + os.linesep
+`
+	rep := Lint(src)
+	if len(rep.Issues) != 0 {
+		t.Errorf("issues on clean code: %+v", rep.Issues)
+	}
+	if rep.Score != 10 {
+		t.Errorf("score = %v, want 10", rep.Score)
+	}
+}
+
+func TestBareExcept(t *testing.T) {
+	src := "try:\n    f()\nexcept:\n    pass\n"
+	rep := Lint(src)
+	if issuesWithCode(rep, "W0702") != 1 {
+		t.Errorf("bare-except not flagged: %+v", rep.Issues)
+	}
+}
+
+func TestUnusedImport(t *testing.T) {
+	src := "import os\nimport sys\nprint(sys.argv)\n"
+	rep := Lint(src)
+	if issuesWithCode(rep, "W0611") != 1 {
+		t.Errorf("unused import count: %+v", rep.Issues)
+	}
+	for _, is := range rep.Issues {
+		if is.Code == "W0611" && !strings.Contains(is.Message, "os") {
+			t.Errorf("wrong import flagged: %s", is.Message)
+		}
+	}
+}
+
+func TestImportAliasUsage(t *testing.T) {
+	src := "import numpy as np\nx = np.zeros(3)\n"
+	rep := Lint(src)
+	if issuesWithCode(rep, "W0611") != 0 {
+		t.Errorf("aliased import wrongly unused: %+v", rep.Issues)
+	}
+}
+
+func TestFromImportUsage(t *testing.T) {
+	src := "from flask import Flask, request\napp = Flask(__name__)\n"
+	rep := Lint(src)
+	if issuesWithCode(rep, "W0611") != 1 {
+		t.Errorf("want exactly request unused: %+v", rep.Issues)
+	}
+}
+
+func TestImportUsedInFString(t *testing.T) {
+	src := "import os\nmsg = f\"sep is {os.sep}\"\n"
+	rep := Lint(src)
+	if issuesWithCode(rep, "W0611") != 0 {
+		t.Errorf("f-string usage not recognized: %+v", rep.Issues)
+	}
+}
+
+func TestRedefinedBuiltin(t *testing.T) {
+	src := "list = [1, 2]\n"
+	rep := Lint(src)
+	if issuesWithCode(rep, "W0622") != 1 {
+		t.Errorf("redefined builtin not flagged: %+v", rep.Issues)
+	}
+}
+
+func TestMutableDefault(t *testing.T) {
+	src := "def f(xs=[]):\n    return xs\n"
+	rep := Lint(src)
+	if issuesWithCode(rep, "W0102") != 1 {
+		t.Errorf("mutable default not flagged: %+v", rep.Issues)
+	}
+}
+
+func TestNamingConventions(t *testing.T) {
+	src := "def BadName():\n    pass\n\nclass lower_class:\n    pass\n"
+	rep := Lint(src)
+	if issuesWithCode(rep, "C0103") != 2 {
+		t.Errorf("naming issues: %+v", rep.Issues)
+	}
+}
+
+func TestLongLine(t *testing.T) {
+	src := "x = \"" + strings.Repeat("a", 120) + "\"\n"
+	rep := Lint(src)
+	if issuesWithCode(rep, "C0301") != 1 {
+		t.Errorf("long line not flagged: %+v", rep.Issues)
+	}
+}
+
+func TestFStringWithoutInterpolation(t *testing.T) {
+	src := "msg = f\"no placeholders here\"\n"
+	rep := Lint(src)
+	if issuesWithCode(rep, "W1309") != 1 {
+		t.Errorf("pointless f-string not flagged: %+v", rep.Issues)
+	}
+}
+
+func TestSyntaxErrorTanksScore(t *testing.T) {
+	rep := Lint("def broken(:)\nx = 1\n")
+	if issuesWithCode(rep, "E0001") == 0 {
+		t.Errorf("syntax error not reported: %+v", rep.Issues)
+	}
+	if rep.Score > 9 {
+		t.Errorf("score = %v despite syntax error", rep.Score)
+	}
+}
+
+func TestScoreFormula(t *testing.T) {
+	// 1 warning over 10 statements -> 10 - 10*(1/10) = 9.0
+	var b strings.Builder
+	b.WriteString("try:\n    f()\nexcept:\n    pass\n")
+	for i := 0; i < 7; i++ {
+		b.WriteString("x = 1\n")
+	}
+	rep := Lint(b.String())
+	if rep.Statements != 10 {
+		t.Fatalf("statements = %d, want 10 (try + call + pass + 7 assigns)", rep.Statements)
+	}
+	if rep.Score != 9 {
+		t.Errorf("score = %v, want 9", rep.Score)
+	}
+}
+
+func TestScoreClampedAtZero(t *testing.T) {
+	src := "try:\n    f()\nexcept:\n    pass\n"
+	rep := Lint(src)
+	if rep.Score < 0 || rep.Score > 10 {
+		t.Errorf("score out of range: %v", rep.Score)
+	}
+}
+
+func TestScoreShorthand(t *testing.T) {
+	if Score("x = 1\n") != 10 {
+		t.Error("Score helper mismatch")
+	}
+}
+
+func TestIssueKindString(t *testing.T) {
+	for k, want := range map[IssueKind]string{
+		KindError: "error", KindWarning: "warning",
+		KindRefactor: "refactor", KindConvention: "convention",
+	} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q", k, k.String())
+		}
+	}
+	if IssueKind(0).String() != "unknown" {
+		t.Error("zero kind should be unknown")
+	}
+}
+
+func TestEmptySource(t *testing.T) {
+	rep := Lint("")
+	if rep.Score != 10 {
+		t.Errorf("empty source score = %v", rep.Score)
+	}
+}
+
+func BenchmarkLint(b *testing.B) {
+	src := `from flask import Flask, request
+app = Flask(__name__)
+
+@app.route("/items")
+def items():
+    names = request.args.get("names", "")
+    try:
+        values = [n.strip() for n in names.split(",") if n]
+    except ValueError:
+        values = []
+    return {"items": values}
+`
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Lint(src)
+	}
+}

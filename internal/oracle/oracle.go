@@ -1,0 +1,71 @@
+// Package oracle provides ground-truth judgement for the evaluation — the
+// stand-in for the paper's three-expert manual analysis (§III-B).
+//
+// Detection judgement comes from the generator's own labels (the generator
+// authored each vulnerability, so its record plays the role of the 100%-
+// consensus human label). Patch verification re-checks the patched code
+// against the scenario's vulnerability markers — regexes that characterize
+// the weakness independently of the rule catalog — plus a full rescan, the
+// way the paper's experts combined review with a CodeQL pass.
+package oracle
+
+import (
+	"regexp"
+	"sync"
+
+	"github.com/dessertlab/patchitpy/internal/generator"
+)
+
+// Oracle answers ground-truth questions about generated samples.
+type Oracle struct {
+	mu      sync.Mutex
+	markers map[string][]*regexp.Regexp // scenario ID -> compiled markers
+}
+
+// New returns an oracle over the built-in scenario registry.
+func New() *Oracle {
+	return &Oracle{markers: make(map[string][]*regexp.Regexp)}
+}
+
+// Vulnerable returns the ground-truth label for a sample.
+func (o *Oracle) Vulnerable(s generator.Sample) bool {
+	return s.Truth.Vulnerable
+}
+
+// CWEs returns the ground-truth weaknesses for a sample.
+func (o *Oracle) CWEs(s generator.Sample) []string {
+	return append([]string(nil), s.Truth.CWEs...)
+}
+
+// Repaired reports whether patchedCode no longer exhibits the sample's
+// vulnerability: none of the scenario's markers may match. A sample that
+// was never vulnerable is trivially "repaired".
+func (o *Oracle) Repaired(s generator.Sample, patchedCode string) bool {
+	if !s.Truth.Vulnerable {
+		return true
+	}
+	for _, re := range o.compiled(s.Truth.ScenarioID) {
+		if re.MatchString(patchedCode) {
+			return false
+		}
+	}
+	return true
+}
+
+func (o *Oracle) compiled(scenarioID string) []*regexp.Regexp {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if res, ok := o.markers[scenarioID]; ok {
+		return res
+	}
+	sc := generator.Scenarios()[scenarioID]
+	var res []*regexp.Regexp
+	if sc != nil {
+		res = make([]*regexp.Regexp, 0, len(sc.Markers))
+		for _, m := range sc.Markers {
+			res = append(res, regexp.MustCompile(m))
+		}
+	}
+	o.markers[scenarioID] = res
+	return res
+}

@@ -1,0 +1,138 @@
+package oracle
+
+import (
+	"testing"
+
+	"github.com/dessertlab/patchitpy/internal/core"
+	"github.com/dessertlab/patchitpy/internal/generator"
+	"github.com/dessertlab/patchitpy/internal/prompts"
+)
+
+func corpus(t *testing.T) []generator.Sample {
+	t.Helper()
+	samples, err := generator.Corpus(prompts.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return samples
+}
+
+func TestLabelsMirrorGeneratorTruth(t *testing.T) {
+	o := New()
+	for _, s := range corpus(t)[:50] {
+		if o.Vulnerable(s) != s.Truth.Vulnerable {
+			t.Fatalf("%s/%s: label mismatch", s.Model, s.PromptID)
+		}
+		cwes := o.CWEs(s)
+		if len(cwes) != len(s.Truth.CWEs) {
+			t.Fatalf("%s/%s: CWEs = %v, want %v", s.Model, s.PromptID, cwes, s.Truth.CWEs)
+		}
+	}
+}
+
+func TestCWEsReturnsCopy(t *testing.T) {
+	o := New()
+	for _, s := range corpus(t) {
+		if !s.Truth.Vulnerable {
+			continue
+		}
+		cwes := o.CWEs(s)
+		if len(cwes) == 0 {
+			continue
+		}
+		cwes[0] = "MUTATED"
+		if o.CWEs(s)[0] == "MUTATED" {
+			t.Fatal("CWEs exposes internal state")
+		}
+		break
+	}
+}
+
+func TestSafeSampleTriviallyRepaired(t *testing.T) {
+	o := New()
+	for _, s := range corpus(t) {
+		if s.Truth.Vulnerable {
+			continue
+		}
+		if !o.Repaired(s, s.Code) {
+			t.Fatalf("%s/%s: safe sample not trivially repaired", s.Model, s.PromptID)
+		}
+	}
+}
+
+func TestVulnerableUnchangedNotRepaired(t *testing.T) {
+	o := New()
+	for _, s := range corpus(t) {
+		if !s.Truth.Vulnerable {
+			continue
+		}
+		if o.Repaired(s, s.Code) {
+			t.Fatalf("%s/%s (%s): unchanged vulnerable code counted as repaired",
+				s.Model, s.PromptID, s.Truth.ScenarioID)
+		}
+	}
+}
+
+// TestRepairJudgementMatchesClasses is the oracle's core contract: the
+// PatchitPy pipeline repairs exactly the fixable-class samples.
+func TestRepairJudgementMatchesClasses(t *testing.T) {
+	o := New()
+	engine := core.New()
+	for _, s := range corpus(t) {
+		if !s.Truth.Vulnerable {
+			continue
+		}
+		outcome := engine.Fix(s.Code)
+		repaired := o.Repaired(s, outcome.Result.Source)
+		switch s.Truth.Class {
+		case generator.ClassFixable:
+			if !repaired {
+				t.Errorf("%s/%s (%s): fixable sample not repaired", s.Model, s.PromptID, s.Truth.ScenarioID)
+			}
+		case generator.ClassDetectOnly, generator.ClassEvasive:
+			if repaired {
+				t.Errorf("%s/%s (%s, %s): unexpectedly repaired", s.Model, s.PromptID, s.Truth.ScenarioID, s.Truth.Class)
+			}
+		}
+	}
+}
+
+func TestSafeRewriteAlwaysRepairs(t *testing.T) {
+	o := New()
+	for _, s := range corpus(t) {
+		if !s.Truth.Vulnerable {
+			continue
+		}
+		if !o.Repaired(s, generator.SafeRewrite(s)) {
+			t.Fatalf("%s/%s (%s): the scenario's own safe rewrite fails the oracle",
+				s.Model, s.PromptID, s.Truth.ScenarioID)
+		}
+	}
+}
+
+func TestUnknownScenarioRepairs(t *testing.T) {
+	o := New()
+	s := generator.Sample{Truth: generator.Truth{Vulnerable: true, ScenarioID: "no-such"}}
+	if !o.Repaired(s, "anything") {
+		t.Error("unknown scenario should have no markers and report repaired")
+	}
+}
+
+func BenchmarkRepairedCheck(b *testing.B) {
+	samples, err := generator.Corpus(prompts.All())
+	if err != nil {
+		b.Fatal(err)
+	}
+	o := New()
+	var vuln generator.Sample
+	for _, s := range samples {
+		if s.Truth.Vulnerable {
+			vuln = s
+			break
+		}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		o.Repaired(vuln, vuln.Code)
+	}
+}

@@ -1,0 +1,293 @@
+// Package patch implements PatchitPy's remediation engine — the second
+// phase of the paper's workflow (Fig. 1). Given detection findings, it
+// expands each rule's fix template against the matched span, replaces the
+// vulnerable pattern with its safe alternative, and inserts any modules the
+// patch needs at the top of the file (the paper's use of VS Code's
+// Position API).
+package patch
+
+import (
+	"regexp"
+	"sort"
+	"strings"
+
+	"github.com/dessertlab/patchitpy/internal/detect"
+	"github.com/dessertlab/patchitpy/internal/pyast"
+)
+
+// Applied records one fix that was applied to the source.
+type Applied struct {
+	// Finding is the detection this fix addressed.
+	Finding detect.Finding
+	// Replacement is the expanded safe alternative that now occupies the
+	// finding's span.
+	Replacement string
+	// Note is the rule's human-readable fix explanation.
+	Note string
+}
+
+// Result is the outcome of a patching pass.
+type Result struct {
+	// Source is the patched source code.
+	Source string
+	// Applied lists the fixes applied, in source order.
+	Applied []Applied
+	// Unpatched lists findings that could not be fixed: detection-only
+	// rules, or spans that overlapped an already-applied fix.
+	Unpatched []detect.Finding
+	// ImportsAdded lists the import statements inserted.
+	ImportsAdded []string
+}
+
+// Changed reports whether any fix was applied.
+func (r Result) Changed() bool { return len(r.Applied) > 0 }
+
+// Apply patches src according to findings (as produced by detect.Scan on
+// the same src). Overlapping fixable findings are resolved in favour of the
+// earliest span; later overlapping ones are reported as unpatched.
+func Apply(src string, findings []detect.Finding) Result {
+	type planned struct {
+		f           detect.Finding
+		replacement string
+	}
+
+	// Select non-overlapping fixable findings, earliest-first.
+	ordered := make([]detect.Finding, len(findings))
+	copy(ordered, findings)
+	sort.Slice(ordered, func(i, j int) bool {
+		if ordered[i].Start != ordered[j].Start {
+			return ordered[i].Start < ordered[j].Start
+		}
+		return ordered[i].Rule.ID < ordered[j].Rule.ID
+	})
+
+	var plan []planned
+	var result Result
+	lastEnd := -1
+	for _, f := range ordered {
+		if !f.Rule.HasFix() {
+			result.Unpatched = append(result.Unpatched, f)
+			continue
+		}
+		if f.Start < lastEnd {
+			result.Unpatched = append(result.Unpatched, f)
+			continue
+		}
+		expanded := f.Rule.Pattern.Expand(nil, []byte(f.Rule.Fix.Replace), []byte(src), f.Groups)
+		plan = append(plan, planned{f: f, replacement: string(expanded)})
+		lastEnd = f.End
+	}
+
+	// Apply back-to-front so earlier offsets stay valid.
+	out := src
+	for i := len(plan) - 1; i >= 0; i-- {
+		p := plan[i]
+		out = out[:p.f.Start] + p.replacement + out[p.f.End:]
+	}
+	for _, p := range plan {
+		result.Applied = append(result.Applied, Applied{
+			Finding:     p.f,
+			Replacement: p.replacement,
+			Note:        p.f.Rule.Fix.Note,
+		})
+	}
+
+	// Insert any imports the applied fixes need.
+	var needed []string
+	seen := make(map[string]bool)
+	for _, p := range plan {
+		for _, imp := range p.f.Rule.Fix.Imports {
+			if !seen[imp] {
+				seen[imp] = true
+				needed = append(needed, imp)
+			}
+		}
+	}
+	out, result.ImportsAdded = insertImports(out, needed)
+	if len(plan) > 0 {
+		out = dropStaleImports(src, out)
+	}
+	result.Source = out
+	return result
+}
+
+// dropStaleImports removes `import X` lines for modules that were used in
+// the original source but are no longer referenced after patching (e.g.
+// `import pickle` after pickle.loads was replaced with json.loads). This
+// keeps patch quality on par with hand-written safe code — Pylint would
+// otherwise flag the dead import.
+func dropStaleImports(original, patched string) string {
+	origUsed := usedModules(original)
+	patchedUsed := usedModules(patched)
+	lines := strings.Split(patched, "\n")
+	out := lines[:0]
+	for _, line := range lines {
+		trimmed := strings.TrimSpace(line)
+		if mod, ok := simpleImport(trimmed); ok {
+			if origUsed[mod] && !patchedUsed[mod] {
+				continue // became unused due to our patch
+			}
+		}
+		out = append(out, line)
+	}
+	return strings.Join(out, "\n")
+}
+
+// simpleImport recognizes single-module "import X" lines (no commas, no
+// aliases, no dots — the only shape safe to drop textually).
+func simpleImport(line string) (string, bool) {
+	rest, ok := strings.CutPrefix(line, "import ")
+	if !ok {
+		return "", false
+	}
+	rest = strings.TrimSpace(rest)
+	if rest == "" || strings.ContainsAny(rest, ", .") {
+		return "", false
+	}
+	return rest, true
+}
+
+var identRe = regexp.MustCompile(`[A-Za-z_]\w*`)
+
+// usedModules returns the identifiers referenced outside import statements.
+// It prefers the AST; when parsing fails it falls back to a token scan.
+func usedModules(src string) map[string]bool {
+	used := make(map[string]bool)
+	mod, err := pyast.Parse(src)
+	if err != nil || len(mod.Errors) > 0 {
+		for i, line := range strings.Split(src, "\n") {
+			_ = i
+			trimmed := strings.TrimSpace(line)
+			if strings.HasPrefix(trimmed, "import ") || strings.HasPrefix(trimmed, "from ") {
+				continue
+			}
+			for _, id := range identRe.FindAllString(line, -1) {
+				used[id] = true
+			}
+		}
+		return used
+	}
+	pyast.Walk(mod, func(n pyast.Node) bool {
+		switch x := n.(type) {
+		case *pyast.Name:
+			used[x.ID] = true
+		case *pyast.StringLit:
+			if x.FString {
+				for _, id := range identRe.FindAllString(x.Raw, -1) {
+					used[id] = true
+				}
+			}
+		}
+		return true
+	})
+	return used
+}
+
+// insertImports adds the given import statements (those not already
+// satisfied) after any module docstring and leading comments, returning the
+// new source and the statements actually inserted.
+func insertImports(src string, imports []string) (string, []string) {
+	var missing []string
+	for _, imp := range imports {
+		if !hasImport(src, imp) {
+			missing = append(missing, imp)
+		}
+	}
+	if len(missing) == 0 {
+		return src, nil
+	}
+	insertAt := importInsertionPoint(src)
+	var b strings.Builder
+	b.Grow(len(src) + 32*len(missing))
+	b.WriteString(src[:insertAt])
+	for _, imp := range missing {
+		b.WriteString(imp)
+		b.WriteByte('\n')
+	}
+	b.WriteString(src[insertAt:])
+	return b.String(), missing
+}
+
+// hasImport reports whether the import statement is already satisfied by
+// the source: either the exact statement appears, or the same module root
+// is already imported in a compatible form.
+func hasImport(src, imp string) bool {
+	for _, line := range strings.Split(src, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if trimmed == imp {
+			return true
+		}
+		// "import os" is satisfied by "import os, sys" or "import os as o"
+		if strings.HasPrefix(imp, "import ") {
+			mod := strings.TrimPrefix(imp, "import ")
+			if strings.HasPrefix(trimmed, "import ") {
+				rest := strings.TrimPrefix(trimmed, "import ")
+				for _, part := range strings.Split(rest, ",") {
+					name := strings.TrimSpace(part)
+					if name == mod || strings.HasPrefix(name, mod+" as") || strings.HasPrefix(name, mod+".") {
+						return true
+					}
+				}
+			}
+		}
+		// "from X import y" is satisfied by "from X import y, z"
+		if strings.HasPrefix(imp, "from ") && strings.HasPrefix(trimmed, "from ") {
+			impParts := strings.SplitN(strings.TrimPrefix(imp, "from "), " import ", 2)
+			lineParts := strings.SplitN(strings.TrimPrefix(trimmed, "from "), " import ", 2)
+			if len(impParts) == 2 && len(lineParts) == 2 && strings.TrimSpace(impParts[0]) == strings.TrimSpace(lineParts[0]) {
+				for _, part := range strings.Split(lineParts[1], ",") {
+					name := strings.TrimSpace(part)
+					if name == strings.TrimSpace(impParts[1]) {
+						return true
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+// importInsertionPoint returns the byte offset at which new imports should
+// be inserted: after a shebang, encoding cookie, leading comments and a
+// module docstring, but before the first code.
+func importInsertionPoint(src string) int {
+	offset := 0
+	rest := src
+	// shebang / comments / blank lines
+	for {
+		nl := strings.IndexByte(rest, '\n')
+		var line string
+		if nl < 0 {
+			line = rest
+		} else {
+			line = rest[:nl]
+		}
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" || strings.HasPrefix(trimmed, "#") {
+			if nl < 0 {
+				return len(src)
+			}
+			offset += nl + 1
+			rest = rest[nl+1:]
+			continue
+		}
+		break
+	}
+	// module docstring
+	trimmed := strings.TrimLeft(rest, " \t\r\n")
+	for _, q := range []string{`"""`, "'''"} {
+		if strings.HasPrefix(trimmed, q) {
+			lead := len(rest) - len(trimmed)
+			end := strings.Index(trimmed[len(q):], q)
+			if end >= 0 {
+				docEnd := offset + lead + len(q) + end + len(q)
+				// advance past the end-of-line after the docstring
+				if nl := strings.IndexByte(src[docEnd:], '\n'); nl >= 0 {
+					return docEnd + nl + 1
+				}
+				return len(src)
+			}
+		}
+	}
+	return offset
+}

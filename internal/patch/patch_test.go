@@ -1,0 +1,229 @@
+package patch
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/dessertlab/patchitpy/internal/detect"
+)
+
+func scanAndPatch(t *testing.T, src string) Result {
+	t.Helper()
+	d := detect.New(nil)
+	return Apply(src, d.Scan(src))
+}
+
+func TestPatchTableOneExample(t *testing.T) {
+	// Paper Table I: the XSS gets escape(), debug mode is disabled, and
+	// the escape import is added.
+	src := `from flask import Flask, request
+app = Flask(__name__)
+
+@app.route("/comments")
+def comments():
+    comment = request.args.get("q", "")
+    return f"<p>{comment}</p>"
+
+if __name__ == "__main__":
+    app.run(debug=True)
+`
+	res := scanAndPatch(t, src)
+	if !res.Changed() {
+		t.Fatal("nothing patched")
+	}
+	if !strings.Contains(res.Source, "escape(comment)") {
+		t.Errorf("escape not applied:\n%s", res.Source)
+	}
+	if !strings.Contains(res.Source, "debug=False, use_reloader=False") {
+		t.Errorf("debug mode not disabled:\n%s", res.Source)
+	}
+	if !strings.Contains(res.Source, "from markupsafe import escape") {
+		t.Errorf("escape import missing:\n%s", res.Source)
+	}
+	// patched code must be quiet on rescan
+	d := detect.New(nil)
+	if left := d.Scan(res.Source); len(left) != 0 {
+		var ids []string
+		for _, f := range left {
+			ids = append(ids, f.Rule.ID)
+		}
+		t.Errorf("residual findings after patch: %v\n%s", ids, res.Source)
+	}
+}
+
+func TestPatchSQLInjection(t *testing.T) {
+	src := "import sqlite3\ncur.execute(\"SELECT * FROM users WHERE id = \" + uid)\n"
+	res := scanAndPatch(t, src)
+	want := `cur.execute("SELECT * FROM users WHERE id = ?", (uid,))`
+	if !strings.Contains(res.Source, want) {
+		t.Errorf("got:\n%s\nwant to contain %q", res.Source, want)
+	}
+}
+
+func TestPatchOSSystem(t *testing.T) {
+	src := "import os\nos.system(\"ping \" + host)\n"
+	res := scanAndPatch(t, src)
+	if !strings.Contains(res.Source, "subprocess.run(shlex.split(\"ping \" + host), check=False)") {
+		t.Errorf("got:\n%s", res.Source)
+	}
+	if !strings.Contains(res.Source, "import subprocess") || !strings.Contains(res.Source, "import shlex") {
+		t.Errorf("imports missing:\n%s", res.Source)
+	}
+}
+
+func TestPatchYAMLLoad(t *testing.T) {
+	src := "import yaml\ncfg = yaml.load(stream, Loader=yaml.Loader)\n"
+	res := scanAndPatch(t, src)
+	if !strings.Contains(res.Source, "yaml.safe_load(stream)") {
+		t.Errorf("got:\n%s", res.Source)
+	}
+}
+
+func TestDetectionOnlyFindingsReportedUnpatched(t *testing.T) {
+	src := "result = exec(code)\n" // PIP-INJ-002 has no fix
+	res := scanAndPatch(t, src)
+	if res.Changed() {
+		t.Errorf("detection-only rule produced a change:\n%s", res.Source)
+	}
+	if len(res.Unpatched) == 0 {
+		t.Error("unpatched finding not reported")
+	}
+}
+
+func TestImportNotDuplicated(t *testing.T) {
+	src := "import hashlib\nh = hashlib.md5(data)\n"
+	res := scanAndPatch(t, src)
+	if n := strings.Count(res.Source, "import hashlib"); n != 1 {
+		t.Errorf("hashlib imported %d times:\n%s", n, res.Source)
+	}
+}
+
+func TestImportInsertedAfterDocstring(t *testing.T) {
+	src := "#!/usr/bin/env python\n\"\"\"Module docstring.\"\"\"\nimport pickle\nobj = pickle.loads(data)\n"
+	res := scanAndPatch(t, src)
+	docIdx := strings.Index(res.Source, "docstring")
+	impIdx := strings.Index(res.Source, "import json")
+	if impIdx < 0 {
+		t.Fatalf("json import missing:\n%s", res.Source)
+	}
+	if impIdx < docIdx {
+		t.Errorf("import inserted before docstring:\n%s", res.Source)
+	}
+	if !strings.HasPrefix(res.Source, "#!/usr/bin/env python") {
+		t.Errorf("shebang displaced:\n%s", res.Source)
+	}
+}
+
+func TestOverlappingFindingsResolved(t *testing.T) {
+	// verify=False matches both the requests rule (CWE-295) and, with jwt
+	// in scope, the JWT rule (CWE-347); only one patch must apply and the
+	// result must stay syntactically intact.
+	src := "import requests\nimport jwt\nr = requests.get(url, verify=False, timeout=5)\npayload = jwt.decode(tok, key, verify=False)\n"
+	res := scanAndPatch(t, src)
+	if strings.Contains(res.Source, "verify=False") {
+		t.Errorf("vulnerable flag survived:\n%s", res.Source)
+	}
+	if strings.Contains(res.Source, "verify=Trueverify=True") {
+		t.Errorf("double replacement:\n%s", res.Source)
+	}
+}
+
+func TestMultipleFixesSameFile(t *testing.T) {
+	src := `import hashlib
+import pickle
+import yaml
+
+a = hashlib.md5(x)
+b = pickle.loads(y)
+c = yaml.load(z)
+app.run(debug=True)
+`
+	res := scanAndPatch(t, src)
+	for _, want := range []string{"hashlib.sha256(x)", "json.loads(y)", "yaml.safe_load(z)", "debug=False"} {
+		if !strings.Contains(res.Source, want) {
+			t.Errorf("missing %q in:\n%s", want, res.Source)
+		}
+	}
+	if len(res.Applied) != 4 {
+		t.Errorf("applied = %d, want 4", len(res.Applied))
+	}
+}
+
+func TestHasImport(t *testing.T) {
+	cases := []struct {
+		src, imp string
+		want     bool
+	}{
+		{"import os\n", "import os", true},
+		{"import os, sys\n", "import os", true},
+		{"import os as o\n", "import os", true},
+		{"import ossify\n", "import os", false},
+		{"from os import path\n", "import os", false},
+		{"from markupsafe import escape\n", "from markupsafe import escape", true},
+		{"from markupsafe import escape, Markup\n", "from markupsafe import escape", true},
+		{"from flask import escape\n", "from markupsafe import escape", false},
+		{"", "import os", false},
+	}
+	for _, tc := range cases {
+		if got := hasImport(tc.src, tc.imp); got != tc.want {
+			t.Errorf("hasImport(%q, %q) = %v, want %v", tc.src, tc.imp, got, tc.want)
+		}
+	}
+}
+
+func TestImportInsertionPoint(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string // the text immediately following the insertion point
+	}{
+		{"x = 1\n", "x = 1"},
+		{"# comment\nx = 1\n", "x = 1"},
+		{"\"\"\"doc\"\"\"\nx = 1\n", "x = 1"},
+		{"#!/usr/bin/env python\n# -*- coding: utf-8 -*-\nx = 1\n", "x = 1"},
+	}
+	for _, tc := range cases {
+		at := importInsertionPoint(tc.src)
+		rest := tc.src[at:]
+		if !strings.HasPrefix(rest, tc.want) {
+			t.Errorf("insertion point for %q lands before %q, want %q", tc.src, rest, tc.want)
+		}
+	}
+}
+
+func TestApplyEmptyFindings(t *testing.T) {
+	src := "x = 1\n"
+	res := Apply(src, nil)
+	if res.Source != src || res.Changed() {
+		t.Errorf("no-op apply changed source")
+	}
+}
+
+func TestPatchPreservesUnrelatedCode(t *testing.T) {
+	src := "import hashlib\n\ndef helper():\n    return 42\n\nh = hashlib.md5(x)\n"
+	res := scanAndPatch(t, src)
+	if !strings.Contains(res.Source, "def helper():\n    return 42") {
+		t.Errorf("unrelated code altered:\n%s", res.Source)
+	}
+}
+
+func BenchmarkApply(b *testing.B) {
+	src := `from flask import Flask, request
+import sqlite3, hashlib, pickle
+app = Flask(__name__)
+
+@app.route("/user")
+def get_user():
+    uid = request.args.get("id", "")
+    cur.execute("SELECT * FROM users WHERE id = " + uid)
+    h = hashlib.md5(uid.encode()).hexdigest()
+    return f"<p>{uid}</p>"
+
+app.run(debug=True)
+`
+	d := detect.New(nil)
+	findings := d.Scan(src)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Apply(src, findings)
+	}
+}

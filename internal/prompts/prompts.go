@@ -1,0 +1,97 @@
+// Package prompts provides the 203 natural-language prompts of the paper's
+// case study (§III-A): 121 in the style of SecurityEval and 82 in the style
+// of LLMSecEval. Each prompt is mapped to a generation scenario (the CWE it
+// tends to trigger) and the corpus reproduces the paper's token-length
+// statistics: mean ≈ 21, median ≈ 15, min 3, max 63, with 75% of prompts
+// under 35 tokens.
+package prompts
+
+import "strings"
+
+// Source identifies which benchmark a prompt is modelled on.
+type Source string
+
+// Prompt sources.
+const (
+	SecurityEval Source = "SecurityEval"
+	LLMSecEval   Source = "LLMSecEval"
+)
+
+// Prompt is one natural-language code-generation request.
+type Prompt struct {
+	// ID is the stable prompt identifier ("SE-001" / "LS-001").
+	ID string
+	// Source is the benchmark the prompt is modelled on.
+	Source Source
+	// Text is the natural-language request.
+	Text string
+	// ScenarioID names the generation scenario the prompt exercises.
+	ScenarioID string
+}
+
+// Tokens returns the prompt length in whitespace-separated tokens.
+func (p Prompt) Tokens() int { return len(strings.Fields(p.Text)) }
+
+// All returns the full 203-prompt corpus in stable order.
+func All() []Prompt {
+	specs := promptSpecs()
+	// Scenarios whose CWEs sit in the 2021 CWE Top 25 are the LLMSecEval
+	// side of the corpus (it draws from that list); the quota is 82.
+	top25 := map[string]bool{
+		"xss-comment": true, "sqli-lookup": true, "sqli-insert": true,
+		"cmd-ping": true, "path-read": true, "upload-save": true,
+		"cache-load": true, "config-load": true, "db-credentials": true,
+		"api-client": true, "flask-secret": true, "admin-route": true,
+		"ssrf-proxy": true, "eval-calc": true, "unchecked-int": true,
+		"archive-extract": true, "xml-parse": true, "idor-record": true,
+		"reset-token": true, "error-detail": true, "open-redirect": true,
+		"log-entry": true,
+	}
+	out := make([]Prompt, 0, len(specs))
+	seCount, lsCount := 0, 0
+	const lsQuota = 82
+	for _, s := range specs {
+		p := Prompt{Text: s.text, ScenarioID: s.scenario}
+		if top25[s.scenario] && lsCount < lsQuota {
+			lsCount++
+			p.Source = LLMSecEval
+			p.ID = fmtID("LS", lsCount)
+		} else {
+			seCount++
+			p.Source = SecurityEval
+			p.ID = fmtID("SE", seCount)
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+func fmtID(prefix string, n int) string {
+	digits := ""
+	switch {
+	case n < 10:
+		digits = "00"
+	case n < 100:
+		digits = "0"
+	}
+	return prefix + "-" + digits + itoa(n)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+type promptSpec struct {
+	scenario string
+	text     string
+}

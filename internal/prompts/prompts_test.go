@@ -1,0 +1,84 @@
+package prompts
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestCorpusSize(t *testing.T) {
+	ps := All()
+	if len(ps) != 203 {
+		t.Fatalf("corpus has %d prompts, the paper uses 203", len(ps))
+	}
+	var se, ls int
+	for _, p := range ps {
+		switch p.Source {
+		case SecurityEval:
+			se++
+		case LLMSecEval:
+			ls++
+		default:
+			t.Errorf("%s: bad source %q", p.ID, p.Source)
+		}
+	}
+	if se != 121 || ls != 82 {
+		t.Errorf("source split = %d SecurityEval + %d LLMSecEval, want 121 + 82", se, ls)
+	}
+}
+
+func TestPromptIDsUniqueAndWellFormed(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, p := range All() {
+		if seen[p.ID] {
+			t.Errorf("duplicate prompt ID %s", p.ID)
+		}
+		seen[p.ID] = true
+		if len(p.ID) != 6 || (p.ID[:3] != "SE-" && p.ID[:3] != "LS-") {
+			t.Errorf("bad prompt ID %q", p.ID)
+		}
+		if p.Text == "" || p.ScenarioID == "" {
+			t.Errorf("%s: empty text or scenario", p.ID)
+		}
+	}
+}
+
+// TestTokenStatistics asserts the paper's §III-A prompt-length profile:
+// mean 21, median 15, min 3, max 63, 75% under 35 tokens.
+func TestTokenStatistics(t *testing.T) {
+	ps := All()
+	lengths := make([]int, len(ps))
+	total := 0
+	for i, p := range ps {
+		lengths[i] = p.Tokens()
+		total += lengths[i]
+	}
+	sort.Ints(lengths)
+
+	mean := float64(total) / float64(len(lengths))
+	if mean < 18 || mean > 24 {
+		t.Errorf("mean tokens = %.1f, paper reports 21", mean)
+	}
+	median := lengths[len(lengths)/2]
+	if median < 12 || median > 18 {
+		t.Errorf("median tokens = %d, paper reports 15", median)
+	}
+	if lengths[0] != 3 {
+		t.Errorf("min tokens = %d, paper reports 3", lengths[0])
+	}
+	if lengths[len(lengths)-1] != 63 {
+		t.Errorf("max tokens = %d, paper reports 63", lengths[len(lengths)-1])
+	}
+	p75 := lengths[len(lengths)*3/4]
+	if p75 >= 35 {
+		t.Errorf("75th percentile = %d, paper reports 75%% of prompts under 35 tokens", p75)
+	}
+}
+
+func TestDeterministicOrder(t *testing.T) {
+	a, b := All(), All()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("corpus not deterministic at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,531 @@
+// Package pyast provides a lightweight abstract syntax tree and a tolerant
+// recursive-descent parser for Python 3 source code.
+//
+// The parser covers the Python subset that appears in AI-generated security
+// snippets: modules, imports, function and class definitions with
+// decorators, the full statement suite (if/elif/else, for/while with else,
+// try/except/finally, with, return/raise/assert/del/global/nonlocal/pass/
+// break/continue), assignments (plain, augmented, annotated, chained) and a
+// complete expression grammar (boolean ops, comparisons incl. chained,
+// arithmetic, unary, lambda, ternary, calls with *args/**kwargs and keyword
+// arguments, attribute access, subscripts and slices, tuples, lists, dicts,
+// sets, comprehensions, f-strings as atoms).
+//
+// It is deliberately tolerant: AI code generators frequently emit truncated
+// or slightly malformed snippets, and the paper's tool is explicitly
+// designed to work on such fragments. Statement-level parse errors are
+// recorded on the Module and the parser resynchronizes at the next logical
+// line instead of aborting.
+package pyast
+
+import "github.com/dessertlab/patchitpy/internal/pytoken"
+
+// Node is implemented by every AST node.
+type Node interface {
+	// Pos returns the position of the first token of the node.
+	Pos() pytoken.Position
+}
+
+// Stmt is a statement node.
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+// Expr is an expression node.
+type Expr interface {
+	Node
+	exprNode()
+}
+
+// Module is the root of a parsed file.
+type Module struct {
+	Body   []Stmt
+	Errors []*ParseError // recovered statement-level errors
+}
+
+// Pos returns the position of the first statement, or the zero position.
+func (m *Module) Pos() pytoken.Position {
+	if len(m.Body) > 0 {
+		return m.Body[0].Pos()
+	}
+	return pytoken.Position{Line: 1}
+}
+
+// ParseError records a recovered syntax problem.
+type ParseError struct {
+	Msg      string
+	Position pytoken.Position
+}
+
+// Error implements the error interface.
+func (e *ParseError) Error() string {
+	return e.Position.String() + ": " + e.Msg
+}
+
+// ---- statements ----
+
+type (
+	// Import is "import a.b as c, d".
+	Import struct {
+		Names    []Alias
+		Position pytoken.Position
+	}
+
+	// ImportFrom is "from mod import a as b, c" or "from mod import *".
+	ImportFrom struct {
+		Module   string // dotted module path; may be empty for relative
+		Names    []Alias
+		Star     bool
+		Level    int // number of leading dots
+		Position pytoken.Position
+	}
+
+	// Alias is a name with an optional "as" binding.
+	Alias struct {
+		Name   string
+		AsName string
+	}
+
+	// FunctionDef is "def name(params): body" with decorators; Async marks
+	// "async def".
+	FunctionDef struct {
+		Name       string
+		Params     []Param
+		Body       []Stmt
+		Decorators []Expr
+		Returns    Expr // annotation after ->, may be nil
+		Async      bool
+		Position   pytoken.Position
+	}
+
+	// Param is a single formal parameter.
+	Param struct {
+		Name       string
+		Default    Expr // may be nil
+		Annotation Expr // may be nil
+		Star       bool // *args
+		DoubleStar bool // **kwargs
+	}
+
+	// ClassDef is "class Name(bases): body" with decorators.
+	ClassDef struct {
+		Name       string
+		Bases      []Expr
+		Keywords   []Keyword
+		Body       []Stmt
+		Decorators []Expr
+		Position   pytoken.Position
+	}
+
+	// If is an if/elif/else chain; elif is nested inside Orelse.
+	If struct {
+		Cond     Expr
+		Body     []Stmt
+		Orelse   []Stmt
+		Position pytoken.Position
+	}
+
+	// For is "for target in iter: body else: orelse"; Async marks
+	// "async for".
+	For struct {
+		Target   Expr
+		Iter     Expr
+		Body     []Stmt
+		Orelse   []Stmt
+		Async    bool
+		Position pytoken.Position
+	}
+
+	// While is "while cond: body else: orelse".
+	While struct {
+		Cond     Expr
+		Body     []Stmt
+		Orelse   []Stmt
+		Position pytoken.Position
+	}
+
+	// Try is try/except*/else/finally.
+	Try struct {
+		Body     []Stmt
+		Handlers []ExceptHandler
+		Orelse   []Stmt
+		Finally  []Stmt
+		Position pytoken.Position
+	}
+
+	// ExceptHandler is one "except [type [as name]]:" clause.
+	ExceptHandler struct {
+		Type     Expr // may be nil for bare except
+		Name     string
+		Body     []Stmt
+		Position pytoken.Position
+	}
+
+	// With is "with items: body"; Async marks "async with".
+	With struct {
+		Items    []WithItem
+		Body     []Stmt
+		Async    bool
+		Position pytoken.Position
+	}
+
+	// WithItem is one "expr [as target]" in a with statement.
+	WithItem struct {
+		Context Expr
+		Target  Expr // may be nil
+	}
+
+	// Return is "return [value]".
+	Return struct {
+		Value    Expr // may be nil
+		Position pytoken.Position
+	}
+
+	// Raise is "raise [exc [from cause]]".
+	Raise struct {
+		Exc      Expr // may be nil
+		Cause    Expr // may be nil
+		Position pytoken.Position
+	}
+
+	// Assert is "assert test [, msg]".
+	Assert struct {
+		Test     Expr
+		Msg      Expr // may be nil
+		Position pytoken.Position
+	}
+
+	// Assign is "t1 = t2 = value" (one or more targets).
+	Assign struct {
+		Targets  []Expr
+		Value    Expr
+		Position pytoken.Position
+	}
+
+	// AugAssign is "target op= value".
+	AugAssign struct {
+		Target   Expr
+		Op       string // "+=", "-=", ...
+		Value    Expr
+		Position pytoken.Position
+	}
+
+	// AnnAssign is "target: annotation [= value]".
+	AnnAssign struct {
+		Target     Expr
+		Annotation Expr
+		Value      Expr // may be nil
+		Position   pytoken.Position
+	}
+
+	// ExprStmt is a bare expression used as a statement.
+	ExprStmt struct {
+		Value    Expr
+		Position pytoken.Position
+	}
+
+	// Pass, Break and Continue are their keywords.
+	Pass struct{ Position pytoken.Position }
+	// Break is the break statement.
+	Break struct{ Position pytoken.Position }
+	// Continue is the continue statement.
+	Continue struct{ Position pytoken.Position }
+
+	// Global is "global a, b".
+	Global struct {
+		Names    []string
+		Position pytoken.Position
+	}
+
+	// Nonlocal is "nonlocal a, b".
+	Nonlocal struct {
+		Names    []string
+		Position pytoken.Position
+	}
+
+	// Del is "del a, b".
+	Del struct {
+		Targets  []Expr
+		Position pytoken.Position
+	}
+
+	// BadStmt marks a statement that failed to parse; the parser recovered
+	// at the next logical line.
+	BadStmt struct {
+		Source   string // raw token texts joined with spaces
+		Position pytoken.Position
+	}
+)
+
+func (s *Import) Pos() pytoken.Position      { return s.Position }
+func (s *ImportFrom) Pos() pytoken.Position  { return s.Position }
+func (s *FunctionDef) Pos() pytoken.Position { return s.Position }
+func (s *ClassDef) Pos() pytoken.Position    { return s.Position }
+func (s *If) Pos() pytoken.Position          { return s.Position }
+func (s *For) Pos() pytoken.Position         { return s.Position }
+func (s *While) Pos() pytoken.Position       { return s.Position }
+func (s *Try) Pos() pytoken.Position         { return s.Position }
+func (s *With) Pos() pytoken.Position        { return s.Position }
+func (s *Return) Pos() pytoken.Position      { return s.Position }
+func (s *Raise) Pos() pytoken.Position       { return s.Position }
+func (s *Assert) Pos() pytoken.Position      { return s.Position }
+func (s *Assign) Pos() pytoken.Position      { return s.Position }
+func (s *AugAssign) Pos() pytoken.Position   { return s.Position }
+func (s *AnnAssign) Pos() pytoken.Position   { return s.Position }
+func (s *ExprStmt) Pos() pytoken.Position    { return s.Position }
+func (s *Pass) Pos() pytoken.Position        { return s.Position }
+func (s *Break) Pos() pytoken.Position       { return s.Position }
+func (s *Continue) Pos() pytoken.Position    { return s.Position }
+func (s *Global) Pos() pytoken.Position      { return s.Position }
+func (s *Nonlocal) Pos() pytoken.Position    { return s.Position }
+func (s *Del) Pos() pytoken.Position         { return s.Position }
+func (s *BadStmt) Pos() pytoken.Position     { return s.Position }
+
+func (*Import) stmtNode()      {}
+func (*ImportFrom) stmtNode()  {}
+func (*FunctionDef) stmtNode() {}
+func (*ClassDef) stmtNode()    {}
+func (*If) stmtNode()          {}
+func (*For) stmtNode()         {}
+func (*While) stmtNode()       {}
+func (*Try) stmtNode()         {}
+func (*With) stmtNode()        {}
+func (*Return) stmtNode()      {}
+func (*Raise) stmtNode()       {}
+func (*Assert) stmtNode()      {}
+func (*Assign) stmtNode()      {}
+func (*AugAssign) stmtNode()   {}
+func (*AnnAssign) stmtNode()   {}
+func (*ExprStmt) stmtNode()    {}
+func (*Pass) stmtNode()        {}
+func (*Break) stmtNode()       {}
+func (*Continue) stmtNode()    {}
+func (*Global) stmtNode()      {}
+func (*Nonlocal) stmtNode()    {}
+func (*Del) stmtNode()         {}
+func (*BadStmt) stmtNode()     {}
+
+// ---- expressions ----
+
+type (
+	// Name is an identifier reference.
+	Name struct {
+		ID       string
+		Position pytoken.Position
+	}
+
+	// NumberLit is a numeric literal with its source text.
+	NumberLit struct {
+		Text     string
+		Position pytoken.Position
+	}
+
+	// StringLit is a (possibly implicitly concatenated) string literal.
+	// Raw holds the exact source text including prefix and quotes;
+	// Value holds the unquoted content of the first segment (best effort);
+	// FString is true when any segment carries an f prefix.
+	StringLit struct {
+		Raw      string
+		Value    string
+		FString  bool
+		Position pytoken.Position
+	}
+
+	// ConstLit is True, False or None.
+	ConstLit struct {
+		Kind     string // "True", "False", "None"
+		Position pytoken.Position
+	}
+
+	// Tuple, List, Set and Dict are container displays.
+	Tuple struct {
+		Elts     []Expr
+		Position pytoken.Position
+	}
+	// List is a list display.
+	List struct {
+		Elts     []Expr
+		Position pytoken.Position
+	}
+	// Set is a set display.
+	Set struct {
+		Elts     []Expr
+		Position pytoken.Position
+	}
+	// Dict is a dict display; a nil key marks a **mapping expansion.
+	Dict struct {
+		Keys     []Expr
+		Values   []Expr
+		Position pytoken.Position
+	}
+
+	// Keyword is "name=value" or "**value" (empty Name) inside a call.
+	Keyword struct {
+		Name  string
+		Value Expr
+	}
+
+	// Call is a function call.
+	Call struct {
+		Func     Expr
+		Args     []Expr
+		Keywords []Keyword
+		Position pytoken.Position
+	}
+
+	// Attribute is "value.attr".
+	Attribute struct {
+		Value    Expr
+		Attr     string
+		Position pytoken.Position
+	}
+
+	// Subscript is "value[index]".
+	Subscript struct {
+		Value    Expr
+		Index    Expr
+		Position pytoken.Position
+	}
+
+	// Slice is "[lower:upper:step]" inside a subscript.
+	Slice struct {
+		Lower    Expr // any of these may be nil
+		Upper    Expr
+		Step     Expr
+		Position pytoken.Position
+	}
+
+	// BinOp is "left op right" for arithmetic/bitwise operators.
+	BinOp struct {
+		Left     Expr
+		Op       string
+		Right    Expr
+		Position pytoken.Position
+	}
+
+	// BoolOp is "a and b and c" / "a or b"; Values has 2+ operands.
+	BoolOp struct {
+		Op       string // "and" | "or"
+		Values   []Expr
+		Position pytoken.Position
+	}
+
+	// UnaryOp is "-x", "+x", "~x" or "not x".
+	UnaryOp struct {
+		Op       string
+		Operand  Expr
+		Position pytoken.Position
+	}
+
+	// Compare is a (possibly chained) comparison: a < b <= c.
+	Compare struct {
+		Left        Expr
+		Ops         []string
+		Comparators []Expr
+		Position    pytoken.Position
+	}
+
+	// IfExp is the ternary "body if cond else orelse".
+	IfExp struct {
+		Cond     Expr
+		Body     Expr
+		Orelse   Expr
+		Position pytoken.Position
+	}
+
+	// Lambda is "lambda params: body".
+	Lambda struct {
+		Params   []Param
+		Body     Expr
+		Position pytoken.Position
+	}
+
+	// Starred is "*expr" in call arguments or assignment targets.
+	Starred struct {
+		Value    Expr
+		Position pytoken.Position
+	}
+
+	// Await is "await expr".
+	Await struct {
+		Value    Expr
+		Position pytoken.Position
+	}
+
+	// Yield is "yield [value]" or "yield from value".
+	Yield struct {
+		Value    Expr // may be nil
+		From     bool
+		Position pytoken.Position
+	}
+
+	// Comp is a comprehension (list/set/dict/generator).
+	Comp struct {
+		Kind       string // "list", "set", "dict", "generator"
+		Elt        Expr   // element (key for dict)
+		Value      Expr   // value for dict comprehensions, else nil
+		Generators []CompFor
+		Position   pytoken.Position
+	}
+
+	// CompFor is one "for target in iter [if cond]*" clause.
+	CompFor struct {
+		Target Expr
+		Iter   Expr
+		Ifs    []Expr
+	}
+
+	// BadExpr marks an expression that failed to parse.
+	BadExpr struct {
+		Position pytoken.Position
+	}
+)
+
+func (e *Name) Pos() pytoken.Position      { return e.Position }
+func (e *NumberLit) Pos() pytoken.Position { return e.Position }
+func (e *StringLit) Pos() pytoken.Position { return e.Position }
+func (e *ConstLit) Pos() pytoken.Position  { return e.Position }
+func (e *Tuple) Pos() pytoken.Position     { return e.Position }
+func (e *List) Pos() pytoken.Position      { return e.Position }
+func (e *Set) Pos() pytoken.Position       { return e.Position }
+func (e *Dict) Pos() pytoken.Position      { return e.Position }
+func (e *Call) Pos() pytoken.Position      { return e.Position }
+func (e *Attribute) Pos() pytoken.Position { return e.Position }
+func (e *Subscript) Pos() pytoken.Position { return e.Position }
+func (e *Slice) Pos() pytoken.Position     { return e.Position }
+func (e *BinOp) Pos() pytoken.Position     { return e.Position }
+func (e *BoolOp) Pos() pytoken.Position    { return e.Position }
+func (e *UnaryOp) Pos() pytoken.Position   { return e.Position }
+func (e *Compare) Pos() pytoken.Position   { return e.Position }
+func (e *IfExp) Pos() pytoken.Position     { return e.Position }
+func (e *Lambda) Pos() pytoken.Position    { return e.Position }
+func (e *Starred) Pos() pytoken.Position   { return e.Position }
+func (e *Await) Pos() pytoken.Position     { return e.Position }
+func (e *Yield) Pos() pytoken.Position     { return e.Position }
+func (e *Comp) Pos() pytoken.Position      { return e.Position }
+func (e *BadExpr) Pos() pytoken.Position   { return e.Position }
+
+func (*Name) exprNode()      {}
+func (*NumberLit) exprNode() {}
+func (*StringLit) exprNode() {}
+func (*ConstLit) exprNode()  {}
+func (*Tuple) exprNode()     {}
+func (*List) exprNode()      {}
+func (*Set) exprNode()       {}
+func (*Dict) exprNode()      {}
+func (*Call) exprNode()      {}
+func (*Attribute) exprNode() {}
+func (*Subscript) exprNode() {}
+func (*Slice) exprNode()     {}
+func (*BinOp) exprNode()     {}
+func (*BoolOp) exprNode()    {}
+func (*UnaryOp) exprNode()   {}
+func (*Compare) exprNode()   {}
+func (*IfExp) exprNode()     {}
+func (*Lambda) exprNode()    {}
+func (*Starred) exprNode()   {}
+func (*Await) exprNode()     {}
+func (*Yield) exprNode()     {}
+func (*Comp) exprNode()      {}
+func (*BadExpr) exprNode()   {}

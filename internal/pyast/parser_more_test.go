@@ -1,0 +1,321 @@
+package pyast
+
+import (
+	"testing"
+)
+
+func TestParseYieldForms(t *testing.T) {
+	src := `def gen():
+    yield
+    yield 1
+    yield 1, 2
+    yield from inner()
+    x = yield value
+`
+	m := parseClean(t, src)
+	fd := m.Body[0].(*FunctionDef)
+	var yields []*Yield
+	Walk(fd, func(n Node) bool {
+		if y, ok := n.(*Yield); ok {
+			yields = append(yields, y)
+		}
+		return true
+	})
+	if len(yields) != 5 {
+		t.Fatalf("yields = %d, want 5", len(yields))
+	}
+	if yields[0].Value != nil {
+		t.Error("bare yield should have nil value")
+	}
+	if !yields[3].From {
+		t.Error("yield from not recognized")
+	}
+}
+
+func TestParseRaiseForms(t *testing.T) {
+	src := "raise\nraise ValueError(\"x\")\nraise RuntimeError(\"y\") from exc\n"
+	m := parseClean(t, src)
+	r0 := m.Body[0].(*Raise)
+	if r0.Exc != nil {
+		t.Error("bare raise should carry nil exc")
+	}
+	r2 := m.Body[2].(*Raise)
+	if r2.Cause == nil {
+		t.Error("raise-from cause missing")
+	}
+}
+
+func TestParseStarredAssignment(t *testing.T) {
+	m := parseClean(t, "first, *rest = items\n")
+	as := m.Body[0].(*Assign)
+	tup := as.Targets[0].(*Tuple)
+	if _, ok := tup.Elts[1].(*Starred); !ok {
+		t.Errorf("starred target: %T", tup.Elts[1])
+	}
+}
+
+func TestParseDictComprehension(t *testing.T) {
+	m := parseClean(t, "d = {k: v * 2 for k, v in pairs if v}\n")
+	comp := m.Body[0].(*Assign).Value.(*Comp)
+	if comp.Kind != "dict" || comp.Value == nil || len(comp.Generators[0].Ifs) != 1 {
+		t.Errorf("dict comp: %+v", comp)
+	}
+}
+
+func TestParseNestedComprehension(t *testing.T) {
+	m := parseClean(t, "flat = [x for row in grid for x in row]\n")
+	comp := m.Body[0].(*Assign).Value.(*Comp)
+	if len(comp.Generators) != 2 {
+		t.Errorf("generators = %d, want 2", len(comp.Generators))
+	}
+}
+
+func TestParseLambdaVariants(t *testing.T) {
+	src := "f = lambda: 0\ng = lambda *args, **kw: len(args)\nh = lambda x, y=1: x + y\n"
+	m := parseClean(t, src)
+	f := m.Body[0].(*Assign).Value.(*Lambda)
+	if len(f.Params) != 0 {
+		t.Errorf("niladic lambda params: %v", f.Params)
+	}
+	g := m.Body[1].(*Assign).Value.(*Lambda)
+	if len(g.Params) != 2 || !g.Params[0].Star || !g.Params[1].DoubleStar {
+		t.Errorf("star lambda params: %+v", g.Params)
+	}
+}
+
+func TestParseConditionalInCall(t *testing.T) {
+	m := parseClean(t, "r = f(a if cond else b, key=1 if x else 2)\n")
+	call := m.Body[0].(*Assign).Value.(*Call)
+	if _, ok := call.Args[0].(*IfExp); !ok {
+		t.Errorf("ternary arg: %T", call.Args[0])
+	}
+	if _, ok := call.Keywords[0].Value.(*IfExp); !ok {
+		t.Errorf("ternary kwarg: %T", call.Keywords[0].Value)
+	}
+}
+
+func TestParseWalrusInCallArg(t *testing.T) {
+	m := parseClean(t, "if check(n := compute()):\n    use(n)\n")
+	ifs := m.Body[0].(*If)
+	call := ifs.Cond.(*Call)
+	bo, ok := call.Args[0].(*BinOp)
+	if !ok || bo.Op != ":=" {
+		t.Errorf("walrus arg: %v", call.Args[0])
+	}
+}
+
+func TestParseEllipsisAndBytes(t *testing.T) {
+	m := parseClean(t, "def stub():\n    ...\nraw = b\"\\x00\\x01\"\n")
+	fd := m.Body[0].(*FunctionDef)
+	es := fd.Body[0].(*ExprStmt)
+	if c, ok := es.Value.(*ConstLit); !ok || c.Kind != "..." {
+		t.Errorf("ellipsis: %v", es.Value)
+	}
+}
+
+func TestParseDecoratedClass(t *testing.T) {
+	src := "@register\n@dataclass(frozen=True)\nclass Point:\n    x: int\n    y: int\n"
+	m := parseClean(t, src)
+	cd := m.Body[0].(*ClassDef)
+	if len(cd.Decorators) != 2 {
+		t.Errorf("class decorators = %d", len(cd.Decorators))
+	}
+}
+
+func TestParseParenthesizedWith(t *testing.T) {
+	src := "with (open(\"a\") as fa, open(\"b\") as fb):\n    pass\n"
+	m := parseClean(t, src)
+	w := m.Body[0].(*With)
+	if len(w.Items) != 2 || w.Items[1].Target == nil {
+		t.Errorf("with items: %+v", w.Items)
+	}
+}
+
+func TestParsePositionalOnlyMarker(t *testing.T) {
+	src := "def f(a, /, b, *, c):\n    return a + b + c\n"
+	m := parseClean(t, src)
+	fd := m.Body[0].(*FunctionDef)
+	if len(fd.Params) != 5 {
+		t.Fatalf("params = %d, want 5 (a / b * c)", len(fd.Params))
+	}
+	if fd.Params[1].Name != "/" {
+		t.Errorf("positional-only marker: %+v", fd.Params[1])
+	}
+	if !fd.Params[3].Star || fd.Params[3].Name != "" {
+		t.Errorf("bare star: %+v", fd.Params[3])
+	}
+}
+
+func TestParseChainedCallsAndSubscripts(t *testing.T) {
+	m := parseClean(t, "x = obj.method(1)[0].attr(2)\n")
+	// just verify the full trailer chain parses to a Call at the top
+	if _, ok := m.Body[0].(*Assign).Value.(*Call); !ok {
+		t.Errorf("chain top: %T", m.Body[0].(*Assign).Value)
+	}
+}
+
+func TestParseUnaryAndPower(t *testing.T) {
+	m := parseClean(t, "y = -x ** 2\nz = ~mask\nw = not ok\n")
+	// -x**2 parses as -(x**2)
+	u := m.Body[0].(*Assign).Value.(*UnaryOp)
+	if u.Op != "-" {
+		t.Errorf("unary op: %v", u.Op)
+	}
+	if _, ok := u.Operand.(*BinOp); !ok {
+		t.Errorf("power under unary: %T", u.Operand)
+	}
+}
+
+func TestParseSetComprehensionAndGenerator(t *testing.T) {
+	m := parseClean(t, "s = {x % 7 for x in xs}\ntotal = sum(x * x for x in xs if x)\n")
+	sc := m.Body[0].(*Assign).Value.(*Comp)
+	if sc.Kind != "set" {
+		t.Errorf("set comp: %v", sc.Kind)
+	}
+	call := m.Body[1].(*Assign).Value.(*Call)
+	g := call.Args[0].(*Comp)
+	if g.Kind != "generator" || len(g.Generators[0].Ifs) != 1 {
+		t.Errorf("genexp: %+v", g)
+	}
+}
+
+func TestParseAugAssignVariants(t *testing.T) {
+	src := "a //= 2\nb **= 3\nc <<= 1\nd |= flags\ne @= m\n"
+	m := parseClean(t, src)
+	ops := []string{"//=", "**=", "<<=", "|=", "@="}
+	for i, want := range ops {
+		aug := m.Body[i].(*AugAssign)
+		if aug.Op != want {
+			t.Errorf("stmt %d: op %q, want %q", i, aug.Op, want)
+		}
+	}
+}
+
+func TestParseSliceTuplesAndSteps(t *testing.T) {
+	m := parseClean(t, "a = m[1:2, 3:4]\nb = xs[::-1]\n")
+	sub := m.Body[0].(*Assign).Value.(*Subscript)
+	if _, ok := sub.Index.(*Tuple); !ok {
+		t.Errorf("tuple slice index: %T", sub.Index)
+	}
+	rev := m.Body[1].(*Assign).Value.(*Subscript).Index.(*Slice)
+	if rev.Step == nil {
+		t.Error("negative step missing")
+	}
+}
+
+func TestParseAsyncFor(t *testing.T) {
+	src := "async def f(stream):\n    async for item in stream:\n        use(item)\n"
+	m := parseClean(t, src)
+	fd := m.Body[0].(*FunctionDef)
+	loop := fd.Body[0].(*For)
+	if !loop.Async {
+		t.Error("async for flag missing")
+	}
+}
+
+func TestParseDecoratedAsyncDef(t *testing.T) {
+	src := "@app.route(\"/x\")\nasync def handler():\n    return \"ok\"\n"
+	m := parseClean(t, src)
+	fd := m.Body[0].(*FunctionDef)
+	if !fd.Async || len(fd.Decorators) != 1 {
+		t.Errorf("async decorated: async=%v decorators=%d", fd.Async, len(fd.Decorators))
+	}
+}
+
+func TestParseTryElseOnly(t *testing.T) {
+	src := "try:\n    f()\nexcept ValueError:\n    pass\nelse:\n    g()\n"
+	m := parseClean(t, src)
+	tr := m.Body[0].(*Try)
+	if len(tr.Orelse) != 1 || tr.Finally != nil {
+		t.Errorf("try-else: %+v", tr)
+	}
+}
+
+func TestParseTryWithoutHandlersErrors(t *testing.T) {
+	m, err := Parse("try:\n    f()\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Errors) == 0 {
+		t.Error("try without except/finally should record an error")
+	}
+}
+
+func TestParseReturnTuple(t *testing.T) {
+	m := parseClean(t, "def f():\n    return 1, 2\n")
+	ret := m.Body[0].(*FunctionDef).Body[0].(*Return)
+	if _, ok := ret.Value.(*Tuple); !ok {
+		t.Errorf("return tuple: %T", ret.Value)
+	}
+}
+
+func TestParseKeywordOnlyCallSplat(t *testing.T) {
+	m := parseClean(t, "f(**options)\n")
+	call := m.Body[0].(*ExprStmt).Value.(*Call)
+	if len(call.Keywords) != 1 || call.Keywords[0].Name != "" {
+		t.Errorf("splat kwargs: %+v", call.Keywords)
+	}
+}
+
+func TestModulePosEmpty(t *testing.T) {
+	m := parseClean(t, "")
+	if m.Pos().Line != 1 {
+		t.Errorf("empty module pos: %v", m.Pos())
+	}
+}
+
+func TestParseErrorString(t *testing.T) {
+	m, err := Parse("def (:\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Errors) == 0 || m.Errors[0].Error() == "" {
+		t.Error("ParseError.Error should render")
+	}
+}
+
+func TestWalkSkipsChildrenOnFalse(t *testing.T) {
+	m := parseClean(t, "def f():\n    if x:\n        g()\n")
+	var visitedCall bool
+	Walk(m, func(n Node) bool {
+		if _, ok := n.(*FunctionDef); ok {
+			return false // skip body
+		}
+		if _, ok := n.(*Call); ok {
+			visitedCall = true
+		}
+		return true
+	})
+	if visitedCall {
+		t.Error("Walk descended into skipped subtree")
+	}
+}
+
+func TestMustParseOnBadTokenization(t *testing.T) {
+	m := MustParse("s = 'unterminated")
+	if m == nil {
+		t.Fatal("MustParse returned nil")
+	}
+	if len(m.Errors) == 0 {
+		t.Error("tokenizer failure should surface as a module error")
+	}
+}
+
+func TestParseGlobalDelInlineSemis(t *testing.T) {
+	m := parseClean(t, "x = 1; del x; pass\n")
+	if len(m.Body) != 3 {
+		t.Fatalf("body = %d", len(m.Body))
+	}
+	if _, ok := m.Body[1].(*Del); !ok {
+		t.Errorf("del: %T", m.Body[1])
+	}
+}
+
+func TestParseImportFromParenthesized(t *testing.T) {
+	src := "from flask import (\n    Flask,\n    request,\n    make_response,\n)\n"
+	m := parseClean(t, src)
+	fr := m.Body[0].(*ImportFrom)
+	if len(fr.Names) != 3 {
+		t.Errorf("names = %+v", fr.Names)
+	}
+}

@@ -1,0 +1,524 @@
+package pyast
+
+import (
+	"strings"
+)
+
+// Unparse renders the tree back to Python source with normalized
+// formatting (4-space indents, single spaces around binary operators).
+// The output parses back to a structurally equivalent tree — a property
+// the tests verify — which makes it the foundation for AST-level code
+// transformations.
+func Unparse(m *Module) string {
+	var u unparser
+	u.stmts(m.Body, 0)
+	return u.b.String()
+}
+
+// UnparseStmt renders a single statement at the given indent level.
+func UnparseStmt(s Stmt, indent int) string {
+	var u unparser
+	u.stmt(s, indent)
+	return u.b.String()
+}
+
+// UnparseExpr renders a single expression.
+func UnparseExpr(e Expr) string {
+	var u unparser
+	u.expr(e)
+	return u.b.String()
+}
+
+type unparser struct {
+	b strings.Builder
+}
+
+func (u *unparser) indent(level int) {
+	for i := 0; i < level; i++ {
+		u.b.WriteString("    ")
+	}
+}
+
+func (u *unparser) line(level int, parts ...string) {
+	u.indent(level)
+	for _, p := range parts {
+		u.b.WriteString(p)
+	}
+	u.b.WriteByte('\n')
+}
+
+func (u *unparser) stmts(body []Stmt, level int) {
+	if len(body) == 0 {
+		u.line(level, "pass")
+		return
+	}
+	for _, s := range body {
+		u.stmt(s, level)
+	}
+}
+
+func (u *unparser) stmt(s Stmt, level int) {
+	switch n := s.(type) {
+	case *Import:
+		u.indent(level)
+		u.b.WriteString("import ")
+		for i, a := range n.Names {
+			if i > 0 {
+				u.b.WriteString(", ")
+			}
+			u.b.WriteString(a.Name)
+			if a.AsName != "" {
+				u.b.WriteString(" as " + a.AsName)
+			}
+		}
+		u.b.WriteByte('\n')
+	case *ImportFrom:
+		u.indent(level)
+		u.b.WriteString("from " + strings.Repeat(".", n.Level) + n.Module + " import ")
+		if n.Star {
+			u.b.WriteString("*")
+		} else {
+			for i, a := range n.Names {
+				if i > 0 {
+					u.b.WriteString(", ")
+				}
+				u.b.WriteString(a.Name)
+				if a.AsName != "" {
+					u.b.WriteString(" as " + a.AsName)
+				}
+			}
+		}
+		u.b.WriteByte('\n')
+	case *FunctionDef:
+		for _, d := range n.Decorators {
+			u.line(level, "@", UnparseExpr(d))
+		}
+		u.indent(level)
+		if n.Async {
+			u.b.WriteString("async ")
+		}
+		u.b.WriteString("def " + n.Name + "(")
+		u.params(n.Params)
+		u.b.WriteString(")")
+		if n.Returns != nil {
+			u.b.WriteString(" -> " + UnparseExpr(n.Returns))
+		}
+		u.b.WriteString(":\n")
+		u.stmts(n.Body, level+1)
+	case *ClassDef:
+		for _, d := range n.Decorators {
+			u.line(level, "@", UnparseExpr(d))
+		}
+		u.indent(level)
+		u.b.WriteString("class " + n.Name)
+		if len(n.Bases) > 0 || len(n.Keywords) > 0 {
+			u.b.WriteString("(")
+			for i, base := range n.Bases {
+				if i > 0 {
+					u.b.WriteString(", ")
+				}
+				u.expr(base)
+			}
+			for i, kw := range n.Keywords {
+				if i > 0 || len(n.Bases) > 0 {
+					u.b.WriteString(", ")
+				}
+				u.b.WriteString(kw.Name + "=")
+				u.expr(kw.Value)
+			}
+			u.b.WriteString(")")
+		}
+		u.b.WriteString(":\n")
+		u.stmts(n.Body, level+1)
+	case *If:
+		u.indent(level)
+		u.b.WriteString("if ")
+		u.expr(n.Cond)
+		u.b.WriteString(":\n")
+		u.stmts(n.Body, level+1)
+		if len(n.Orelse) > 0 {
+			u.line(level, "else:")
+			u.stmts(n.Orelse, level+1)
+		}
+	case *For:
+		u.indent(level)
+		if n.Async {
+			u.b.WriteString("async ")
+		}
+		u.b.WriteString("for ")
+		u.expr(n.Target)
+		u.b.WriteString(" in ")
+		u.expr(n.Iter)
+		u.b.WriteString(":\n")
+		u.stmts(n.Body, level+1)
+		if len(n.Orelse) > 0 {
+			u.line(level, "else:")
+			u.stmts(n.Orelse, level+1)
+		}
+	case *While:
+		u.indent(level)
+		u.b.WriteString("while ")
+		u.expr(n.Cond)
+		u.b.WriteString(":\n")
+		u.stmts(n.Body, level+1)
+		if len(n.Orelse) > 0 {
+			u.line(level, "else:")
+			u.stmts(n.Orelse, level+1)
+		}
+	case *Try:
+		u.line(level, "try:")
+		u.stmts(n.Body, level+1)
+		for _, h := range n.Handlers {
+			u.indent(level)
+			u.b.WriteString("except")
+			if h.Type != nil {
+				u.b.WriteString(" ")
+				u.expr(h.Type)
+				if h.Name != "" {
+					u.b.WriteString(" as " + h.Name)
+				}
+			}
+			u.b.WriteString(":\n")
+			u.stmts(h.Body, level+1)
+		}
+		if len(n.Orelse) > 0 {
+			u.line(level, "else:")
+			u.stmts(n.Orelse, level+1)
+		}
+		if len(n.Finally) > 0 {
+			u.line(level, "finally:")
+			u.stmts(n.Finally, level+1)
+		}
+	case *With:
+		u.indent(level)
+		if n.Async {
+			u.b.WriteString("async ")
+		}
+		u.b.WriteString("with ")
+		for i, item := range n.Items {
+			if i > 0 {
+				u.b.WriteString(", ")
+			}
+			u.expr(item.Context)
+			if item.Target != nil {
+				u.b.WriteString(" as ")
+				u.expr(item.Target)
+			}
+		}
+		u.b.WriteString(":\n")
+		u.stmts(n.Body, level+1)
+	case *Return:
+		u.indent(level)
+		u.b.WriteString("return")
+		if n.Value != nil {
+			u.b.WriteString(" ")
+			u.expr(n.Value)
+		}
+		u.b.WriteByte('\n')
+	case *Raise:
+		u.indent(level)
+		u.b.WriteString("raise")
+		if n.Exc != nil {
+			u.b.WriteString(" ")
+			u.expr(n.Exc)
+			if n.Cause != nil {
+				u.b.WriteString(" from ")
+				u.expr(n.Cause)
+			}
+		}
+		u.b.WriteByte('\n')
+	case *Assert:
+		u.indent(level)
+		u.b.WriteString("assert ")
+		u.expr(n.Test)
+		if n.Msg != nil {
+			u.b.WriteString(", ")
+			u.expr(n.Msg)
+		}
+		u.b.WriteByte('\n')
+	case *Assign:
+		u.indent(level)
+		for _, t := range n.Targets {
+			u.expr(t)
+			u.b.WriteString(" = ")
+		}
+		u.expr(n.Value)
+		u.b.WriteByte('\n')
+	case *AugAssign:
+		u.indent(level)
+		u.expr(n.Target)
+		u.b.WriteString(" " + n.Op + " ")
+		u.expr(n.Value)
+		u.b.WriteByte('\n')
+	case *AnnAssign:
+		u.indent(level)
+		u.expr(n.Target)
+		u.b.WriteString(": ")
+		u.expr(n.Annotation)
+		if n.Value != nil {
+			u.b.WriteString(" = ")
+			u.expr(n.Value)
+		}
+		u.b.WriteByte('\n')
+	case *ExprStmt:
+		u.indent(level)
+		u.expr(n.Value)
+		u.b.WriteByte('\n')
+	case *Pass:
+		u.line(level, "pass")
+	case *Break:
+		u.line(level, "break")
+	case *Continue:
+		u.line(level, "continue")
+	case *Global:
+		u.line(level, "global ", strings.Join(n.Names, ", "))
+	case *Nonlocal:
+		u.line(level, "nonlocal ", strings.Join(n.Names, ", "))
+	case *Del:
+		u.indent(level)
+		u.b.WriteString("del ")
+		for i, t := range n.Targets {
+			if i > 0 {
+				u.b.WriteString(", ")
+			}
+			u.expr(t)
+		}
+		u.b.WriteByte('\n')
+	case *BadStmt:
+		u.line(level, "pass  # unparseable: ", strings.ReplaceAll(n.Source, "\n", " "))
+	}
+}
+
+func (u *unparser) params(params []Param) {
+	for i, p := range params {
+		if i > 0 {
+			u.b.WriteString(", ")
+		}
+		switch {
+		case p.DoubleStar:
+			u.b.WriteString("**" + p.Name)
+		case p.Star:
+			u.b.WriteString("*" + p.Name)
+		default:
+			u.b.WriteString(p.Name)
+			if p.Annotation != nil {
+				u.b.WriteString(": ")
+				u.expr(p.Annotation)
+			}
+			if p.Default != nil {
+				u.b.WriteString("=")
+				u.expr(p.Default)
+			}
+		}
+	}
+}
+
+func (u *unparser) expr(e Expr) {
+	switch n := e.(type) {
+	case nil:
+		return
+	case *Name:
+		u.b.WriteString(n.ID)
+	case *NumberLit:
+		u.b.WriteString(n.Text)
+	case *StringLit:
+		u.b.WriteString(n.Raw)
+	case *ConstLit:
+		u.b.WriteString(n.Kind)
+	case *Tuple:
+		u.b.WriteString("(")
+		for i, el := range n.Elts {
+			if i > 0 {
+				u.b.WriteString(", ")
+			}
+			u.expr(el)
+		}
+		if len(n.Elts) == 1 {
+			u.b.WriteString(",")
+		}
+		u.b.WriteString(")")
+	case *List:
+		u.b.WriteString("[")
+		for i, el := range n.Elts {
+			if i > 0 {
+				u.b.WriteString(", ")
+			}
+			u.expr(el)
+		}
+		u.b.WriteString("]")
+	case *Set:
+		u.b.WriteString("{")
+		for i, el := range n.Elts {
+			if i > 0 {
+				u.b.WriteString(", ")
+			}
+			u.expr(el)
+		}
+		u.b.WriteString("}")
+	case *Dict:
+		u.b.WriteString("{")
+		for i := range n.Keys {
+			if i > 0 {
+				u.b.WriteString(", ")
+			}
+			if n.Keys[i] == nil {
+				u.b.WriteString("**")
+				u.expr(n.Values[i])
+				continue
+			}
+			u.expr(n.Keys[i])
+			u.b.WriteString(": ")
+			u.expr(n.Values[i])
+		}
+		u.b.WriteString("}")
+	case *Call:
+		u.exprParen(n.Func)
+		u.b.WriteString("(")
+		for i, a := range n.Args {
+			if i > 0 {
+				u.b.WriteString(", ")
+			}
+			u.expr(a)
+		}
+		for i, kw := range n.Keywords {
+			if i > 0 || len(n.Args) > 0 {
+				u.b.WriteString(", ")
+			}
+			if kw.Name == "" {
+				u.b.WriteString("**")
+			} else {
+				u.b.WriteString(kw.Name + "=")
+			}
+			u.expr(kw.Value)
+		}
+		u.b.WriteString(")")
+	case *Attribute:
+		u.exprParen(n.Value)
+		u.b.WriteString("." + n.Attr)
+	case *Subscript:
+		u.exprParen(n.Value)
+		u.b.WriteString("[")
+		u.expr(n.Index)
+		u.b.WriteString("]")
+	case *Slice:
+		if n.Lower != nil {
+			u.expr(n.Lower)
+		}
+		u.b.WriteString(":")
+		if n.Upper != nil {
+			u.expr(n.Upper)
+		}
+		if n.Step != nil {
+			u.b.WriteString(":")
+			u.expr(n.Step)
+		}
+	case *BinOp:
+		if n.Op == ":=" {
+			u.b.WriteString("(")
+			u.expr(n.Left)
+			u.b.WriteString(" := ")
+			u.expr(n.Right)
+			u.b.WriteString(")")
+			return
+		}
+		u.exprParen(n.Left)
+		u.b.WriteString(" " + n.Op + " ")
+		u.exprParen(n.Right)
+	case *BoolOp:
+		for i, v := range n.Values {
+			if i > 0 {
+				u.b.WriteString(" " + n.Op + " ")
+			}
+			u.exprParen(v)
+		}
+	case *UnaryOp:
+		if n.Op == "not" {
+			u.b.WriteString("not ")
+		} else {
+			u.b.WriteString(n.Op)
+		}
+		u.exprParen(n.Operand)
+	case *Compare:
+		u.exprParen(n.Left)
+		for i, op := range n.Ops {
+			u.b.WriteString(" " + op + " ")
+			u.exprParen(n.Comparators[i])
+		}
+	case *IfExp:
+		u.exprParen(n.Body)
+		u.b.WriteString(" if ")
+		u.exprParen(n.Cond)
+		u.b.WriteString(" else ")
+		u.exprParen(n.Orelse)
+	case *Lambda:
+		u.b.WriteString("lambda")
+		if len(n.Params) > 0 {
+			u.b.WriteString(" ")
+			u.params(n.Params)
+		}
+		u.b.WriteString(": ")
+		u.expr(n.Body)
+	case *Starred:
+		u.b.WriteString("*")
+		u.expr(n.Value)
+	case *Await:
+		u.b.WriteString("await ")
+		u.exprParen(n.Value)
+	case *Yield:
+		u.b.WriteString("(yield")
+		if n.From {
+			u.b.WriteString(" from")
+		}
+		if n.Value != nil {
+			u.b.WriteString(" ")
+			u.expr(n.Value)
+		}
+		u.b.WriteString(")")
+	case *Comp:
+		open, close := compDelims(n.Kind)
+		u.b.WriteString(open)
+		u.expr(n.Elt)
+		if n.Kind == "dict" {
+			u.b.WriteString(": ")
+			u.expr(n.Value)
+		}
+		for _, g := range n.Generators {
+			u.b.WriteString(" for ")
+			u.expr(g.Target)
+			u.b.WriteString(" in ")
+			u.exprParen(g.Iter)
+			for _, cond := range g.Ifs {
+				u.b.WriteString(" if ")
+				u.exprParen(cond)
+			}
+		}
+		u.b.WriteString(close)
+	case *BadExpr:
+		u.b.WriteString("None")
+	}
+}
+
+func compDelims(kind string) (string, string) {
+	switch kind {
+	case "list":
+		return "[", "]"
+	case "set", "dict":
+		return "{", "}"
+	default:
+		return "(", ")"
+	}
+}
+
+// exprParen renders e, wrapping compound expressions in parentheses so
+// precedence is always preserved regardless of the original grouping.
+func (u *unparser) exprParen(e Expr) {
+	switch e.(type) {
+	case *Name, *NumberLit, *StringLit, *ConstLit, *Call, *Attribute,
+		*Subscript, *Tuple, *List, *Set, *Dict, *Comp:
+		u.expr(e)
+	default:
+		u.b.WriteString("(")
+		u.expr(e)
+		u.b.WriteString(")")
+	}
+}

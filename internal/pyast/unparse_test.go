@@ -1,0 +1,209 @@
+package pyast
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// dump renders a tree as a position-free S-expression for structural
+// comparison.
+func dump(n Node) string {
+	var b strings.Builder
+	var walk func(Node)
+	writeExprs := func(es []Expr) {
+		for _, e := range es {
+			walk(e)
+		}
+	}
+	writeStmts := func(ss []Stmt) {
+		for _, s := range ss {
+			walk(s)
+		}
+	}
+	walk = func(n Node) {
+		if n == nil {
+			b.WriteString("(nil)")
+			return
+		}
+		switch x := n.(type) {
+		case *Module:
+			b.WriteString("(module ")
+			writeStmts(x.Body)
+			b.WriteString(")")
+		case *Name:
+			fmt.Fprintf(&b, "(name %s)", x.ID)
+		case *NumberLit:
+			fmt.Fprintf(&b, "(num %s)", x.Text)
+		case *StringLit:
+			fmt.Fprintf(&b, "(str %q)", x.Raw)
+		case *ConstLit:
+			fmt.Fprintf(&b, "(const %s)", x.Kind)
+		case *Assign:
+			b.WriteString("(assign ")
+			writeExprs(x.Targets)
+			walk(x.Value)
+			b.WriteString(")")
+		case *Call:
+			b.WriteString("(call ")
+			walk(x.Func)
+			writeExprs(x.Args)
+			for _, kw := range x.Keywords {
+				fmt.Fprintf(&b, "(kw %s ", kw.Name)
+				walk(kw.Value)
+				b.WriteString(")")
+			}
+			b.WriteString(")")
+		case *Attribute:
+			fmt.Fprintf(&b, "(attr ")
+			walk(x.Value)
+			fmt.Fprintf(&b, " %s)", x.Attr)
+		case *BinOp:
+			fmt.Fprintf(&b, "(binop %s ", x.Op)
+			walk(x.Left)
+			walk(x.Right)
+			b.WriteString(")")
+		case *If:
+			b.WriteString("(if ")
+			walk(x.Cond)
+			writeStmts(x.Body)
+			b.WriteString(" else ")
+			writeStmts(x.Orelse)
+			b.WriteString(")")
+		case *FunctionDef:
+			fmt.Fprintf(&b, "(def %s async=%v ", x.Name, x.Async)
+			for _, p := range x.Params {
+				fmt.Fprintf(&b, "(param %s star=%v dstar=%v ", p.Name, p.Star, p.DoubleStar)
+				walk(p.Default)
+				walk(p.Annotation)
+				b.WriteString(")")
+			}
+			writeExprs(x.Decorators)
+			writeStmts(x.Body)
+			b.WriteString(")")
+		default:
+			// generic fallback: type name plus children via Walk
+			fmt.Fprintf(&b, "(%T ", n)
+			first := true
+			Walk(n, func(c Node) bool {
+				if c == n {
+					return true
+				}
+				if first {
+					first = false
+				}
+				walk(c)
+				return false // children handle their own subtrees
+			})
+			b.WriteString(")")
+		}
+	}
+	walk(n)
+	return b.String()
+}
+
+func TestUnparseGolden(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"x=1\n", "x = 1\n"},
+		{"import os,sys\n", "import os, sys\n"},
+		{"from a.b import c as d\n", "from a.b import c as d\n"},
+		{"def f(a,b=2,*args,**kw):\n    return a+b\n", "def f(a, b=2, *args, **kw):\n    return a + b\n"},
+		{"if x:\n    y=1\nelse:\n    y=2\n", "if x:\n    y = 1\nelse:\n    y = 2\n"},
+		{"while x<10:\n    x+=1\n", "while x < 10:\n    x += 1\n"},
+		{"for k,v in d.items():\n    print(k)\n", "for (k, v) in d.items():\n    print(k)\n"},
+		{"with open('f') as fh:\n    data=fh.read()\n", "with open('f') as fh:\n    data = fh.read()\n"},
+		{"assert x>0, 'msg'\n", "assert x > 0, 'msg'\n"},
+		{"del a,b\n", "del a, b\n"},
+		{"raise ValueError('x') from e\n", "raise ValueError('x') from e\n"},
+		{"lambda x:x\n", "lambda x: x\n"},
+		{"xs=[i*2 for i in range(10) if i]\n", "xs = [i * 2 for i in range(10) if i]\n"},
+		{"d={'a':1,**rest}\n", "d = {'a': 1, **rest}\n"},
+		{"s=xs[1:5:2]\n", "s = xs[1:5:2]\n"},
+		{"y=a if c else b\n", "y = a if c else b\n"},
+	}
+	for _, tc := range cases {
+		m, err := Parse(tc.src)
+		if err != nil || len(m.Errors) > 0 {
+			t.Fatalf("%q: parse failed: %v %v", tc.src, err, m.Errors)
+		}
+		got := Unparse(m)
+		if got != tc.want {
+			t.Errorf("Unparse(%q) =\n%q\nwant\n%q", tc.src, got, tc.want)
+		}
+	}
+}
+
+// TestUnparseRoundTrip: unparse output must parse cleanly, and unparsing
+// again must be a fixed point (idempotence).
+func TestUnparseRoundTrip(t *testing.T) {
+	sources := []string{
+		"x = 1\ny = x + 2\n",
+		"def handler(request):\n    uid = request.args.get(\"id\", \"\")\n    if not uid:\n        return \"missing\", 400\n    return {\"id\": uid}\n",
+		"class C(Base, meta=M):\n    @staticmethod\n    def m(x):\n        return x\n",
+		"try:\n    f()\nexcept ValueError as e:\n    handle(e)\nfinally:\n    done()\n",
+		"async def fetch(url):\n    async with session.get(url) as r:\n        return await r.json()\n",
+		"result = [x ** 2 for row in grid for x in row if x > 0]\n",
+		"a, *rest = parts\n",
+		"total = sum(v for v in values)\n",
+		"if (n := len(xs)) > 3:\n    print(n)\n",
+		"x = -y ** 2 + ~z\n",
+		"flag = a and b or not c\n",
+		"w = a < b <= c != d\n",
+		"def gen():\n    yield 1\n    x = yield\n    yield from inner()\n",
+	}
+	for _, src := range sources {
+		m1, err := Parse(src)
+		if err != nil || len(m1.Errors) > 0 {
+			t.Fatalf("%q: parse failed: %v %v", src, err, m1.Errors)
+		}
+		out1 := Unparse(m1)
+		m2, err := Parse(out1)
+		if err != nil {
+			t.Fatalf("unparse output does not tokenize: %v\n%s", err, out1)
+		}
+		if len(m2.Errors) > 0 {
+			t.Fatalf("unparse output does not parse: %v\n%s", m2.Errors, out1)
+		}
+		out2 := Unparse(m2)
+		if out1 != out2 {
+			t.Errorf("unparse not idempotent for %q:\nfirst:\n%s\nsecond:\n%s", src, out1, out2)
+		}
+		// structural equivalence of the two trees
+		if dump(m1) != dump(m2) {
+			t.Errorf("structure changed across round trip for %q:\n%s\nvs\n%s", src, dump(m1), dump(m2))
+		}
+	}
+}
+
+func TestUnparseEmptyBodiesGetPass(t *testing.T) {
+	m := &Module{Body: []Stmt{&FunctionDef{Name: "f"}}}
+	out := Unparse(m)
+	if !strings.Contains(out, "def f():\n    pass\n") {
+		t.Errorf("empty body: %q", out)
+	}
+}
+
+func TestUnparseBadStmtCommented(t *testing.T) {
+	m, err := Parse("def broken(:)\nx = 1\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Unparse(m)
+	if !strings.Contains(out, "# unparseable") {
+		t.Errorf("bad stmt not surfaced: %q", out)
+	}
+	if !strings.Contains(out, "x = 1") {
+		t.Errorf("good stmt lost: %q", out)
+	}
+}
+
+func TestUnparseExprAndStmtHelpers(t *testing.T) {
+	m := MustParse("y = f(a, b=1)\n")
+	as := m.Body[0].(*Assign)
+	if got := UnparseExpr(as.Value); got != "f(a, b=1)" {
+		t.Errorf("UnparseExpr = %q", got)
+	}
+	if got := UnparseStmt(as, 1); got != "    y = f(a, b=1)\n" {
+		t.Errorf("UnparseStmt = %q", got)
+	}
+}

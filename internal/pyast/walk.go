@@ -1,0 +1,247 @@
+package pyast
+
+// Walk traverses the tree rooted at node in depth-first order, calling fn
+// for each node. If fn returns false for a node, its children are skipped.
+func Walk(node Node, fn func(Node) bool) {
+	if node == nil {
+		return
+	}
+	if !fn(node) {
+		return
+	}
+	switch n := node.(type) {
+	case *Module:
+		walkStmts(n.Body, fn)
+	case *FunctionDef:
+		for _, d := range n.Decorators {
+			Walk(d, fn)
+		}
+		walkParams(n.Params, fn)
+		Walk(n.Returns, fn)
+		walkStmts(n.Body, fn)
+	case *ClassDef:
+		for _, d := range n.Decorators {
+			Walk(d, fn)
+		}
+		walkExprs(n.Bases, fn)
+		for _, k := range n.Keywords {
+			Walk(k.Value, fn)
+		}
+		walkStmts(n.Body, fn)
+	case *If:
+		Walk(n.Cond, fn)
+		walkStmts(n.Body, fn)
+		walkStmts(n.Orelse, fn)
+	case *For:
+		Walk(n.Target, fn)
+		Walk(n.Iter, fn)
+		walkStmts(n.Body, fn)
+		walkStmts(n.Orelse, fn)
+	case *While:
+		Walk(n.Cond, fn)
+		walkStmts(n.Body, fn)
+		walkStmts(n.Orelse, fn)
+	case *Try:
+		walkStmts(n.Body, fn)
+		for _, h := range n.Handlers {
+			Walk(h.Type, fn)
+			walkStmts(h.Body, fn)
+		}
+		walkStmts(n.Orelse, fn)
+		walkStmts(n.Finally, fn)
+	case *With:
+		for _, it := range n.Items {
+			Walk(it.Context, fn)
+			Walk(it.Target, fn)
+		}
+		walkStmts(n.Body, fn)
+	case *Return:
+		Walk(n.Value, fn)
+	case *Raise:
+		Walk(n.Exc, fn)
+		Walk(n.Cause, fn)
+	case *Assert:
+		Walk(n.Test, fn)
+		Walk(n.Msg, fn)
+	case *Assign:
+		walkExprs(n.Targets, fn)
+		Walk(n.Value, fn)
+	case *AugAssign:
+		Walk(n.Target, fn)
+		Walk(n.Value, fn)
+	case *AnnAssign:
+		Walk(n.Target, fn)
+		Walk(n.Annotation, fn)
+		Walk(n.Value, fn)
+	case *ExprStmt:
+		Walk(n.Value, fn)
+	case *Del:
+		walkExprs(n.Targets, fn)
+	case *Tuple:
+		walkExprs(n.Elts, fn)
+	case *List:
+		walkExprs(n.Elts, fn)
+	case *Set:
+		walkExprs(n.Elts, fn)
+	case *Dict:
+		for i := range n.Keys {
+			Walk(n.Keys[i], fn)
+			Walk(n.Values[i], fn)
+		}
+	case *Call:
+		Walk(n.Func, fn)
+		walkExprs(n.Args, fn)
+		for _, k := range n.Keywords {
+			Walk(k.Value, fn)
+		}
+	case *Attribute:
+		Walk(n.Value, fn)
+	case *Subscript:
+		Walk(n.Value, fn)
+		Walk(n.Index, fn)
+	case *Slice:
+		Walk(n.Lower, fn)
+		Walk(n.Upper, fn)
+		Walk(n.Step, fn)
+	case *BinOp:
+		Walk(n.Left, fn)
+		Walk(n.Right, fn)
+	case *BoolOp:
+		walkExprs(n.Values, fn)
+	case *UnaryOp:
+		Walk(n.Operand, fn)
+	case *Compare:
+		Walk(n.Left, fn)
+		walkExprs(n.Comparators, fn)
+	case *IfExp:
+		Walk(n.Cond, fn)
+		Walk(n.Body, fn)
+		Walk(n.Orelse, fn)
+	case *Lambda:
+		walkParams(n.Params, fn)
+		Walk(n.Body, fn)
+	case *Starred:
+		Walk(n.Value, fn)
+	case *Await:
+		Walk(n.Value, fn)
+	case *Yield:
+		Walk(n.Value, fn)
+	case *Comp:
+		Walk(n.Elt, fn)
+		Walk(n.Value, fn)
+		for _, g := range n.Generators {
+			Walk(g.Target, fn)
+			Walk(g.Iter, fn)
+			walkExprs(g.Ifs, fn)
+		}
+	}
+}
+
+func walkStmts(stmts []Stmt, fn func(Node) bool) {
+	for _, s := range stmts {
+		Walk(s, fn)
+	}
+}
+
+func walkExprs(exprs []Expr, fn func(Node) bool) {
+	for _, e := range exprs {
+		Walk(e, fn)
+	}
+}
+
+func walkParams(params []Param, fn func(Node) bool) {
+	for _, p := range params {
+		Walk(p.Default, fn)
+		Walk(p.Annotation, fn)
+	}
+}
+
+// Calls returns every Call node in the tree, in source order.
+func Calls(node Node) []*Call {
+	var out []*Call
+	Walk(node, func(n Node) bool {
+		if c, ok := n.(*Call); ok {
+			out = append(out, c)
+		}
+		return true
+	})
+	return out
+}
+
+// Functions returns every FunctionDef in the tree, in source order.
+func Functions(node Node) []*FunctionDef {
+	var out []*FunctionDef
+	Walk(node, func(n Node) bool {
+		if f, ok := n.(*FunctionDef); ok {
+			out = append(out, f)
+		}
+		return true
+	})
+	return out
+}
+
+// DottedName renders an expression made of names and attributes as a
+// dotted path ("os.path.join"). It returns "" when the expression contains
+// anything else.
+func DottedName(e Expr) string {
+	switch n := e.(type) {
+	case *Name:
+		return n.ID
+	case *Attribute:
+		base := DottedName(n.Value)
+		if base == "" {
+			return ""
+		}
+		return base + "." + n.Attr
+	}
+	return ""
+}
+
+// CallName returns the dotted name of a call's function, or "" if the
+// callee is not a plain dotted path.
+func CallName(c *Call) string { return DottedName(c.Func) }
+
+// KeywordArg returns the value of the named keyword argument, or nil.
+func KeywordArg(c *Call, name string) Expr {
+	for _, k := range c.Keywords {
+		if k.Name == name {
+			return k.Value
+		}
+	}
+	return nil
+}
+
+// IsConst reports whether e is the constant kind ("True", "False", "None").
+func IsConst(e Expr, kind string) bool {
+	c, ok := e.(*ConstLit)
+	return ok && c.Kind == kind
+}
+
+// ImportedModules returns the set of top-level module names imported by
+// the module, including "from X import ..." roots.
+func ImportedModules(m *Module) map[string]bool {
+	out := make(map[string]bool)
+	Walk(m, func(n Node) bool {
+		switch s := n.(type) {
+		case *Import:
+			for _, a := range s.Names {
+				out[rootModule(a.Name)] = true
+			}
+		case *ImportFrom:
+			if s.Module != "" {
+				out[rootModule(s.Module)] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func rootModule(dotted string) string {
+	for i := 0; i < len(dotted); i++ {
+		if dotted[i] == '.' {
+			return dotted[:i]
+		}
+	}
+	return dotted
+}

@@ -1,0 +1,114 @@
+// Package pytoken implements a tokenizer for Python source code.
+//
+// The tokenizer produces a stream of tokens compatible in spirit with
+// CPython's tokenize module: it tracks logical lines, emits INDENT and
+// DEDENT tokens based on leading whitespace, honours implicit line joining
+// inside brackets and explicit joining with a trailing backslash, and
+// recognizes all string prefixes used in modern Python (raw, bytes,
+// f-strings and their combinations).
+//
+// It is the foundation for every other Python-processing substrate in this
+// repository: the parser (internal/pyast), the standardizer
+// (internal/standardize), the rule engine (internal/rules) and the
+// baseline analyzers.
+package pytoken
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Kind classifies a token.
+type Kind int
+
+// Token kinds. The zero value is invalid so that accidentally
+// zero-initialized tokens are caught early.
+const (
+	KindInvalid Kind = iota
+	KindName         // identifier
+	KindKeyword      // Python keyword (def, if, return, ...)
+	KindNumber       // numeric literal
+	KindString       // string literal, including prefix and quotes
+	KindOp           // operator or delimiter
+	KindComment      // '#' to end of line
+	KindNewline      // end of a logical line
+	KindNL           // end of a blank/comment-only physical line
+	KindIndent       // increase in indentation
+	KindDedent       // decrease in indentation
+	KindEOF          // end of input
+)
+
+var kindNames = map[Kind]string{
+	KindInvalid: "INVALID",
+	KindName:    "NAME",
+	KindKeyword: "KEYWORD",
+	KindNumber:  "NUMBER",
+	KindString:  "STRING",
+	KindOp:      "OP",
+	KindComment: "COMMENT",
+	KindNewline: "NEWLINE",
+	KindNL:      "NL",
+	KindIndent:  "INDENT",
+	KindDedent:  "DEDENT",
+	KindEOF:     "EOF",
+}
+
+// String returns the conventional upper-case name of the kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return "Kind(" + strconv.Itoa(int(k)) + ")"
+}
+
+// Position locates a token within the source buffer. Lines are 1-based and
+// columns are 0-based byte offsets within the line, matching CPython's
+// tokenize conventions.
+type Position struct {
+	Line   int // 1-based line number
+	Col    int // 0-based byte column
+	Offset int // 0-based byte offset from the start of the buffer
+}
+
+// String renders the position as "line:col".
+func (p Position) String() string {
+	return fmt.Sprintf("%d:%d", p.Line, p.Col)
+}
+
+// Token is a single lexical element.
+type Token struct {
+	Kind Kind
+	Text string   // exact source text (empty for INDENT/DEDENT/EOF)
+	Pos  Position // start position
+	End  Position // position one past the last byte of the token
+}
+
+// String renders the token for diagnostics.
+func (t Token) String() string {
+	if t.Text == "" {
+		return fmt.Sprintf("%s@%s", t.Kind, t.Pos)
+	}
+	return fmt.Sprintf("%s(%q)@%s", t.Kind, t.Text, t.Pos)
+}
+
+// Is reports whether the token has the given kind and exact text.
+func (t Token) Is(kind Kind, text string) bool {
+	return t.Kind == kind && t.Text == text
+}
+
+// keywords is the set of Python 3 keywords. Soft keywords (match, case,
+// type) are intentionally treated as names, which matches how AI-generated
+// snippets use them.
+var keywords = map[string]bool{
+	"False": true, "None": true, "True": true, "and": true, "as": true,
+	"assert": true, "async": true, "await": true, "break": true,
+	"class": true, "continue": true, "def": true, "del": true, "elif": true,
+	"else": true, "except": true, "finally": true, "for": true, "from": true,
+	"global": true, "if": true, "import": true, "in": true, "is": true,
+	"lambda": true, "nonlocal": true, "not": true, "or": true, "pass": true,
+	"raise": true, "return": true, "try": true, "while": true, "with": true,
+	"yield": true,
+}
+
+// IsKeyword reports whether name is a Python keyword.
+func IsKeyword(name string) bool { return keywords[name] }

@@ -1,0 +1,537 @@
+package pytoken
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func kinds(toks []Token) []Kind {
+	out := make([]Kind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func texts(toks []Token) []string {
+	out := make([]string, 0, len(toks))
+	for _, t := range toks {
+		if t.Kind == KindEOF {
+			continue
+		}
+		out = append(out, t.Text)
+	}
+	return out
+}
+
+func mustTokenize(t *testing.T, src string) []Token {
+	t.Helper()
+	toks, err := Tokenize(src)
+	if err != nil {
+		t.Fatalf("Tokenize(%q): %v", src, err)
+	}
+	return toks
+}
+
+func TestSimpleAssignment(t *testing.T) {
+	toks := mustTokenize(t, "x = 1\n")
+	want := []Kind{KindName, KindOp, KindNumber, KindNewline, KindEOF}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestKeywordRecognition(t *testing.T) {
+	toks := mustTokenize(t, "def f(): return None\n")
+	if toks[0].Kind != KindKeyword || toks[0].Text != "def" {
+		t.Errorf("expected keyword def, got %v", toks[0])
+	}
+	if toks[1].Kind != KindName || toks[1].Text != "f" {
+		t.Errorf("expected name f, got %v", toks[1])
+	}
+	var sawReturn, sawNone bool
+	for _, tok := range toks {
+		if tok.Is(KindKeyword, "return") {
+			sawReturn = true
+		}
+		if tok.Is(KindKeyword, "None") {
+			sawNone = true
+		}
+	}
+	if !sawReturn || !sawNone {
+		t.Errorf("missing return/None keywords in %v", toks)
+	}
+}
+
+func TestIndentDedent(t *testing.T) {
+	src := "if x:\n    y = 1\n    z = 2\nw = 3\n"
+	toks := mustTokenize(t, src)
+	var indents, dedents int
+	for _, tok := range toks {
+		switch tok.Kind {
+		case KindIndent:
+			indents++
+		case KindDedent:
+			dedents++
+		}
+	}
+	if indents != 1 || dedents != 1 {
+		t.Errorf("got %d indents, %d dedents; want 1, 1", indents, dedents)
+	}
+}
+
+func TestNestedIndentationClosedAtEOF(t *testing.T) {
+	src := "def f():\n    if x:\n        return 1"
+	toks := mustTokenize(t, src)
+	var indents, dedents int
+	for _, tok := range toks {
+		switch tok.Kind {
+		case KindIndent:
+			indents++
+		case KindDedent:
+			dedents++
+		}
+	}
+	if indents != 2 || dedents != 2 {
+		t.Errorf("got %d indents, %d dedents; want 2, 2", indents, dedents)
+	}
+	if toks[len(toks)-1].Kind != KindEOF {
+		t.Errorf("last token should be EOF, got %v", toks[len(toks)-1])
+	}
+}
+
+func TestBadDedentIsError(t *testing.T) {
+	src := "if x:\n        y = 1\n    z = 2\n"
+	if _, err := Tokenize(src); err == nil {
+		t.Fatal("expected indentation error, got nil")
+	}
+}
+
+func TestStringVariants(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{`s = 'hello'` + "\n", `'hello'`},
+		{`s = "hello"` + "\n", `"hello"`},
+		{`s = """multi
+line"""` + "\n", "\"\"\"multi\nline\"\"\""},
+		{`s = r'raw\n'` + "\n", `r'raw\n'`},
+		{`s = b"bytes"` + "\n", `b"bytes"`},
+		{`s = f"hello {name}"` + "\n", `f"hello {name}"`},
+		{`s = rb'both'` + "\n", `rb'both'`},
+		{`s = 'esc\'aped'` + "\n", `'esc\'aped'`},
+	}
+	for _, tc := range cases {
+		toks := mustTokenize(t, tc.src)
+		var str *Token
+		for i := range toks {
+			if toks[i].Kind == KindString {
+				str = &toks[i]
+				break
+			}
+		}
+		if str == nil {
+			t.Errorf("%q: no string token found", tc.src)
+			continue
+		}
+		if str.Text != tc.want {
+			t.Errorf("%q: got %q, want %q", tc.src, str.Text, tc.want)
+		}
+	}
+}
+
+func TestUnterminatedString(t *testing.T) {
+	for _, src := range []string{"s = 'oops\n", `s = "never ends`} {
+		if _, err := Tokenize(src); err == nil {
+			t.Errorf("%q: expected error", src)
+		}
+	}
+}
+
+func TestNumbers(t *testing.T) {
+	src := "a = 1 + 2.5 + 0x1F + 0o17 + 0b101 + 1_000 + 1e10 + 2.5e-3 + 3j\n"
+	toks := mustTokenize(t, src)
+	var nums []string
+	for _, tok := range toks {
+		if tok.Kind == KindNumber {
+			nums = append(nums, tok.Text)
+		}
+	}
+	want := []string{"1", "2.5", "0x1F", "0o17", "0b101", "1_000", "1e10", "2.5e-3", "3j"}
+	if len(nums) != len(want) {
+		t.Fatalf("got %v, want %v", nums, want)
+	}
+	for i := range want {
+		if nums[i] != want[i] {
+			t.Errorf("number %d: got %q, want %q", i, nums[i], want[i])
+		}
+	}
+}
+
+func TestOperators(t *testing.T) {
+	src := "x **= 2; y //= 3; z := 4; a -> b; c != d\n"
+	toks := mustTokenize(t, src)
+	joined := strings.Join(texts(toks), " ")
+	for _, op := range []string{"**=", "//=", ":=", "->", "!="} {
+		if !strings.Contains(joined, op) {
+			t.Errorf("missing operator %q in %q", op, joined)
+		}
+	}
+}
+
+func TestImplicitLineJoining(t *testing.T) {
+	src := "x = (1 +\n     2 +\n     3)\ny = 4\n"
+	toks := mustTokenize(t, src)
+	var newlines int
+	for _, tok := range toks {
+		if tok.Kind == KindNewline {
+			newlines++
+		}
+	}
+	if newlines != 2 {
+		t.Errorf("got %d logical newlines, want 2 (bracket contents joined)", newlines)
+	}
+}
+
+func TestExplicitLineContinuation(t *testing.T) {
+	src := "x = 1 + \\\n    2\n"
+	toks := mustTokenize(t, src)
+	var newlines int
+	for _, tok := range toks {
+		if tok.Kind == KindNewline {
+			newlines++
+		}
+	}
+	if newlines != 1 {
+		t.Errorf("got %d logical newlines, want 1", newlines)
+	}
+}
+
+func TestCommentsFiltered(t *testing.T) {
+	src := "# leading comment\nx = 1  # trailing\n"
+	toks := mustTokenize(t, src)
+	for _, tok := range toks {
+		if tok.Kind == KindComment {
+			t.Errorf("Tokenize should filter comments, found %v", tok)
+		}
+	}
+	all, err := TokenizeAll(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var comments int
+	for _, tok := range all {
+		if tok.Kind == KindComment {
+			comments++
+		}
+	}
+	if comments != 2 {
+		t.Errorf("TokenizeAll: got %d comments, want 2", comments)
+	}
+}
+
+func TestBlankLinesNoIndentChurn(t *testing.T) {
+	src := "def f():\n    x = 1\n\n    y = 2\n"
+	toks := mustTokenize(t, src)
+	var indents int
+	for _, tok := range toks {
+		if tok.Kind == KindIndent {
+			indents++
+		}
+	}
+	if indents != 1 {
+		t.Errorf("blank line must not affect indentation: got %d indents, want 1", indents)
+	}
+}
+
+func TestPositions(t *testing.T) {
+	toks := mustTokenize(t, "x = 1\ny = 2\n")
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 0 {
+		t.Errorf("x at %v, want 1:0", toks[0].Pos)
+	}
+	var y *Token
+	for i := range toks {
+		if toks[i].Is(KindName, "y") {
+			y = &toks[i]
+		}
+	}
+	if y == nil || y.Pos.Line != 2 || y.Pos.Col != 0 {
+		t.Errorf("y at %v, want 2:0", y)
+	}
+}
+
+func TestFStringWithNestedQuotes(t *testing.T) {
+	src := "msg = f\"hello {d['key']}\"\n"
+	toks := mustTokenize(t, src)
+	var found bool
+	for _, tok := range toks {
+		if tok.Kind == KindString && strings.HasPrefix(tok.Text, "f\"") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("f-string not tokenized as a single string: %v", toks)
+	}
+}
+
+func TestDecoratorAndAt(t *testing.T) {
+	src := "@app.route(\"/\")\ndef index():\n    pass\n"
+	toks := mustTokenize(t, src)
+	if !toks[0].Is(KindOp, "@") {
+		t.Errorf("expected @ first, got %v", toks[0])
+	}
+}
+
+func TestRealisticFlaskSnippet(t *testing.T) {
+	src := `from flask import Flask, request
+app = Flask(__name__)
+
+@app.route("/comments")
+def comments():
+    var0 = request.args.get("q", "")
+    return f"<p>{var0}</p>"
+
+if __name__ == "__main__":
+    app.run(debug=True)
+`
+	toks := mustTokenize(t, src)
+	if toks[len(toks)-1].Kind != KindEOF {
+		t.Fatalf("missing EOF")
+	}
+	var names, strings_ int
+	for _, tok := range toks {
+		switch tok.Kind {
+		case KindName:
+			names++
+		case KindString:
+			strings_++
+		}
+	}
+	if names < 10 || strings_ < 3 {
+		t.Errorf("suspiciously few tokens: %d names, %d strings", names, strings_)
+	}
+}
+
+// TestTokenizerNeverPanics feeds random byte strings; the tokenizer must
+// return (tokens, error) without panicking and, on success, must end with
+// EOF and have monotonically non-decreasing offsets.
+func TestTokenizerNeverPanics(t *testing.T) {
+	f := func(src string) bool {
+		toks, err := Tokenize(src)
+		if err != nil {
+			return true
+		}
+		if len(toks) == 0 || toks[len(toks)-1].Kind != KindEOF {
+			return false
+		}
+		last := -1
+		for _, tok := range toks {
+			if tok.Pos.Offset < last {
+				return false
+			}
+			last = tok.Pos.Offset
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRoundTripCoverage checks that for well-formed single-line inputs the
+// concatenated token texts reproduce every non-space byte of the source.
+func TestRoundTripCoverage(t *testing.T) {
+	srcs := []string{
+		"x=1+2*3\n",
+		"print('hello_world')\n",
+		"result = subprocess.run(cmd, shell=True)\n",
+		"h = hashlib.md5(data).hexdigest()\n",
+	}
+	for _, src := range srcs {
+		toks := mustTokenize(t, src)
+		var b strings.Builder
+		for _, tok := range toks {
+			if tok.Kind == KindNewline || tok.Kind == KindEOF {
+				continue
+			}
+			b.WriteString(tok.Text)
+		}
+		want := strings.NewReplacer(" ", "", "\n", "").Replace(src)
+		if b.String() != want {
+			t.Errorf("%q: token concat %q != %q", src, b.String(), want)
+		}
+	}
+}
+
+func TestEmptyAndWhitespaceOnly(t *testing.T) {
+	for _, src := range []string{"", "\n", "   \n\n", "# just a comment\n", "\t\n"} {
+		toks, err := Tokenize(src)
+		if err != nil {
+			t.Errorf("%q: %v", src, err)
+			continue
+		}
+		if toks[len(toks)-1].Kind != KindEOF {
+			t.Errorf("%q: missing EOF", src)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindName.String() != "NAME" || KindEOF.String() != "EOF" {
+		t.Error("Kind.String misbehaving")
+	}
+	if Kind(99).String() == "" {
+		t.Error("unknown kind should still render")
+	}
+}
+
+func BenchmarkTokenizeFlaskApp(b *testing.B) {
+	src := strings.Repeat(`from flask import Flask, request
+app = Flask(__name__)
+
+@app.route("/comments")
+def comments():
+    var0 = request.args.get("q", "")
+    return f"<p>{var0}</p>"
+`, 20)
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Tokenize(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestCarriageReturnNewlines(t *testing.T) {
+	toks := mustTokenize(t, "x = 1\r\ny = 2\r\n")
+	var names int
+	for _, tok := range toks {
+		if tok.Kind == KindName {
+			names++
+		}
+	}
+	if names != 2 {
+		t.Errorf("names = %d, want 2", names)
+	}
+	var y *Token
+	for i := range toks {
+		if toks[i].Is(KindName, "y") {
+			y = &toks[i]
+		}
+	}
+	if y == nil || y.Pos.Line != 2 {
+		t.Errorf("y position: %+v", y)
+	}
+}
+
+func TestFormFeedAndTabsAsSpace(t *testing.T) {
+	toks := mustTokenize(t, "x\t=\f1\n")
+	want := []Kind{KindName, KindOp, KindNumber, KindNewline, KindEOF}
+	got := kinds(toks)
+	for i := range want {
+		if i >= len(got) || got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTabIndentation(t *testing.T) {
+	src := "if x:\n\ty = 1\n\tz = 2\n"
+	toks := mustTokenize(t, src)
+	var indents, dedents int
+	for _, tok := range toks {
+		switch tok.Kind {
+		case KindIndent:
+			indents++
+		case KindDedent:
+			dedents++
+		}
+	}
+	if indents != 1 || dedents != 1 {
+		t.Errorf("tab indent: %d/%d", indents, dedents)
+	}
+}
+
+func TestUnicodeIdentifiers(t *testing.T) {
+	toks := mustTokenize(t, "café = 1\n")
+	if toks[0].Kind != KindName || toks[0].Text != "café" {
+		t.Errorf("unicode name: %v", toks[0])
+	}
+}
+
+func TestRawStringBackslashQuote(t *testing.T) {
+	toks := mustTokenize(t, `s = r'a\'b'`+"\n")
+	var str *Token
+	for i := range toks {
+		if toks[i].Kind == KindString {
+			str = &toks[i]
+		}
+	}
+	if str == nil || str.Text != `r'a\'b'` {
+		t.Errorf("raw string: %v", str)
+	}
+}
+
+func TestBackslashContinuationInsideString(t *testing.T) {
+	src := "s = 'line one \\\nline two'\nx = 1\n"
+	toks := mustTokenize(t, src)
+	var strs, names int
+	for _, tok := range toks {
+		switch tok.Kind {
+		case KindString:
+			strs++
+		case KindName:
+			names++
+		}
+	}
+	if strs != 1 || names != 2 {
+		t.Errorf("continued string: %d strings, %d names", strs, names)
+	}
+}
+
+func TestNestedBracketsJoinLines(t *testing.T) {
+	src := "d = {\n    'a': [1,\n          2],\n}\nx = 1\n"
+	toks := mustTokenize(t, src)
+	var newlines int
+	for _, tok := range toks {
+		if tok.Kind == KindNewline {
+			newlines++
+		}
+	}
+	if newlines != 2 {
+		t.Errorf("newlines = %d, want 2", newlines)
+	}
+}
+
+func TestTripleQuoteDocstringWithQuotes(t *testing.T) {
+	src := `s = """doc with "quoted" words and 'single'"""` + "\n"
+	toks := mustTokenize(t, src)
+	var found bool
+	for _, tok := range toks {
+		if tok.Kind == KindString && strings.Contains(tok.Text, "quoted") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("triple-quoted string with embedded quotes mis-tokenized")
+	}
+}
+
+func TestEOFInsideBrackets(t *testing.T) {
+	toks, err := Tokenize("x = f(1, 2")
+	if err != nil {
+		t.Fatalf("unclosed bracket should still tokenize: %v", err)
+	}
+	if toks[len(toks)-1].Kind != KindEOF {
+		t.Error("missing EOF")
+	}
+}

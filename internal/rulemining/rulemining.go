@@ -1,0 +1,129 @@
+// Package rulemining implements the offline workflow of the paper's §II-A
+// (Fig. 2) that turns pairs of vulnerable samples and their hand-written
+// safe implementations into detection-and-patching rules:
+//
+//  1. standardize all four snippets with the named-entity tagger,
+//  2. extract the common vulnerable pattern LCSv = LCS(v1, v2) and the
+//     common safe pattern LCSs = LCS(s1, s2),
+//  3. diff (LCSv, LCSs) with the SequenceMatcher to isolate the additional
+//     safe material (the blue tokens in the paper's Table I),
+//  4. emit a rule candidate: a detection regex for the vulnerable pattern
+//     and the safe additions as the patch payload.
+package rulemining
+
+import (
+	"regexp"
+	"strings"
+
+	"github.com/dessertlab/patchitpy/internal/lcs"
+	"github.com/dessertlab/patchitpy/internal/standardize"
+	"github.com/dessertlab/patchitpy/internal/textdiff"
+)
+
+// Pair is one (vulnerable, safe) sample pair.
+type Pair struct {
+	Vulnerable string
+	Safe       string
+}
+
+// Mined is the outcome of mining one pair of pairs.
+type Mined struct {
+	// VulnerablePattern is LCSv — the shared vulnerable implementation
+	// pattern (standardized tokens).
+	VulnerablePattern []string
+	// SafePattern is LCSs — the shared safe implementation pattern.
+	SafePattern []string
+	// Additions are the token runs present in LCSs but not LCSv: the
+	// safety-relevant material the patch must introduce.
+	Additions [][]string
+	// Removals are the token runs present in LCSv but not LCSs.
+	Removals [][]string
+	// Similarity is the LCS similarity of the two vulnerable samples; low
+	// values mean the pair shares too little structure to mine from.
+	Similarity float64
+}
+
+// Mine runs the Fig. 2 workflow on two (vulnerable, safe) pairs.
+func Mine(a, b Pair) Mined {
+	s := standardize.New()
+	v1 := s.Standardize(a.Vulnerable).Tokens
+	v2 := s.Standardize(b.Vulnerable).Tokens
+	s1 := s.Standardize(a.Safe).Tokens
+	s2 := s.Standardize(b.Safe).Tokens
+
+	lcsV := lcs.Strings(v1, v2)
+	lcsS := lcs.Strings(s1, s2)
+
+	m := textdiff.NewMatcher(lcsV, lcsS)
+	var additions, removals [][]string
+	for _, op := range m.GetOpCodes() {
+		switch op.Tag {
+		case textdiff.OpInsert, textdiff.OpReplace:
+			run := make([]string, op.J2-op.J1)
+			copy(run, lcsS[op.J1:op.J2])
+			if len(run) > 0 {
+				additions = append(additions, run)
+			}
+			if op.Tag == textdiff.OpReplace {
+				rem := make([]string, op.I2-op.I1)
+				copy(rem, lcsV[op.I1:op.I2])
+				removals = append(removals, rem)
+			}
+		case textdiff.OpDelete:
+			rem := make([]string, op.I2-op.I1)
+			copy(rem, lcsV[op.I1:op.I2])
+			removals = append(removals, rem)
+		}
+	}
+
+	return Mined{
+		VulnerablePattern: lcsV,
+		SafePattern:       lcsS,
+		Additions:         additions,
+		Removals:          removals,
+		Similarity:        lcs.Similarity(v1, v2),
+	}
+}
+
+// MinSimilarity is the threshold below which a pair shares too little
+// structure for the mined pattern to be meaningful.
+const MinSimilarity = 0.4
+
+// Usable reports whether the mined pattern is worth turning into a rule.
+func (m Mined) Usable() bool {
+	return m.Similarity >= MinSimilarity && len(m.VulnerablePattern) > 0 && len(m.Additions) > 0
+}
+
+// varPlaceholder matches the standardizer's var# tokens.
+var varPlaceholder = regexp.MustCompile(`^var\d+$`)
+
+// DetectionRegex renders a candidate detection regex from the mined
+// vulnerable pattern: literal tokens are escaped, var# placeholders become
+// identifier capture groups, and flexible whitespace joins them. The
+// candidate is a starting point for the analyst, exactly as in the paper's
+// semi-automated rule construction.
+func (m Mined) DetectionRegex() string {
+	if len(m.VulnerablePattern) == 0 {
+		return ""
+	}
+	parts := make([]string, 0, len(m.VulnerablePattern))
+	for _, tok := range m.VulnerablePattern {
+		if varPlaceholder.MatchString(tok) {
+			parts = append(parts, `([a-zA-Z_]\w*)`)
+			continue
+		}
+		parts = append(parts, regexp.QuoteMeta(tok))
+	}
+	return strings.Join(parts, `\s*`)
+}
+
+// PatchPayload renders the safe additions as a single snippet, joining
+// token runs with spaces — the material a rule author grafts into the fix
+// template.
+func (m Mined) PatchPayload() string {
+	var runs []string
+	for _, run := range m.Additions {
+		runs = append(runs, strings.Join(run, " "))
+	}
+	return strings.Join(runs, " … ")
+}

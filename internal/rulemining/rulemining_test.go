@@ -1,0 +1,148 @@
+package rulemining
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The paper's Table I pairs, abbreviated: two XSS-vulnerable Flask handlers
+// and their escaped counterparts.
+var (
+	v1 = `from flask import Flask, request
+app = Flask(__name__)
+@app.route("/comments")
+def comments():
+    comment = request.args.get("q", "default")
+    return f"<p>{comment}</p>"
+if __name__ == "__main__":
+    app.run(debug=True)
+`
+	s1 = `from flask import Flask, request, escape
+app = Flask(__name__)
+@app.route("/comments")
+def comments():
+    comment = request.args.get("q", "default")
+    return f"<p>{escape(comment)}</p>"
+if __name__ == "__main__":
+    app.run(debug=False, use_reloader=False)
+`
+	v2 = `from flask import Flask, request, make_response
+appl = Flask(__name__)
+@appl.route("/showName")
+def name():
+    user = request.args.get("name")
+    return make_response(f"Hello {user}")
+if __name__ == "__main__":
+    appl.run(debug=True)
+`
+	s2 = `from flask import Flask, request, make_response, escape
+appl = Flask(__name__)
+@appl.route("/showName")
+def name():
+    user = request.args.get("name")
+    return make_response(f"Hello {escape(user)}")
+if __name__ == "__main__":
+    appl.run(debug=False, use_debugger=False, use_reloader=False)
+`
+)
+
+func TestMineTableOnePairs(t *testing.T) {
+	m := Mine(Pair{v1, s1}, Pair{v2, s2})
+
+	if !m.Usable() {
+		t.Fatalf("Table I pairs should be mineable: %+v", m)
+	}
+	vuln := strings.Join(m.VulnerablePattern, " ")
+	for _, want := range []string{"Flask", "request", "args", "get", "debug", "True"} {
+		if !strings.Contains(vuln, want) {
+			t.Errorf("LCSv missing %q: %q", want, vuln)
+		}
+	}
+	// The additions must contain the blue tokens of Table I: escape and
+	// the debug/use_reloader hardening.
+	adds := m.PatchPayload()
+	if !strings.Contains(adds, "escape") {
+		t.Errorf("additions missing escape: %q", adds)
+	}
+	if !strings.Contains(adds, "False") {
+		t.Errorf("additions missing debug hardening: %q", adds)
+	}
+	// Unchanged material must not leak into the additions.
+	if strings.Contains(adds, "route") {
+		t.Errorf("shared tokens leaked into additions: %q", adds)
+	}
+}
+
+func TestMineSimilarityGate(t *testing.T) {
+	a := Pair{"x = eval(data)\n", "x = ast.literal_eval(data)\n"}
+	b := Pair{
+		"import socket\ns = socket.socket()\ns.bind((\"0.0.0.0\", 9))\ns.listen()\nwhile True:\n    c, addr = s.accept()\n",
+		"import socket\ns = socket.socket()\ns.bind((\"127.0.0.1\", 9))\ns.listen()\nwhile True:\n    c, addr = s.accept()\n",
+	}
+	m := Mine(a, b)
+	if m.Similarity >= MinSimilarity && m.Usable() {
+		t.Errorf("unrelated pairs should not mine a usable pattern: sim=%v", m.Similarity)
+	}
+}
+
+func TestMineIdenticalStructure(t *testing.T) {
+	a := Pair{"h = hashlib.md5(data)\n", "h = hashlib.sha256(data)\n"}
+	b := Pair{"digest = hashlib.md5(payload)\n", "digest = hashlib.sha256(payload)\n"}
+	m := Mine(a, b)
+	if !m.Usable() {
+		t.Fatalf("structurally identical pairs should mine: %+v", m)
+	}
+	if !strings.Contains(strings.Join(m.VulnerablePattern, " "), "md5") {
+		t.Errorf("LCSv = %v", m.VulnerablePattern)
+	}
+	if !strings.Contains(m.PatchPayload(), "sha256") {
+		t.Errorf("payload = %q", m.PatchPayload())
+	}
+	// and md5 must be among the removals
+	var gone bool
+	for _, run := range m.Removals {
+		if strings.Contains(strings.Join(run, " "), "md5") {
+			gone = true
+		}
+	}
+	if !gone {
+		t.Errorf("removals = %v", m.Removals)
+	}
+}
+
+func TestDetectionRegexCompilesAndMatches(t *testing.T) {
+	a := Pair{"h = hashlib.md5(data)\n", "h = hashlib.sha256(data)\n"}
+	b := Pair{"d = hashlib.md5(payload)\n", "d = hashlib.sha256(payload)\n"}
+	m := Mine(a, b)
+	pattern := m.DetectionRegex()
+	if pattern == "" {
+		t.Fatal("empty regex")
+	}
+	re, err := regexp.Compile(pattern)
+	if err != nil {
+		t.Fatalf("mined regex does not compile: %v\n%s", err, pattern)
+	}
+	// It must match a fresh sample with the same shape (different names).
+	target := "checksum = hashlib . md5 ( blob )"
+	if !re.MatchString(target) {
+		t.Errorf("mined regex %q does not match %q", pattern, target)
+	}
+}
+
+func TestDetectionRegexEmptyPattern(t *testing.T) {
+	var m Mined
+	if m.DetectionRegex() != "" {
+		t.Error("empty pattern should give empty regex")
+	}
+	if m.Usable() {
+		t.Error("empty pattern should not be usable")
+	}
+}
+
+func BenchmarkMine(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Mine(Pair{v1, s1}, Pair{v2, s2})
+	}
+}

@@ -1,0 +1,129 @@
+package rules
+
+// accessSpecs returns the A01:2021 Broken Access Control rules (11 rules):
+// path traversal, archive extraction, uploads and missing authorization.
+func accessSpecs() []spec {
+	return []spec{
+		{
+			id: "PIP-ACC-001", cwe: "CWE-022", cat: BrokenAccessControl,
+			title:    "Path built by concatenating user input",
+			desc:     "Concatenating a user-supplied name onto a directory allows ../ traversal out of it.",
+			sev:      SeverityHigh,
+			pattern:  `(?m)open\(\s*"([^"\n]*)"\s*\+\s*([a-zA-Z_][\w.\[\]'"()]*)`,
+			requires: `request\.|input\(|sys\.argv|argv\[`,
+			excludes: `os\.path\.basename|secure_filename|safe_join`,
+			fix: &Fix{
+				Replace: `open(os.path.join("${1}", os.path.basename(${2}))`,
+				Imports: []string{"import os"},
+				Note:    "Strip directory components with os.path.basename before joining to the base directory.",
+			},
+		},
+		{
+			id: "PIP-ACC-002", cwe: "CWE-022", cat: BrokenAccessControl,
+			title:    "Path built with an f-string from user input",
+			desc:     "Interpolating a user-supplied name into a path allows ../ traversal.",
+			sev:      SeverityHigh,
+			pattern:  `(?m)open\(\s*f"([^"{}\n]*)\{([a-zA-Z_]\w*)\}"`,
+			requires: `request\.|input\(|sys\.argv|argv\[`,
+			excludes: `os\.path\.basename|secure_filename|safe_join`,
+			fix: &Fix{
+				Replace: `open(os.path.join("${1}", os.path.basename(${2}))`,
+				Imports: []string{"import os"},
+				Note:    "Strip directory components with os.path.basename before joining to the base directory.",
+			},
+		},
+		{
+			id: "PIP-ACC-003", cwe: "CWE-022", cat: BrokenAccessControl,
+			title:    "send_file with a user-controlled path",
+			desc:     "Serving a path taken from the request lets clients read arbitrary files.",
+			sev:      SeverityHigh,
+			pattern:  `(?m)send_file\(\s*[a-zA-Z_f]`,
+			requires: `request\.`,
+			excludes: `send_from_directory|safe_join`,
+		},
+		{
+			id: "PIP-ACC-004", cwe: "CWE-022", cat: BrokenAccessControl,
+			title:    "os.path.join with raw request data",
+			desc:     "Joining raw request values into a path does not stop absolute paths or ../ components.",
+			sev:      SeverityHigh,
+			pattern:  `(?m)os\.path\.join\([^)\n]*request\.(?:args|form|values|files)[^)\n]*\)`,
+			excludes: `basename|secure_filename|safe_join`,
+		},
+		{
+			id: "PIP-ACC-005", cwe: "CWE-022", cat: BrokenAccessControl,
+			title:    "tarfile.extractall without a member filter",
+			desc:     "Crafted archives traverse out of the destination (zip-slip) unless extraction filters members.",
+			sev:      SeverityHigh,
+			pattern:  `(?m)\.extractall\(\s*\)`,
+			requires: `tarfile`,
+			fix: &Fix{
+				Replace: `.extractall(filter="data")`,
+				Note:    `Use the "data" extraction filter (PEP 706) to block traversal and special files.`,
+			},
+		},
+		{
+			id: "PIP-ACC-006", cwe: "CWE-022", cat: BrokenAccessControl,
+			title:    "tarfile.extractall(path) without a member filter",
+			desc:     "Crafted archives traverse out of the destination (zip-slip) unless extraction filters members.",
+			sev:      SeverityHigh,
+			pattern:  `(?m)\.extractall\(\s*([^)\n]+)\)`,
+			requires: `tarfile`,
+			excludes: `filter\s*=`,
+			fix: &Fix{
+				Replace: `.extractall(${1}, filter="data")`,
+				Note:    `Use the "data" extraction filter (PEP 706) to block traversal and special files.`,
+			},
+		},
+		{
+			id: "PIP-ACC-007", cwe: "CWE-022", cat: BrokenAccessControl,
+			title:    "zipfile.extractall on untrusted archives",
+			desc:     "ZipFile.extractall does not validate member names against traversal.",
+			sev:      SeverityHigh,
+			pattern:  `(?m)\.extractall\(`,
+			requires: `zipfile`,
+			excludes: `tarfile`,
+		},
+		{
+			id: "PIP-ACC-008", cwe: "CWE-434", cat: BrokenAccessControl,
+			title:    "Uploaded filename used unsanitized in save path",
+			desc:     "Saving uploads under the client-chosen filename allows traversal and dangerous extensions.",
+			sev:      SeverityHigh,
+			pattern:  `(?m)\.save\(\s*os\.path\.join\(([^,\n]+),\s*([a-zA-Z_]\w*)\.filename\s*\)\s*\)`,
+			excludes: `secure_filename`,
+			fix: &Fix{
+				Replace: `.save(os.path.join(${1}, secure_filename(${2}.filename)))`,
+				Imports: []string{"from werkzeug.utils import secure_filename"},
+				Note:    "Sanitize the client-provided filename with secure_filename.",
+			},
+		},
+		{
+			id: "PIP-ACC-009", cwe: "CWE-434", cat: BrokenAccessControl,
+			title:    "Upload saved directly under its client filename",
+			desc:     "Saving an upload with its original filename allows traversal and dangerous extensions.",
+			sev:      SeverityHigh,
+			pattern:  `(?m)\.save\(\s*([a-zA-Z_]\w*)\.filename\s*\)`,
+			excludes: `secure_filename`,
+			fix: &Fix{
+				Replace: `.save(secure_filename(${1}.filename))`,
+				Imports: []string{"from werkzeug.utils import secure_filename"},
+				Note:    "Sanitize the client-provided filename with secure_filename.",
+			},
+		},
+		{
+			id: "PIP-ACC-010", cwe: "CWE-434", cat: BrokenAccessControl,
+			title:    "Upload accepted without extension allowlist",
+			desc:     "Accepting any file type allows executable or server-interpreted uploads.",
+			sev:      SeverityMedium,
+			pattern:  `(?m)request\.files\[`,
+			excludes: `(?i)allowed_extensions|allowed_file|\.endswith\(|splitext`,
+		},
+		{
+			id: "PIP-ACC-011", cwe: "CWE-306", cat: BrokenAccessControl,
+			title:    "Administrative route without authentication",
+			desc:     "Admin endpoints reachable without an auth decorator expose privileged functionality.",
+			sev:      SeverityCritical,
+			pattern:  `(?m)@app\.route\(\s*["']/(?:admin|delete|manage|config)[^"']*["']`,
+			excludes: `login_required|auth|session\[|check_permission|current_user`,
+		},
+	}
+}

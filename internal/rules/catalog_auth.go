@@ -1,0 +1,101 @@
+package rules
+
+// authSpecs returns the A07:2021 Identification and Authentication Failures
+// rules (9 rules): hardcoded and insufficiently protected credentials.
+func authSpecs() []spec {
+	return []spec{
+		{
+			id: "PIP-AUT-001", cwe: "CWE-259", cat: AuthFailures,
+			title:    "Hardcoded password",
+			desc:     "Passwords embedded in source ship to every copy of the code and cannot be rotated.",
+			sev:      SeverityCritical,
+			pattern:  `(?mi)\b(password|passwd|pwd|db_password)\s*=\s*["'][^"'\n]{1,}["']`,
+			excludes: `os\.environ|getenv|getpass|input\(|request\.`,
+			fix: &Fix{
+				Replace: `${1} = os.environ.get("APP_PASSWORD", "")`,
+				Imports: []string{"import os"},
+				Note:    "Read credentials from the environment (or a secrets manager), never from source.",
+			},
+		},
+		{
+			id: "PIP-AUT-002", cwe: "CWE-798", cat: AuthFailures,
+			title:    "Hardcoded API key",
+			desc:     "API keys in source leak through version control and binaries.",
+			sev:      SeverityCritical,
+			pattern:  `(?mi)\b(api_key|apikey|api_secret|access_key)\s*=\s*["'][^"'\n]{4,}["']`,
+			excludes: `os\.environ|getenv`,
+			fix: &Fix{
+				Replace: `${1} = os.environ.get("API_KEY", "")`,
+				Imports: []string{"import os"},
+				Note:    "Read API keys from the environment (or a secrets manager).",
+			},
+		},
+		{
+			id: "PIP-AUT-003", cwe: "CWE-798", cat: AuthFailures,
+			title:    "Hardcoded secret or token",
+			desc:     "Static secrets and tokens in source are trivially extracted.",
+			sev:      SeverityHigh,
+			pattern:  `(?mi)\b(secret|auth_token|private_key)\s*=\s*["'][^"'\n]{4,}["']`,
+			excludes: `os\.environ|getenv|urandom|secrets\.`,
+			fix: &Fix{
+				Replace: `${1} = os.environ.get("APP_SECRET", "")`,
+				Imports: []string{"import os"},
+				Note:    "Read secrets from the environment (or a secrets manager).",
+			},
+		},
+		{
+			id: "PIP-AUT-004", cwe: "CWE-798", cat: AuthFailures,
+			title:   "AWS access key ID embedded in source",
+			desc:    "Strings of the form AKIA... are long-lived AWS credentials.",
+			sev:     SeverityCritical,
+			pattern: `(?m)["']AKIA[0-9A-Z]{16}["']`,
+		},
+		{
+			id: "PIP-AUT-005", cwe: "CWE-798", cat: AuthFailures,
+			title:    "Hardcoded Flask secret_key",
+			desc:     "A static session-signing key lets anyone forge sessions once it leaks.",
+			sev:      SeverityCritical,
+			pattern:  `(?m)\.secret_key\s*=\s*b?["'][^"'\n]+["']`,
+			excludes: `os\.environ|urandom|token_hex`,
+			fix: &Fix{
+				Replace: `.secret_key = os.urandom(24)`,
+				Imports: []string{"import os"},
+				Note:    "Generate the signing key at deploy time (os.urandom) or load it from the environment.",
+			},
+		},
+		{
+			id: "PIP-AUT-006", cwe: "CWE-522", cat: AuthFailures,
+			title:   "Credentials embedded in a connection URL",
+			desc:    "user:password@ inside connection strings exposes credentials in logs and source.",
+			sev:     SeverityHigh,
+			pattern: `(?m)["'](?:postgres(?:ql)?|mysql|mongodb|amqp|redis|ftp)://[^"'\s:@]+:[^"'\s@]+@`,
+		},
+		{
+			id: "PIP-AUT-007", cwe: "CWE-522", cat: AuthFailures,
+			title:   "Password read with input() (echoed)",
+			desc:    "input() echoes the password to the terminal and any session recording.",
+			sev:     SeverityMedium,
+			pattern: `(?m)\b(password|passwd|pwd|Password)\s*=\s*input\(`,
+			fix: &Fix{
+				Replace: `${1} = getpass.getpass(`,
+				Imports: []string{"import getpass"},
+				Note:    "Read passwords with getpass.getpass, which disables echo.",
+			},
+		},
+		{
+			id: "PIP-AUT-008", cwe: "CWE-256", cat: AuthFailures,
+			title:    "Plaintext password written to storage",
+			desc:     "Persisting raw passwords means a single read primitive discloses every account.",
+			sev:      SeverityHigh,
+			pattern:  `(?mi)(?:INSERT\s+INTO\s+\w*users?\w*[^"\n]*password|\.write\(\s*(?:f["'][^"'\n]*)?password)`,
+			excludes: `hash|pbkdf2|bcrypt|scrypt|argon2`,
+		},
+		{
+			id: "PIP-AUT-009", cwe: "CWE-703", cat: AuthFailures,
+			title:   "assert used for an authorization check",
+			desc:    "Assertions are stripped under python -O, silently removing the access-control check.",
+			sev:     SeverityMedium,
+			pattern: `(?mi)\bassert\s+[^#\n]*(?:is_admin|is_authenticated|authorized|has_permission|role\s*==)`,
+		},
+	}
+}

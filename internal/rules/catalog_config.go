@@ -1,0 +1,131 @@
+package rules
+
+// configSpecs returns the Security Misconfiguration / Insecure Design /
+// Logging rules (12 rules): debug modes, permissive binds, cookie flags,
+// file permissions, temp files and error-information exposure.
+func configSpecs() []spec {
+	return []spec{
+		{
+			id: "PIP-CFG-001", cwe: "CWE-209", cat: InsecureDesign,
+			title:   "Flask running in debug mode",
+			desc:    "debug=True exposes the Werkzeug debugger and stack traces, leaking internals to attackers (paper Table I).",
+			sev:     SeverityHigh,
+			pattern: `(?m)\.run\(([^)\n]*)debug\s*=\s*True`,
+			fix: &Fix{
+				Replace: `.run(${1}debug=False, use_reloader=False`,
+				Note:    "Disable debug mode and the reloader in anything reachable from a network (paper Table I, s1/s2).",
+			},
+		},
+		{
+			id: "PIP-CFG-002", cwe: "CWE-489", cat: SecurityMisconfiguration,
+			title:   "DEBUG enabled in app configuration",
+			desc:    "Leaving the framework DEBUG flag on exposes diagnostic pages and secrets.",
+			sev:     SeverityHigh,
+			pattern: `(?m)\[["']DEBUG["']\]\s*=\s*True`,
+			fix: &Fix{
+				Replace: `["DEBUG"] = False`,
+				Note:    "Turn DEBUG off outside local development.",
+			},
+		},
+		{
+			id: "PIP-CFG-003", cwe: "CWE-605", cat: SecurityMisconfiguration,
+			title:   "Service bound to all interfaces",
+			desc:    `host="0.0.0.0" exposes the service on every network interface.`,
+			sev:     SeverityMedium,
+			pattern: `(?m)host\s*=\s*["']0\.0\.0\.0["']`,
+			fix: &Fix{
+				Replace: `host="127.0.0.1"`,
+				Note:    "Bind to localhost unless external exposure is explicitly required.",
+			},
+		},
+		{
+			id: "PIP-CFG-004", cwe: "CWE-942", cat: SecurityMisconfiguration,
+			title:   "CORS allows any origin",
+			desc:    "A wildcard origin lets any site read cross-origin responses.",
+			sev:     SeverityMedium,
+			pattern: `(?m)(?:origins\s*=\s*["']\*["']|Access-Control-Allow-Origin["']\]?\s*[:=]\s*["']\*["'])`,
+		},
+		{
+			id: "PIP-CFG-005", cwe: "CWE-614", cat: SecurityMisconfiguration,
+			title:    "Cookie set without Secure/HttpOnly flags",
+			desc:     "Cookies without secure/httponly are exposed to interception and script access.",
+			sev:      SeverityMedium,
+			pattern:  `(?m)\.set_cookie\(((?:[^()\n]|\([^()\n]*\))*)\)`,
+			excludes: `secure\s*=\s*True`,
+			fix: &Fix{
+				Replace: `.set_cookie(${1}, secure=True, httponly=True, samesite="Lax")`,
+				Note:    "Set secure, httponly and samesite on session cookies.",
+			},
+		},
+		{
+			id: "PIP-CFG-006", cwe: "CWE-614", cat: SecurityMisconfiguration,
+			title:   "Session cookie security disabled",
+			desc:    "SESSION_COOKIE_SECURE=False sends the session cookie over plaintext HTTP.",
+			sev:     SeverityMedium,
+			pattern: `(?m)\[["']SESSION_COOKIE_SECURE["']\]\s*=\s*False`,
+			fix: &Fix{
+				Replace: `["SESSION_COOKIE_SECURE"] = True`,
+				Note:    "Mark the session cookie Secure.",
+			},
+		},
+		{
+			id: "PIP-CFG-007", cwe: "CWE-732", cat: SecurityMisconfiguration,
+			title:   "World-writable file permissions",
+			desc:    "chmod 0777 (or 0o777) lets every local user modify the file.",
+			sev:     SeverityHigh,
+			pattern: `(?m)os\.chmod\(([^,\n]+),\s*(?:0o?777|stat\.S_IRWXU\s*\|\s*stat\.S_IRWXG\s*\|\s*stat\.S_IRWXO)\s*\)`,
+			fix: &Fix{
+				Replace: `os.chmod(${1}, 0o600)`,
+				Imports: []string{"import os"},
+				Note:    "Restrict permissions to the owning user (0o600).",
+			},
+		},
+		{
+			id: "PIP-CFG-008", cwe: "CWE-377", cat: SecurityMisconfiguration,
+			title:   "Insecure temporary file via tempfile.mktemp",
+			desc:    "mktemp returns a name without creating the file, allowing a local attacker to pre-create it (race).",
+			sev:     SeverityMedium,
+			pattern: `(?m)tempfile\.mktemp\(`,
+			fix: &Fix{
+				Replace: `tempfile.mkstemp(`,
+				Imports: []string{"import tempfile"},
+				Note:    "Use mkstemp, which atomically creates the file with safe permissions.",
+			},
+		},
+		{
+			id: "PIP-CFG-009", cwe: "CWE-377", cat: SecurityMisconfiguration,
+			title:    "Hardcoded path under /tmp",
+			desc:     "Fixed names in the shared /tmp directory are vulnerable to symlink and pre-creation attacks.",
+			sev:      SeverityMedium,
+			pattern:  `(?m)open\(\s*["']/tmp/[^"']+["']`,
+			excludes: `tempfile\.`,
+		},
+		{
+			id: "PIP-CFG-010", cwe: "CWE-703", cat: LoggingFailures,
+			title:   "Exception swallowed by bare except: pass",
+			desc:    "Silently discarding exceptions hides failures and security events from operators.",
+			sev:     SeverityLow,
+			pattern: `(?m)except\s*(?:Exception\s*)?:\s*\n\s*pass\b`,
+		},
+		{
+			id: "PIP-CFG-011", cwe: "CWE-209", cat: InsecureDesign,
+			title:    "Exception details returned to the client",
+			desc:     "Returning str(e) sends stack/internal details to the requester.",
+			sev:      SeverityMedium,
+			pattern:  `(?m)return\s+str\(\s*(?:e|err|ex|exc|error)\s*\)(?:\s*,\s*500)?`,
+			requires: `except`,
+			fix: &Fix{
+				Replace: `return "Internal Server Error", 500`,
+				Note:    "Log the exception server-side and return a generic error message.",
+			},
+		},
+		{
+			id: "PIP-CFG-012", cwe: "CWE-209", cat: InsecureDesign,
+			title:    "Traceback exposed to the client",
+			desc:     "Sending traceback.format_exc() output to the response discloses code paths and variables.",
+			sev:      SeverityMedium,
+			pattern:  `(?m)traceback\.format_exc\(\)`,
+			requires: `return|make_response|send|write\(`,
+		},
+	}
+}

@@ -1,0 +1,110 @@
+package rules
+
+// integritySpecs returns the A08:2021 Software and Data Integrity Failures
+// rules (11 rules): unsafe deserialization and XML external entities.
+func integritySpecs() []spec {
+	return []spec{
+		{
+			id: "PIP-INT-001", cwe: "CWE-502", cat: IntegrityFailures,
+			title:   "pickle.loads on untrusted bytes",
+			desc:    "Unpickling attacker bytes executes arbitrary code via __reduce__ gadgets.",
+			sev:     SeverityCritical,
+			pattern: `(?m)pickle\.loads\(`,
+			fix: &Fix{
+				Replace: `json.loads(`,
+				Imports: []string{"import json"},
+				Note:    "Exchange data in a non-executable format such as JSON.",
+			},
+		},
+		{
+			id: "PIP-INT-002", cwe: "CWE-502", cat: IntegrityFailures,
+			title:   "pickle.load on an untrusted stream",
+			desc:    "Unpickling attacker streams executes arbitrary code via __reduce__ gadgets.",
+			sev:     SeverityCritical,
+			pattern: `(?m)pickle\.load\(`,
+			fix: &Fix{
+				Replace: `json.load(`,
+				Imports: []string{"import json"},
+				Note:    "Exchange data in a non-executable format such as JSON.",
+			},
+		},
+		{
+			id: "PIP-INT-003", cwe: "CWE-502", cat: IntegrityFailures,
+			title:    "yaml.load without a safe loader",
+			desc:     "The full YAML loader instantiates arbitrary Python objects from tags.",
+			sev:      SeverityCritical,
+			pattern:  `(?m)yaml\.load\(\s*([^,)\n]+)(?:\s*,\s*[^)\n]*)?\)`,
+			excludes: `SafeLoader|safe_load`,
+			fix: &Fix{
+				Replace: `yaml.safe_load(${1})`,
+				Note:    "Use yaml.safe_load, which only constructs plain data types.",
+			},
+		},
+		{
+			id: "PIP-INT-004", cwe: "CWE-502", cat: IntegrityFailures,
+			title:   "marshal.loads on untrusted bytes",
+			desc:    "marshal can load code objects; crafted input crashes or executes.",
+			sev:     SeverityHigh,
+			pattern: `(?m)marshal\.loads?\(`,
+		},
+		{
+			id: "PIP-INT-005", cwe: "CWE-502", cat: IntegrityFailures,
+			title:   "dill deserialization of untrusted data",
+			desc:    "dill extends pickle and inherits its code-execution-on-load behaviour.",
+			sev:     SeverityCritical,
+			pattern: `(?m)dill\.loads?\(`,
+		},
+		{
+			id: "PIP-INT-006", cwe: "CWE-502", cat: IntegrityFailures,
+			title:   "joblib.load on untrusted files",
+			desc:    "joblib model files are pickle-based; loading untrusted ones executes code.",
+			sev:     SeverityHigh,
+			pattern: `(?m)joblib\.load\(`,
+		},
+		{
+			id: "PIP-INT-007", cwe: "CWE-502", cat: IntegrityFailures,
+			title:    "torch.load on untrusted files",
+			desc:     "torch.load unpickles by default; untrusted checkpoints execute code.",
+			sev:      SeverityHigh,
+			pattern:  `(?m)torch\.load\(`,
+			excludes: `weights_only\s*=\s*True`,
+		},
+		{
+			id: "PIP-INT-008", cwe: "CWE-494", cat: IntegrityFailures,
+			title:    "Downloaded code executed without integrity check",
+			desc:     "Executing fetched content without signature or hash verification runs whatever the network returns.",
+			sev:      SeverityCritical,
+			pattern:  `(?m)(?:exec|eval)\(\s*(?:[a-zA-Z_]\w*\.)?(?:content|text|read\(\))`,
+			requires: `requests\.|urlopen|urllib`,
+		},
+		{
+			id: "PIP-INT-009", cwe: "CWE-611", cat: IntegrityFailures,
+			title:   "xml.etree parses untrusted XML",
+			desc:    "The stdlib XML parser is vulnerable to entity-expansion attacks; use defusedxml.",
+			sev:     SeverityHigh,
+			pattern: `(?m)import xml\.etree\.ElementTree as (\w+)`,
+			fix: &Fix{
+				Replace: `import defusedxml.ElementTree as ${1}`,
+				Note:    "Parse untrusted XML with defusedxml, which disables dangerous constructs.",
+			},
+		},
+		{
+			id: "PIP-INT-010", cwe: "CWE-611", cat: IntegrityFailures,
+			title:   "xml.dom.minidom parses untrusted XML",
+			desc:    "The stdlib XML parser is vulnerable to entity-expansion attacks; use defusedxml.",
+			sev:     SeverityHigh,
+			pattern: `(?m)from xml\.dom\.minidom import`,
+			fix: &Fix{
+				Replace: `from defusedxml.minidom import`,
+				Note:    "Parse untrusted XML with defusedxml, which disables dangerous constructs.",
+			},
+		},
+		{
+			id: "PIP-INT-011", cwe: "CWE-611", cat: IntegrityFailures,
+			title:   "xml.sax parses untrusted XML",
+			desc:    "The stdlib SAX parser resolves external entities; use defusedxml.sax.",
+			sev:     SeverityHigh,
+			pattern: `(?m)xml\.sax\.(?:parse|parseString|make_parser)\(`,
+		},
+	}
+}

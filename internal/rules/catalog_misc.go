@@ -1,0 +1,45 @@
+package rules
+
+// miscSpecs returns the remaining rules (4 rules): SSRF, resource
+// exhaustion and network exposure.
+func miscSpecs() []spec {
+	return []spec{
+		{
+			id: "PIP-MSC-001", cwe: "CWE-400", cat: InsecureDesign,
+			title:    "Outbound HTTP request without a timeout",
+			desc:     "requests blocks forever by default; a stalled peer exhausts workers.",
+			sev:      SeverityLow,
+			pattern:  `(?m)requests\.(get|post|put|delete|head|patch)\(([^)\n]*)\)`,
+			excludes: `timeout\s*=`,
+			fix: &Fix{
+				Replace: `requests.${1}(${2}, timeout=5)`,
+				Note:    "Always set an explicit timeout on outbound requests.",
+			},
+		},
+		{
+			id: "PIP-MSC-002", cwe: "CWE-918", cat: SSRF,
+			title:    "Server-side request to a user-controlled URL",
+			desc:     "Fetching a URL taken from the request lets clients reach internal services (SSRF).",
+			sev:      SeverityHigh,
+			pattern:  `(?m)requests\.(?:get|post|put|delete|head|patch)\(\s*(?:url|target|endpoint|link|address)\b`,
+			requires: `request\.(?:args|form|values|json|get_json)`,
+			excludes: `(?i)allowlist|whitelist|allowed_hosts|urlparse`,
+		},
+		{
+			id: "PIP-MSC-003", cwe: "CWE-918", cat: SSRF,
+			title:    "urlopen on a user-controlled URL",
+			desc:     "urllib.request.urlopen with request-derived URLs reaches internal services and file:// targets.",
+			sev:      SeverityHigh,
+			pattern:  `(?m)urlopen\(\s*(?:url|target|endpoint|link|address|[a-zA-Z_]\w*)\s*[,)]`,
+			requires: `request\.(?:args|form|values|json|get_json)|input\(`,
+			excludes: `(?i)allowlist|whitelist|allowed_hosts|urlparse`,
+		},
+		{
+			id: "PIP-MSC-004", cwe: "CWE-605", cat: SecurityMisconfiguration,
+			title:   "Socket bound to all interfaces",
+			desc:    `Binding to "0.0.0.0" exposes the socket on every network interface.`,
+			sev:     SeverityMedium,
+			pattern: `(?m)\.bind\(\s*\(\s*["']0\.0\.0\.0["']`,
+		},
+	}
+}

@@ -1,0 +1,241 @@
+// Package rules defines PatchitPy's detection-and-patching rule catalog.
+//
+// Each rule couples a compiled detection pattern (a regular expression over
+// Python source, as in the paper's §II-A) with CWE and OWASP Top 10:2021
+// metadata and, for most rules, a fix template mined from (vulnerable, safe)
+// sample pairs via the standardize → LCS → diff pipeline. Rules without a
+// fix template are detection-only, which is what produces repair rates
+// below 100% for detected vulnerabilities (paper Table III).
+//
+// The catalog contains 85 rules (asserted by tests), matching the count the
+// paper reports for the tool.
+package rules
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+)
+
+// Category is an OWASP Top 10:2021 category.
+type Category int
+
+// OWASP Top 10:2021 categories.
+const (
+	CategoryUnknown Category = iota
+	BrokenAccessControl
+	CryptographicFailures
+	Injection
+	InsecureDesign
+	SecurityMisconfiguration
+	VulnerableComponents
+	AuthFailures
+	IntegrityFailures
+	LoggingFailures
+	SSRF
+)
+
+var categoryNames = map[Category]string{
+	CategoryUnknown:          "Unknown",
+	BrokenAccessControl:      "A01:2021 Broken Access Control",
+	CryptographicFailures:    "A02:2021 Cryptographic Failures",
+	Injection:                "A03:2021 Injection",
+	InsecureDesign:           "A04:2021 Insecure Design",
+	SecurityMisconfiguration: "A05:2021 Security Misconfiguration",
+	VulnerableComponents:     "A06:2021 Vulnerable and Outdated Components",
+	AuthFailures:             "A07:2021 Identification and Authentication Failures",
+	IntegrityFailures:        "A08:2021 Software and Data Integrity Failures",
+	LoggingFailures:          "A09:2021 Security Logging and Monitoring Failures",
+	SSRF:                     "A10:2021 Server-Side Request Forgery",
+}
+
+// String returns the official category label.
+func (c Category) String() string {
+	if s, ok := categoryNames[c]; ok {
+		return s
+	}
+	return fmt.Sprintf("Category(%d)", int(c))
+}
+
+// Severity ranks how dangerous a finding is.
+type Severity int
+
+// Severity levels.
+const (
+	SeverityLow Severity = iota + 1
+	SeverityMedium
+	SeverityHigh
+	SeverityCritical
+)
+
+// String returns the severity label.
+func (s Severity) String() string {
+	switch s {
+	case SeverityLow:
+		return "LOW"
+	case SeverityMedium:
+		return "MEDIUM"
+	case SeverityHigh:
+		return "HIGH"
+	case SeverityCritical:
+		return "CRITICAL"
+	}
+	return fmt.Sprintf("Severity(%d)", int(s))
+}
+
+// Fix is the remediation half of a rule: a replacement template applied to
+// the matched span plus any imports the safe alternative needs.
+type Fix struct {
+	// Replace is the template expanded against the match; ${1}...${n}
+	// reference capture groups (regexp.Regexp.Expand syntax).
+	Replace string
+	// Imports lists import statements required by the replacement, e.g.
+	// "from markupsafe import escape". They are inserted at the top of the
+	// file if missing.
+	Imports []string
+	// Note is the human-readable fix explanation shown to the developer.
+	Note string
+}
+
+// Rule is one detection(+patching) rule.
+type Rule struct {
+	// ID is the stable rule identifier, e.g. "PIP-INJ-003".
+	ID string
+	// CWE is the mapped weakness, e.g. "CWE-089".
+	CWE string
+	// Category is the OWASP Top 10:2021 category.
+	Category Category
+	// Title is a short human-readable name.
+	Title string
+	// Description explains the weakness.
+	Description string
+	// Severity ranks the finding.
+	Severity Severity
+	// Pattern is the detection regex (compiled once at catalog build).
+	Pattern *regexp.Regexp
+	// Requires, when non-nil, must also match the source for the rule to
+	// fire (context gating, e.g. "flask must be imported").
+	Requires *regexp.Regexp
+	// Excludes, when non-nil, suppresses the rule when it matches the
+	// source (e.g. the mitigation is already present).
+	Excludes *regexp.Regexp
+	// Fix is the patch template; nil marks a detection-only rule.
+	Fix *Fix
+}
+
+// HasFix reports whether the rule can patch what it detects.
+func (r *Rule) HasFix() bool { return r.Fix != nil }
+
+// Catalog is the full, immutable rule set.
+type Catalog struct {
+	rules []*Rule
+	byID  map[string]*Rule
+}
+
+// NewCatalog compiles and returns the built-in catalog of 85 rules.
+func NewCatalog() *Catalog {
+	specs := allSpecs()
+	c := &Catalog{
+		rules: make([]*Rule, 0, len(specs)),
+		byID:  make(map[string]*Rule, len(specs)),
+	}
+	for _, s := range specs {
+		r := s.compile()
+		c.rules = append(c.rules, r)
+		c.byID[r.ID] = r
+	}
+	sort.Slice(c.rules, func(i, j int) bool { return c.rules[i].ID < c.rules[j].ID })
+	return c
+}
+
+// Rules returns the rules in ID order. The returned slice is a copy.
+func (c *Catalog) Rules() []*Rule {
+	out := make([]*Rule, len(c.rules))
+	copy(out, c.rules)
+	return out
+}
+
+// Len returns the number of rules.
+func (c *Catalog) Len() int { return len(c.rules) }
+
+// ByID returns the rule with the given ID, or nil.
+func (c *Catalog) ByID(id string) *Rule { return c.byID[id] }
+
+// WithoutGates returns a copy of the catalog with every rule's Requires
+// and Excludes context gates removed — the ablation configuration used to
+// measure how much the gates contribute to precision (see
+// internal/experiments.RunAblation).
+func (c *Catalog) WithoutGates() *Catalog {
+	out := &Catalog{
+		rules: make([]*Rule, 0, len(c.rules)),
+		byID:  make(map[string]*Rule, len(c.rules)),
+	}
+	for _, r := range c.rules {
+		clone := *r
+		clone.Requires = nil
+		clone.Excludes = nil
+		out.rules = append(out.rules, &clone)
+		out.byID[clone.ID] = &clone
+	}
+	return out
+}
+
+// CWEs returns the sorted set of distinct CWE identifiers covered.
+func (c *Catalog) CWEs() []string {
+	seen := make(map[string]bool)
+	for _, r := range c.rules {
+		seen[r.CWE] = true
+	}
+	out := make([]string, 0, len(seen))
+	for cwe := range seen {
+		out = append(out, cwe)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// spec is the uncompiled form of a rule, used by the catalog source files.
+type spec struct {
+	id       string
+	cwe      string
+	cat      Category
+	title    string
+	desc     string
+	sev      Severity
+	pattern  string
+	requires string
+	excludes string
+	fix      *Fix
+}
+
+func (s spec) compile() *Rule {
+	r := &Rule{
+		ID:          s.id,
+		CWE:         s.cwe,
+		Category:    s.cat,
+		Title:       s.title,
+		Description: s.desc,
+		Severity:    s.sev,
+		Pattern:     regexp.MustCompile(s.pattern),
+		Fix:         s.fix,
+	}
+	if s.requires != "" {
+		r.Requires = regexp.MustCompile(s.requires)
+	}
+	if s.excludes != "" {
+		r.Excludes = regexp.MustCompile(s.excludes)
+	}
+	return r
+}
+
+func allSpecs() []spec {
+	var out []spec
+	out = append(out, injectionSpecs()...)
+	out = append(out, cryptoSpecs()...)
+	out = append(out, configSpecs()...)
+	out = append(out, accessSpecs()...)
+	out = append(out, integritySpecs()...)
+	out = append(out, authSpecs()...)
+	out = append(out, miscSpecs()...)
+	return out
+}

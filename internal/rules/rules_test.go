@@ -1,0 +1,247 @@
+package rules
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCatalogHas85Rules(t *testing.T) {
+	c := NewCatalog()
+	if c.Len() != 85 {
+		t.Fatalf("catalog has %d rules, the paper's tool executes 85", c.Len())
+	}
+}
+
+func TestRuleIDsUnique(t *testing.T) {
+	c := NewCatalog()
+	seen := make(map[string]bool)
+	for _, r := range c.Rules() {
+		if seen[r.ID] {
+			t.Errorf("duplicate rule ID %q", r.ID)
+		}
+		seen[r.ID] = true
+	}
+}
+
+func TestEveryRuleWellFormed(t *testing.T) {
+	c := NewCatalog()
+	for _, r := range c.Rules() {
+		if r.ID == "" || !strings.HasPrefix(r.ID, "PIP-") {
+			t.Errorf("bad ID %q", r.ID)
+		}
+		if !strings.HasPrefix(r.CWE, "CWE-") {
+			t.Errorf("%s: bad CWE %q", r.ID, r.CWE)
+		}
+		if r.Category == CategoryUnknown {
+			t.Errorf("%s: unmapped OWASP category", r.ID)
+		}
+		if r.Title == "" || r.Description == "" {
+			t.Errorf("%s: missing title/description", r.ID)
+		}
+		if r.Severity < SeverityLow || r.Severity > SeverityCritical {
+			t.Errorf("%s: bad severity %v", r.ID, r.Severity)
+		}
+		if r.Pattern == nil {
+			t.Errorf("%s: nil pattern", r.ID)
+		}
+		if r.Fix != nil && r.Fix.Replace == "" {
+			t.Errorf("%s: fix with empty replacement", r.ID)
+		}
+		if r.Fix != nil && r.Fix.Note == "" {
+			t.Errorf("%s: fix without note", r.ID)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	c := NewCatalog()
+	if r := c.ByID("PIP-INJ-001"); r == nil || r.CWE != "CWE-095" {
+		t.Errorf("ByID(PIP-INJ-001) = %+v", r)
+	}
+	if r := c.ByID("NOPE"); r != nil {
+		t.Errorf("ByID(NOPE) = %+v, want nil", r)
+	}
+}
+
+func TestCWECoverageBreadth(t *testing.T) {
+	c := NewCatalog()
+	cwes := c.CWEs()
+	if len(cwes) < 25 {
+		t.Errorf("only %d distinct CWEs covered; the catalog should span a broad weakness set", len(cwes))
+	}
+	// spot-check the paper's most frequent CWEs are covered
+	want := []string{"CWE-502", "CWE-089", "CWE-079", "CWE-078", "CWE-798", "CWE-022", "CWE-327", "CWE-209"}
+	have := make(map[string]bool, len(cwes))
+	for _, cwe := range cwes {
+		have[cwe] = true
+	}
+	for _, cwe := range want {
+		if !have[cwe] {
+			t.Errorf("CWE %s not covered by any rule", cwe)
+		}
+	}
+}
+
+func TestFixRatioMatchesPaperRepairBand(t *testing.T) {
+	// The paper reports ~80% of detected vulnerabilities get patched;
+	// detection-only rules are what keeps that below 100%.
+	c := NewCatalog()
+	fixes := 0
+	for _, r := range c.Rules() {
+		if r.HasFix() {
+			fixes++
+		}
+	}
+	ratio := float64(fixes) / float64(c.Len())
+	if ratio < 0.45 || ratio > 0.75 {
+		t.Errorf("fix-capable ratio = %.2f (%d/%d); expected a majority but not all rules to carry fixes", ratio, fixes, c.Len())
+	}
+}
+
+func TestRulesMatchTheirTargets(t *testing.T) {
+	// One positive example per representative rule.
+	cases := map[string]string{
+		"PIP-INJ-001": `result = eval(user_input)`,
+		"PIP-INJ-005": `os.system("ping " + host)`,
+		"PIP-INJ-007": "import subprocess\nsubprocess.run(cmd, shell=True)",
+		"PIP-INJ-009": `cursor.execute("SELECT * FROM users WHERE id = " + uid)`,
+		"PIP-INJ-010": `cursor.execute(f"SELECT * FROM users WHERE id = {uid}")`,
+		"PIP-INJ-014": "from flask import Flask\nreturn f\"<p>{comment}</p>\"",
+		"PIP-CRY-001": `h = hashlib.md5(data).hexdigest()`,
+		"PIP-CRY-012": "import requests\nrequests.get(url, verify=False)",
+		"PIP-CFG-001": `app.run(debug=True)`,
+		"PIP-ACC-009": `file.save(f.filename)`,
+		"PIP-INT-001": `obj = pickle.loads(blob)`,
+		"PIP-INT-003": `cfg = yaml.load(stream)`,
+		"PIP-AUT-001": `password = "hunter2"`,
+		"PIP-AUT-005": `app.secret_key = "dev"`,
+		"PIP-MSC-004": `sock.bind(("0.0.0.0", 8080))`,
+	}
+	c := NewCatalog()
+	for id, src := range cases {
+		r := c.ByID(id)
+		if r == nil {
+			t.Errorf("missing rule %s", id)
+			continue
+		}
+		if !r.Pattern.MatchString(src) {
+			t.Errorf("%s: pattern %q does not match %q", id, r.Pattern, src)
+		}
+		if r.Requires != nil && !r.Requires.MatchString(src) {
+			t.Errorf("%s: requires-gate %q blocks its own positive example %q", id, r.Requires, src)
+		}
+		if r.Excludes != nil && r.Excludes.MatchString(src) {
+			t.Errorf("%s: excludes-gate matches the positive example %q", id, src)
+		}
+	}
+}
+
+func TestRulesDoNotMatchSafeCounterparts(t *testing.T) {
+	cases := map[string]string{
+		"PIP-INJ-001": `result = ast.literal_eval(user_input)`,
+		"PIP-INJ-009": `cursor.execute("SELECT * FROM users WHERE id = ?", (uid,))`,
+		"PIP-CRY-001": `h = hashlib.sha256(data).hexdigest()`,
+		"PIP-CFG-001": `app.run(debug=False, use_reloader=False)`,
+		"PIP-INT-003": `cfg = yaml.safe_load(stream)`,
+		"PIP-AUT-001": `password = os.environ.get("APP_PASSWORD", "")`,
+	}
+	c := NewCatalog()
+	for id, src := range cases {
+		r := c.ByID(id)
+		if r == nil {
+			t.Fatalf("missing rule %s", id)
+		}
+		matched := r.Pattern.MatchString(src)
+		excluded := r.Excludes != nil && r.Excludes.MatchString(src)
+		if matched && !excluded {
+			t.Errorf("%s: fires on the safe form %q", id, src)
+		}
+	}
+}
+
+func TestFixTemplatesExpand(t *testing.T) {
+	// Every fix template must expand cleanly against its own pattern's
+	// positive example and must not leave the vulnerable pattern in place
+	// (idempotence of the patch step).
+	positives := map[string]string{
+		"PIP-INJ-001": `eval(user_input)`,
+		"PIP-INJ-005": `os.system("ls " + d)`,
+		"PIP-INJ-006": `os.popen("ls " + d)`,
+		"PIP-INJ-007": `shell=True`,
+		"PIP-INJ-009": `cursor.execute("SELECT * FROM t WHERE id = " + uid)`,
+		"PIP-INJ-010": `cursor.execute(f"SELECT * FROM t WHERE id = {uid}")`,
+		"PIP-INJ-011": `cursor.execute("SELECT * FROM t WHERE id = %s" % uid)`,
+		"PIP-INJ-012": `cursor.execute("SELECT * FROM t WHERE id = {}".format(uid))`,
+		"PIP-INJ-017": `autoescape=False`,
+		"PIP-INJ-018": `Markup(comment)`,
+		"PIP-CRY-001": `hashlib.md5(`,
+		"PIP-CRY-002": `hashlib.sha1(`,
+		"PIP-CRY-007": `AES.MODE_ECB`,
+		"PIP-CRY-010": `uuid.uuid1()`,
+		"PIP-CRY-014": `ssl.PROTOCOL_SSLv3`,
+		"PIP-CRY-015": `paramiko.AutoAddPolicy()`,
+		"PIP-CFG-001": `.run(debug=True)`,
+		"PIP-CFG-003": `host="0.0.0.0"`,
+		"PIP-CFG-007": `os.chmod(path, 0o777)`,
+		"PIP-CFG-008": `tempfile.mktemp(`,
+		"PIP-ACC-005": `.extractall()`,
+		"PIP-ACC-006": `.extractall(dest)`,
+		"PIP-ACC-009": `.save(f.filename)`,
+		"PIP-INT-001": `pickle.loads(`,
+		"PIP-INT-003": `yaml.load(stream)`,
+		"PIP-AUT-007": `password = input(`,
+	}
+	c := NewCatalog()
+	for id, src := range positives {
+		r := c.ByID(id)
+		if r == nil {
+			t.Fatalf("missing rule %s", id)
+		}
+		if r.Fix == nil {
+			t.Errorf("%s: expected a fix", id)
+			continue
+		}
+		idx := r.Pattern.FindStringSubmatchIndex(src)
+		if idx == nil {
+			t.Errorf("%s: positive example %q does not match", id, src)
+			continue
+		}
+		expanded := string(r.Pattern.Expand(nil, []byte(r.Fix.Replace), []byte(src), idx))
+		if strings.Contains(expanded, "${") {
+			t.Errorf("%s: unexpanded template placeholder in %q", id, expanded)
+		}
+		patched := src[:idx[0]] + expanded + src[idx[1]:]
+		stillFires := r.Pattern.MatchString(patched) &&
+			(r.Excludes == nil || !r.Excludes.MatchString(patched))
+		if stillFires {
+			t.Errorf("%s: rule still fires after patch: %q", id, patched)
+		}
+	}
+}
+
+func TestCategoryString(t *testing.T) {
+	if !strings.Contains(Injection.String(), "Injection") {
+		t.Error(Injection.String())
+	}
+	if !strings.Contains(Category(99).String(), "99") {
+		t.Error("unknown category should render its number")
+	}
+}
+
+func TestSeverityString(t *testing.T) {
+	for sev, want := range map[Severity]string{
+		SeverityLow: "LOW", SeverityMedium: "MEDIUM",
+		SeverityHigh: "HIGH", SeverityCritical: "CRITICAL",
+	} {
+		if sev.String() != want {
+			t.Errorf("%d.String() = %q", sev, sev.String())
+		}
+	}
+}
+
+func BenchmarkCatalogBuild(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		NewCatalog()
+	}
+}

@@ -1,0 +1,390 @@
+// Package standardize implements the paper's named-entity tagger (§II-A):
+// it rewrites Python snippets into a standardized form in which data-flow
+// identifiers and positional literal arguments become var0, var1, ...,
+// while everything that captures the *behaviour* of the code is preserved —
+// keywords, operators, called function names, attribute paths, imported
+// names and, crucially, configuration parameters (keyword arguments
+// recognized by the "=" symbol and constants such as True/False).
+//
+// Standardization makes structurally identical snippets textually
+// comparable, which is what lets the LCS step extract shared vulnerable and
+// safe implementation patterns from sample pairs.
+package standardize
+
+import (
+	"strings"
+
+	"github.com/dessertlab/patchitpy/internal/pytoken"
+)
+
+// Result is a standardized snippet.
+type Result struct {
+	// Tokens is the standardized token stream (no NEWLINE/INDENT markers;
+	// those are rendered into Text).
+	Tokens []string
+	// Text is the standardized source code.
+	Text string
+	// Mapping maps each var# placeholder back to the original token text.
+	Mapping map[string]string
+}
+
+// builtins and other names whose identity is behaviourally meaningful and
+// must survive standardization.
+var preservedNames = map[string]bool{
+	// builtins commonly seen in generated snippets
+	"print": true, "len": true, "open": true, "input": true, "range": true,
+	"str": true, "int": true, "float": true, "bool": true, "bytes": true,
+	"list": true, "dict": true, "set": true, "tuple": true, "type": true,
+	"isinstance": true, "getattr": true, "setattr": true, "hasattr": true,
+	"eval": true, "exec": true, "compile": true, "__import__": true,
+	"super": true, "object": true, "Exception": true, "ValueError": true,
+	"TypeError": true, "KeyError": true, "RuntimeError": true, "OSError": true,
+	"IOError": true, "format": true, "repr": true, "hash": true, "id": true,
+	"map": true, "filter": true, "zip": true, "sorted": true, "enumerate": true,
+	"min": true, "max": true, "sum": true, "abs": true, "round": true,
+	"self": true, "cls": true,
+	// dunder names carry framework meaning (__name__ == "__main__")
+	"__name__": true, "__main__": true, "__file__": true, "__init__": true,
+}
+
+// Standardizer rewrites snippets. The zero value is not usable; call New.
+type Standardizer struct {
+	preserve map[string]bool
+}
+
+// New returns a Standardizer with the default preserved-name set, plus any
+// extra names the caller wants kept verbatim.
+func New(extraPreserved ...string) *Standardizer {
+	p := make(map[string]bool, len(preservedNames)+len(extraPreserved))
+	for k := range preservedNames {
+		p[k] = true
+	}
+	for _, name := range extraPreserved {
+		p[name] = true
+	}
+	return &Standardizer{preserve: p}
+}
+
+// Standardize rewrites src. Tokenization errors degrade gracefully: the
+// tokens produced before the error are standardized and the remainder of
+// the source is appended verbatim. (AI snippets are often truncated, and
+// the paper's tool explicitly tolerates that.)
+func (s *Standardizer) Standardize(src string) Result {
+	toks, err := pytoken.TokenizeAll(src)
+	res := s.standardizeTokens(toks)
+	if err != nil {
+		if se, ok := err.(*pytoken.SyntaxError); ok && se.Pos.Offset < len(src) {
+			res.Text += src[se.Pos.Offset:]
+		}
+	}
+	return res
+}
+
+// Standardize is a convenience wrapper using the default standardizer.
+func Standardize(src string) Result { return New().Standardize(src) }
+
+func (s *Standardizer) standardizeTokens(toks []pytoken.Token) Result {
+	preserved := s.collectPreserved(toks)
+
+	mapping := make(map[string]string)
+	assigned := make(map[string]string) // original -> var#
+
+	placeholder := func(original string) string {
+		if v, ok := assigned[original]; ok {
+			return v
+		}
+		v := "var" + itoa(len(assigned))
+		assigned[original] = v
+		mapping[v] = original
+		return v
+	}
+
+	out := make([]string, 0, len(toks))
+	var text strings.Builder
+	depth := 0
+	prevText := ""
+	prevWord := false
+
+	emit := func(tok pytoken.Token, txt string) {
+		if tok.Kind == pytoken.KindNewline || tok.Kind == pytoken.KindNL {
+			text.WriteByte('\n')
+			prevText, prevWord = "", false
+			return
+		}
+		if tok.Kind == pytoken.KindIndent || tok.Kind == pytoken.KindDedent || tok.Kind == pytoken.KindEOF {
+			return
+		}
+		isWord := tok.Kind == pytoken.KindName || tok.Kind == pytoken.KindKeyword ||
+			tok.Kind == pytoken.KindNumber || tok.Kind == pytoken.KindString
+		if prevText != "" && needSpace(prevText, prevWord, txt, isWord) {
+			text.WriteByte(' ')
+		}
+		text.WriteString(txt)
+		prevText, prevWord = txt, isWord || txt == ")" || txt == "]" || txt == "}"
+		out = append(out, txt)
+	}
+
+	// standardizeFString rewrites {name} interpolations whose name has
+	// been (or can be) standardized; the paper's Table I shows f-string
+	// interpolations rendered as {var0}.
+	standardizeFString := func(raw string) string {
+		return rewriteBraced(raw, func(name string) string {
+			if s.preserve[name] || preserved[name] {
+				return name
+			}
+			return placeholder(name)
+		})
+	}
+
+	for i, tok := range toks {
+		switch tok.Kind {
+		case pytoken.KindOp:
+			switch tok.Text {
+			case "(", "[", "{":
+				depth++
+			case ")", "]", "}":
+				if depth > 0 {
+					depth--
+				}
+			}
+			emit(tok, tok.Text)
+		case pytoken.KindComment:
+			// comments are dropped from the standardized form
+		case pytoken.KindName:
+			txt := tok.Text
+			if s.standardizable(toks, i, depth, preserved) {
+				txt = placeholder(tok.Text)
+			}
+			emit(tok, txt)
+		case pytoken.KindString:
+			txt := tok.Text
+			if literalStandardizable(toks, i, depth) {
+				txt = placeholder(tok.Text)
+			} else if isFStringToken(txt) {
+				txt = standardizeFString(txt)
+			}
+			emit(tok, txt)
+		case pytoken.KindNumber:
+			txt := tok.Text
+			if literalStandardizable(toks, i, depth) {
+				txt = placeholder(tok.Text)
+			}
+			emit(tok, txt)
+		default:
+			emit(tok, tok.Text)
+		}
+	}
+
+	return Result{Tokens: out, Text: text.String(), Mapping: mapping}
+}
+
+func isFStringToken(s string) bool {
+	for i := 0; i < len(s) && i < 2; i++ {
+		switch s[i] {
+		case 'f', 'F':
+			return true
+		case '\'', '"':
+			return false
+		}
+	}
+	return false
+}
+
+// rewriteBraced applies fn to each bare identifier appearing directly
+// inside {...} within an f-string token. Interpolations with attribute
+// access, calls or format specs are left untouched beyond the leading
+// identifier when it stands alone.
+func rewriteBraced(raw string, fn func(string) string) string {
+	var b strings.Builder
+	b.Grow(len(raw))
+	for i := 0; i < len(raw); i++ {
+		c := raw[i]
+		if c != '{' {
+			b.WriteByte(c)
+			continue
+		}
+		// literal {{ stays
+		if i+1 < len(raw) && raw[i+1] == '{' {
+			b.WriteString("{{")
+			i++
+			continue
+		}
+		j := i + 1
+		for j < len(raw) && isIdentByte(raw[j]) {
+			j++
+		}
+		name := raw[i+1 : j]
+		if name != "" && j < len(raw) && (raw[j] == '}' || raw[j] == '!' || raw[j] == ':') {
+			b.WriteByte('{')
+			b.WriteString(fn(name))
+			i = j - 1
+			continue
+		}
+		b.WriteByte('{')
+	}
+	return b.String()
+}
+
+func isIdentByte(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// spacedOps are rendered with a space on both sides in standardized text.
+var spacedOps = map[string]bool{
+	"=": true, "==": true, "!=": true, "+": true, "-": true, "<": true,
+	">": true, "<=": true, ">=": true, "->": true, ":=": true, "+=": true,
+	"-=": true, "*=": true, "/=": true, "//=": true, "%=": true, "**=": true,
+	"|": true, "&": true, "^": true, "<<": true, ">>": true,
+}
+
+func needSpace(prev string, prevWord bool, cur string, curWord bool) bool {
+	if prevWord && curWord {
+		return true
+	}
+	if spacedOps[cur] || spacedOps[prev] {
+		return true
+	}
+	if prev == "," {
+		return true
+	}
+	return false
+}
+
+// collectPreserved scans the token stream and marks every name whose
+// identity must be kept. A name is preserved when *any* occurrence of it
+// appears in a behaviour-defining context: imported, defined by def/class,
+// called, used as an attribute root or attribute, used as a decorator, or
+// used as a keyword-argument name. Preserving by name (not by occurrence)
+// keeps the rewrite consistent — if "app" is preserved in "@app.route" it
+// stays "app" in "app = Flask(__name__)" too, matching the paper's Table I.
+func (s *Standardizer) collectPreserved(toks []pytoken.Token) map[string]bool {
+	preserved := make(map[string]bool)
+	depth := 0
+	for i, tok := range toks {
+		if tok.Kind == pytoken.KindOp {
+			switch tok.Text {
+			case "(", "[", "{":
+				depth++
+			case ")", "]", "}":
+				if depth > 0 {
+					depth--
+				}
+			}
+			continue
+		}
+		switch {
+		case tok.Is(pytoken.KindKeyword, "import"), tok.Is(pytoken.KindKeyword, "from"):
+			for j := i + 1; j < len(toks); j++ {
+				t := toks[j]
+				if t.Kind == pytoken.KindNewline || t.Kind == pytoken.KindEOF {
+					break
+				}
+				if t.Kind == pytoken.KindName {
+					preserved[t.Text] = true
+				}
+			}
+		case tok.Is(pytoken.KindKeyword, "def"), tok.Is(pytoken.KindKeyword, "class"):
+			if i+1 < len(toks) && toks[i+1].Kind == pytoken.KindName {
+				preserved[toks[i+1].Text] = true
+			}
+		case tok.Kind == pytoken.KindName:
+			prev := prevCode(toks, i)
+			next := nextCode(toks, i)
+			switch {
+			// attribute: foo.bar — both the root and the attribute carry
+			// the API fingerprint
+			case prev >= 0 && toks[prev].Is(pytoken.KindOp, "."):
+				preserved[tok.Text] = true
+			case next >= 0 && toks[next].Is(pytoken.KindOp, "."):
+				preserved[tok.Text] = true
+			// called function name: name(...)
+			case next >= 0 && toks[next].Is(pytoken.KindOp, "("):
+				preserved[tok.Text] = true
+			// keyword-argument name inside a call: the paper's "=" rule
+			case depth > 0 && next >= 0 && toks[next].Is(pytoken.KindOp, "="):
+				preserved[tok.Text] = true
+			// decorator
+			case prev >= 0 && toks[prev].Is(pytoken.KindOp, "@"):
+				preserved[tok.Text] = true
+			}
+		}
+	}
+	return preserved
+}
+
+// standardizable decides whether the NAME token at index i should become a
+// var# placeholder.
+func (s *Standardizer) standardizable(toks []pytoken.Token, i, depth int, preserved map[string]bool) bool {
+	name := toks[i].Text
+	if s.preserve[name] || preserved[name] {
+		return false
+	}
+	// keyword-argument *position* still guards against standardizing a
+	// config name that somehow escaped the preserve pass
+	next := nextCode(toks, i)
+	if depth > 0 && next >= 0 && toks[next].Is(pytoken.KindOp, "=") {
+		return false
+	}
+	return true
+}
+
+// literalStandardizable decides whether a STRING or NUMBER literal should be
+// standardized: only positional arguments inside call parentheses are, and
+// configuration values (after '=') never are.
+func literalStandardizable(toks []pytoken.Token, i, depth int) bool {
+	if depth == 0 {
+		return false
+	}
+	prev := prevCode(toks, i)
+	if prev < 0 {
+		return false
+	}
+	pt := toks[prev]
+	// value of a keyword argument (config) -> preserve
+	if pt.Is(pytoken.KindOp, "=") {
+		return false
+	}
+	// positional argument or element: preceded by '(' or ','
+	if pt.Is(pytoken.KindOp, "(") || pt.Is(pytoken.KindOp, ",") {
+		return true
+	}
+	return false
+}
+
+func prevCode(toks []pytoken.Token, i int) int {
+	for j := i - 1; j >= 0; j-- {
+		switch toks[j].Kind {
+		case pytoken.KindComment, pytoken.KindNL, pytoken.KindNewline,
+			pytoken.KindIndent, pytoken.KindDedent:
+			continue
+		}
+		return j
+	}
+	return -1
+}
+
+func nextCode(toks []pytoken.Token, i int) int {
+	for j := i + 1; j < len(toks); j++ {
+		switch toks[j].Kind {
+		case pytoken.KindComment, pytoken.KindNL, pytoken.KindNewline,
+			pytoken.KindIndent, pytoken.KindDedent:
+			continue
+		}
+		return j
+	}
+	return -1
+}

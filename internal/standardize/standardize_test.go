@@ -1,0 +1,226 @@
+package standardize
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTableOneVulnerableExample(t *testing.T) {
+	// Paper Table I, row 1 (vulnerable): local data identifiers become
+	// var#, API names and config parameters survive.
+	src := `from flask import Flask, request
+app = Flask(__name__)
+@app.route("/comments")
+def comments():
+    comment = request.args.get("q", "default")
+    return f"<p>{comment}</p>"
+if __name__ == "__main__":
+    app.run(debug=True)
+`
+	res := Standardize(src)
+	txt := res.Text
+
+	for _, keep := range []string{"Flask", "request", "app", "route", "args", "get", "run", "debug", "True", "__name__", "__main__"} {
+		if !strings.Contains(txt, keep) {
+			t.Errorf("preserved name %q missing from %q", keep, txt)
+		}
+	}
+	// comment -> var#, and the positional string args of get() -> var#
+	if strings.Contains(txt, "comment =") {
+		t.Errorf("local identifier not standardized: %q", txt)
+	}
+	if !strings.Contains(txt, "var0") {
+		t.Errorf("no var0 placeholder in %q", txt)
+	}
+	if strings.Contains(txt, `"q"`) || strings.Contains(txt, `"default"`) {
+		t.Errorf("positional literal args not standardized: %q", txt)
+	}
+	// debug=True is a configuration parameter (the "=" rule) and must stay
+	if !strings.Contains(txt, "debug = True") && !strings.Contains(txt, "debug=True") {
+		t.Errorf("config parameter rewritten: %q", txt)
+	}
+}
+
+func TestMappingRoundTrip(t *testing.T) {
+	src := "value = request.args.get(\"id\", \"0\")\n"
+	res := Standardize(src)
+	if len(res.Mapping) == 0 {
+		t.Fatal("empty mapping")
+	}
+	for ph, orig := range res.Mapping {
+		if !strings.HasPrefix(ph, "var") {
+			t.Errorf("placeholder %q", ph)
+		}
+		if orig == "" {
+			t.Errorf("empty original for %q", ph)
+		}
+	}
+	// distinct originals -> distinct placeholders
+	seen := make(map[string]string)
+	for ph, orig := range res.Mapping {
+		if prev, ok := seen[orig]; ok && prev != ph {
+			t.Errorf("original %q mapped to both %q and %q", orig, prev, ph)
+		}
+		seen[orig] = ph
+	}
+}
+
+func TestConsistentRenaming(t *testing.T) {
+	src := "data = fetch_data()\nresult = data\nfinal = result\n"
+	res := Standardize(src)
+	// "data" appears twice; both occurrences must map to the same var#.
+	lines := strings.Split(strings.TrimSpace(res.Text), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %v", lines)
+	}
+	first := strings.Fields(lines[0])[0]  // var# on lhs of line 1
+	second := strings.Fields(lines[1])[2] // var# on rhs of line 2
+	if first != second {
+		t.Errorf("inconsistent renaming: %q vs %q in %q", first, second, res.Text)
+	}
+}
+
+func TestSameShapeDifferentNamesConverge(t *testing.T) {
+	// The point of standardization: two snippets that differ only in
+	// identifier naming must standardize to the same text.
+	a := "name = request.args.get(\"name\", \"\")\nreturn f\"Hello {name}\"\n"
+	b := "user = request.args.get(\"user\", \"\")\nreturn f\"Hello {user}\"\n"
+	ra, rb := Standardize(a), Standardize(b)
+	// f-string contents differ textually ({name} vs {user}) — compare the
+	// non-fstring part
+	la := strings.Split(ra.Text, "\n")[0]
+	lb := strings.Split(rb.Text, "\n")[0]
+	if la != lb {
+		t.Errorf("standardized forms diverge:\n  %q\n  %q", la, lb)
+	}
+}
+
+func TestKeywordArgValuesPreserved(t *testing.T) {
+	src := "app.run(debug=True, use_reloader=False, port=8080)\n"
+	res := Standardize(src)
+	for _, keep := range []string{"debug", "True", "use_reloader", "False", "port", "8080"} {
+		if !strings.Contains(res.Text, keep) {
+			t.Errorf("config token %q lost: %q", keep, res.Text)
+		}
+	}
+}
+
+func TestImportsPreserved(t *testing.T) {
+	src := "import os\nimport hashlib as h\nfrom flask import Flask, escape\n"
+	res := Standardize(src)
+	for _, keep := range []string{"os", "hashlib", "h", "Flask", "escape"} {
+		if !strings.Contains(res.Text, keep) {
+			t.Errorf("import name %q lost: %q", keep, res.Text)
+		}
+	}
+	if len(res.Mapping) != 0 {
+		t.Errorf("imports should not produce placeholders: %v", res.Mapping)
+	}
+}
+
+func TestDefNamePreserved(t *testing.T) {
+	src := "def handler(evt):\n    payload = evt\n    return payload\n"
+	res := Standardize(src)
+	if !strings.Contains(res.Text, "handler") {
+		t.Errorf("def name lost: %q", res.Text)
+	}
+	if strings.Contains(res.Text, "payload") {
+		t.Errorf("local not standardized: %q", res.Text)
+	}
+}
+
+func TestCalledNamesPreserved(t *testing.T) {
+	src := "result = sanitize(data)\n"
+	res := Standardize(src)
+	if !strings.Contains(res.Text, "sanitize") {
+		t.Errorf("called function lost: %q", res.Text)
+	}
+}
+
+func TestAttributeChainsPreserved(t *testing.T) {
+	src := "conn = sqlite3.connect(path)\ncur = conn.cursor()\n"
+	res := Standardize(src)
+	for _, keep := range []string{"sqlite3", "connect", "conn", "cursor"} {
+		if !strings.Contains(res.Text, keep) {
+			t.Errorf("%q lost: %q", keep, res.Text)
+		}
+	}
+}
+
+func TestCommentsDropped(t *testing.T) {
+	src := "x = 1  # secret comment\n"
+	res := Standardize(src)
+	if strings.Contains(res.Text, "secret") {
+		t.Errorf("comment survived: %q", res.Text)
+	}
+}
+
+func TestTruncatedSnippetDegradesGracefully(t *testing.T) {
+	src := "value = request.args.get('q'\nmore = 'unterminated"
+	res := Standardize(src)
+	if res.Text == "" {
+		t.Error("no output for truncated snippet")
+	}
+}
+
+func TestExtraPreservedNames(t *testing.T) {
+	s := New("mysecret")
+	res := s.Standardize("mysecret = 42\nother = 7\n")
+	if !strings.Contains(res.Text, "mysecret") {
+		t.Errorf("extra preserved name lost: %q", res.Text)
+	}
+	if strings.Contains(res.Text, "other") {
+		t.Errorf("non-preserved name kept: %q", res.Text)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	src := "a = f(b)\nc = g(a)\nd = h(c)\n"
+	first := Standardize(src).Text
+	for i := 0; i < 5; i++ {
+		if got := Standardize(src).Text; got != first {
+			t.Fatalf("nondeterministic: %q vs %q", got, first)
+		}
+	}
+}
+
+func TestStandardizeNeverPanics(t *testing.T) {
+	f := func(src string) bool {
+		res := Standardize(src)
+		// every placeholder in the mapping must look like var<N>
+		for ph := range res.Mapping {
+			if !strings.HasPrefix(ph, "var") {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestItoa(t *testing.T) {
+	for i, want := range map[int]string{0: "0", 7: "7", 12: "12", 105: "105"} {
+		if got := itoa(i); got != want {
+			t.Errorf("itoa(%d) = %q, want %q", i, got, want)
+		}
+	}
+}
+
+func BenchmarkStandardize(b *testing.B) {
+	src := `from flask import Flask, request
+app = Flask(__name__)
+@app.route("/comments")
+def comments():
+    comment = request.args.get("q", "default")
+    return f"<p>{comment}</p>"
+if __name__ == "__main__":
+    app.run(debug=True)
+`
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Standardize(src)
+	}
+}

@@ -1,0 +1,74 @@
+// Package patchitpy is a pattern-based vulnerability detection and
+// patching library for Python source code — a faithful reproduction of the
+// system described in "Securing AI Code Generation Through Automated
+// Pattern-Based Patching" (DSN 2025).
+//
+// The engine runs 85 detection rules (regular-expression patterns mapped
+// to CWEs and OWASP Top 10:2021 categories) over Python code and, for the
+// majority of rules, applies a safe alternative mined offline from
+// (vulnerable, safe) sample pairs, inserting any imports the patch needs.
+// It is designed to work on incomplete AI-generated snippets as well as
+// whole files.
+//
+// Basic usage:
+//
+//	engine := patchitpy.New()
+//	report := engine.Analyze(code)       // phase 1: detection
+//	outcome := engine.Fix(code)          // phase 1 + 2: detection and patching
+//	fmt.Println(outcome.Result.Source)   // the patched code
+//
+// The subpackages under internal implement the substrates: a Python
+// tokenizer and parser, the standardize→LCS→diff rule-mining pipeline, the
+// rule catalog, the patch engine, editor integration, and the full
+// evaluation harness that regenerates every table and figure of the paper.
+package patchitpy
+
+import (
+	"io"
+
+	"github.com/dessertlab/patchitpy/internal/core"
+	"github.com/dessertlab/patchitpy/internal/detect"
+	"github.com/dessertlab/patchitpy/internal/patch"
+	"github.com/dessertlab/patchitpy/internal/rules"
+)
+
+// Engine is the PatchitPy analysis-and-remediation engine. It is safe for
+// concurrent use.
+type Engine = core.PatchitPy
+
+// Report is the outcome of the detection phase.
+type Report = core.Report
+
+// FixOutcome is the outcome of running both phases.
+type FixOutcome = core.FixOutcome
+
+// Finding is one detected vulnerability occurrence.
+type Finding = detect.Finding
+
+// Rule is one detection(+patching) rule of the catalog.
+type Rule = rules.Rule
+
+// Catalog is the immutable 85-rule set.
+type Catalog = rules.Catalog
+
+// PatchResult carries the patched source and bookkeeping for one pass.
+type PatchResult = patch.Result
+
+// New returns an engine using the built-in 85-rule catalog.
+func New() *Engine { return core.New() }
+
+// NewWithCatalog returns an engine over a custom catalog (nil = built-in).
+func NewWithCatalog(c *Catalog) *Engine { return core.NewWithCatalog(c) }
+
+// NewCatalog compiles and returns the built-in catalog.
+func NewCatalog() *Catalog { return rules.NewCatalog() }
+
+// Analyze is a convenience one-shot detection call.
+func Analyze(code string) Report { return New().Analyze(code) }
+
+// Fix is a convenience one-shot detect-and-patch call.
+func Fix(code string) FixOutcome { return New().Fix(code) }
+
+// Serve runs the newline-delimited JSON session protocol (the editor
+// integration used by `patchitpy serve`) until r reaches EOF.
+func Serve(r io.Reader, w io.Writer) error { return New().Serve(r, w) }

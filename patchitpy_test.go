@@ -1,0 +1,69 @@
+package patchitpy
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const vulnSnippet = `from flask import Flask, request
+import sqlite3
+app = Flask(__name__)
+
+@app.route("/user")
+def get_user():
+    uid = request.args.get("id", "")
+    conn = sqlite3.connect("app.db")
+    cur = conn.cursor()
+    cur.execute("SELECT * FROM users WHERE id = " + uid)
+    return {"rows": cur.fetchall()}
+
+if __name__ == "__main__":
+    app.run(debug=True)
+`
+
+func TestPublicAnalyze(t *testing.T) {
+	report := Analyze(vulnSnippet)
+	if !report.Vulnerable {
+		t.Fatal("not detected")
+	}
+	joined := strings.Join(report.CWEs, ",")
+	if !strings.Contains(joined, "CWE-089") || !strings.Contains(joined, "CWE-209") {
+		t.Errorf("CWEs = %v", report.CWEs)
+	}
+}
+
+func TestPublicFix(t *testing.T) {
+	outcome := Fix(vulnSnippet)
+	src := outcome.Result.Source
+	if !strings.Contains(src, `cur.execute("SELECT * FROM users WHERE id = ?", (uid,))`) {
+		t.Errorf("SQL not parameterized:\n%s", src)
+	}
+	if !strings.Contains(src, "debug=False, use_reloader=False") {
+		t.Errorf("debug mode not disabled:\n%s", src)
+	}
+	if rescan := Analyze(src); rescan.Vulnerable {
+		t.Errorf("patched code still vulnerable: %v", rescan.CWEs)
+	}
+}
+
+func TestPublicCatalog(t *testing.T) {
+	if NewCatalog().Len() != 85 {
+		t.Errorf("catalog size = %d, want 85", NewCatalog().Len())
+	}
+	e := NewWithCatalog(nil)
+	if e.Catalog().Len() != 85 {
+		t.Error("nil catalog must fall back to the built-in one")
+	}
+}
+
+func TestPublicServe(t *testing.T) {
+	in := strings.NewReader(`{"cmd":"rules"}` + "\n")
+	var out bytes.Buffer
+	if err := Serve(in, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `"ruleCount":85`) {
+		t.Errorf("serve output: %s", out.String())
+	}
+}
