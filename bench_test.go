@@ -14,6 +14,7 @@ package patchitpy
 //	BenchmarkQualityScores     — §III-C Pylint-score quality comparison
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -22,6 +23,7 @@ import (
 	"github.com/dessertlab/patchitpy/internal/baseline/querydb"
 	"github.com/dessertlab/patchitpy/internal/baseline/semgreplite"
 	"github.com/dessertlab/patchitpy/internal/complexity"
+	"github.com/dessertlab/patchitpy/internal/detect"
 	"github.com/dessertlab/patchitpy/internal/experiments"
 	"github.com/dessertlab/patchitpy/internal/generator"
 	"github.com/dessertlab/patchitpy/internal/lintscore"
@@ -172,6 +174,94 @@ func BenchmarkQualityScores(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		for _, p := range patched {
 			lintscore.Score(p)
+		}
+	}
+}
+
+// corpusSources converts the 609-sample corpus into detect.Source values.
+func corpusSources(b *testing.B) []detect.Source {
+	b.Helper()
+	samples, err := generator.Corpus(prompts.All())
+	if err != nil {
+		b.Fatal(err)
+	}
+	srcs := make([]detect.Source, len(samples))
+	for i, s := range samples {
+		srcs[i] = detect.Source{Name: s.PromptID + "/" + s.Model, Code: s.Code}
+	}
+	return srcs
+}
+
+// BenchmarkScanCorpus scans the full corpus through the concurrent,
+// literal-prefiltered path (detect.ScanAll) and reports the prefilter's
+// skip rate. Compare against BenchmarkScanCorpusSequential — the results
+// are byte-identical (asserted by TestScanAllMatchesScan and
+// TestPrefilterTransparent in internal/detect).
+func BenchmarkScanCorpus(b *testing.B) {
+	srcs := corpusSources(b)
+	d := detect.New(nil)
+	var bytes int64
+	for _, s := range srcs {
+		bytes += int64(len(s.Code))
+	}
+	b.SetBytes(bytes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.ScanAll(context.Background(), srcs, detect.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	st := d.Stats()
+	b.ReportMetric(st.SkipRate(), "prefilter-skip-rate")
+	b.ReportMetric(float64(len(srcs)), "sources")
+}
+
+// BenchmarkScanCorpusSequential is the pre-pipeline baseline: one
+// goroutine, no prefilter, one rule-set pass per sample — exactly the old
+// ScanWith loop.
+func BenchmarkScanCorpusSequential(b *testing.B) {
+	srcs := corpusSources(b)
+	d := detect.New(nil)
+	var bytes int64
+	for _, s := range srcs {
+		bytes += int64(len(s.Code))
+	}
+	b.SetBytes(bytes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, s := range srcs {
+			d.ScanWith(s.Code, detect.Options{NoPrefilter: true})
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates the evaluation through the concurrent
+// (tool × sample) grid and reports PatchitPy's Table II headline metrics.
+// Compare against BenchmarkTable2Sequential; the outputs are
+// byte-identical (asserted by TestParallelMatchesSequential).
+func BenchmarkTable2(b *testing.B) {
+	var r *experiments.Results
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = experiments.RunContext(context.Background(), experiments.RunOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	all := r.Table2[experiments.ToolPatchitPy][experiments.All]
+	b.ReportMetric(all.Precision(), "precision")
+	b.ReportMetric(all.Recall(), "recall")
+	b.ReportMetric(all.F1(), "f1")
+	b.ReportMetric(all.Accuracy(), "accuracy")
+}
+
+// BenchmarkTable2Sequential runs the retained single-goroutine reference
+// harness — the before side of the before/after pair.
+func BenchmarkTable2Sequential(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunSequential(); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

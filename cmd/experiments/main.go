@@ -1,8 +1,11 @@
 // Command experiments regenerates every table and figure of the paper's
 // evaluation. With no flags it prints everything; -table / -figure select
-// a single artifact.
+// a single artifact. The (tool × sample) evaluation grid runs on a
+// bounded worker pool; -j tunes the worker count and Ctrl-C cancels the
+// run cleanly.
 //
 //	experiments                 # all tables and figures
+//	experiments -j 8            # same, with 8 evaluation workers
 //	experiments -table 2        # Table II (detection)
 //	experiments -table 3        # Table III (patching)
 //	experiments -table corpus   # §III-A/§III-B corpus statistics
@@ -12,9 +15,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"github.com/dessertlab/patchitpy/internal/experiments"
 )
@@ -22,15 +27,18 @@ import (
 func main() {
 	table := flag.String("table", "", "render one table: 2, 3, corpus, prompts, quality or ablation")
 	figure := flag.String("figure", "", "render one figure: 3")
+	jobs := flag.Int("j", 0, "evaluation concurrency (0 = GOMAXPROCS)")
 	flag.Parse()
-	if err := run(*table, *figure); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, *table, *figure, *jobs); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(table, figure string) error {
-	res, err := experiments.Run()
+func run(ctx context.Context, table, figure string, jobs int) error {
+	res, err := experiments.RunContext(ctx, experiments.RunOptions{Concurrency: jobs})
 	if err != nil {
 		return err
 	}

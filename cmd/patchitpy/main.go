@@ -1,6 +1,6 @@
 // Command patchitpy is the PatchitPy command-line front end.
 //
-//	patchitpy detect [-severity high] file.py  # report findings
+//	patchitpy detect [-severity high] [-j N] file.py [file2.py ...]  # report findings
 //	patchitpy patch  file.py [file2.py ...]   # patch in place (-o to stdout)
 //	patchitpy rules                            # list the rule catalog
 //	patchitpy serve                            # JSON editor protocol on stdio
@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -46,7 +47,12 @@ func run(args []string) error {
 	case "serve":
 		return engine.Serve(os.Stdin, os.Stdout)
 	case "eval":
-		res, err := experiments.Run()
+		fs := flag.NewFlagSet("eval", flag.ContinueOnError)
+		jobs := fs.Int("j", 0, "evaluation concurrency (0 = GOMAXPROCS)")
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		res, err := experiments.RunContext(context.Background(), experiments.RunOptions{Concurrency: *jobs})
 		if err != nil {
 			return err
 		}
@@ -61,6 +67,7 @@ func detectFiles(engine *patchitpy.Engine, args []string) error {
 	fs := flag.NewFlagSet("detect", flag.ContinueOnError)
 	severity := fs.String("severity", "", "minimum severity: low, medium, high or critical")
 	asJSON := fs.Bool("json", false, "emit findings as JSON (one object per file)")
+	jobs := fs.Int("j", 0, "scan concurrency across files (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -68,7 +75,7 @@ func detectFiles(engine *patchitpy.Engine, args []string) error {
 	if len(paths) == 0 {
 		return fmt.Errorf("detect: at least one file required")
 	}
-	var opt detect.Options
+	opt := detect.Options{Concurrency: *jobs}
 	if *severity != "" {
 		min, err := parseSeverity(*severity)
 		if err != nil {
@@ -76,14 +83,22 @@ func detectFiles(engine *patchitpy.Engine, args []string) error {
 		}
 		opt.MinSeverity = min
 	}
-	scanner := detect.New(engine.Catalog())
-	exit := 0
-	for _, path := range paths {
+	srcs := make([]detect.Source, len(paths))
+	for i, path := range paths {
 		code, err := os.ReadFile(path)
 		if err != nil {
 			return err
 		}
-		findings := scanner.ScanWith(string(code), opt)
+		srcs[i] = detect.Source{Name: path, Code: string(code)}
+	}
+	scanner := detect.New(engine.Catalog())
+	results, err := scanner.ScanAll(context.Background(), srcs, opt)
+	if err != nil {
+		return err
+	}
+	exit := 0
+	for _, res := range results {
+		path, findings := res.Source.Name, res.Findings
 		if *asJSON {
 			if err := writeFindingsJSON(path, findings); err != nil {
 				return err

@@ -108,6 +108,31 @@ func TestRunDetectSeverityFilter(t *testing.T) {
 	}
 }
 
+func TestRunDetectMultiFileParallel(t *testing.T) {
+	dir := t.TempDir()
+	var paths []string
+	for i := 0; i < 6; i++ {
+		p := filepath.Join(dir, "app"+string(rune('a'+i))+".py")
+		if err := os.WriteFile(p, []byte(vulnFile), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, p)
+	}
+	if err := run(append([]string{"detect", "-j", "4"}, paths...)); err != nil {
+		t.Fatalf("detect -j 4: %v", err)
+	}
+	// A missing file among many must surface as an error before scanning.
+	if err := run([]string{"detect", paths[0], filepath.Join(dir, "missing.py")}); err == nil {
+		t.Error("missing file in batch should error")
+	}
+}
+
+func TestRunEvalFlagParsing(t *testing.T) {
+	if err := run([]string{"eval", "-j", "bogus"}); err == nil {
+		t.Error("bad -j value should error")
+	}
+}
+
 func TestRunDetectJSON(t *testing.T) {
 	path := writeTemp(t, vulnFile)
 	if err := run([]string{"detect", "-json", path}); err != nil {

@@ -1,11 +1,18 @@
 // Package detect implements PatchitPy's detection engine: it runs the rule
 // catalog's patterns over Python source and reports findings with precise
 // spans, mirroring the first phase of the paper's workflow (Fig. 1).
+//
+// Two throughput features make the engine usable on large corpora: a
+// literal prefilter built once per catalog (a rule's regexes only run when
+// the source contains one of the literal substrings any match must carry)
+// and ScanAll, which fans a batch of sources across a bounded worker pool
+// with deterministic, input-ordered results.
 package detect
 
 import (
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"github.com/dessertlab/patchitpy/internal/pytoken"
 	"github.com/dessertlab/patchitpy/internal/rules"
@@ -29,24 +36,63 @@ type Finding struct {
 // CWE returns the finding's CWE identifier.
 func (f Finding) CWE() string { return f.Rule.CWE }
 
-// Detector scans source code with a rule catalog.
+// Detector scans source code with a rule catalog. It is safe for
+// concurrent use: all state is immutable after construction except the
+// scan statistics, which are atomic.
 type Detector struct {
 	catalog *rules.Catalog
+	rules   []*rules.Rule // catalog order, fetched once
+	filters []ruleFilter  // aligned with rules
+
+	rulesConsidered atomic.Uint64
+	rulesSkipped    atomic.Uint64
 }
 
 // New returns a Detector over the given catalog; a nil catalog uses the
-// built-in one.
+// built-in one. The literal prefilter index is built here, once.
 func New(catalog *rules.Catalog) *Detector {
 	if catalog == nil {
 		catalog = rules.NewCatalog()
 	}
-	return &Detector{catalog: catalog}
+	rs := catalog.Rules()
+	return &Detector{
+		catalog: catalog,
+		rules:   rs,
+		filters: buildFilters(rs),
+	}
 }
 
 // Catalog returns the detector's rule catalog.
 func (d *Detector) Catalog() *rules.Catalog { return d.catalog }
 
-// Options narrows a scan to a subset of the catalog.
+// ScanStats counts prefilter decisions across all scans so far.
+type ScanStats struct {
+	// RulesConsidered counts (rule, source) pairs that passed the Options
+	// filter and reached the prefilter.
+	RulesConsidered uint64
+	// RulesSkipped counts how many of those the literal prefilter proved
+	// could not match, so their regexes never ran.
+	RulesSkipped uint64
+}
+
+// SkipRate is the fraction of considered rules the prefilter eliminated.
+func (s ScanStats) SkipRate() float64 {
+	if s.RulesConsidered == 0 {
+		return 0
+	}
+	return float64(s.RulesSkipped) / float64(s.RulesConsidered)
+}
+
+// Stats returns a snapshot of the detector's cumulative scan statistics.
+func (d *Detector) Stats() ScanStats {
+	return ScanStats{
+		RulesConsidered: d.rulesConsidered.Load(),
+		RulesSkipped:    d.rulesSkipped.Load(),
+	}
+}
+
+// Options narrows a scan to a subset of the catalog and tunes how the
+// scan executes.
 type Options struct {
 	// MinSeverity drops findings below the given severity (zero = all).
 	MinSeverity rules.Severity
@@ -57,6 +103,13 @@ type Options struct {
 	RuleIDs []string
 	// FixableOnly keeps only rules that carry a fix template.
 	FixableOnly bool
+	// NoPrefilter disables the literal prefilter, forcing every admitted
+	// rule's regexes to run. Results are identical either way; this exists
+	// for benchmarking the filter and as a correctness cross-check.
+	NoPrefilter bool
+	// Concurrency bounds the ScanAll worker pool (<= 0 = GOMAXPROCS). It
+	// has no effect on single-source scans.
+	Concurrency int
 }
 
 func (o Options) admits(r *rules.Rule) bool {
@@ -71,6 +124,7 @@ func (o Options) admits(r *rules.Rule) bool {
 		for _, c := range o.Categories {
 			if r.Category == c {
 				ok = true
+				break
 			}
 		}
 		if !ok {
@@ -82,6 +136,7 @@ func (o Options) admits(r *rules.Rule) bool {
 		for _, id := range o.RuleIDs {
 			if r.ID == id {
 				ok = true
+				break
 			}
 		}
 		if !ok {
@@ -101,8 +156,14 @@ func (d *Detector) Scan(src string) []Finding {
 func (d *Detector) ScanWith(src string, opt Options) []Finding {
 	mask := commentMask(src)
 	var out []Finding
-	for _, rule := range d.catalog.Rules() {
+	var considered, skipped uint64
+	for i, rule := range d.rules {
 		if !opt.admits(rule) {
+			continue
+		}
+		considered++
+		if !opt.NoPrefilter && !d.filters[i].admits(src) {
+			skipped++
 			continue
 		}
 		if rule.Requires != nil && !rule.Requires.MatchString(src) {
@@ -126,6 +187,8 @@ func (d *Detector) ScanWith(src string, opt Options) []Finding {
 			})
 		}
 	}
+	d.rulesConsidered.Add(considered)
+	d.rulesSkipped.Add(skipped)
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Start != out[j].Start {
 			return out[i].Start < out[j].Start
@@ -160,7 +223,8 @@ type span struct{ start, end int }
 
 // commentMask returns the byte spans of comments in src, so matches inside
 // them can be suppressed. It tokenizes best-effort: on a tokenizer error
-// the spans collected so far are still used.
+// the spans collected so far are still used. Tokens arrive in source
+// order and never overlap, so the spans are sorted — inMask relies on it.
 func commentMask(src string) []span {
 	toks, _ := pytoken.TokenizeAll(src)
 	var out []span
@@ -172,11 +236,9 @@ func commentMask(src string) []span {
 	return out
 }
 
+// inMask reports whether off falls inside any masked span, by binary
+// search over the sorted, non-overlapping spans.
 func inMask(mask []span, off int) bool {
-	for _, s := range mask {
-		if off >= s.start && off < s.end {
-			return true
-		}
-	}
-	return false
+	i := sort.Search(len(mask), func(i int) bool { return mask[i].end > off })
+	return i < len(mask) && mask[i].start <= off
 }

@@ -1,0 +1,44 @@
+package detect
+
+import (
+	"context"
+
+	"github.com/dessertlab/patchitpy/internal/workpool"
+)
+
+// Source is one named unit of Python code for a batch scan.
+type Source struct {
+	// Name identifies the source (a file path, sample ID, ...). ScanAll
+	// does not interpret it.
+	Name string
+	// Code is the Python source text.
+	Code string
+}
+
+// Result pairs a Source with its findings.
+type Result struct {
+	// Source is the input this result belongs to.
+	Source Source
+	// Findings are the rule matches, identical to Scan's output for the
+	// same code and options.
+	Findings []Finding
+}
+
+// ScanAll scans every source, fanning the work across a bounded pool of
+// opt.Concurrency workers (<= 0 = GOMAXPROCS). Results are input-ordered:
+// out[i] always corresponds to srcs[i], and out[i].Findings is exactly
+// what ScanWith(srcs[i].Code, opt) returns, regardless of concurrency.
+//
+// On context cancellation ScanAll returns ctx.Err() and a nil slice —
+// partial results are withheld so callers cannot mistake an interrupted
+// batch for a clean one.
+func (d *Detector) ScanAll(ctx context.Context, srcs []Source, opt Options) ([]Result, error) {
+	out := make([]Result, len(srcs))
+	err := workpool.Run(ctx, len(srcs), opt.Concurrency, func(i int) {
+		out[i] = Result{Source: srcs[i], Findings: d.ScanWith(srcs[i].Code, opt)}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,118 @@
+package detect
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"github.com/dessertlab/patchitpy/internal/generator"
+	"github.com/dessertlab/patchitpy/internal/prompts"
+	"github.com/dessertlab/patchitpy/internal/rules"
+)
+
+func corpusSources(t *testing.T) []Source {
+	t.Helper()
+	samples, err := generator.Corpus(prompts.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcs := make([]Source, len(samples))
+	for i, s := range samples {
+		srcs[i] = Source{Name: fmt.Sprintf("%s/%s", s.PromptID, s.Model), Code: s.Code}
+	}
+	return srcs
+}
+
+// TestScanAllMatchesScan is the determinism property test: over a shuffled
+// corpus, ScanAll must return, for every input and at every concurrency
+// level, exactly what a per-sample Scan returns — same order, same spans,
+// same rules.
+func TestScanAllMatchesScan(t *testing.T) {
+	srcs := corpusSources(t)
+	rng := rand.New(rand.NewSource(42))
+	rng.Shuffle(len(srcs), func(i, j int) { srcs[i], srcs[j] = srcs[j], srcs[i] })
+
+	d := New(nil)
+	want := make([][]Finding, len(srcs))
+	for i, s := range srcs {
+		want[i] = d.Scan(s.Code)
+	}
+
+	for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		got, err := d.ScanAll(context.Background(), srcs, Options{Concurrency: workers})
+		if err != nil {
+			t.Fatalf("concurrency %d: %v", workers, err)
+		}
+		if len(got) != len(srcs) {
+			t.Fatalf("concurrency %d: %d results for %d sources", workers, len(got), len(srcs))
+		}
+		for i := range got {
+			if got[i].Source != srcs[i] {
+				t.Fatalf("concurrency %d: result %d belongs to %q, want %q",
+					workers, i, got[i].Source.Name, srcs[i].Name)
+			}
+			if !reflect.DeepEqual(got[i].Findings, want[i]) {
+				t.Fatalf("concurrency %d: findings for %q diverge from sequential Scan",
+					workers, srcs[i].Name)
+			}
+		}
+	}
+}
+
+func TestScanAllRespectsOptions(t *testing.T) {
+	d := New(nil)
+	srcs := []Source{
+		{Name: "a", Code: "import hashlib\nh = hashlib.md5(x)\n"},
+		{Name: "b", Code: "obj = eval(x)\n"},
+	}
+	got, err := d.ScanAll(context.Background(), srcs, Options{RuleIDs: []string{"PIP-CRY-001"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got[0].Findings) != 1 || got[0].Findings[0].Rule.ID != "PIP-CRY-001" {
+		t.Errorf("source a findings: %v", findIDs(got[0].Findings))
+	}
+	if len(got[1].Findings) != 0 {
+		t.Errorf("rule filter leaked into source b: %v", findIDs(got[1].Findings))
+	}
+	high, err := d.ScanAll(context.Background(), srcs, Options{MinSeverity: rules.SeverityCritical})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range high {
+		for _, f := range r.Findings {
+			if f.Rule.Severity < rules.SeverityCritical {
+				t.Errorf("low-severity finding leaked: %s", f.Rule.ID)
+			}
+		}
+	}
+}
+
+func TestScanAllEmpty(t *testing.T) {
+	d := New(nil)
+	got, err := d.ScanAll(context.Background(), nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("got %d results for no sources", len(got))
+	}
+}
+
+func TestScanAllCancellation(t *testing.T) {
+	d := New(nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	srcs := []Source{{Name: "a", Code: "eval(x)\n"}}
+	got, err := d.ScanAll(ctx, srcs, Options{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got != nil {
+		t.Error("canceled scan must not return partial results")
+	}
+}

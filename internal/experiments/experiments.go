@@ -2,9 +2,15 @@
 // evaluation (§III): the corpus statistics, the detection comparison
 // (Table II), the patching comparison (Table III), the cyclomatic-
 // complexity analysis (Fig. 3) and the Pylint-score quality analysis.
+//
+// The harness evaluates the (tool × sample) grid — 7 tools over 609
+// samples — through a bounded worker pool (RunContext) and folds the
+// per-cell outcomes in input order, so the results are identical to the
+// retained sequential reference (RunSequential) at any concurrency.
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -20,6 +26,7 @@ import (
 	"github.com/dessertlab/patchitpy/internal/oracle"
 	"github.com/dessertlab/patchitpy/internal/prompts"
 	"github.com/dessertlab/patchitpy/internal/stats"
+	"github.com/dessertlab/patchitpy/internal/workpool"
 )
 
 // Tool names used as map keys throughout the results.
@@ -103,14 +110,267 @@ type Results struct {
 // FigGenerated is the Fig. 3 base series name.
 const FigGenerated = "Generated"
 
-// Run executes the full evaluation. It is deterministic.
+// GroundTruth is the Quality series holding the safe-rewrite scores.
+const GroundTruth = "Ground truth"
+
+// RunOptions tunes how the harness executes. The zero value is the
+// default configuration.
+type RunOptions struct {
+	// Concurrency bounds the (tool × sample) worker pool
+	// (<= 0 = GOMAXPROCS).
+	Concurrency int
+}
+
+// Run executes the full evaluation at default concurrency. It is
+// deterministic.
 func Run() (*Results, error) {
+	return RunContext(context.Background(), RunOptions{})
+}
+
+// toolkit bundles the evaluated tools. All of them are safe for
+// concurrent use after construction.
+type toolkit struct {
+	engine     *core.PatchitPy
+	orc        *oracle.Oracle
+	bandit     *banditlite.Scanner
+	semgrep    *semgreplite.Scanner
+	codeql     *querydb.Engine
+	assistants []*llmsim.Assistant
+}
+
+func newToolkit() *toolkit {
+	return &toolkit{
+		engine:     core.New(),
+		orc:        oracle.New(),
+		bandit:     banditlite.New(),
+		semgrep:    semgreplite.New(),
+		codeql:     querydb.New(),
+		assistants: llmsim.Assistants(),
+	}
+}
+
+// Cell kinds: the fixed per-sample evaluation columns. LLM assistants
+// occupy cellLLM+0 .. cellLLM+len(assistants)-1.
+const (
+	cellPatchitPy = iota
+	cellBandit
+	cellSemgrep
+	cellCodeQL
+	cellLLM
+)
+
+// cellResult is the immutable outcome of one (tool, sample) evaluation.
+// Only the fields of the cell's kind are populated; the fold reads them
+// in the same order the sequential reference computes them.
+type cellResult struct {
+	// PatchitPy
+	detected   bool
+	repaired   bool
+	figGen     float64
+	figPip     float64
+	qualityPip float64
+	qualityGT  float64
+
+	// Bandit / Semgrep
+	banditFindings  []banditlite.Finding
+	semgrepFindings []semgreplite.Finding
+
+	// CodeQL
+	codeqlVuln bool
+
+	// LLM assistants
+	review      llmsim.Review
+	llmRepaired bool
+	figLLM      float64
+	qualityLLM  float64
+}
+
+// evalCell computes one grid cell. It touches no shared mutable state.
+func (tk *toolkit) evalCell(s generator.Sample, kind int) cellResult {
+	var c cellResult
+	switch kind {
+	case cellPatchitPy:
+		outcome := tk.engine.Fix(s.Code)
+		c.detected = outcome.Report.Vulnerable
+		c.repaired = c.detected && tk.orc.Repaired(s, outcome.Result.Source)
+		c.figGen = complexity.Program(s.Code)
+		c.figPip = complexity.Program(outcome.Result.Source)
+		if s.Truth.Vulnerable && c.repaired {
+			c.qualityPip = lintscore.Score(outcome.Result.Source)
+		}
+		if s.Truth.Vulnerable {
+			c.qualityGT = lintscore.Score(generator.SafeRewrite(s))
+		}
+	case cellBandit:
+		c.banditFindings = tk.bandit.Scan(s.Code)
+	case cellSemgrep:
+		c.semgrepFindings = tk.semgrep.Scan(s.Code)
+	case cellCodeQL:
+		c.codeqlVuln = tk.codeql.Vulnerable(s.Code)
+	default:
+		a := tk.assistants[kind-cellLLM]
+		c.review = a.Review(s)
+		c.llmRepaired = c.review.Detected && tk.orc.Repaired(s, c.review.Patched)
+		c.figLLM = complexity.Program(c.review.Patched)
+		if s.Truth.Vulnerable && c.llmRepaired {
+			c.qualityLLM = lintscore.Score(c.review.Patched)
+		}
+	}
+	return c
+}
+
+// RunContext executes the full evaluation, fanning the (tool × sample)
+// grid across opt.Concurrency workers, and honors ctx cancellation. The
+// results are identical to RunSequential at any concurrency.
+func RunContext(ctx context.Context, opt RunOptions) (*Results, error) {
 	ps := prompts.All()
 	samples, err := generator.Corpus(ps)
 	if err != nil {
 		return nil, fmt.Errorf("generate corpus: %w", err)
 	}
 
+	tk := newToolkit()
+	cellsPerSample := cellLLM + len(tk.assistants)
+	grid := make([]cellResult, len(samples)*cellsPerSample)
+	err = workpool.Run(ctx, len(grid), opt.Concurrency, func(i int) {
+		grid[i] = tk.evalCell(samples[i/cellsPerSample], i%cellsPerSample)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := newResults(tk)
+	res.Corpus = corpusStats(ps, samples)
+
+	// Fold the grid in input order — the exact accumulation sequence of
+	// the sequential reference, so aggregates come out identical.
+	cweSeen := map[string]map[string]bool{}
+	for _, m := range ModelNames {
+		cweSeen[m] = map[string]bool{}
+	}
+	var banditFindings []banditlite.Finding
+	var semgrepFindings []semgreplite.Finding
+
+	for si, s := range samples {
+		truth := s.Truth.Vulnerable
+		cells := grid[si*cellsPerSample : (si+1)*cellsPerSample]
+
+		pip := cells[cellPatchitPy]
+		res.addDetection(ToolPatchitPy, s.Model, pip.detected, truth)
+		res.addRepair(ToolPatchitPy, s.Model, pip.detected && truth, truth, pip.repaired && truth)
+		if pip.detected && truth {
+			for _, cwe := range s.Truth.CWEs {
+				cweSeen[s.Model][cwe] = true
+			}
+		}
+		res.Fig3[FigGenerated] = append(res.Fig3[FigGenerated], pip.figGen)
+		res.Fig3[ToolPatchitPy] = append(res.Fig3[ToolPatchitPy], pip.figPip)
+		if truth && pip.repaired {
+			res.Quality[ToolPatchitPy] = append(res.Quality[ToolPatchitPy], pip.qualityPip)
+		}
+		if truth {
+			res.Quality[GroundTruth] = append(res.Quality[GroundTruth], pip.qualityGT)
+		}
+
+		bf := cells[cellBandit].banditFindings
+		banditFindings = append(banditFindings, bf...)
+		res.addDetection(ToolBandit, s.Model, len(bf) > 0, truth)
+
+		sf := cells[cellSemgrep].semgrepFindings
+		semgrepFindings = append(semgrepFindings, sf...)
+		res.addDetection(ToolSemgrep, s.Model, len(sf) > 0, truth)
+
+		res.addDetection(ToolCodeQL, s.Model, cells[cellCodeQL].codeqlVuln, truth)
+
+		for ai, a := range tk.assistants {
+			c := cells[cellLLM+ai]
+			res.addDetection(a.Name, s.Model, c.review.Detected, truth)
+			res.addRepair(a.Name, s.Model, c.review.Detected && truth, truth, c.llmRepaired && truth)
+			res.Fig3[a.Name] = append(res.Fig3[a.Name], c.figLLM)
+			if truth && c.llmRepaired {
+				res.Quality[a.Name] = append(res.Quality[a.Name], c.qualityLLM)
+			}
+		}
+	}
+
+	res.finish(cweSeen, banditFindings, semgrepFindings)
+	return res, nil
+}
+
+// RunSequential is the retained single-goroutine reference
+// implementation. Tests assert RunContext reproduces it byte-for-byte,
+// and the benchmarks use it as the before/after baseline.
+func RunSequential() (*Results, error) {
+	ps := prompts.All()
+	samples, err := generator.Corpus(ps)
+	if err != nil {
+		return nil, fmt.Errorf("generate corpus: %w", err)
+	}
+
+	tk := newToolkit()
+	res := newResults(tk)
+	res.Corpus = corpusStats(ps, samples)
+
+	cweSeen := map[string]map[string]bool{}
+	for _, m := range ModelNames {
+		cweSeen[m] = map[string]bool{}
+	}
+
+	var banditFindings []banditlite.Finding
+	var semgrepFindings []semgreplite.Finding
+
+	for _, s := range samples {
+		truth := s.Truth.Vulnerable
+
+		// --- PatchitPy: detect + patch ---
+		outcome := tk.engine.Fix(s.Code)
+		detected := outcome.Report.Vulnerable
+		res.addDetection(ToolPatchitPy, s.Model, detected, truth)
+		repaired := detected && tk.orc.Repaired(s, outcome.Result.Source)
+		res.addRepair(ToolPatchitPy, s.Model, detected && truth, truth, repaired && truth)
+		if detected && truth {
+			for _, cwe := range s.Truth.CWEs {
+				cweSeen[s.Model][cwe] = true
+			}
+		}
+		res.Fig3[FigGenerated] = append(res.Fig3[FigGenerated], complexity.Program(s.Code))
+		res.Fig3[ToolPatchitPy] = append(res.Fig3[ToolPatchitPy], complexity.Program(outcome.Result.Source))
+		if truth && repaired {
+			res.Quality[ToolPatchitPy] = append(res.Quality[ToolPatchitPy], lintscore.Score(outcome.Result.Source))
+		}
+		if truth {
+			res.Quality[GroundTruth] = append(res.Quality[GroundTruth], lintscore.Score(generator.SafeRewrite(s)))
+		}
+
+		// --- static baselines: detect only ---
+		bf := tk.bandit.Scan(s.Code)
+		banditFindings = append(banditFindings, bf...)
+		res.addDetection(ToolBandit, s.Model, len(bf) > 0, truth)
+
+		sf := tk.semgrep.Scan(s.Code)
+		semgrepFindings = append(semgrepFindings, sf...)
+		res.addDetection(ToolSemgrep, s.Model, len(sf) > 0, truth)
+
+		res.addDetection(ToolCodeQL, s.Model, tk.codeql.Vulnerable(s.Code), truth)
+
+		// --- LLM baselines: detect + patch ---
+		for _, a := range tk.assistants {
+			review := a.Review(s)
+			res.addDetection(a.Name, s.Model, review.Detected, truth)
+			llmRepaired := review.Detected && tk.orc.Repaired(s, review.Patched)
+			res.addRepair(a.Name, s.Model, review.Detected && truth, truth, llmRepaired && truth)
+			res.Fig3[a.Name] = append(res.Fig3[a.Name], complexity.Program(review.Patched))
+			if truth && llmRepaired {
+				res.Quality[a.Name] = append(res.Quality[a.Name], lintscore.Score(review.Patched))
+			}
+		}
+	}
+
+	res.finish(cweSeen, banditFindings, semgrepFindings)
+	return res, nil
+}
+
+func newResults(tk *toolkit) *Results {
 	res := &Results{
 		Table2:          map[string]map[string]*metrics.Confusion{},
 		Table3:          map[string]map[string]*metrics.Repair{},
@@ -133,95 +393,34 @@ func Run() (*Results, error) {
 			res.Table3[tool][m] = &metrics.Repair{}
 		}
 	}
+	return res
+}
 
-	res.Corpus = corpusStats(ps, samples)
-
-	engine := core.New()
-	orc := oracle.New()
-	bandit := banditlite.New()
-	semgrep := semgreplite.New()
-	codeql := querydb.New()
-	assistants := llmsim.Assistants()
-
-	cweSeen := map[string]map[string]bool{}
+// finish computes the derived aggregates shared by both run paths.
+func (r *Results) finish(cweSeen map[string]map[string]bool, banditFindings []banditlite.Finding, semgrepFindings []semgreplite.Finding) {
 	for _, m := range ModelNames {
-		cweSeen[m] = map[string]bool{}
+		r.CWECoverage[m] = len(cweSeen[m])
 	}
+	r.BanditSuggestionRate = banditlite.SuggestionRate(banditFindings)
+	r.SemgrepSuggestionRate = semgreplite.SuggestionRate(semgrepFindings)
 
-	var banditFindings []banditlite.Finding
-	var semgrepFindings []semgreplite.Finding
-
-	for _, s := range samples {
-		truth := s.Truth.Vulnerable
-
-		// --- PatchitPy: detect + patch ---
-		outcome := engine.Fix(s.Code)
-		detected := outcome.Report.Vulnerable
-		res.addDetection(ToolPatchitPy, s.Model, detected, truth)
-		repaired := detected && orc.Repaired(s, outcome.Result.Source)
-		res.addRepair(ToolPatchitPy, s.Model, detected && truth, truth, repaired && truth)
-		if detected && truth {
-			for _, cwe := range s.Truth.CWEs {
-				cweSeen[s.Model][cwe] = true
-			}
-		}
-		res.Fig3[FigGenerated] = append(res.Fig3[FigGenerated], complexity.Program(s.Code))
-		res.Fig3[ToolPatchitPy] = append(res.Fig3[ToolPatchitPy], complexity.Program(outcome.Result.Source))
-		if truth && repaired {
-			res.Quality[ToolPatchitPy] = append(res.Quality[ToolPatchitPy], lintscore.Score(outcome.Result.Source))
-		}
-		if truth {
-			res.Quality["Ground truth"] = append(res.Quality["Ground truth"], lintscore.Score(generator.SafeRewrite(s)))
-		}
-
-		// --- static baselines: detect only ---
-		bf := bandit.Scan(s.Code)
-		banditFindings = append(banditFindings, bf...)
-		res.addDetection(ToolBandit, s.Model, len(bf) > 0, truth)
-
-		sf := semgrep.Scan(s.Code)
-		semgrepFindings = append(semgrepFindings, sf...)
-		res.addDetection(ToolSemgrep, s.Model, len(sf) > 0, truth)
-
-		res.addDetection(ToolCodeQL, s.Model, codeql.Vulnerable(s.Code), truth)
-
-		// --- LLM baselines: detect + patch ---
-		for _, a := range assistants {
-			review := a.Review(s)
-			res.addDetection(a.Name, s.Model, review.Detected, truth)
-			llmRepaired := review.Detected && orc.Repaired(s, review.Patched)
-			res.addRepair(a.Name, s.Model, review.Detected && truth, truth, llmRepaired && truth)
-			res.Fig3[a.Name] = append(res.Fig3[a.Name], complexity.Program(review.Patched))
-			if truth && llmRepaired {
-				res.Quality[a.Name] = append(res.Quality[a.Name], lintscore.Score(review.Patched))
-			}
-		}
-	}
-
-	for _, m := range ModelNames {
-		res.CWECoverage[m] = len(cweSeen[m])
-	}
-	res.BanditSuggestionRate = banditlite.SuggestionRate(banditFindings)
-	res.SemgrepSuggestionRate = semgreplite.SuggestionRate(semgrepFindings)
-
-	for name, values := range res.Fig3 {
-		res.Fig3Summary[name] = complexity.Summarize(values)
+	for name, values := range r.Fig3 {
+		r.Fig3Summary[name] = complexity.Summarize(values)
 		if name == FigGenerated {
 			continue
 		}
-		if rs, err := stats.RankSum(values, res.Fig3[FigGenerated]); err == nil {
-			res.Fig3Wilcoxon[name] = rs.P
+		if rs, err := stats.RankSum(values, r.Fig3[FigGenerated]); err == nil {
+			r.Fig3Wilcoxon[name] = rs.P
 		}
 	}
-	for name, scores := range res.Quality {
-		if name == "Ground truth" {
+	for name, scores := range r.Quality {
+		if name == GroundTruth {
 			continue
 		}
-		if rs, err := stats.RankSum(scores, res.Quality["Ground truth"]); err == nil {
-			res.QualityWilcoxon[name] = rs.P
+		if rs, err := stats.RankSum(scores, r.Quality[GroundTruth]); err == nil {
+			r.QualityWilcoxon[name] = rs.P
 		}
 	}
-	return res, nil
 }
 
 func (r *Results) addDetection(tool, model string, predicted, actual bool) {

@@ -2,7 +2,11 @@ package experiments
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"math"
+	"reflect"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -228,6 +232,50 @@ func TestQualityEquivalence(t *testing.T) {
 		if med := median(scores); med < 8.5 {
 			t.Errorf("%s median quality %.1f; paper reports ~9/10", name, med)
 		}
+	}
+}
+
+// TestParallelMatchesSequential is the headline equivalence guarantee of
+// the concurrent harness: at several concurrency levels, the full rendered
+// report of RunContext must be byte-identical to RunSequential's.
+func TestParallelMatchesSequential(t *testing.T) {
+	seq, err := RunSequential()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	seq.WriteAll(&want)
+
+	for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		par, err := RunContext(context.Background(), RunOptions{Concurrency: workers})
+		if err != nil {
+			t.Fatalf("concurrency %d: %v", workers, err)
+		}
+		var got bytes.Buffer
+		par.WriteAll(&got)
+		if !bytes.Equal(got.Bytes(), want.Bytes()) {
+			t.Errorf("concurrency %d: parallel report diverges from sequential:\n--- sequential ---\n%s\n--- parallel ---\n%s",
+				workers, want.String(), got.String())
+		}
+		// The raw series must match too, not just their renderings.
+		for name, wantVals := range seq.Fig3 {
+			if !reflect.DeepEqual(par.Fig3[name], wantVals) {
+				t.Errorf("concurrency %d: Fig3[%s] diverges", workers, name)
+			}
+		}
+		for name, wantScores := range seq.Quality {
+			if !reflect.DeepEqual(par.Quality[name], wantScores) {
+				t.Errorf("concurrency %d: Quality[%s] diverges", workers, name)
+			}
+		}
+	}
+}
+
+func TestRunContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunContext(ctx, RunOptions{Concurrency: 2}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }
 

@@ -1,0 +1,84 @@
+package workpool
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, runtime.GOMAXPROCS(0), 64} {
+		n := 137
+		hits := make([]atomic.Int32, n)
+		err := Run(context.Background(), n, workers, func(i int) {
+			hits[i].Add(1)
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d executed %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestRunZeroJobs(t *testing.T) {
+	if err := Run(context.Background(), 0, 4, func(int) { t.Error("fn called") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunDefaultConcurrency(t *testing.T) {
+	var count atomic.Int32
+	if err := Run(context.Background(), 10, 0, func(int) { count.Add(1) }); err != nil {
+		t.Fatal(err)
+	}
+	if count.Load() != 10 {
+		t.Errorf("executed %d jobs, want 10", count.Load())
+	}
+}
+
+func TestRunCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var count atomic.Int32
+	err := Run(ctx, 1_000_000, 2, func(i int) {
+		if count.Add(1) == 10 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := count.Load(); n >= 1_000_000 {
+		t.Errorf("cancellation did not stop the pool early (%d jobs ran)", n)
+	}
+}
+
+func TestRunPreCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// The sequential path must not run any job on a dead context.
+	err := Run(ctx, 5, 1, func(int) { t.Error("fn called on canceled context") })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	cases := []struct{ c, n, want int }{
+		{0, 8, min(runtime.GOMAXPROCS(0), 8)},
+		{-3, 8, min(runtime.GOMAXPROCS(0), 8)},
+		{4, 8, 4},
+		{16, 3, 3},
+		{5, 0, 1},
+	}
+	for _, tc := range cases {
+		if got := Clamp(tc.c, tc.n); got != tc.want {
+			t.Errorf("Clamp(%d, %d) = %d, want %d", tc.c, tc.n, got, tc.want)
+		}
+	}
+}
