@@ -14,7 +14,10 @@ package patchitpy
 //	BenchmarkQualityScores     — §III-C Pylint-score quality comparison
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
+	"io"
 	"sync"
 	"testing"
 
@@ -193,21 +196,24 @@ func corpusSources(b *testing.B) []detect.Source {
 }
 
 // BenchmarkScanCorpus scans the full corpus through the concurrent,
-// literal-prefiltered path (detect.ScanAll) and reports the prefilter's
-// skip rate. Compare against BenchmarkScanCorpusSequential — the results
-// are byte-identical (asserted by TestScanAllMatchesScan and
-// TestPrefilterTransparent in internal/detect).
+// automaton-prefiltered path (detect.ScanAll) and reports the prefilter's
+// skip rate. NoCache keeps every iteration doing real scans, so this
+// measures single-scan cost, not cache hits — BenchmarkServeHotVsCold
+// covers the cached path. Compare against BenchmarkScanCorpusSequential —
+// the results are byte-identical (asserted by TestScanAllMatchesScan,
+// TestAutomatonPrefilterTransparent and TestScanAllCachedMatchesUncached
+// in internal/detect).
 func BenchmarkScanCorpus(b *testing.B) {
 	srcs := corpusSources(b)
 	d := detect.New(nil)
-	var bytes int64
+	var total int64
 	for _, s := range srcs {
-		bytes += int64(len(s.Code))
+		total += int64(len(s.Code))
 	}
-	b.SetBytes(bytes)
+	b.SetBytes(total)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := d.ScanAll(context.Background(), srcs, detect.Options{}); err != nil {
+		if _, err := d.ScanAll(context.Background(), srcs, detect.Options{NoCache: true}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -218,22 +224,123 @@ func BenchmarkScanCorpus(b *testing.B) {
 }
 
 // BenchmarkScanCorpusSequential is the pre-pipeline baseline: one
-// goroutine, no prefilter, one rule-set pass per sample — exactly the old
-// ScanWith loop.
+// goroutine, no prefilter, no cache, one rule-set pass per sample —
+// exactly the old ScanWith loop.
 func BenchmarkScanCorpusSequential(b *testing.B) {
 	srcs := corpusSources(b)
 	d := detect.New(nil)
-	var bytes int64
+	var total int64
 	for _, s := range srcs {
-		bytes += int64(len(s.Code))
+		total += int64(len(s.Code))
 	}
-	b.SetBytes(bytes)
+	b.SetBytes(total)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, s := range srcs {
-			d.ScanWith(s.Code, detect.Options{NoPrefilter: true})
+			d.ScanWith(s.Code, detect.Options{NoPrefilter: true, NoCache: true})
 		}
 	}
+}
+
+// BenchmarkScanPrepared scans the corpus single-threaded through
+// ScanPrepared with one Prepared per source reused across iterations, so
+// the comment mask, line index and candidate bitset are paid once — the
+// steady-state cost of the rule loop itself.
+func BenchmarkScanPrepared(b *testing.B) {
+	srcs := corpusSources(b)
+	d := detect.New(nil)
+	prepared := make([]*detect.Prepared, len(srcs))
+	var total int64
+	for i, s := range srcs {
+		prepared[i] = d.Prepare(s.Code)
+		total += int64(len(s.Code))
+	}
+	b.SetBytes(total)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range prepared {
+			d.ScanPrepared(p, detect.Options{NoCache: true})
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(d.Stats().SkipRate(), "prefilter-skip-rate")
+}
+
+// BenchmarkPrefilterAutomatonVsContains compares the three prefilter
+// configurations over the corpus, single-threaded and uncached: the
+// one-pass Aho-Corasick automaton, the PR 1 per-rule strings.Contains
+// probes, and no prefilter at all. Each sub-benchmark reports the rule
+// skip rate it achieved; findings are byte-identical across all three
+// (asserted by TestAutomatonPrefilterTransparent).
+func BenchmarkPrefilterAutomatonVsContains(b *testing.B) {
+	srcs := corpusSources(b)
+	var total int64
+	for _, s := range srcs {
+		total += int64(len(s.Code))
+	}
+	run := func(name string, opt detect.Options) {
+		b.Run(name, func(b *testing.B) {
+			d := detect.New(nil)
+			opt.NoCache = true
+			b.SetBytes(total)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, s := range srcs {
+					d.ScanWith(s.Code, opt)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(d.Stats().SkipRate(), "prefilter-skip-rate")
+		})
+	}
+	run("automaton", detect.Options{})
+	run("contains", detect.Options{ContainsPrefilter: true})
+	run("none", detect.Options{NoPrefilter: true})
+}
+
+// BenchmarkServeHotVsCold measures the server-mode session protocol on
+// repeated traffic: "cold" disables the result cache so every request
+// pays a full scan; "hot" serves the same requests from a warmed cache.
+// The ns/op ratio between the two sub-benchmarks is the cache's speedup
+// on duplicate traffic; each reports its observed analyze-cache hit rate.
+func BenchmarkServeHotVsCold(b *testing.B) {
+	samples, err := generator.Corpus(prompts.All())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var reqs bytes.Buffer
+	enc := json.NewEncoder(&reqs)
+	var payload int64
+	for _, s := range samples {
+		if err := enc.Encode(map[string]string{"cmd": "detect", "code": s.Code}); err != nil {
+			b.Fatal(err)
+		}
+		payload += int64(len(s.Code))
+	}
+	requests := reqs.Bytes()
+
+	run := func(name string, engine *Engine, warm bool) {
+		b.Run(name, func(b *testing.B) {
+			if warm {
+				if err := engine.Serve(bytes.NewReader(requests), io.Discard); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.SetBytes(payload)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := engine.Serve(bytes.NewReader(requests), io.Discard); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(engine.CacheStats().Analyze.HitRate(), "analyze-hit-rate")
+		})
+	}
+	cold := New()
+	cold.SetCacheBytes(0)
+	run("cold", cold, false)
+	run("hot", New(), true)
 }
 
 // BenchmarkTable2 regenerates the evaluation through the concurrent
@@ -276,9 +383,12 @@ func BenchmarkFullEvaluation(b *testing.B) {
 }
 
 // BenchmarkEnginePerSample measures single-snippet latency — the
-// interactive editor path (VS Code extension substitute).
+// interactive editor path (VS Code extension substitute). Caching is
+// disabled so every iteration pays the full detect-and-patch cost; the
+// hit path is measured by BenchmarkServeHotVsCold.
 func BenchmarkEnginePerSample(b *testing.B) {
 	engine := New()
+	engine.SetCacheBytes(0)
 	b.SetBytes(int64(len(vulnSnippet)))
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {

@@ -3,11 +3,14 @@
 //	patchitpy detect [-severity high] [-j N] file.py [file2.py ...]  # report findings
 //	patchitpy patch  file.py [file2.py ...]   # patch in place (-o to stdout)
 //	patchitpy rules                            # list the rule catalog
-//	patchitpy serve                            # JSON editor protocol on stdio
+//	patchitpy serve [-cache 64]                # JSON editor protocol on stdio
 //
 // `serve` speaks the newline-delimited JSON protocol the paper's VS Code
 // extension uses: {"cmd":"detect","code":"..."} and
-// {"cmd":"patch","code":"..."} requests, one response per line.
+// {"cmd":"patch","code":"..."} requests, one response per line. Repeated
+// identical requests are answered from a content-addressed result cache
+// sized by -cache (MiB, 0 disables); {"cmd":"stats"} reports its hit/miss
+// counters and the prefilter skip rate.
 package main
 
 import (
@@ -45,6 +48,12 @@ func run(args []string) error {
 	case "rules":
 		return listRules(engine)
 	case "serve":
+		fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+		cacheMiB := fs.Int64("cache", 32, "result cache budget per cache, in MiB (0 disables caching)")
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		engine.SetCacheBytes(*cacheMiB << 20)
 		return engine.Serve(os.Stdin, os.Stdout)
 	case "eval":
 		fs := flag.NewFlagSet("eval", flag.ContinueOnError)

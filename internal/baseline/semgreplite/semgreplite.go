@@ -7,7 +7,11 @@
 // ship suggestions, and the tool never modified the evaluated files.
 package semgreplite
 
-import "regexp"
+import (
+	"regexp"
+
+	"github.com/dessertlab/patchitpy/internal/lineindex"
+)
 
 // Rule is one registry-style pattern rule.
 type Rule struct {
@@ -49,22 +53,22 @@ func (s *Scanner) Rules() []Rule {
 	return out
 }
 
-// Scan analyzes src and returns findings in rule order.
+// Scan analyzes src and returns findings in rule order. Line numbers come
+// from a newline-offset index built once per scan, not a byte walk per
+// finding.
 func (s *Scanner) Scan(src string) []Finding {
 	var out []Finding
+	var lines lineindex.Index
 	for _, r := range s.rules {
 		for _, idx := range r.Pattern.FindAllStringIndex(src, -1) {
-			line := 1
-			for i := 0; i < idx[0]; i++ {
-				if src[i] == '\n' {
-					line++
-				}
+			if lines == nil {
+				lines = lineindex.New(src)
 			}
 			out = append(out, Finding{
 				RuleID:     r.ID,
 				Message:    r.Message,
 				Severity:   r.Severity,
-				Line:       line,
+				Line:       lines.Line(idx[0]),
 				Suggestion: r.Suggestion,
 			})
 		}

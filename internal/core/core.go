@@ -2,19 +2,33 @@
 // together: phase one scans Python source with the 85-rule catalog, phase
 // two applies the mined safe alternatives and inserts required imports.
 // The root patchitpy package re-exports this API for library users.
+//
+// Both phases are memoized in a content-addressed result cache keyed by
+// (catalog fingerprint, request kind, source text): under server-mode
+// traffic, where the same snippets are re-submitted constantly, a repeated
+// Analyze or Fix is a hash lookup instead of a scan, and concurrent
+// identical requests are de-duplicated to a single computation.
 package core
 
 import (
 	"github.com/dessertlab/patchitpy/internal/detect"
 	"github.com/dessertlab/patchitpy/internal/editor"
 	"github.com/dessertlab/patchitpy/internal/patch"
+	"github.com/dessertlab/patchitpy/internal/resultcache"
 	"github.com/dessertlab/patchitpy/internal/rules"
 )
 
+// DefaultCacheBytes is the per-engine budget each result cache (analyze,
+// fix) starts with; SetCacheBytes overrides it.
+const DefaultCacheBytes = 32 << 20
+
 // PatchitPy is the analysis-and-remediation engine. It is safe for
-// concurrent use: all state is immutable after construction.
+// concurrent use: all state is immutable after construction except the
+// result caches, which are concurrency-safe.
 type PatchitPy struct {
-	detector *detect.Detector
+	detector     *detect.Detector
+	analyzeCache *resultcache.Cache[Report]
+	fixCache     *resultcache.Cache[FixOutcome]
 }
 
 // New returns an engine using the built-in 85-rule catalog.
@@ -24,7 +38,57 @@ func New() *PatchitPy {
 
 // NewWithCatalog returns an engine over a custom catalog (nil = built-in).
 func NewWithCatalog(catalog *rules.Catalog) *PatchitPy {
-	return &PatchitPy{detector: detect.New(catalog)}
+	p := &PatchitPy{detector: detect.New(catalog)}
+	p.SetCacheBytes(DefaultCacheBytes)
+	return p
+}
+
+// SetCacheBytes resizes the engine's result caches: the analyze and fix
+// caches each get n bytes, and the detector's scan cache is set to n as
+// well. n <= 0 disables all caching. Existing entries and counters are
+// dropped; call during setup, not with requests in flight.
+func (p *PatchitPy) SetCacheBytes(n int64) {
+	p.analyzeCache = resultcache.New(n, func(key string, r Report) int64 { return reportCost(r) })
+	p.fixCache = resultcache.New(n, func(key string, o FixOutcome) int64 {
+		c := reportCost(o.Report) + int64(len(o.Result.Source))
+		for _, a := range o.Result.Applied {
+			c += int64(len(a.Replacement)) + 64
+		}
+		return c + int64(64*(len(o.Result.Unpatched)+len(o.Edits)+len(o.Result.ImportsAdded)))
+	})
+	p.detector.SetCacheBytes(n)
+}
+
+func reportCost(r Report) int64 {
+	var c int64
+	for _, f := range r.Findings {
+		c += int64(len(f.Snippet)) + int64(8*len(f.Groups)) + 64
+	}
+	return c + int64(16*len(r.CWEs))
+}
+
+// CacheStats aggregates the hit/miss/eviction counters of every result
+// cache an engine runs, alongside the detector's prefilter statistics.
+type CacheStats struct {
+	// Analyze, Fix and Scan are the per-cache counters: Analyze and Fix
+	// cover the two engine entry points, Scan covers the detector-level
+	// cache serving ScanAll and direct detector users.
+	Analyze resultcache.Stats
+	Fix     resultcache.Stats
+	Scan    resultcache.Stats
+	// Prefilter is the detector's cumulative rule-skip accounting.
+	Prefilter detect.ScanStats
+}
+
+// CacheStats returns a snapshot of the engine's cache and prefilter
+// counters.
+func (p *PatchitPy) CacheStats() CacheStats {
+	return CacheStats{
+		Analyze:   p.analyzeCache.Stats(),
+		Fix:       p.fixCache.Stats(),
+		Scan:      p.detector.CacheStats(),
+		Prefilter: p.detector.Stats(),
+	}
 }
 
 // Catalog exposes the rule catalog in use.
@@ -40,9 +104,53 @@ type Report struct {
 	CWEs []string
 }
 
-// Analyze runs the detection phase on src.
+// copySlice clones s into a fresh backing array, preserving both nil-ness
+// and empty-but-non-nil-ness so copies stay reflect.DeepEqual to the
+// original.
+func copySlice[T any](s []T) []T {
+	if s == nil {
+		return nil
+	}
+	out := make([]T, len(s))
+	copy(out, s)
+	return out
+}
+
+// copy returns a Report whose top-level slices are fresh, so callers
+// mutating their result cannot corrupt the cached copy; the findings
+// themselves reference immutable rule and source data.
+func (r Report) copy() Report {
+	out := r
+	out.Findings = copySlice(r.Findings)
+	out.CWEs = copySlice(r.CWEs)
+	return out
+}
+
+// analyzeKey and fixKey are the request-kind cache key components.
+const (
+	analyzeKey = "analyze"
+	fixKey     = "fix"
+)
+
+// Analyze runs the detection phase on src. Repeated calls with identical
+// src are served from the result cache.
 func (p *PatchitPy) Analyze(src string) Report {
-	findings := p.detector.Scan(src)
+	if p.analyzeCache == nil {
+		return p.analyzePrepared(p.detector.Prepare(src))
+	}
+	key := resultcache.Key(p.Catalog().Fingerprint(), analyzeKey, src)
+	report, _ := p.analyzeCache.GetOrCompute(key, func() Report {
+		return p.analyzePrepared(p.detector.Prepare(src))
+	})
+	return report.copy()
+}
+
+// analyzePrepared runs detection over an already-prepared source. The
+// detector-level scan uses NoCache: the engine-level caches already
+// memoize by the same key material, so a second cache layer for the same
+// request would only duplicate memory.
+func (p *PatchitPy) analyzePrepared(prep *detect.Prepared) Report {
+	findings := p.detector.ScanPrepared(prep, detect.Options{NoCache: true})
 	return Report{
 		Findings:   findings,
 		Vulnerable: len(findings) > 0,
@@ -64,13 +172,62 @@ type FixOutcome struct {
 	Edits []editor.TextEdit
 }
 
-// Fix runs both phases: detection followed by patching.
+// copy returns a FixOutcome with fresh top-level slices (see Report.copy).
+func (o FixOutcome) copy() FixOutcome {
+	out := o
+	out.Report = o.Report.copy()
+	out.Result.Applied = copySlice(o.Result.Applied)
+	out.Result.Unpatched = copySlice(o.Result.Unpatched)
+	out.Result.ImportsAdded = copySlice(o.Result.ImportsAdded)
+	out.Edits = copySlice(o.Edits)
+	return out
+}
+
+// Fix runs both phases: detection followed by patching. Repeated calls
+// with identical src are served from the result cache.
 func (p *PatchitPy) Fix(src string) FixOutcome {
-	report := p.Analyze(src)
+	if p.fixCache == nil {
+		return p.fix(src)
+	}
+	key := resultcache.Key(p.Catalog().Fingerprint(), fixKey, src)
+	outcome, _ := p.fixCache.GetOrCompute(key, func() FixOutcome { return p.fix(src) })
+	return outcome.copy()
+}
+
+// fix is the uncached detect-and-patch body. One Prepared is shared
+// between the phases: the detection scan builds the comment mask and line
+// index over src, and the patch phase's edit positions reuse that same
+// line index (the text is unchanged between detection and edit
+// computation), replacing the per-fix strings.Count of the old SpanEdit
+// path.
+func (p *PatchitPy) fix(src string) FixOutcome {
+	prep := p.detector.Prepare(src)
+	var report Report
+	if p.analyzeCache != nil {
+		// Share detection work with Analyze: a prior "detect" on the same
+		// source makes the fix path's detection a cache hit, and a fix-path
+		// miss seeds the analyze cache for later detects.
+		key := resultcache.Key(p.Catalog().Fingerprint(), analyzeKey, src)
+		report, _ = p.analyzeCache.GetOrCompute(key, func() Report {
+			return p.analyzePrepared(prep)
+		})
+		report = report.copy()
+	} else {
+		report = p.analyzePrepared(prep)
+	}
 	result := patch.Apply(src, report.Findings)
+	lines := prep.Lines()
 	edits := make([]editor.TextEdit, 0, len(result.Applied))
 	for _, a := range result.Applied {
-		edits = append(edits, editor.SpanEdit(src, a.Finding.Start, a.Finding.End, a.Replacement))
+		startLine, startCol := lines.Position(a.Finding.Start)
+		endLine, endCol := lines.Position(a.Finding.End)
+		edits = append(edits, editor.TextEdit{
+			Range: editor.Range{
+				Start: editor.Position{Line: startLine, Character: startCol},
+				End:   editor.Position{Line: endLine, Character: endCol},
+			},
+			NewText: a.Replacement,
+		})
 	}
 	return FixOutcome{Report: report, Result: result, Edits: edits}
 }

@@ -7,6 +7,7 @@ import (
 	"io"
 
 	"github.com/dessertlab/patchitpy/internal/editor"
+	"github.com/dessertlab/patchitpy/internal/resultcache"
 )
 
 // The session protocol mirrors the VS Code extension's interaction: the
@@ -16,10 +17,30 @@ import (
 
 // Request is one line of the JSON session protocol.
 type Request struct {
-	// Cmd is "detect", "suggest", "patch" or "rules".
+	// Cmd is "detect", "suggest", "patch", "rules" or "stats".
 	Cmd string `json:"cmd"`
 	// Code is the selected Python code (detect/suggest/patch).
 	Code string `json:"code,omitempty"`
+}
+
+// CacheStatsDTO is one result cache's counters serialized for the editor
+// (the "stats" verb).
+type CacheStatsDTO struct {
+	Hits      uint64  `json:"hits"`
+	Misses    uint64  `json:"misses"`
+	Evictions uint64  `json:"evictions"`
+	HitRate   float64 `json:"hitRate"`
+}
+
+// StatsDTO is the "stats" verb payload: per-cache hit/miss/evict counters
+// plus the detector's prefilter skip accounting.
+type StatsDTO struct {
+	Analyze         CacheStatsDTO `json:"analyze"`
+	Fix             CacheStatsDTO `json:"fix"`
+	Scan            CacheStatsDTO `json:"scan"`
+	RulesConsidered uint64        `json:"rulesConsidered"`
+	RulesSkipped    uint64        `json:"rulesSkipped"`
+	PrefilterSkip   float64       `json:"prefilterSkipRate"`
 }
 
 // FixPreview shows one fix as a TextEdit against the submitted code, so
@@ -55,6 +76,7 @@ type Response struct {
 	Previews   []FixPreview `json:"previews,omitempty"`
 	RuleCount  int          `json:"ruleCount,omitempty"`
 	CWEs       []string     `json:"cwes,omitempty"`
+	Stats      *StatsDTO    `json:"stats,omitempty"`
 }
 
 // Serve reads newline-delimited JSON requests from r and writes one JSON
@@ -124,6 +146,19 @@ func (p *PatchitPy) handle(req Request) Response {
 		}
 	case "rules":
 		return Response{OK: true, RuleCount: p.Catalog().Len(), CWEs: p.Catalog().CWEs()}
+	case "stats":
+		cs := p.CacheStats()
+		toDTO := func(s resultcache.Stats) CacheStatsDTO {
+			return CacheStatsDTO{Hits: s.Hits, Misses: s.Misses, Evictions: s.Evictions, HitRate: s.HitRate()}
+		}
+		return Response{OK: true, Stats: &StatsDTO{
+			Analyze:         toDTO(cs.Analyze),
+			Fix:             toDTO(cs.Fix),
+			Scan:            toDTO(cs.Scan),
+			RulesConsidered: cs.Prefilter.RulesConsidered,
+			RulesSkipped:    cs.Prefilter.RulesSkipped,
+			PrefilterSkip:   cs.Prefilter.SkipRate(),
+		}}
 	default:
 		return Response{OK: false, Error: "unknown command " + req.Cmd}
 	}

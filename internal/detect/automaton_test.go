@@ -1,0 +1,144 @@
+package detect
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/dessertlab/patchitpy/internal/generator"
+	"github.com/dessertlab/patchitpy/internal/prompts"
+)
+
+func TestAutomatonFindsLiterals(t *testing.T) {
+	lits := []string{"eval(", "pickle.loads", "md5", "shell", "he"}
+	a := buildAutomaton(lits)
+	cases := []struct {
+		src  string
+		want []bool
+	}{
+		{"", []bool{false, false, false, false, false}},
+		{"x = eval(y)", []bool{true, false, false, false, false}},
+		// Overlapping matches: "shell" contains "he" as a proper infix the
+		// failure links must surface.
+		{"shell=True", []bool{false, false, false, true, true}},
+		{"import pickle; pickle.loads(d); hashlib.md5(x)", []bool{false, true, true, false, false}},
+		{"evam( pickle.load md", []bool{false, false, false, false, false}},
+	}
+	for _, tc := range cases {
+		seen := make([]bool, a.numLiterals)
+		a.scan(tc.src, seen)
+		if !reflect.DeepEqual(seen, tc.want) {
+			t.Errorf("scan(%q) = %v, want %v", tc.src, seen, tc.want)
+		}
+	}
+}
+
+// containsCandidates computes the candidate bitset the PR 1 prefilter
+// implies: one strings.Contains probe per (rule, literal).
+func containsCandidates(d *Detector, src string) bitset {
+	bits := newBitset(len(d.rules))
+	for i := range d.rules {
+		if d.filters[i].admits(src) {
+			bits.set(i)
+		}
+	}
+	return bits
+}
+
+// TestAutomatonMatchesContainsOnCorpus asserts the automaton derives
+// exactly the candidate set the per-rule Contains probes derive, over
+// every corpus sample.
+func TestAutomatonMatchesContainsOnCorpus(t *testing.T) {
+	samples, err := generator.Corpus(prompts.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := New(nil)
+	for _, s := range samples {
+		got := d.Prepare(s.Code).candidates()
+		want := containsCandidates(d, s.Code)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("sample %s/%s: automaton candidates diverge from Contains probes",
+				s.PromptID, s.Model)
+		}
+	}
+}
+
+// TestAutomatonSupersetRandomized is the seeded, corpus-driven soundness
+// cross-check: take corpus samples, apply random byte mutations (which the
+// automaton has never seen and which can split or join literals), and
+// assert the admitted candidate set is a superset of the rules whose
+// regexes actually match — a rejected rule must be a proven non-match.
+func TestAutomatonSupersetRandomized(t *testing.T) {
+	samples, err := generator.Corpus(prompts.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := New(nil)
+	rng := rand.New(rand.NewSource(20250806))
+	mutate := func(src string) string {
+		if len(src) == 0 {
+			return src
+		}
+		b := []byte(src)
+		for k := 0; k < 1+rng.Intn(4); k++ {
+			pos := rng.Intn(len(b))
+			switch rng.Intn(3) {
+			case 0: // flip a byte
+				b[pos] = byte(' ' + rng.Intn(95))
+			case 1: // delete a byte
+				b = append(b[:pos], b[pos+1:]...)
+			default: // duplicate a byte
+				b = append(b[:pos+1], b[pos:]...)
+			}
+			if len(b) == 0 {
+				return ""
+			}
+		}
+		return string(b)
+	}
+	checked := 0
+	for trial := 0; trial < 300; trial++ {
+		src := mutate(samples[rng.Intn(len(samples))].Code)
+		cand := d.Prepare(src).candidates()
+		for i, rule := range d.rules {
+			if cand.has(i) {
+				continue // admitted: the regexes decide, nothing to prove
+			}
+			// Rejected: pattern-and-requires must not both hold.
+			if rule.Pattern.MatchString(src) &&
+				(rule.Requires == nil || rule.Requires.MatchString(src)) {
+				t.Fatalf("trial %d: automaton rejected %s but its regexes match:\n%q",
+					trial, rule.ID, src)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("randomized cross-check never exercised a rejection")
+	}
+}
+
+// TestAutomatonPrefilterTransparent asserts the headline guarantee across
+// all three scan paths: automaton prefilter, PR 1 Contains prefilter, and
+// no prefilter produce byte-identical findings over the full corpus.
+func TestAutomatonPrefilterTransparent(t *testing.T) {
+	samples, err := generator.Corpus(prompts.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := New(nil)
+	for _, s := range samples {
+		auto := d.ScanWith(s.Code, Options{NoCache: true})
+		contains := d.ScanWith(s.Code, Options{ContainsPrefilter: true, NoCache: true})
+		none := d.ScanWith(s.Code, Options{NoPrefilter: true, NoCache: true})
+		if !reflect.DeepEqual(auto, contains) {
+			t.Fatalf("sample %s/%s: automaton vs Contains diverge:\n%v\n%v",
+				s.PromptID, s.Model, findIDs(auto), findIDs(contains))
+		}
+		if !reflect.DeepEqual(auto, none) {
+			t.Fatalf("sample %s/%s: automaton vs unfiltered diverge:\n%v\n%v",
+				s.PromptID, s.Model, findIDs(auto), findIDs(none))
+		}
+	}
+}

@@ -2,19 +2,26 @@
 // catalog's patterns over Python source and reports findings with precise
 // spans, mirroring the first phase of the paper's workflow (Fig. 1).
 //
-// Two throughput features make the engine usable on large corpora: a
-// literal prefilter built once per catalog (a rule's regexes only run when
-// the source contains one of the literal substrings any match must carry)
-// and ScanAll, which fans a batch of sources across a bounded worker pool
-// with deterministic, input-ordered results.
+// Three throughput features make the engine usable on large corpora and
+// under server traffic: a one-pass Aho-Corasick literal prefilter built
+// once per catalog (a single walk of the source yields the candidate-rule
+// bitset; non-candidate rules never run their regexes), a per-source
+// Prepared artifact (comment mask, line index, candidate bitset — each
+// computed at most once per source and shared by all rules), and a
+// content-addressed result cache that makes repeated scans of identical
+// sources a hash lookup. ScanAll fans a batch of sources across a bounded
+// worker pool with deterministic, input-ordered results.
 package detect
 
 import (
+	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 
 	"github.com/dessertlab/patchitpy/internal/pytoken"
+	"github.com/dessertlab/patchitpy/internal/resultcache"
 	"github.com/dessertlab/patchitpy/internal/rules"
 )
 
@@ -36,36 +43,86 @@ type Finding struct {
 // CWE returns the finding's CWE identifier.
 func (f Finding) CWE() string { return f.Rule.CWE }
 
+// DefaultCacheBytes is the scan result cache budget a new Detector starts
+// with; SetCacheBytes overrides it.
+const DefaultCacheBytes = 32 << 20
+
 // Detector scans source code with a rule catalog. It is safe for
 // concurrent use: all state is immutable after construction except the
-// scan statistics, which are atomic.
+// scan statistics and the result cache, which are concurrency-safe.
 type Detector struct {
 	catalog *rules.Catalog
 	rules   []*rules.Rule // catalog order, fetched once
-	filters []ruleFilter  // aligned with rules
+	filters []ruleFilter  // aligned with rules (strings.Contains path)
+	lits    *literalIndex // shared Aho-Corasick automaton over all literals
+	allBits bitset        // admit bitset for the zero Options
+
+	// seenPool recycles the automaton's per-scan literal scratch slice.
+	seenPool sync.Pool
+	// admitCache maps an Options fingerprint to its admit bitset, so the
+	// per-rule Options checks run once per distinct Options, not per scan.
+	admitCache sync.Map // string -> bitset
+
+	// cache memoizes scan results by (catalog, options, source); nil when
+	// disabled.
+	cache *resultcache.Cache[[]Finding]
 
 	rulesConsidered atomic.Uint64
 	rulesSkipped    atomic.Uint64
 }
 
 // New returns a Detector over the given catalog; a nil catalog uses the
-// built-in one. The literal prefilter index is built here, once.
+// built-in one. The literal prefilter automaton is built here, once, and
+// the result cache starts at DefaultCacheBytes.
 func New(catalog *rules.Catalog) *Detector {
 	if catalog == nil {
 		catalog = rules.NewCatalog()
 	}
 	rs := catalog.Rules()
-	return &Detector{
+	d := &Detector{
 		catalog: catalog,
 		rules:   rs,
 		filters: buildFilters(rs),
 	}
+	d.lits = buildLiteralIndex(d.filters)
+	d.allBits = newBitset(len(rs))
+	for i := range rs {
+		d.allBits.set(i)
+	}
+	n := d.lits.ac.numLiterals
+	d.seenPool.New = func() any {
+		s := make([]bool, n)
+		return &s
+	}
+	d.SetCacheBytes(DefaultCacheBytes)
+	return d
 }
 
 // Catalog returns the detector's rule catalog.
 func (d *Detector) Catalog() *rules.Catalog { return d.catalog }
 
-// ScanStats counts prefilter decisions across all scans so far.
+// SetCacheBytes resizes the scan result cache to roughly n bytes; n <= 0
+// disables caching. It replaces the cache (dropping cached entries and
+// counters) and is meant for setup, not for concurrent use with scans in
+// flight.
+func (d *Detector) SetCacheBytes(n int64) {
+	d.cache = resultcache.New(n, func(key string, fs []Finding) int64 {
+		// The key already charges the source text; findings retain spans,
+		// snippets and group slices.
+		var c int64
+		for _, f := range fs {
+			c += int64(len(f.Snippet)) + int64(8*len(f.Groups)) + 64
+		}
+		return c
+	})
+}
+
+// CacheStats returns the scan cache's hit/miss/eviction counters.
+func (d *Detector) CacheStats() resultcache.Stats { return d.cache.Stats() }
+
+// ScanStats counts prefilter decisions across all scans so far. Cached
+// scans never reach the prefilter, so they do not move these counters —
+// CacheStats accounts for them.
 type ScanStats struct {
 	// RulesConsidered counts (rule, source) pairs that passed the Options
 	// filter and reached the prefilter.
@@ -107,43 +164,115 @@ type Options struct {
 	// rule's regexes to run. Results are identical either way; this exists
 	// for benchmarking the filter and as a correctness cross-check.
 	NoPrefilter bool
+	// ContainsPrefilter selects the per-rule strings.Contains prefilter
+	// (the pre-automaton implementation) instead of the one-pass literal
+	// automaton. Results are identical; this exists for benchmarking the
+	// automaton and as a correctness cross-check.
+	ContainsPrefilter bool
+	// NoCache bypasses the scan result cache for this scan: the result is
+	// neither looked up nor stored. Results are identical either way.
+	NoCache bool
 	// Concurrency bounds the ScanAll worker pool (<= 0 = GOMAXPROCS). It
 	// has no effect on single-source scans.
 	Concurrency int
 }
 
-func (o Options) admits(r *rules.Rule) bool {
-	if o.MinSeverity != 0 && r.Severity < o.MinSeverity {
-		return false
-	}
-	if o.FixableOnly && !r.HasFix() {
-		return false
-	}
+// optionSets is an Options normalized for per-rule testing: the slice
+// filters become O(1) set lookups instead of linear walks per rule.
+type optionSets struct {
+	minSeverity rules.Severity
+	fixableOnly bool
+	categories  map[rules.Category]struct{} // nil = all categories
+	ruleIDs     map[string]struct{}         // nil = all rules
+}
+
+func newOptionSets(o Options) optionSets {
+	s := optionSets{minSeverity: o.MinSeverity, fixableOnly: o.FixableOnly}
 	if len(o.Categories) > 0 {
-		ok := false
+		s.categories = make(map[rules.Category]struct{}, len(o.Categories))
 		for _, c := range o.Categories {
-			if r.Category == c {
-				ok = true
-				break
-			}
-		}
-		if !ok {
-			return false
+			s.categories[c] = struct{}{}
 		}
 	}
 	if len(o.RuleIDs) > 0 {
-		ok := false
+		s.ruleIDs = make(map[string]struct{}, len(o.RuleIDs))
 		for _, id := range o.RuleIDs {
-			if r.ID == id {
-				ok = true
-				break
-			}
+			s.ruleIDs[id] = struct{}{}
 		}
-		if !ok {
+	}
+	return s
+}
+
+func (s optionSets) admits(r *rules.Rule) bool {
+	if s.minSeverity != 0 && r.Severity < s.minSeverity {
+		return false
+	}
+	if s.fixableOnly && !r.HasFix() {
+		return false
+	}
+	if s.categories != nil {
+		if _, ok := s.categories[r.Category]; !ok {
+			return false
+		}
+	}
+	if s.ruleIDs != nil {
+		if _, ok := s.ruleIDs[r.ID]; !ok {
 			return false
 		}
 	}
 	return true
+}
+
+// fingerprint canonically serializes the result-affecting fields: two
+// Options with the same fingerprint admit the same rules and take the same
+// scan path. Concurrency and NoCache are excluded — they never change
+// results. The prefilter mode fields are included even though results are
+// provably identical across modes, so cross-check scans (NoPrefilter etc.)
+// always do real work instead of reading what the mode under test cached.
+func (o Options) fingerprint() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "s%d|f%t|np%t|cp%t", o.MinSeverity, o.FixableOnly, o.NoPrefilter, o.ContainsPrefilter)
+	if len(o.Categories) > 0 {
+		cats := make([]int, len(o.Categories))
+		for i, c := range o.Categories {
+			cats[i] = int(c)
+		}
+		sort.Ints(cats)
+		b.WriteString("|c")
+		for _, c := range cats {
+			fmt.Fprintf(&b, ",%d", c)
+		}
+	}
+	if len(o.RuleIDs) > 0 {
+		ids := append([]string(nil), o.RuleIDs...)
+		sort.Strings(ids)
+		b.WriteString("|r")
+		for _, id := range ids {
+			b.WriteByte(',')
+			b.WriteString(id)
+		}
+	}
+	return b.String()
+}
+
+// admitBits returns the bitset of rules opt admits, computing it once per
+// distinct Options fingerprint and serving it from a lock-free map after.
+func (d *Detector) admitBits(opt Options, fp string) bitset {
+	if opt.MinSeverity == 0 && !opt.FixableOnly && len(opt.Categories) == 0 && len(opt.RuleIDs) == 0 {
+		return d.allBits
+	}
+	if v, ok := d.admitCache.Load(fp); ok {
+		return v.(bitset)
+	}
+	sets := newOptionSets(opt)
+	bits := newBitset(len(d.rules))
+	for i, r := range d.rules {
+		if sets.admits(r) {
+			bits.set(i)
+		}
+	}
+	d.admitCache.Store(fp, bits)
+	return bits
 }
 
 // Scan runs every applicable rule over src and returns the findings sorted
@@ -154,35 +283,79 @@ func (d *Detector) Scan(src string) []Finding {
 
 // ScanWith runs the scan restricted by opt.
 func (d *Detector) ScanWith(src string, opt Options) []Finding {
-	mask := commentMask(src)
+	return d.ScanPrepared(d.Prepare(src), opt)
+}
+
+// ScanPrepared scans a prepared source, reusing whatever per-source
+// artifacts p has already computed. p must have been created by this
+// detector's Prepare. Identical (source, options) scans are answered from
+// the result cache when it is enabled and opt.NoCache is false; concurrent
+// identical misses are de-duplicated so the scan runs once.
+func (d *Detector) ScanPrepared(p *Prepared, opt Options) []Finding {
+	if d.cache == nil || opt.NoCache {
+		return d.scanPrepared(p, opt)
+	}
+	key := resultcache.Key(d.catalog.Fingerprint(), opt.fingerprint(), p.src)
+	out, _ := d.cache.GetOrCompute(key, func() []Finding {
+		return d.scanPrepared(p, opt)
+	})
+	return copyFindings(out)
+}
+
+// copyFindings returns a fresh top-level slice so callers mutating their
+// result cannot corrupt the cached copy. The findings themselves point at
+// immutable rule and source data.
+func copyFindings(fs []Finding) []Finding {
+	if fs == nil {
+		return nil
+	}
+	out := make([]Finding, len(fs))
+	copy(out, fs)
+	return out
+}
+
+// scanPrepared is the uncached scan body.
+func (d *Detector) scanPrepared(p *Prepared, opt Options) []Finding {
+	fp := opt.fingerprint()
+	admit := d.admitBits(opt, fp)
+	useAutomaton := !opt.NoPrefilter && !opt.ContainsPrefilter
+	var cand bitset
+	if useAutomaton {
+		cand = p.candidates()
+	}
 	var out []Finding
 	var considered, skipped uint64
 	for i, rule := range d.rules {
-		if !opt.admits(rule) {
+		if !admit.has(i) {
 			continue
 		}
 		considered++
-		if !opt.NoPrefilter && !d.filters[i].admits(src) {
+		if useAutomaton {
+			if !cand.has(i) {
+				skipped++
+				continue
+			}
+		} else if opt.ContainsPrefilter && !d.filters[i].admits(p.src) {
 			skipped++
 			continue
 		}
-		if rule.Requires != nil && !rule.Requires.MatchString(src) {
+		if rule.Requires != nil && !rule.Requires.MatchString(p.src) {
 			continue
 		}
-		if rule.Excludes != nil && rule.Excludes.MatchString(src) {
+		if rule.Excludes != nil && rule.Excludes.MatchString(p.src) {
 			continue
 		}
-		for _, idx := range rule.Pattern.FindAllStringSubmatchIndex(src, -1) {
+		for _, idx := range rule.Pattern.FindAllStringSubmatchIndex(p.src, -1) {
 			start, end := idx[0], idx[1]
-			if inMask(mask, start) {
+			if inMask(p.commentSpans(), start) {
 				continue
 			}
 			out = append(out, Finding{
 				Rule:    rule,
 				Start:   start,
 				End:     end,
-				Line:    1 + strings.Count(src[:start], "\n"),
-				Snippet: src[start:end],
+				Line:    p.Lines().Line(start),
+				Snippet: p.src[start:end],
 				Groups:  append([]int(nil), idx...),
 			})
 		}

@@ -1,0 +1,71 @@
+package detect
+
+import (
+	"sync"
+
+	"github.com/dessertlab/patchitpy/internal/lineindex"
+)
+
+// Prepared carries the per-source artifacts every rule of a scan shares:
+// the comment mask, the newline-offset line index, and the literal
+// automaton's candidate-rule bitset. Before it existed, commentMask
+// re-tokenized the source on every scan and every finding re-counted
+// newlines from offset zero; now each is computed at most once per source
+// and only when first needed.
+//
+// A Prepared is bound to the Detector that created it and may be reused
+// across any number of ScanPrepared calls for the same (unchanged) source
+// — core.Fix shares one between the detection scan and the patch phase's
+// edit-position computation. All lazy fields are sync.Once-guarded, so a
+// Prepared is safe for concurrent use.
+type Prepared struct {
+	d   *Detector
+	src string
+
+	maskOnce sync.Once
+	mask     []span
+
+	linesOnce sync.Once
+	lines     lineindex.Index
+
+	candOnce sync.Once
+	cand     bitset
+}
+
+// Prepare wraps src for repeated scanning by this detector. The expensive
+// artifacts (comment mask, line index, candidate bitset) are computed
+// lazily on first use.
+func (d *Detector) Prepare(src string) *Prepared {
+	return &Prepared{d: d, src: src}
+}
+
+// Source returns the prepared source text.
+func (p *Prepared) Source() string { return p.src }
+
+// Lines returns the source's line index, computing it on first call.
+func (p *Prepared) Lines() lineindex.Index {
+	p.linesOnce.Do(func() { p.lines = lineindex.New(p.src) })
+	return p.lines
+}
+
+// commentSpans returns the comment mask, tokenizing on first call.
+func (p *Prepared) commentSpans() []span {
+	p.maskOnce.Do(func() { p.mask = commentMask(p.src) })
+	return p.mask
+}
+
+// candidates returns the automaton's candidate-rule bitset, running the
+// one-pass literal scan on first call.
+func (p *Prepared) candidates() bitset {
+	p.candOnce.Do(func() {
+		d := p.d
+		seen := d.seenPool.Get().(*[]bool)
+		s := *seen
+		for i := range s {
+			s[i] = false
+		}
+		p.cand = d.lits.candidates(p.src, s, len(d.rules))
+		d.seenPool.Put(seen)
+	})
+	return p.cand
+}

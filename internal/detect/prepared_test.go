@@ -1,0 +1,136 @@
+package detect
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/dessertlab/patchitpy/internal/generator"
+	"github.com/dessertlab/patchitpy/internal/prompts"
+)
+
+func TestScanPreparedMatchesScanWith(t *testing.T) {
+	d := New(nil)
+	src := "import pickle\nimport hashlib\nh = hashlib.md5(x)\nobj = pickle.loads(y)\n"
+	prep := d.Prepare(src)
+	for _, opt := range []Options{
+		{},
+		{NoPrefilter: true},
+		{ContainsPrefilter: true},
+		{FixableOnly: true},
+	} {
+		opt.NoCache = true
+		got := d.ScanPrepared(prep, opt)
+		want := d.ScanWith(src, opt)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("opt %+v: prepared scan diverges: %v vs %v", opt, findIDs(got), findIDs(want))
+		}
+	}
+}
+
+func TestPreparedLineIndexMatchesCount(t *testing.T) {
+	d := New(nil)
+	src := "a = 1\n\nimport pickle\nobj = pickle.loads(data)\n"
+	fs := d.Scan(src)
+	if len(fs) == 0 {
+		t.Fatal("no findings")
+	}
+	for _, f := range fs {
+		want := 1 + strings.Count(src[:f.Start], "\n")
+		if f.Line != want {
+			t.Errorf("%s: line %d, want %d", f.Rule.ID, f.Line, want)
+		}
+	}
+}
+
+// TestScanCacheTransparent asserts cached scans return byte-identical
+// findings and that repeats actually hit.
+func TestScanCacheTransparent(t *testing.T) {
+	d := New(nil)
+	src := "import pickle\nobj = pickle.loads(data)\n"
+	first := d.ScanWith(src, Options{})
+	uncached := d.ScanWith(src, Options{NoCache: true})
+	second := d.ScanWith(src, Options{})
+	if !reflect.DeepEqual(first, second) || !reflect.DeepEqual(first, uncached) {
+		t.Fatal("cached scan diverges from uncached")
+	}
+	if st := d.CacheStats(); st.Hits == 0 {
+		t.Errorf("no cache hit recorded: %+v", st)
+	}
+}
+
+// TestScanCacheIsolation: results are isolated per Options fingerprint —
+// a severity-filtered scan must not be answered with the unfiltered one.
+func TestScanCacheIsolation(t *testing.T) {
+	d := New(nil)
+	src := "import hashlib\nh = hashlib.md5(x)\nresp.set_cookie(\"sid\", v)\n"
+	all := d.Scan(src)
+	only := d.ScanWith(src, Options{RuleIDs: []string{"PIP-CRY-001"}})
+	if reflect.DeepEqual(all, only) {
+		t.Fatal("filtered scan returned the unfiltered cached result")
+	}
+	for _, f := range only {
+		if f.Rule.ID != "PIP-CRY-001" {
+			t.Errorf("filtered scan leaked %s", f.Rule.ID)
+		}
+	}
+}
+
+// TestScanCacheMutationFresh mutates one byte of a cached source and
+// asserts the scan result is computed fresh, not served stale.
+func TestScanCacheMutationFresh(t *testing.T) {
+	d := New(nil)
+	vuln := "import hashlib\nh = hashlib.md5(x)\n"
+	if len(d.Scan(vuln)) == 0 {
+		t.Fatal("seed source should fire")
+	}
+	// One byte: md5 → md4 (no rule matches hashlib.md4 by that literal).
+	mutated := strings.Replace(vuln, "md5", "mf5", 1)
+	if len(mutated) != len(vuln) {
+		t.Fatal("mutation changed length")
+	}
+	got := d.Scan(mutated)
+	want := d.ScanWith(mutated, Options{NoCache: true})
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("mutated source served stale result: %v vs %v", findIDs(got), findIDs(want))
+	}
+	if hasID(got, "PIP-CRY-001") {
+		t.Error("md5 rule fired on the mutated source")
+	}
+}
+
+// TestScanAllCachedMatchesUncached asserts the cached, automaton-
+// prefiltered ScanAll path reproduces the uncached, unfiltered reference
+// byte-for-byte at several concurrency levels — both on a cold cache and
+// on a fully warm one.
+func TestScanAllCachedMatchesUncached(t *testing.T) {
+	samples, err := generator.Corpus(prompts.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcs := make([]Source, len(samples))
+	for i, s := range samples {
+		srcs[i] = Source{Name: s.PromptID + "/" + s.Model, Code: s.Code}
+	}
+	ref := New(nil)
+	want, err := ref.ScanAll(context.Background(), srcs, Options{NoPrefilter: true, NoCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := New(nil)
+	for _, workers := range []int{1, 4, 8} {
+		for pass := 0; pass < 2; pass++ { // pass 0 cold, pass 1 warm
+			got, err := d.ScanAll(context.Background(), srcs, Options{Concurrency: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("concurrency %d pass %d: cached ScanAll diverges", workers, pass)
+			}
+		}
+	}
+	if st := d.CacheStats(); st.Hits == 0 {
+		t.Errorf("warm passes recorded no cache hits: %+v", st)
+	}
+}

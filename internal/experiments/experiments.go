@@ -119,6 +119,11 @@ type RunOptions struct {
 	// Concurrency bounds the (tool × sample) worker pool
 	// (<= 0 = GOMAXPROCS).
 	Concurrency int
+	// CacheBytes sizes the PatchitPy engine's content-addressed result
+	// caches for the run: 0 keeps the engine default, a negative value
+	// disables caching (the uncached reference configuration — results are
+	// identical either way, which TestCacheAblationIdentical asserts).
+	CacheBytes int64
 }
 
 // Run executes the full evaluation at default concurrency. It is
@@ -147,6 +152,17 @@ func newToolkit() *toolkit {
 		codeql:     querydb.New(),
 		assistants: llmsim.Assistants(),
 	}
+}
+
+// newToolkitWithCache applies opt's cache sizing to a fresh toolkit.
+func newToolkitWithCache(opt RunOptions) *toolkit {
+	tk := newToolkit()
+	if opt.CacheBytes < 0 {
+		tk.engine.SetCacheBytes(0)
+	} else if opt.CacheBytes > 0 {
+		tk.engine.SetCacheBytes(opt.CacheBytes)
+	}
+	return tk
 }
 
 // Cell kinds: the fixed per-sample evaluation columns. LLM assistants
@@ -229,7 +245,7 @@ func RunContext(ctx context.Context, opt RunOptions) (*Results, error) {
 		return nil, fmt.Errorf("generate corpus: %w", err)
 	}
 
-	tk := newToolkit()
+	tk := newToolkitWithCache(opt)
 	cellsPerSample := cellLLM + len(tk.assistants)
 	grid := make([]cellResult, len(samples)*cellsPerSample)
 	err = workpool.Run(ctx, len(grid), opt.Concurrency, func(i int) {

@@ -310,3 +310,24 @@ func TestReportRendering(t *testing.T) {
 		}
 	}
 }
+
+// TestCacheAblationIdentical asserts the engine's content-addressed result
+// cache is invisible in the experiment outputs: a run with caching
+// disabled renders byte-for-byte the same report as the cached default.
+func TestCacheAblationIdentical(t *testing.T) {
+	cached, err := RunContext(context.Background(), RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	uncached, err := RunContext(context.Background(), RunOptions{CacheBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	cached.WriteAll(&a)
+	uncached.WriteAll(&b)
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Errorf("cached report diverges from uncached:\n--- cached ---\n%s\n--- uncached ---\n%s",
+			a.String(), b.String())
+	}
+}

@@ -1,0 +1,53 @@
+// Package lineindex provides a newline-offset index over a source string:
+// one O(n) pass records where every line starts, after which offset→line
+// queries answer in O(log lines) by binary search. It replaces the
+// O(findings × n) pattern of calling strings.Count(src[:off], "\n") once
+// per finding, which dominated line resolution in the detection engine and
+// the baseline scanners on large sources.
+package lineindex
+
+import "sort"
+
+// Index holds the byte offset at which each line of a source starts.
+// Index[0] is always 0; Index[i] is the offset just past the i-th '\n'.
+// The zero value is not valid; build one with New.
+type Index []int
+
+// New scans src once and returns its line index.
+func New(src string) Index {
+	// Count first so the slice is allocated exactly once.
+	n := 1
+	for i := 0; i < len(src); i++ {
+		if src[i] == '\n' {
+			n++
+		}
+	}
+	ix := make(Index, 1, n)
+	ix[0] = 0
+	for i := 0; i < len(src); i++ {
+		if src[i] == '\n' {
+			ix = append(ix, i+1)
+		}
+	}
+	return ix
+}
+
+// Line returns the 1-based line number containing byte offset off.
+// Offsets past the end of the source report the last line.
+func (ix Index) Line(off int) int {
+	return ix.lineAt(off) + 1
+}
+
+// Position returns the 0-based line and column (byte offset within the
+// line) of off — the coordinate convention of the VS Code Position API.
+func (ix Index) Position(off int) (line, col int) {
+	line = ix.lineAt(off)
+	return line, off - ix[line]
+}
+
+// lineAt returns the 0-based index of the line containing off.
+func (ix Index) lineAt(off int) int {
+	// First line start > off, minus one — ix[0]==0 guarantees i >= 1.
+	i := sort.Search(len(ix), func(i int) bool { return ix[i] > off })
+	return i - 1
+}

@@ -1,0 +1,73 @@
+package lineindex
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// slowLine is the reference implementation the index replaces.
+func slowLine(src string, off int) int {
+	if off > len(src) {
+		off = len(src)
+	}
+	return 1 + strings.Count(src[:off], "\n")
+}
+
+func TestLineMatchesStringsCount(t *testing.T) {
+	srcs := []string{
+		"",
+		"one line no newline",
+		"\n",
+		"a\nb\nc\n",
+		"a\n\n\nb",
+		strings.Repeat("line with text\n", 50),
+	}
+	for _, src := range srcs {
+		ix := New(src)
+		for off := 0; off <= len(src); off++ {
+			if got, want := ix.Line(off), slowLine(src, off); got != want {
+				t.Fatalf("Line(%d) in %q = %d, want %d", off, src, got, want)
+			}
+		}
+	}
+}
+
+func TestLineRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	alphabet := []byte("ab\n\nc\nd ")
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(400)
+		buf := make([]byte, n)
+		for i := range buf {
+			buf[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		src := string(buf)
+		ix := New(src)
+		for probe := 0; probe < 20; probe++ {
+			off := rng.Intn(n + 1)
+			if got, want := ix.Line(off), slowLine(src, off); got != want {
+				t.Fatalf("trial %d: Line(%d) in %q = %d, want %d", trial, off, src, got, want)
+			}
+		}
+	}
+}
+
+func TestPosition(t *testing.T) {
+	src := "abc\ndef\n\nxy"
+	ix := New(src)
+	cases := []struct {
+		off, line, col int
+	}{
+		{0, 0, 0}, {2, 0, 2}, {3, 0, 3}, // '\n' belongs to the line it ends
+		{4, 1, 0}, {7, 1, 3},
+		{8, 2, 0},
+		{9, 3, 0}, {11, 3, 2},
+	}
+	for _, tc := range cases {
+		line, col := ix.Position(tc.off)
+		if line != tc.line || col != tc.col {
+			t.Errorf("Position(%d) = (%d, %d), want (%d, %d)", tc.off, line, col, tc.line, tc.col)
+		}
+	}
+}

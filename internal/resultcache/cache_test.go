@@ -1,0 +1,176 @@
+package resultcache
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestKeyComposition(t *testing.T) {
+	if Key("a", "b", "c") != "a\x00b\x00c" {
+		t.Errorf("Key joined wrong: %q", Key("a", "b", "c"))
+	}
+	// Different splits of the same characters must produce different keys.
+	if Key("ab", "c") == Key("a", "bc") {
+		t.Error("Key must keep component boundaries distinct")
+	}
+}
+
+func TestGetAddRoundtrip(t *testing.T) {
+	c := New[int](1<<20, nil)
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	c.Add("k", 42)
+	v, ok := c.Get("k")
+	if !ok || v != 42 {
+		t.Fatalf("Get = (%d, %v), want (42, true)", v, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("stats = %+v, want 1 hit / 1 miss", st)
+	}
+	if r := st.HitRate(); r != 0.5 {
+		t.Errorf("hit rate = %f, want 0.5", r)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// One entry costs len(key)=4 + 96 = 100 bytes; budget is one shard's
+	// worth of keys that all land in different shards, so force collisions
+	// by using a tiny cache and many entries.
+	c := New[string](numShards*220, func(_ string, v string) int64 { return int64(len(v)) })
+	val := strings.Repeat("v", 96)
+	for i := 0; i < 64; i++ {
+		c.Add(fmt.Sprintf("k%02d", i), val)
+	}
+	if ev := c.Stats().Evictions; ev == 0 {
+		t.Error("expected evictions once past the byte budget")
+	}
+	if got := c.Bytes(); got > numShards*220 {
+		t.Errorf("retained bytes %d exceed budget", got)
+	}
+	// Entries never exceed ~2 per shard at 100 bytes against a 220-byte
+	// shard budget.
+	if n := c.Len(); n > numShards*2 {
+		t.Errorf("len %d, want <= %d", n, numShards*2)
+	}
+}
+
+func TestLRUOrdering(t *testing.T) {
+	// Single-shard-sized cache: keys chosen to land in one shard would be
+	// brittle; instead give every shard room for exactly 2 entries and
+	// check the refreshed entry survives its shard's eviction.
+	c := New[int](numShards*24, nil) // 24 bytes/shard; keys are 10 bytes
+	const keyA, keyB, keyC = "aaaaaaaaaa", "bbbbbbbbbb", "cccccccccc"
+	c.Add(keyA, 1)
+	c.Add(keyB, 2)
+	c.Get(keyA) // refresh A
+	c.Add(keyC, 3)
+	// Whatever the shard layout, A was most recently used before C's
+	// insert, so A must still be present if its shard evicted anything.
+	if _, ok := c.Get(keyA); !ok {
+		t.Error("most-recently-used entry was evicted")
+	}
+}
+
+func TestOversizedEntryNotStored(t *testing.T) {
+	c := New[string](numShards*16, func(_ string, v string) int64 { return int64(len(v)) })
+	c.Add("k", strings.Repeat("x", 1024))
+	if _, ok := c.Get("k"); ok {
+		t.Error("entry larger than a shard budget must not be stored")
+	}
+}
+
+func TestNilCache(t *testing.T) {
+	var c *Cache[int]
+	if _, ok := c.Get("k"); ok {
+		t.Error("nil cache hit")
+	}
+	c.Add("k", 1)
+	v, hit := c.GetOrCompute("k", func() int { return 7 })
+	if v != 7 || hit {
+		t.Errorf("nil GetOrCompute = (%d, %v), want (7, false)", v, hit)
+	}
+	if c.Len() != 0 || c.Bytes() != 0 || c.Stats() != (Stats{}) {
+		t.Error("nil cache must report empty state")
+	}
+	if New[int](0, nil) != nil {
+		t.Error("New with budget 0 must return nil (disabled)")
+	}
+}
+
+func TestGetOrComputeCaches(t *testing.T) {
+	c := New[int](1<<20, nil)
+	calls := 0
+	for i := 0; i < 3; i++ {
+		v, _ := c.GetOrCompute("k", func() int { calls++; return 9 })
+		if v != 9 {
+			t.Fatalf("GetOrCompute = %d", v)
+		}
+	}
+	if calls != 1 {
+		t.Errorf("compute ran %d times, want 1", calls)
+	}
+}
+
+// TestSingleflight hammers one key from many goroutines; the compute
+// function must run exactly once while every caller gets its result.
+func TestSingleflight(t *testing.T) {
+	c := New[int](1<<20, nil)
+	var calls atomic.Int64
+	gate := make(chan struct{})
+	var wg sync.WaitGroup
+	const workers = 32
+	results := make([]int, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-gate
+			results[i], _ = c.GetOrCompute("hot", func() int {
+				calls.Add(1)
+				return 123
+			})
+		}(i)
+	}
+	close(gate)
+	wg.Wait()
+	if n := calls.Load(); n != 1 {
+		t.Errorf("compute ran %d times under contention, want 1", n)
+	}
+	for i, r := range results {
+		if r != 123 {
+			t.Errorf("worker %d got %d", i, r)
+		}
+	}
+}
+
+// TestConcurrentMixedUse exercises all operations under the race detector.
+func TestConcurrentMixedUse(t *testing.T) {
+	c := New[int](1<<14, nil)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := fmt.Sprintf("key-%d", (w*31+i)%97)
+				switch i % 3 {
+				case 0:
+					c.Add(key, i)
+				case 1:
+					c.Get(key)
+				default:
+					c.GetOrCompute(key, func() int { return i })
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	c.Len()
+	c.Bytes()
+	c.Stats()
+}

@@ -130,6 +130,7 @@ func (r *Rule) HasFix() bool { return r.Fix != nil }
 type Catalog struct {
 	rules []*Rule
 	byID  map[string]*Rule
+	fp    string
 }
 
 // NewCatalog compiles and returns the built-in catalog of 85 rules.
@@ -145,7 +146,52 @@ func NewCatalog() *Catalog {
 		c.byID[r.ID] = r
 	}
 	sort.Slice(c.rules, func(i, j int) bool { return c.rules[i].ID < c.rules[j].ID })
+	c.fp = fingerprint(c.rules)
 	return c
+}
+
+// Fingerprint returns a hash over every rule's behavioural fields (ID,
+// patterns, gates, fix template). Two catalogs with the same fingerprint
+// produce the same findings for any source, so the fingerprint is a valid
+// cache-key component for memoized scan results.
+func (c *Catalog) Fingerprint() string { return c.fp }
+
+// fingerprint hashes the behavioural fields of the rules with 64-bit
+// FNV-1a, rendered as fixed-width hex.
+func fingerprint(rs []*Rule) string {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= prime64
+		}
+		h ^= 0xff // field separator
+		h *= prime64
+	}
+	for _, r := range rs {
+		mix(r.ID)
+		mix(r.Pattern.String())
+		if r.Requires != nil {
+			mix(r.Requires.String())
+		}
+		mix("|")
+		if r.Excludes != nil {
+			mix(r.Excludes.String())
+		}
+		mix("|")
+		if r.Fix != nil {
+			mix(r.Fix.Replace)
+			for _, imp := range r.Fix.Imports {
+				mix(imp)
+			}
+		}
+		mix("|")
+	}
+	return fmt.Sprintf("%016x", h)
 }
 
 // Rules returns the rules in ID order. The returned slice is a copy.
@@ -177,6 +223,7 @@ func (c *Catalog) WithoutGates() *Catalog {
 		out.rules = append(out.rules, &clone)
 		out.byID[clone.ID] = &clone
 	}
+	out.fp = fingerprint(out.rules)
 	return out
 }
 
