@@ -1,0 +1,139 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// runCapture runs the CLI with its output captured.
+func runCapture(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var buf bytes.Buffer
+	err := runW(&buf, args)
+	return buf.String(), err
+}
+
+// checkGolden compares got against testdata/<name>.golden, rewriting the
+// file when -update is set.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("output diverges from %s:\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+func TestDetectTextGolden(t *testing.T) {
+	out, err := runCapture(t, "detect", "-tools", "all", filepath.Join("testdata", "vuln.py"))
+	if !errors.Is(err, errFindings) {
+		t.Fatalf("err = %v, want errFindings", err)
+	}
+	checkGolden(t, "detect_text", out)
+}
+
+func TestDetectJSONGolden(t *testing.T) {
+	out, err := runCapture(t, "detect", "-format", "json", "-tools", "all", filepath.Join("testdata", "vuln.py"))
+	if !errors.Is(err, errFindings) {
+		t.Fatalf("err = %v, want errFindings", err)
+	}
+	checkGolden(t, "detect_json", out)
+}
+
+func TestDetectSARIFGolden(t *testing.T) {
+	out, err := runCapture(t, "detect", "-format", "sarif", "-tools", "all", filepath.Join("testdata", "vuln.py"))
+	if !errors.Is(err, errFindings) {
+		t.Fatalf("err = %v, want errFindings", err)
+	}
+	checkGolden(t, "detect_sarif", out)
+}
+
+// Directory arguments walk *.py recursively; the golden pins both the
+// lexical file order and the per-file canonical finding order.
+func TestDetectDirectoryGolden(t *testing.T) {
+	out, err := runCapture(t, "detect", "-tools", "all", filepath.Join("testdata", "project")+"/...")
+	if !errors.Is(err, errFindings) {
+		t.Fatalf("err = %v, want errFindings", err)
+	}
+	checkGolden(t, "detect_dir_text", out)
+
+	// A plain directory argument walks the same set.
+	plain, err := runCapture(t, "detect", "-tools", "all", filepath.Join("testdata", "project"))
+	if !errors.Is(err, errFindings) {
+		t.Fatalf("plain dir err = %v, want errFindings", err)
+	}
+	if plain != out {
+		t.Error("dir and dir/... arguments produced different output")
+	}
+}
+
+// SARIF output must be byte-stable across worker counts: the fold orders
+// files by input and findings canonically regardless of scan scheduling.
+func TestDetectSARIFStableAcrossConcurrency(t *testing.T) {
+	dir := filepath.Join("testdata", "project")
+	one, err := runCapture(t, "detect", "-format", "sarif", "-tools", "all", "-j", "1", dir+"/...")
+	if !errors.Is(err, errFindings) {
+		t.Fatalf("-j 1 err = %v, want errFindings", err)
+	}
+	eight, err := runCapture(t, "detect", "-format", "sarif", "-tools", "all", "-j", "8", dir+"/...")
+	if !errors.Is(err, errFindings) {
+		t.Fatalf("-j 8 err = %v, want errFindings", err)
+	}
+	if one != eight {
+		t.Error("SARIF output differs between -j 1 and -j 8")
+	}
+	checkGolden(t, "detect_dir_sarif", one)
+}
+
+// Exit-code contract: clean scans return nil (status 0), findings return
+// errFindings (status 1), usage errors return other errors (status 2).
+func TestDetectExitCodeContract(t *testing.T) {
+	clean := filepath.Join("testdata", "project", "clean.py")
+	if _, err := runCapture(t, "detect", "-tools", "all", clean); err != nil {
+		t.Errorf("clean file: err = %v, want nil", err)
+	}
+	_, err := runCapture(t, "detect", filepath.Join("testdata", "vuln.py"))
+	if !errors.Is(err, errFindings) {
+		t.Errorf("vulnerable file: err = %v, want errFindings", err)
+	}
+	if _, err := runCapture(t, "detect", "-format", "bogus", clean); err == nil || errors.Is(err, errFindings) {
+		t.Errorf("bad format: err = %v, want usage error", err)
+	}
+	if _, err := runCapture(t, "detect", "-tools", "bogus", clean); err == nil || errors.Is(err, errFindings) {
+		t.Errorf("unknown tool: err = %v, want usage error", err)
+	}
+	if _, err := runCapture(t, "detect"); err == nil || errors.Is(err, errFindings) {
+		t.Errorf("no paths: err = %v, want usage error", err)
+	}
+}
+
+// A single-tool selection must restrict output to that tool.
+func TestDetectToolSelection(t *testing.T) {
+	out, err := runCapture(t, "detect", "-tools", "bandit", filepath.Join("testdata", "vuln.py"))
+	if !errors.Is(err, errFindings) {
+		t.Fatalf("err = %v", err)
+	}
+	for _, line := range bytes.Split([]byte(out), []byte("\n")) {
+		if len(line) == 0 {
+			continue
+		}
+		if !bytes.Contains(line, []byte("[Bandit]")) {
+			t.Errorf("non-Bandit line in -tools bandit output: %s", line)
+		}
+	}
+}

@@ -1,40 +1,72 @@
 // Command patchitpy is the PatchitPy command-line front end.
 //
-//	patchitpy detect [-severity high] [-j N] file.py [file2.py ...]  # report findings
+//	patchitpy detect [-severity high] [-format text|json|sarif] [-tools list] [-j N] path ...
 //	patchitpy patch  file.py [file2.py ...]   # patch in place (-o to stdout)
 //	patchitpy rules                            # list the rule catalog
 //	patchitpy serve [-cache 64]                # JSON editor protocol on stdio
 //
+// `detect` accepts files, directories and `dir/...` arguments; directory
+// arguments are walked recursively for *.py files. Findings from every
+// selected analyzer (-tools patchitpy,codeql,semgrep,bandit — or "all")
+// are merged into the unified diagnostics model and rendered as text,
+// JSON Lines or SARIF 2.1.0. Exit status: 0 when clean, 1 when findings
+// were reported, 2 on usage or I/O errors.
+//
 // `serve` speaks the newline-delimited JSON protocol the paper's VS Code
 // extension uses: {"cmd":"detect","code":"..."} and
-// {"cmd":"patch","code":"..."} requests, one response per line. Repeated
-// identical requests are answered from a content-addressed result cache
-// sized by -cache (MiB, 0 disables); {"cmd":"stats"} reports its hit/miss
-// counters and the prefilter skip rate.
+// {"cmd":"patch","code":"..."} requests, one response per line. A request
+// may carry "tools":["Bandit",...] to query the baseline analyzers behind
+// the same registry. Repeated identical requests are answered from a
+// content-addressed result cache sized by -cache (MiB, 0 disables);
+// {"cmd":"stats"} reports its hit/miss counters and the prefilter skip
+// rate.
 package main
 
 import (
 	"context"
-	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"io/fs"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"github.com/dessertlab/patchitpy"
+	"github.com/dessertlab/patchitpy/internal/baseline/banditlite"
+	"github.com/dessertlab/patchitpy/internal/baseline/querydb"
+	"github.com/dessertlab/patchitpy/internal/baseline/semgreplite"
+	"github.com/dessertlab/patchitpy/internal/core"
 	"github.com/dessertlab/patchitpy/internal/detect"
+	"github.com/dessertlab/patchitpy/internal/diag"
+	"github.com/dessertlab/patchitpy/internal/diag/sarif"
 	"github.com/dessertlab/patchitpy/internal/experiments"
 	"github.com/dessertlab/patchitpy/internal/rules"
+	"github.com/dessertlab/patchitpy/internal/workpool"
 )
 
+// errFindings signals that the scan completed and reported findings; main
+// maps it to exit status 1, distinct from usage/I/O errors (status 2).
+var errFindings = errors.New("findings detected")
+
 func main() {
-	if err := run(os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "patchitpy:", err)
+	err := run(os.Args[1:])
+	switch {
+	case err == nil:
+	case errors.Is(err, errFindings):
 		os.Exit(1)
+	default:
+		fmt.Fprintln(os.Stderr, "patchitpy:", err)
+		os.Exit(2)
 	}
 }
 
-func run(args []string) error {
+func run(args []string) error { return runW(os.Stdout, args) }
+
+// runW is run with the output stream injected, so tests can capture the
+// rendered output deterministically.
+func runW(w io.Writer, args []string) error {
 	if len(args) == 0 {
 		return fmt.Errorf("usage: patchitpy <detect|patch|rules|serve|eval> [args]")
 	}
@@ -42,11 +74,11 @@ func run(args []string) error {
 	engine := patchitpy.New()
 	switch cmd {
 	case "detect":
-		return detectFiles(engine, rest)
+		return detectFiles(engine, w, rest)
 	case "patch":
-		return patchFiles(engine, rest)
+		return patchFiles(engine, w, rest)
 	case "rules":
-		return listRules(engine)
+		return listRules(engine, w)
 	case "serve":
 		fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 		cacheMiB := fs.Int64("cache", 32, "result cache budget per cache, in MiB (0 disables caching)")
@@ -54,7 +86,8 @@ func run(args []string) error {
 			return err
 		}
 		engine.SetCacheBytes(*cacheMiB << 20)
-		return engine.Serve(os.Stdin, os.Stdout)
+		engine.SetAnalyzers(core.DefaultAnalyzers(engine))
+		return engine.Serve(os.Stdin, w)
 	case "eval":
 		fs := flag.NewFlagSet("eval", flag.ContinueOnError)
 		jobs := fs.Int("j", 0, "evaluation concurrency (0 = GOMAXPROCS)")
@@ -65,32 +98,64 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		res.WriteAll(os.Stdout)
+		res.WriteAll(w)
 		return nil
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}
 }
 
-func detectFiles(engine *patchitpy.Engine, args []string) error {
+// detectRegistry builds the analyzers `detect -tools` can select: the
+// native detector (detection only, honoring the severity filter) plus the
+// three static-analysis baselines.
+func detectRegistry(engine *patchitpy.Engine, opt detect.Options) *diag.Registry {
+	reg := diag.NewRegistry()
+	reg.MustRegister(detect.New(engine.Catalog()).Analyzer(opt))
+	reg.MustRegister(querydb.New().Analyzer())
+	reg.MustRegister(semgreplite.New().Analyzer())
+	reg.MustRegister(banditlite.New().Analyzer())
+	return reg
+}
+
+func detectFiles(engine *patchitpy.Engine, w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("detect", flag.ContinueOnError)
-	severity := fs.String("severity", "", "minimum severity: low, medium, high or critical")
-	asJSON := fs.Bool("json", false, "emit findings as JSON (one object per file)")
+	severity := fs.String("severity", "", "minimum severity: low, medium, high or critical (PatchitPy rules only)")
+	format := fs.String("format", "text", "output format: text, json (JSON Lines) or sarif")
+	asJSON := fs.Bool("json", false, "shorthand for -format json")
+	tools := fs.String("tools", "patchitpy", "comma-separated analyzers: patchitpy, codeql, semgrep, bandit — or \"all\"")
 	jobs := fs.Int("j", 0, "scan concurrency across files (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	paths := fs.Args()
-	if len(paths) == 0 {
-		return fmt.Errorf("detect: at least one file required")
+	if *asJSON && *format == "text" {
+		*format = "json"
 	}
-	opt := detect.Options{Concurrency: *jobs}
+	switch *format {
+	case "text", "json", "sarif":
+	default:
+		return fmt.Errorf("detect: unknown format %q (use text, json or sarif)", *format)
+	}
+	if len(fs.Args()) == 0 {
+		return fmt.Errorf("detect: at least one file or directory required")
+	}
+
+	opt := detect.Options{}
 	if *severity != "" {
 		min, err := parseSeverity(*severity)
 		if err != nil {
 			return err
 		}
 		opt.MinSeverity = min
+	}
+	reg := detectRegistry(engine, opt)
+	selected, err := selectTools(reg, *tools)
+	if err != nil {
+		return err
+	}
+
+	paths, err := expandPaths(fs.Args())
+	if err != nil {
+		return err
 	}
 	srcs := make([]detect.Source, len(paths))
 	for i, path := range paths {
@@ -100,69 +165,109 @@ func detectFiles(engine *patchitpy.Engine, args []string) error {
 		}
 		srcs[i] = detect.Source{Name: path, Code: string(code)}
 	}
-	scanner := detect.New(engine.Catalog())
-	results, err := scanner.ScanAll(context.Background(), srcs, opt)
+
+	// Fan the per-file work across the pool; each task runs every selected
+	// analyzer and merges the findings into canonical order. The native
+	// analyzer's scans go through the engine's content-addressed result
+	// cache, so duplicate file contents cost one scan.
+	ctx := context.Background()
+	files := make([]diag.FileFindings, len(srcs))
+	err = workpool.Run(ctx, len(srcs), *jobs, func(i int) {
+		var merged []diag.Finding
+		for _, a := range selected {
+			res, err := a.Analyze(ctx, srcs[i].Code)
+			if err != nil {
+				return
+			}
+			merged = append(merged, res.Findings...)
+		}
+		diag.Sort(merged)
+		files[i] = diag.FileFindings{File: srcs[i].Name, Findings: merged}
+	})
 	if err != nil {
 		return err
 	}
-	exit := 0
-	for _, res := range results {
-		path, findings := res.Source.Name, res.Findings
-		if *asJSON {
-			if err := writeFindingsJSON(path, findings); err != nil {
-				return err
-			}
-			if len(findings) > 0 {
-				exit = 2
-			}
-			continue
-		}
-		if len(findings) == 0 {
-			fmt.Printf("%s: no findings\n", path)
-			continue
-		}
-		exit = 2
-		for _, f := range findings {
-			note := ""
-			if f.Rule.Fix != nil {
-				note = " [fix available]"
-			}
-			fmt.Printf("%s:%d: %s %s %s — %s%s\n",
-				path, f.Line, f.Rule.ID, f.Rule.CWE, f.Rule.Severity, f.Rule.Title, note)
-		}
+
+	switch *format {
+	case "json":
+		err = diag.WriteJSONL(w, files)
+	case "sarif":
+		err = sarif.Write(w, files)
+	default:
+		err = diag.WriteText(w, files)
 	}
-	if exit != 0 && !*asJSON {
-		// Findings are not an execution error, but scripts want a signal;
-		// report via a trailing summary instead of a non-zero exit so the
-		// CLI composes with pipelines.
-		fmt.Println("findings detected")
+	if err != nil {
+		return err
+	}
+	for _, ff := range files {
+		if len(ff.Findings) > 0 {
+			return errFindings
+		}
 	}
 	return nil
 }
 
-// findingJSON is the machine-readable finding record for -json output.
-type findingJSON struct {
-	File     string `json:"file"`
-	Line     int    `json:"line"`
-	RuleID   string `json:"ruleId"`
-	CWE      string `json:"cwe"`
-	Severity string `json:"severity"`
-	Category string `json:"category"`
-	Title    string `json:"title"`
-	CanFix   bool   `json:"canFix"`
+// selectTools resolves the -tools flag against the registry,
+// case-insensitively. "all" selects every registered analyzer.
+func selectTools(reg *diag.Registry, spec string) ([]diag.Analyzer, error) {
+	if strings.EqualFold(strings.TrimSpace(spec), "all") {
+		return reg.Analyzers(), nil
+	}
+	var out []diag.Analyzer
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		a, ok := reg.Find(name)
+		if !ok {
+			return nil, fmt.Errorf("detect: unknown tool %q (available: %s, or \"all\")",
+				name, strings.Join(reg.Names(), ", "))
+		}
+		out = append(out, a)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("detect: -tools selected no analyzers")
+	}
+	return out, nil
 }
 
-func writeFindingsJSON(path string, findings []detect.Finding) error {
-	records := make([]findingJSON, 0, len(findings))
-	for _, f := range findings {
-		records = append(records, findingJSON{
-			File: path, Line: f.Line, RuleID: f.Rule.ID, CWE: f.Rule.CWE,
-			Severity: f.Rule.Severity.String(), Category: f.Rule.Category.String(),
-			Title: f.Rule.Title, CanFix: f.Rule.HasFix(),
+// expandPaths resolves the detect arguments: plain files pass through,
+// directories and `dir/...` walk recursively collecting *.py files in
+// lexical order.
+func expandPaths(args []string) ([]string, error) {
+	var out []string
+	for _, arg := range args {
+		dir, recursive := strings.CutSuffix(arg, "/...")
+		if !recursive {
+			info, err := os.Stat(arg)
+			if err != nil {
+				return nil, err
+			}
+			if !info.IsDir() {
+				out = append(out, arg)
+				continue
+			}
+			dir = arg
+		}
+		n := len(out)
+		err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() && strings.HasSuffix(path, ".py") {
+				out = append(out, path)
+			}
+			return nil
 		})
+		if err != nil {
+			return nil, err
+		}
+		if len(out) == n {
+			return nil, fmt.Errorf("detect: no Python files under %s", dir)
+		}
 	}
-	enc := json.NewEncoder(os.Stdout)
-	return enc.Encode(map[string]any{"file": path, "findings": records})
+	return out, nil
 }
 
 func parseSeverity(s string) (rules.Severity, error) {
@@ -179,7 +284,7 @@ func parseSeverity(s string) (rules.Severity, error) {
 	return 0, fmt.Errorf("unknown severity %q (use low, medium, high or critical)", s)
 }
 
-func patchFiles(engine *patchitpy.Engine, args []string) error {
+func patchFiles(engine *patchitpy.Engine, w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("patch", flag.ContinueOnError)
 	stdout := fs.Bool("o", false, "write the patched code to stdout instead of in place")
 	if err := fs.Parse(args); err != nil {
@@ -204,7 +309,7 @@ func patchFiles(engine *patchitpy.Engine, args []string) error {
 				path, u.Line, u.Rule.ID, u.Rule.CWE)
 		}
 		if *stdout {
-			fmt.Print(outcome.Result.Source)
+			fmt.Fprint(w, outcome.Result.Source)
 			continue
 		}
 		if outcome.Result.Changed() {
@@ -216,14 +321,14 @@ func patchFiles(engine *patchitpy.Engine, args []string) error {
 	return nil
 }
 
-func listRules(engine *patchitpy.Engine) error {
+func listRules(engine *patchitpy.Engine, w io.Writer) error {
 	for _, r := range engine.Catalog().Rules() {
 		fix := "detect-only"
 		if r.HasFix() {
 			fix = "fix"
 		}
-		fmt.Printf("%-12s %-8s %-11s %-45s %s\n", r.ID, r.CWE, fix, r.Title, r.Category)
+		fmt.Fprintf(w, "%-12s %-8s %-11s %-45s %s\n", r.ID, r.CWE, fix, r.Title, r.Category)
 	}
-	fmt.Printf("%d rules, %d distinct CWEs\n", engine.Catalog().Len(), len(engine.Catalog().CWEs()))
+	fmt.Fprintf(w, "%d rules, %d distinct CWEs\n", engine.Catalog().Len(), len(engine.Catalog().CWEs()))
 	return nil
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -46,11 +47,12 @@ func TestRunUsageErrors(t *testing.T) {
 
 func TestRunDetect(t *testing.T) {
 	path := writeTemp(t, vulnFile)
-	if err := run([]string{"detect", path}); err != nil {
-		t.Fatalf("detect: %v", err)
+	if err := run([]string{"detect", path}); !errors.Is(err, errFindings) {
+		t.Fatalf("detect on vulnerable file: err = %v, want errFindings", err)
 	}
-	if err := run([]string{"detect", filepath.Join(t.TempDir(), "missing.py")}); err == nil {
-		t.Error("missing file should error")
+	err := run([]string{"detect", filepath.Join(t.TempDir(), "missing.py")})
+	if err == nil || errors.Is(err, errFindings) {
+		t.Errorf("missing file: err = %v, want I/O error", err)
 	}
 }
 
@@ -100,11 +102,12 @@ func TestRunRules(t *testing.T) {
 
 func TestRunDetectSeverityFilter(t *testing.T) {
 	path := writeTemp(t, vulnFile)
-	if err := run([]string{"detect", "-severity", "critical", path}); err != nil {
+	if err := run([]string{"detect", "-severity", "critical", path}); err != nil && !errors.Is(err, errFindings) {
 		t.Fatalf("detect -severity: %v", err)
 	}
-	if err := run([]string{"detect", "-severity", "bogus", path}); err == nil {
-		t.Error("bad severity should error")
+	err := run([]string{"detect", "-severity", "bogus", path})
+	if err == nil || errors.Is(err, errFindings) {
+		t.Errorf("bad severity: err = %v, want usage error", err)
 	}
 }
 
@@ -118,12 +121,13 @@ func TestRunDetectMultiFileParallel(t *testing.T) {
 		}
 		paths = append(paths, p)
 	}
-	if err := run(append([]string{"detect", "-j", "4"}, paths...)); err != nil {
-		t.Fatalf("detect -j 4: %v", err)
+	if err := run(append([]string{"detect", "-j", "4"}, paths...)); !errors.Is(err, errFindings) {
+		t.Fatalf("detect -j 4: err = %v, want errFindings", err)
 	}
 	// A missing file among many must surface as an error before scanning.
-	if err := run([]string{"detect", paths[0], filepath.Join(dir, "missing.py")}); err == nil {
-		t.Error("missing file in batch should error")
+	err := run([]string{"detect", paths[0], filepath.Join(dir, "missing.py")})
+	if err == nil || errors.Is(err, errFindings) {
+		t.Errorf("missing file in batch: err = %v, want I/O error", err)
 	}
 }
 
@@ -135,7 +139,7 @@ func TestRunEvalFlagParsing(t *testing.T) {
 
 func TestRunDetectJSON(t *testing.T) {
 	path := writeTemp(t, vulnFile)
-	if err := run([]string{"detect", "-json", path}); err != nil {
-		t.Fatalf("detect -json: %v", err)
+	if err := run([]string{"detect", "-json", path}); !errors.Is(err, errFindings) {
+		t.Fatalf("detect -json: err = %v, want errFindings", err)
 	}
 }

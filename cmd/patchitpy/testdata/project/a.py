@@ -1,0 +1,6 @@
+import os
+import hashlib
+
+def run_tool(name):
+    os.system("tool " + name)
+    return hashlib.md5(name.encode()).hexdigest()

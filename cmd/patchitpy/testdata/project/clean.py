@@ -1,0 +1,2 @@
+def add(a, b):
+    return a + b

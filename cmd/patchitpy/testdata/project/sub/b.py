@@ -1,0 +1,4 @@
+import yaml
+
+def load_config(stream):
+    return yaml.load(stream)

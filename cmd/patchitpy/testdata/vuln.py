@@ -1,0 +1,11 @@
+from flask import Flask, request
+import sqlite3
+app = Flask(__name__)
+
+@app.route("/user")
+def get_user():
+    uid = request.args.get("id", "")
+    cur.execute("SELECT * FROM users WHERE id = " + uid)
+    return {"rows": cur.fetchall()}
+
+app.run(debug=True)

@@ -2,19 +2,27 @@
 // produces implementations for natural-language prompts, and PatchitPy
 // reviews each suggestion before it reaches the developer, patching what
 // it can. This drives the same simulated generators used in the paper's
-// evaluation corpus.
+// evaluation corpus, routes every analyzer through the unified
+// diagnostics registry, and writes the merged findings as a SARIF 2.1.0
+// report (aigen-review.sarif) for code-scanning dashboards.
 package main
 
 import (
+	"context"
 	"fmt"
+	"os"
 
 	"github.com/dessertlab/patchitpy"
+	"github.com/dessertlab/patchitpy/internal/core"
+	"github.com/dessertlab/patchitpy/internal/diag"
+	"github.com/dessertlab/patchitpy/internal/diag/sarif"
 	"github.com/dessertlab/patchitpy/internal/generator"
 	"github.com/dessertlab/patchitpy/internal/prompts"
 )
 
 func main() {
 	engine := patchitpy.New()
+	reg := core.DefaultAnalyzers(engine)
 	copilot := generator.ModelByName("GitHub Copilot")
 
 	// Review the first ten prompts' suggestions.
@@ -25,9 +33,29 @@ func main() {
 		return
 	}
 
+	ctx := context.Background()
 	accepted, patched, flagged := 0, 0, 0
+	var report []diag.FileFindings
 	for i, s := range samples {
 		fmt.Printf("== prompt %s: %q\n", s.PromptID, ps[i].Text)
+
+		// Every analyzer reviews the suggestion through the same interface;
+		// the merged findings feed the SARIF report.
+		var merged []diag.Finding
+		for _, a := range reg.Analyzers() {
+			res, err := a.Analyze(ctx, s.Code)
+			if err != nil {
+				fmt.Println("analyze:", err)
+				return
+			}
+			merged = append(merged, res.Findings...)
+		}
+		diag.Sort(merged)
+		report = append(report, diag.FileFindings{
+			File:     fmt.Sprintf("suggestions/%s.py", s.PromptID),
+			Findings: merged,
+		})
+
 		outcome := engine.Fix(s.Code)
 		switch {
 		case !outcome.Report.Vulnerable:
@@ -45,4 +73,16 @@ func main() {
 	}
 	fmt.Printf("\nreview summary: %d accepted, %d auto-patched, %d flagged of %d suggestions\n",
 		accepted, patched, flagged, len(samples))
+
+	f, err := os.Create("aigen-review.sarif")
+	if err != nil {
+		fmt.Println("sarif:", err)
+		return
+	}
+	defer f.Close()
+	if err := sarif.Write(f, report); err != nil {
+		fmt.Println("sarif:", err)
+		return
+	}
+	fmt.Println("SARIF report written to aigen-review.sarif")
 }

@@ -8,7 +8,9 @@
 package banditlite
 
 import (
+	"sort"
 	"strings"
+	"sync/atomic"
 
 	"github.com/dessertlab/patchitpy/internal/pyast"
 )
@@ -31,6 +33,7 @@ type Finding struct {
 // Scanner runs the plugin set.
 type Scanner struct {
 	plugins []plugin
+	scans   atomic.Uint64
 }
 
 // New returns a scanner with the built-in plugin set.
@@ -38,21 +41,34 @@ func New() *Scanner {
 	return &Scanner{plugins: allPlugins()}
 }
 
-// Scan analyzes src. Like Bandit, it works from the AST: statements that
-// failed to parse are invisible to the plugins (one reason AST tools
-// underperform on incomplete AI snippets, per the paper).
+// Scan analyzes src and returns findings in deterministic (line, test ID)
+// order. Like Bandit, it works from the AST: statements that failed to
+// parse are invisible to the plugins (one reason AST tools underperform
+// on incomplete AI snippets, per the paper).
 func (s *Scanner) Scan(src string) []Finding {
+	s.scans.Add(1)
 	mod, err := pyast.Parse(src)
 	if err != nil {
 		return nil
 	}
-	ctx := &context{src: src, module: mod}
+	ctx := &scanContext{src: src, module: mod}
 	var out []Finding
 	for _, p := range s.plugins {
 		out = append(out, p(ctx)...)
 	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Line != out[j].Line {
+			return out[i].Line < out[j].Line
+		}
+		return out[i].TestID < out[j].TestID
+	})
 	return out
 }
+
+// Scans returns how many Scan calls the scanner has served — the
+// accounting the experiments harness uses to prove each sample is
+// scanned exactly once per baseline.
+func (s *Scanner) Scans() uint64 { return s.scans.Load() }
 
 // Vulnerable reports whether any plugin fires.
 func (s *Scanner) Vulnerable(src string) bool { return len(s.Scan(src)) > 0 }
@@ -72,18 +88,18 @@ func SuggestionRate(findings []Finding) float64 {
 	return float64(n) / float64(len(findings))
 }
 
-type context struct {
+type scanContext struct {
 	src    string
 	module *pyast.Module
 }
 
-func (c *context) calls() []*pyast.Call { return pyast.Calls(c.module) }
+func (c *scanContext) calls() []*pyast.Call { return pyast.Calls(c.module) }
 
-func (c *context) hasImport(name string) bool {
+func (c *scanContext) hasImport(name string) bool {
 	return pyast.ImportedModules(c.module)[name]
 }
 
-type plugin func(*context) []Finding
+type plugin func(*scanContext) []Finding
 
 func allPlugins() []plugin {
 	return []plugin{
@@ -118,7 +134,7 @@ func allPlugins() []plugin {
 	}
 }
 
-func callFindings(ctx *context, match func(*pyast.Call) bool, f Finding) []Finding {
+func callFindings(ctx *scanContext, match func(*pyast.Call) bool, f Finding) []Finding {
 	var out []Finding
 	for _, c := range ctx.calls() {
 		if match(c) {
@@ -134,7 +150,7 @@ func callNamed(name string) func(*pyast.Call) bool {
 	return func(c *pyast.Call) bool { return pyast.CallName(c) == name }
 }
 
-func pluginAssert(ctx *context) []Finding {
+func pluginAssert(ctx *scanContext) []Finding {
 	var out []Finding
 	pyast.Walk(ctx.module, func(n pyast.Node) bool {
 		if a, ok := n.(*pyast.Assert); ok {
@@ -148,19 +164,19 @@ func pluginAssert(ctx *context) []Finding {
 	return out
 }
 
-func pluginExec(ctx *context) []Finding {
+func pluginExec(ctx *scanContext) []Finding {
 	return callFindings(ctx, callNamed("exec"), Finding{
 		TestID: "B102", Name: "exec_used", Severity: "MEDIUM",
 	})
 }
 
-func pluginEval(ctx *context) []Finding {
+func pluginEval(ctx *scanContext) []Finding {
 	return callFindings(ctx, callNamed("eval"), Finding{
 		TestID: "B307", Name: "blacklist_eval", Severity: "MEDIUM",
 	})
 }
 
-func pluginPickle(ctx *context) []Finding {
+func pluginPickle(ctx *scanContext) []Finding {
 	return callFindings(ctx, func(c *pyast.Call) bool {
 		name := pyast.CallName(c)
 		return name == "pickle.loads" || name == "pickle.load" || name == "dill.loads" || name == "dill.load"
@@ -169,14 +185,14 @@ func pluginPickle(ctx *context) []Finding {
 	})
 }
 
-func pluginMarshal(ctx *context) []Finding {
+func pluginMarshal(ctx *scanContext) []Finding {
 	return callFindings(ctx, func(c *pyast.Call) bool {
 		name := pyast.CallName(c)
 		return name == "marshal.loads" || name == "marshal.load"
 	}, Finding{TestID: "B302", Name: "blacklist_marshal", Severity: "MEDIUM"})
 }
 
-func pluginYAMLLoad(ctx *context) []Finding {
+func pluginYAMLLoad(ctx *scanContext) []Finding {
 	return callFindings(ctx, func(c *pyast.Call) bool {
 		return pyast.CallName(c) == "yaml.load"
 	}, Finding{
@@ -185,7 +201,7 @@ func pluginYAMLLoad(ctx *context) []Finding {
 	})
 }
 
-func pluginShellTrue(ctx *context) []Finding {
+func pluginShellTrue(ctx *scanContext) []Finding {
 	return callFindings(ctx, func(c *pyast.Call) bool {
 		name := pyast.CallName(c)
 		if !strings.HasPrefix(name, "subprocess.") {
@@ -199,14 +215,14 @@ func pluginShellTrue(ctx *context) []Finding {
 	})
 }
 
-func pluginOSSystem(ctx *context) []Finding {
+func pluginOSSystem(ctx *scanContext) []Finding {
 	return callFindings(ctx, func(c *pyast.Call) bool {
 		name := pyast.CallName(c)
 		return name == "os.system" || name == "os.popen"
 	}, Finding{TestID: "B605", Name: "start_process_with_a_shell", Severity: "HIGH"})
 }
 
-func pluginMD5SHA1(ctx *context) []Finding {
+func pluginMD5SHA1(ctx *scanContext) []Finding {
 	return callFindings(ctx, func(c *pyast.Call) bool {
 		name := pyast.CallName(c)
 		if name == "hashlib.md5" || name == "hashlib.sha1" {
@@ -224,7 +240,7 @@ func pluginMD5SHA1(ctx *context) []Finding {
 	})
 }
 
-func pluginCipherModes(ctx *context) []Finding {
+func pluginCipherModes(ctx *scanContext) []Finding {
 	var out []Finding
 	pyast.Walk(ctx.module, func(n pyast.Node) bool {
 		if attr, ok := n.(*pyast.Attribute); ok && attr.Attr == "MODE_ECB" {
@@ -238,14 +254,14 @@ func pluginCipherModes(ctx *context) []Finding {
 	return out
 }
 
-func pluginWeakCiphers(ctx *context) []Finding {
+func pluginWeakCiphers(ctx *scanContext) []Finding {
 	return callFindings(ctx, func(c *pyast.Call) bool {
 		name := pyast.CallName(c)
 		return name == "DES.new" || name == "ARC4.new" || name == "Blowfish.new"
 	}, Finding{TestID: "B304", Name: "blacklist_ciphers", Severity: "HIGH"})
 }
 
-func pluginHardcodedPassword(ctx *context) []Finding {
+func pluginHardcodedPassword(ctx *scanContext) []Finding {
 	var out []Finding
 	pyast.Walk(ctx.module, func(n pyast.Node) bool {
 		as, ok := n.(*pyast.Assign)
@@ -277,7 +293,7 @@ func pluginHardcodedPassword(ctx *context) []Finding {
 	return out
 }
 
-func pluginRequestsVerify(ctx *context) []Finding {
+func pluginRequestsVerify(ctx *scanContext) []Finding {
 	return callFindings(ctx, func(c *pyast.Call) bool {
 		name := pyast.CallName(c)
 		if !strings.HasPrefix(name, "requests.") {
@@ -291,7 +307,7 @@ func pluginRequestsVerify(ctx *context) []Finding {
 	})
 }
 
-func pluginHardcodedTmp(ctx *context) []Finding {
+func pluginHardcodedTmp(ctx *scanContext) []Finding {
 	var out []Finding
 	pyast.Walk(ctx.module, func(n pyast.Node) bool {
 		if s, ok := n.(*pyast.StringLit); ok && strings.HasPrefix(s.Value, "/tmp/") {
@@ -305,14 +321,14 @@ func pluginHardcodedTmp(ctx *context) []Finding {
 	return out
 }
 
-func pluginMktemp(ctx *context) []Finding {
+func pluginMktemp(ctx *scanContext) []Finding {
 	return callFindings(ctx, callNamed("tempfile.mktemp"), Finding{
 		TestID: "B306", Name: "mktemp_q", Severity: "MEDIUM",
 		Suggestion: "# bandit: use tempfile.mkstemp",
 	})
 }
 
-func pluginChmod(ctx *context) []Finding {
+func pluginChmod(ctx *scanContext) []Finding {
 	return callFindings(ctx, func(c *pyast.Call) bool {
 		if pyast.CallName(c) != "os.chmod" || len(c.Args) < 2 {
 			return false
@@ -324,7 +340,7 @@ func pluginChmod(ctx *context) []Finding {
 	}, Finding{TestID: "B103", Name: "set_bad_file_permissions", Severity: "HIGH"})
 }
 
-func pluginBindAll(ctx *context) []Finding {
+func pluginBindAll(ctx *scanContext) []Finding {
 	var out []Finding
 	pyast.Walk(ctx.module, func(n pyast.Node) bool {
 		if s, ok := n.(*pyast.StringLit); ok && s.Value == "0.0.0.0" {
@@ -338,7 +354,7 @@ func pluginBindAll(ctx *context) []Finding {
 	return out
 }
 
-func pluginTryExceptPass(ctx *context) []Finding {
+func pluginTryExceptPass(ctx *scanContext) []Finding {
 	var out []Finding
 	pyast.Walk(ctx.module, func(n pyast.Node) bool {
 		t, ok := n.(*pyast.Try)
@@ -360,7 +376,7 @@ func pluginTryExceptPass(ctx *context) []Finding {
 	return out
 }
 
-func pluginXMLEtree(ctx *context) []Finding {
+func pluginXMLEtree(ctx *scanContext) []Finding {
 	if !ctx.hasImport("xml") {
 		return nil
 	}
@@ -374,7 +390,7 @@ func pluginXMLEtree(ctx *context) []Finding {
 	})
 }
 
-func pluginRandom(ctx *context) []Finding {
+func pluginRandom(ctx *scanContext) []Finding {
 	return callFindings(ctx, func(c *pyast.Call) bool {
 		name := pyast.CallName(c)
 		return strings.HasPrefix(name, "random.")
@@ -383,7 +399,7 @@ func pluginRandom(ctx *context) []Finding {
 
 // pluginSQLExpressions approximates B608: execute() whose argument is
 // string-built SQL (concatenation, %, .format or an f-string).
-func pluginSQLExpressions(ctx *context) []Finding {
+func pluginSQLExpressions(ctx *scanContext) []Finding {
 	isSQLString := func(e pyast.Expr) bool {
 		s, ok := e.(*pyast.StringLit)
 		if !ok {
@@ -415,7 +431,7 @@ func pluginSQLExpressions(ctx *context) []Finding {
 	}, Finding{TestID: "B608", Name: "hardcoded_sql_expressions", Severity: "MEDIUM"})
 }
 
-func pluginFlaskDebug(ctx *context) []Finding {
+func pluginFlaskDebug(ctx *scanContext) []Finding {
 	if !ctx.hasImport("flask") {
 		return nil
 	}
@@ -431,7 +447,7 @@ func pluginFlaskDebug(ctx *context) []Finding {
 	})
 }
 
-func pluginBadTLSVersion(ctx *context) []Finding {
+func pluginBadTLSVersion(ctx *scanContext) []Finding {
 	var out []Finding
 	pyast.Walk(ctx.module, func(n pyast.Node) bool {
 		if attr, ok := n.(*pyast.Attribute); ok {
@@ -448,13 +464,13 @@ func pluginBadTLSVersion(ctx *context) []Finding {
 	return out
 }
 
-func pluginParamikoAutoAdd(ctx *context) []Finding {
+func pluginParamikoAutoAdd(ctx *scanContext) []Finding {
 	return callFindings(ctx, callNamed("paramiko.AutoAddPolicy"), Finding{
 		TestID: "B507", Name: "ssh_no_host_key_verification", Severity: "HIGH",
 	})
 }
 
-func pluginTarfileExtract(ctx *context) []Finding {
+func pluginTarfileExtract(ctx *scanContext) []Finding {
 	if !ctx.hasImport("tarfile") {
 		return nil
 	}
@@ -467,14 +483,14 @@ func pluginTarfileExtract(ctx *context) []Finding {
 	}, Finding{TestID: "B202", Name: "tarfile_unsafe_members", Severity: "HIGH"})
 }
 
-func pluginMarkSafe(ctx *context) []Finding {
+func pluginMarkSafe(ctx *scanContext) []Finding {
 	return callFindings(ctx, func(c *pyast.Call) bool {
 		name := pyast.CallName(c)
 		return name == "mark_safe" || name == "Markup"
 	}, Finding{TestID: "B703", Name: "django_mark_safe", Severity: "MEDIUM"})
 }
 
-func pluginMakoTemplates(ctx *context) []Finding {
+func pluginMakoTemplates(ctx *scanContext) []Finding {
 	if !ctx.hasImport("mako") {
 		return nil
 	}
@@ -483,7 +499,7 @@ func pluginMakoTemplates(ctx *context) []Finding {
 	})
 }
 
-func pluginURLOpen(ctx *context) []Finding {
+func pluginURLOpen(ctx *scanContext) []Finding {
 	return callFindings(ctx, func(c *pyast.Call) bool {
 		name := pyast.CallName(c)
 		return name == "urlopen" || name == "urllib.request.urlopen"

@@ -124,6 +124,34 @@ func TestLinesReported(t *testing.T) {
 	}
 }
 
+// Scan output is deterministic: findings arrive sorted by (line, test
+// ID), not in plugin-registration order.
+func TestScanOrderDeterministic(t *testing.T) {
+	src := `import os, hashlib, pickle
+h = hashlib.md5(x)
+obj = pickle.loads(blob)
+os.system("ls " + d)
+`
+	s := New()
+	fs := s.Scan(src)
+	want := []struct {
+		id   string
+		line int
+	}{
+		{"B324", 2},
+		{"B301", 3},
+		{"B605", 4},
+	}
+	if len(fs) != len(want) {
+		t.Fatalf("findings = %+v, want %d", fs, len(want))
+	}
+	for i, w := range want {
+		if fs[i].TestID != w.id || fs[i].Line != w.line {
+			t.Errorf("finding %d = %s@%d, want %s@%d", i, fs[i].TestID, fs[i].Line, w.id, w.line)
+		}
+	}
+}
+
 func BenchmarkBanditScan(b *testing.B) {
 	src := `import os, pickle, hashlib, subprocess
 from flask import Flask, request

@@ -1,0 +1,53 @@
+package banditlite
+
+import (
+	"context"
+
+	"github.com/dessertlab/patchitpy/internal/diag"
+)
+
+// ToolName is the analyzer name in the unified diagnostics model.
+const ToolName = "Bandit"
+
+// DiagFinding translates one Bandit-style finding into the canonical
+// model. Bandit assigns no CWE or OWASP mapping, so those stay empty —
+// the translation invents nothing and loses nothing: test ID, severity,
+// line and suggestion all carry over verbatim.
+func DiagFinding(f Finding) diag.Finding {
+	return diag.Finding{
+		Tool:       ToolName,
+		RuleID:     f.TestID,
+		Severity:   f.Severity,
+		Line:       f.Line,
+		Message:    f.Name,
+		FixPreview: f.Suggestion,
+	}
+}
+
+// analyzer adapts a Scanner to diag.Analyzer. Each Analyze call runs
+// exactly one Scan; the binary judgement and the suggestion-rate
+// accounting both derive from that single Result, so grid evaluations
+// never scan a sample twice the way separate Scan+Vulnerable calls would.
+type analyzer struct {
+	s *Scanner
+}
+
+// Analyzer returns the scanner as a diag.Analyzer named "Bandit".
+func (s *Scanner) Analyzer() diag.Analyzer { return analyzer{s: s} }
+
+// Name implements diag.Analyzer.
+func (analyzer) Name() string { return ToolName }
+
+// Analyze implements diag.Analyzer.
+func (a analyzer) Analyze(ctx context.Context, src string) (diag.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return diag.Result{}, err
+	}
+	fs := a.s.Scan(src)
+	out := make([]diag.Finding, 0, len(fs))
+	for _, f := range fs {
+		out = append(out, DiagFinding(f))
+	}
+	diag.Sort(out)
+	return diag.Result{Tool: ToolName, Findings: out, Vulnerable: len(fs) > 0}, nil
+}

@@ -1,0 +1,72 @@
+package banditlite
+
+import (
+	"context"
+	"testing"
+)
+
+// The adapter must round-trip native findings losslessly: test ID, line,
+// severity and suggestion all survive the translation.
+func TestDiagFindingRoundTrip(t *testing.T) {
+	f := Finding{
+		TestID:     "B506",
+		Name:       "yaml_load",
+		Severity:   "MEDIUM",
+		Line:       7,
+		Suggestion: "# bandit: use yaml.safe_load",
+	}
+	d := DiagFinding(f)
+	if d.Tool != ToolName {
+		t.Errorf("Tool = %q", d.Tool)
+	}
+	if d.RuleID != f.TestID || d.Line != f.Line || d.Severity != f.Severity {
+		t.Errorf("lossy translation: %+v -> %+v", f, d)
+	}
+	if d.Message != f.Name || d.FixPreview != f.Suggestion {
+		t.Errorf("message/fix lost: %+v -> %+v", f, d)
+	}
+}
+
+func TestAnalyzerMatchesScan(t *testing.T) {
+	src := "import os, hashlib\nos.system(\"ls \" + d)\nh = hashlib.md5(x)\n"
+	s := New()
+	want := s.Scan(src)
+	a := s.Analyzer()
+	if a.Name() != "Bandit" {
+		t.Errorf("Name = %q", a.Name())
+	}
+	res, err := a.Analyze(context.Background(), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Vulnerable || len(res.Findings) != len(want) {
+		t.Fatalf("Analyze = %+v, want %d findings", res, len(want))
+	}
+	for i, f := range want {
+		if got := res.Findings[i]; got.RuleID != f.TestID || got.Line != f.Line {
+			t.Errorf("finding %d = %+v, want %+v", i, got, f)
+		}
+	}
+}
+
+// Each Analyze call must scan exactly once — the binary judgement and the
+// suggestion accounting derive from the same Scan result.
+func TestAnalyzeScansOnce(t *testing.T) {
+	s := New()
+	a := s.Analyzer()
+	before := s.Scans()
+	if _, err := a.Analyze(context.Background(), "exec(code)\n"); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Scans() - before; got != 1 {
+		t.Errorf("Analyze performed %d scans, want 1", got)
+	}
+}
+
+func TestAnalyzeCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := New().Analyzer().Analyze(ctx, "exec(code)\n"); err == nil {
+		t.Error("cancelled Analyze returned nil error")
+	}
+}

@@ -1,0 +1,62 @@
+package llmsim
+
+import (
+	"context"
+
+	"github.com/dessertlab/patchitpy/internal/diag"
+	"github.com/dessertlab/patchitpy/internal/generator"
+)
+
+// ctxKey is the private context key carrying the sample under review.
+type ctxKey struct{}
+
+// WithSample attaches the generated sample to ctx so an Assistant's
+// Analyze can seed its RNG from the sample identity (PromptID, Model)
+// and branch on ground truth, exactly as Review does. Without it the
+// assistant reviews bare source with no identity and no truth bit.
+func WithSample(ctx context.Context, s generator.Sample) context.Context {
+	return context.WithValue(ctx, ctxKey{}, s)
+}
+
+// SampleFrom returns the sample attached by WithSample, if any.
+func SampleFrom(ctx context.Context) (generator.Sample, bool) {
+	s, ok := ctx.Value(ctxKey{}).(generator.Sample)
+	return s, ok
+}
+
+// analyzer adapts an Assistant to diag.Analyzer. LLM reviewers return a
+// binary judgement and a rewrite, not line-level findings, so Analyze
+// reports no Findings — only Vulnerable and Patched. That is lossless:
+// the simulated exchange carries nothing finer-grained to translate.
+type analyzer struct {
+	a *Assistant
+}
+
+// Analyzer returns the assistant as a diag.Analyzer named after it.
+func (a *Assistant) Analyzer() diag.Analyzer { return analyzer{a: a} }
+
+// Name implements diag.Analyzer.
+func (an analyzer) Name() string { return an.a.Name }
+
+// CanPatch implements diag.Patcher: the assistants answer the patch half
+// of the ZS-RO prompt, so they appear in Table III.
+func (analyzer) CanPatch() bool { return true }
+
+// Analyze implements diag.Analyzer. The sample should be attached with
+// WithSample; when it is not, the source is reviewed as an anonymous
+// safe-truth sample (no SafeRewrite exists for unknown code).
+func (an analyzer) Analyze(ctx context.Context, src string) (diag.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return diag.Result{}, err
+	}
+	s, ok := SampleFrom(ctx)
+	if !ok || s.Code != src {
+		s = generator.Sample{Code: src}
+	}
+	rev := an.a.Review(s)
+	return diag.Result{
+		Tool:       an.a.Name,
+		Vulnerable: rev.Detected,
+		Patched:    rev.Patched,
+	}, nil
+}

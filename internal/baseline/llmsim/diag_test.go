@@ -1,0 +1,69 @@
+package llmsim
+
+import (
+	"context"
+	"testing"
+
+	"github.com/dessertlab/patchitpy/internal/diag"
+	"github.com/dessertlab/patchitpy/internal/generator"
+	"github.com/dessertlab/patchitpy/internal/prompts"
+)
+
+// With the sample attached, Analyze must reproduce Review exactly — same
+// judgement, same rewrite — for every assistant.
+func TestAnalyzeMatchesReview(t *testing.T) {
+	samples, err := generator.Corpus(prompts.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) > 40 {
+		samples = samples[:40]
+	}
+	for _, a := range Assistants() {
+		an := a.Analyzer()
+		if an.Name() != a.Name {
+			t.Errorf("Name = %q, want %q", an.Name(), a.Name)
+		}
+		if !diag.CanPatch(an) {
+			t.Errorf("%s: assistants must report patch capability", a.Name)
+		}
+		for _, s := range samples {
+			want := a.Review(s)
+			res, err := an.Analyze(WithSample(context.Background(), s), s.Code)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Vulnerable != want.Detected || res.Patched != want.Patched {
+				t.Fatalf("%s/%s: Analyze diverged from Review", a.Name, s.PromptID)
+			}
+		}
+	}
+}
+
+// Without an attached sample, the source is reviewed as an anonymous
+// safe-truth sample — defined behavior, no panic, original code returned
+// when nothing is flagged.
+func TestAnalyzeWithoutSample(t *testing.T) {
+	a := Assistants()[0]
+	res, err := a.Analyzer().Analyze(context.Background(), "print('hi')\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Vulnerable && res.Patched == "" {
+		t.Errorf("flagged with empty rewrite: %+v", res)
+	}
+	if !res.Vulnerable && res.Patched != "print('hi')\n" {
+		t.Errorf("clean verdict must return the original code, got %q", res.Patched)
+	}
+}
+
+func TestSampleFrom(t *testing.T) {
+	if _, ok := SampleFrom(context.Background()); ok {
+		t.Error("empty context reported a sample")
+	}
+	s := generator.Sample{PromptID: "p1", Code: "x = 1\n"}
+	got, ok := SampleFrom(WithSample(context.Background(), s))
+	if !ok || got.PromptID != "p1" {
+		t.Errorf("SampleFrom = %+v, %v", got, ok)
+	}
+}

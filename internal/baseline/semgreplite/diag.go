@@ -1,0 +1,50 @@
+package semgreplite
+
+import (
+	"context"
+
+	"github.com/dessertlab/patchitpy/internal/diag"
+)
+
+// ToolName is the analyzer name in the unified diagnostics model.
+const ToolName = "Semgrep"
+
+// DiagFinding translates one Semgrep-style finding into the canonical
+// model. Registry rules carry no CWE/OWASP mapping, so those stay empty;
+// rule ID, message, severity, line and suggestion carry over verbatim.
+func DiagFinding(f Finding) diag.Finding {
+	return diag.Finding{
+		Tool:       ToolName,
+		RuleID:     f.RuleID,
+		Severity:   f.Severity,
+		Line:       f.Line,
+		Message:    f.Message,
+		FixPreview: f.Suggestion,
+	}
+}
+
+// analyzer adapts a Scanner to diag.Analyzer: one Scan per Analyze, with
+// the judgement and suggestion accounting derived from that one Result.
+type analyzer struct {
+	s *Scanner
+}
+
+// Analyzer returns the scanner as a diag.Analyzer named "Semgrep".
+func (s *Scanner) Analyzer() diag.Analyzer { return analyzer{s: s} }
+
+// Name implements diag.Analyzer.
+func (analyzer) Name() string { return ToolName }
+
+// Analyze implements diag.Analyzer.
+func (a analyzer) Analyze(ctx context.Context, src string) (diag.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return diag.Result{}, err
+	}
+	fs := a.s.Scan(src)
+	out := make([]diag.Finding, 0, len(fs))
+	for _, f := range fs {
+		out = append(out, DiagFinding(f))
+	}
+	diag.Sort(out)
+	return diag.Result{Tool: ToolName, Findings: out, Vulnerable: len(fs) > 0}, nil
+}

@@ -1,0 +1,58 @@
+package semgreplite
+
+import (
+	"context"
+	"testing"
+)
+
+// The adapter must round-trip native findings losslessly: rule ID, line,
+// severity, message and suggestion all survive the translation.
+func TestDiagFindingRoundTrip(t *testing.T) {
+	f := Finding{
+		RuleID:     "python.lang.security.audit.avoid-pyyaml-load",
+		Message:    "yaml.load without SafeLoader",
+		Severity:   "ERROR",
+		Line:       3,
+		Suggestion: "# semgrep: use yaml.safe_load",
+	}
+	d := DiagFinding(f)
+	if d.Tool != ToolName {
+		t.Errorf("Tool = %q", d.Tool)
+	}
+	if d.RuleID != f.RuleID || d.Line != f.Line || d.Severity != f.Severity {
+		t.Errorf("lossy translation: %+v -> %+v", f, d)
+	}
+	if d.Message != f.Message || d.FixPreview != f.Suggestion {
+		t.Errorf("message/fix lost: %+v -> %+v", f, d)
+	}
+}
+
+func TestAnalyzerMatchesScan(t *testing.T) {
+	src := "app.run(debug=True)\nh = hashlib.md5(x)\n"
+	s := New()
+	want := s.Scan(src)
+	a := s.Analyzer()
+	if a.Name() != "Semgrep" {
+		t.Errorf("Name = %q", a.Name())
+	}
+	res, err := a.Analyze(context.Background(), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Vulnerable || len(res.Findings) != len(want) {
+		t.Fatalf("Analyze = %+v, want %d findings", res, len(want))
+	}
+	for i, f := range want {
+		if got := res.Findings[i]; got.RuleID != f.RuleID || got.Line != f.Line {
+			t.Errorf("finding %d = %+v, want %+v", i, got, f)
+		}
+	}
+}
+
+func TestAnalyzeCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := New().Analyzer().Analyze(ctx, "exec(code)\n"); err == nil {
+		t.Error("cancelled Analyze returned nil error")
+	}
+}

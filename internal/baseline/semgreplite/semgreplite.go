@@ -9,6 +9,7 @@ package semgreplite
 
 import (
 	"regexp"
+	"sort"
 
 	"github.com/dessertlab/patchitpy/internal/lineindex"
 )
@@ -53,9 +54,9 @@ func (s *Scanner) Rules() []Rule {
 	return out
 }
 
-// Scan analyzes src and returns findings in rule order. Line numbers come
-// from a newline-offset index built once per scan, not a byte walk per
-// finding.
+// Scan analyzes src and returns findings in deterministic (line, rule ID)
+// order. Line numbers come from a newline-offset index built once per
+// scan, not a byte walk per finding.
 func (s *Scanner) Scan(src string) []Finding {
 	var out []Finding
 	var lines lineindex.Index
@@ -73,6 +74,12 @@ func (s *Scanner) Scan(src string) []Finding {
 			})
 		}
 	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Line != out[j].Line {
+			return out[i].Line < out[j].Line
+		}
+		return out[i].RuleID < out[j].RuleID
+	})
 	return out
 }
 

@@ -102,6 +102,30 @@ func TestLineNumbers(t *testing.T) {
 	}
 }
 
+// Scan output is deterministic: findings arrive sorted by (line, rule
+// ID), not in rule-registration order.
+func TestScanOrderDeterministic(t *testing.T) {
+	src := "h = hashlib.md5(x)\napp.run(debug=True)\ncfg = yaml.load(stream)\n"
+	s := New()
+	fs := s.Scan(src)
+	want := []struct {
+		id   string
+		line int
+	}{
+		{"python.lang.security.audit.md5-used-as-password", 1},
+		{"python.flask.security.audit.debug-enabled", 2},
+		{"python.lang.security.audit.avoid-pyyaml-load", 3},
+	}
+	if len(fs) != len(want) {
+		t.Fatalf("findings = %+v, want %d", fs, len(want))
+	}
+	for i, w := range want {
+		if fs[i].RuleID != w.id || fs[i].Line != w.line {
+			t.Errorf("finding %d = %s@%d, want %s@%d", i, fs[i].RuleID, fs[i].Line, w.id, w.line)
+		}
+	}
+}
+
 func TestVulnerable(t *testing.T) {
 	s := New()
 	if !s.Vulnerable("exec(code)\n") {

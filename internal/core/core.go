@@ -12,6 +12,7 @@ package core
 
 import (
 	"github.com/dessertlab/patchitpy/internal/detect"
+	"github.com/dessertlab/patchitpy/internal/diag"
 	"github.com/dessertlab/patchitpy/internal/editor"
 	"github.com/dessertlab/patchitpy/internal/patch"
 	"github.com/dessertlab/patchitpy/internal/resultcache"
@@ -29,6 +30,10 @@ type PatchitPy struct {
 	detector     *detect.Detector
 	analyzeCache *resultcache.Cache[Report]
 	fixCache     *resultcache.Cache[FixOutcome]
+
+	// analyzers, when set, is the registry the serve protocol's "tools"
+	// request field queries (see SetAnalyzers).
+	analyzers *diag.Registry
 }
 
 // New returns an engine using the built-in 85-rule catalog.

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"github.com/dessertlab/patchitpy/internal/diag"
+)
+
+// The engine adapter runs both phases: findings from detection, the
+// rewritten source from patching, and patch capability advertised.
+func TestEngineAnalyzer(t *testing.T) {
+	p := New()
+	a := p.Analyzer()
+	if a.Name() != "PatchitPy" {
+		t.Errorf("Name = %q", a.Name())
+	}
+	if !diag.CanPatch(a) {
+		t.Error("engine must report patch capability")
+	}
+	src := "import yaml\ncfg = yaml.load(stream)\n"
+	want := p.Fix(src)
+	res, err := a.Analyze(context.Background(), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Vulnerable != want.Report.Vulnerable {
+		t.Errorf("Vulnerable = %v, want %v", res.Vulnerable, want.Report.Vulnerable)
+	}
+	if res.Patched != want.Result.Source {
+		t.Errorf("Patched diverged from Fix:\n%q\nvs\n%q", res.Patched, want.Result.Source)
+	}
+	if len(res.Findings) != len(want.Report.Findings) {
+		t.Errorf("findings = %d, want %d", len(res.Findings), len(want.Report.Findings))
+	}
+	for _, f := range res.Findings {
+		if f.RuleID == "" || f.CWE == "" || f.Line == 0 {
+			t.Errorf("lossy finding %+v", f)
+		}
+	}
+}
+
+func TestDefaultAnalyzers(t *testing.T) {
+	p := New()
+	reg := DefaultAnalyzers(p)
+	want := []string{"PatchitPy", "CodeQL", "Semgrep", "Bandit"}
+	names := reg.Names()
+	if len(names) != len(want) {
+		t.Fatalf("names = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("names = %v, want %v", names, want)
+		}
+	}
+	if got := reg.Patchers(); len(got) != 1 || got[0] != "PatchitPy" {
+		t.Errorf("patchers = %v, want [PatchitPy]", got)
+	}
+}

@@ -2,10 +2,13 @@ package core
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
+	"strings"
 
+	"github.com/dessertlab/patchitpy/internal/diag"
 	"github.com/dessertlab/patchitpy/internal/editor"
 	"github.com/dessertlab/patchitpy/internal/resultcache"
 )
@@ -21,6 +24,18 @@ type Request struct {
 	Cmd string `json:"cmd"`
 	// Code is the selected Python code (detect/suggest/patch).
 	Code string `json:"code,omitempty"`
+	// Tools, when non-empty on a "detect" request, selects analyzers from
+	// the registry attached with SetAnalyzers (matched case-insensitively)
+	// and answers with one per-tool result instead of the native report.
+	Tools []string `json:"tools,omitempty"`
+}
+
+// ToolResultDTO is one analyzer's verdict in a multi-tool detect
+// response: the unified diagnostics model serialized as-is.
+type ToolResultDTO struct {
+	Tool       string         `json:"tool"`
+	Vulnerable bool           `json:"vulnerable"`
+	Findings   []diag.Finding `json:"findings,omitempty"`
 }
 
 // CacheStatsDTO is one result cache's counters serialized for the editor
@@ -77,6 +92,8 @@ type Response struct {
 	RuleCount  int          `json:"ruleCount,omitempty"`
 	CWEs       []string     `json:"cwes,omitempty"`
 	Stats      *StatsDTO    `json:"stats,omitempty"`
+	// Tools carries per-analyzer results for requests with a "tools" field.
+	Tools []ToolResultDTO `json:"tools,omitempty"`
 }
 
 // Serve reads newline-delimited JSON requests from r and writes one JSON
@@ -108,6 +125,9 @@ func (p *PatchitPy) Serve(r io.Reader, w io.Writer) error {
 func (p *PatchitPy) handle(req Request) Response {
 	switch req.Cmd {
 	case "detect":
+		if len(req.Tools) > 0 {
+			return p.detectTools(req)
+		}
 		report := p.Analyze(req.Code)
 		return Response{
 			OK:         true,
@@ -162,6 +182,35 @@ func (p *PatchitPy) handle(req Request) Response {
 	default:
 		return Response{OK: false, Error: "unknown command " + req.Cmd}
 	}
+}
+
+// detectTools answers a "detect" request that names analyzers: each named
+// tool runs over the code and reports through the unified model. The
+// aggregate Vulnerable bit is the OR across the selected tools.
+func (p *PatchitPy) detectTools(req Request) Response {
+	reg := p.analyzers
+	if reg == nil {
+		return Response{OK: false, Error: "tools not available: no analyzer registry attached"}
+	}
+	resp := Response{OK: true}
+	for _, name := range req.Tools {
+		a, ok := reg.Find(name)
+		if !ok {
+			return Response{OK: false, Error: fmt.Sprintf("unknown tool %q (available: %s)",
+				name, strings.Join(reg.Names(), ", "))}
+		}
+		res, err := a.Analyze(context.Background(), req.Code)
+		if err != nil {
+			return Response{OK: false, Error: err.Error()}
+		}
+		resp.Tools = append(resp.Tools, ToolResultDTO{
+			Tool:       a.Name(),
+			Vulnerable: res.Vulnerable,
+			Findings:   res.Findings,
+		})
+		resp.Vulnerable = resp.Vulnerable || res.Vulnerable
+	}
+	return resp
 }
 
 func toDTOs(report Report) []FindingDTO {

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const toolsCode = "import yaml\ncfg = yaml.load(stream)\n"
+
+// A "detect" request naming tools answers with one result per analyzer
+// from the attached registry, matched case-insensitively.
+func TestServeToolsField(t *testing.T) {
+	p := New()
+	p.SetAnalyzers(DefaultAnalyzers(p))
+	in := strings.NewReader(
+		`{"cmd":"detect","code":"import yaml\ncfg = yaml.load(stream)\n","tools":["bandit","PatchitPy"]}` + "\n" +
+			`{"cmd":"detect","code":"x = 1\n","tools":["nope"]}` + "\n")
+	var out bytes.Buffer
+	if err := p.Serve(in, &out); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("responses = %d, want 2", len(lines))
+	}
+
+	var resp Response
+	if err := json.Unmarshal([]byte(lines[0]), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.OK || !resp.Vulnerable || len(resp.Tools) != 2 {
+		t.Fatalf("tools response: %+v", resp)
+	}
+	if resp.Tools[0].Tool != "Bandit" || resp.Tools[1].Tool != "PatchitPy" {
+		t.Errorf("tool order should follow the request: %+v", resp.Tools)
+	}
+	for _, tr := range resp.Tools {
+		if !tr.Vulnerable || len(tr.Findings) == 0 {
+			t.Errorf("%s: expected findings on yaml.load, got %+v", tr.Tool, tr)
+		}
+		for _, f := range tr.Findings {
+			if f.Tool != tr.Tool || f.RuleID == "" || f.Line == 0 {
+				t.Errorf("incomplete finding: %+v", f)
+			}
+		}
+	}
+
+	if err := json.Unmarshal([]byte(lines[1]), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.OK || !strings.Contains(resp.Error, "unknown tool") {
+		t.Errorf("unknown tool response: %+v", resp)
+	}
+}
+
+// Without an attached registry, a tools request fails cleanly and the
+// session keeps serving.
+func TestServeToolsWithoutRegistry(t *testing.T) {
+	p := New()
+	resp := p.handle(Request{Cmd: "detect", Code: toolsCode, Tools: []string{"Bandit"}})
+	if resp.OK || !strings.Contains(resp.Error, "no analyzer registry") {
+		t.Errorf("response = %+v", resp)
+	}
+	// A plain detect still works.
+	if resp := p.handle(Request{Cmd: "detect", Code: toolsCode}); !resp.OK || !resp.Vulnerable {
+		t.Errorf("plain detect after tools error: %+v", resp)
+	}
+}

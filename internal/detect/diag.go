@@ -1,0 +1,75 @@
+package detect
+
+import (
+	"context"
+
+	"github.com/dessertlab/patchitpy/internal/diag"
+)
+
+// ToolName is the native engine's analyzer name in the unified
+// diagnostics model — the Table II/III row label the paper uses.
+const ToolName = "PatchitPy"
+
+// DiagFinding translates one native finding into the canonical model.
+// The translation is lossless for the comparison-relevant fields: rule
+// ID, CWE, OWASP category, severity, line and byte span all carry over
+// verbatim.
+func DiagFinding(f Finding) diag.Finding {
+	df := diag.Finding{
+		Tool:     ToolName,
+		RuleID:   f.Rule.ID,
+		CWE:      f.Rule.CWE,
+		OWASP:    f.Rule.Category.String(),
+		Severity: f.Rule.Severity.String(),
+		Line:     f.Line,
+		Start:    f.Start,
+		End:      f.End,
+		Message:  f.Rule.Title,
+		Snippet:  f.Snippet,
+	}
+	if f.Rule.Fix != nil {
+		df.FixPreview = f.Rule.Fix.Note
+	}
+	return df
+}
+
+// DiagFindings translates a scan result into canonical order.
+func DiagFindings(fs []Finding) []diag.Finding {
+	out := make([]diag.Finding, 0, len(fs))
+	for _, f := range fs {
+		out = append(out, DiagFinding(f))
+	}
+	diag.Sort(out)
+	return out
+}
+
+// analyzer adapts a Detector (detection only — no patching) to
+// diag.Analyzer, carrying a fixed Options so registry users get the same
+// severity/category narrowing the direct scan API offers.
+type analyzer struct {
+	d   *Detector
+	opt Options
+}
+
+// Analyzer returns the detector as a diag.Analyzer scanning with opt.
+// The scan path is identical to ScanWith, including the literal
+// prefilter and the content-addressed result cache.
+func (d *Detector) Analyzer(opt Options) diag.Analyzer {
+	return analyzer{d: d, opt: opt}
+}
+
+// Name implements diag.Analyzer.
+func (a analyzer) Name() string { return ToolName }
+
+// Analyze implements diag.Analyzer.
+func (a analyzer) Analyze(ctx context.Context, src string) (diag.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return diag.Result{}, err
+	}
+	fs := a.d.ScanWith(src, a.opt)
+	return diag.Result{
+		Tool:       ToolName,
+		Findings:   DiagFindings(fs),
+		Vulnerable: len(fs) > 0,
+	}, nil
+}

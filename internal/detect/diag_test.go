@@ -1,0 +1,78 @@
+package detect
+
+import (
+	"context"
+	"testing"
+
+	"github.com/dessertlab/patchitpy/internal/diag"
+	"github.com/dessertlab/patchitpy/internal/rules"
+)
+
+// The adapter must round-trip native findings losslessly: rule ID, CWE,
+// OWASP category, severity, line and byte span all survive.
+func TestDiagFindingRoundTrip(t *testing.T) {
+	d := New(rules.NewCatalog())
+	src := "import yaml\ncfg = yaml.load(stream)\n"
+	fs := d.Scan(src)
+	if len(fs) == 0 {
+		t.Fatal("fixture did not trigger any rule")
+	}
+	for _, f := range fs {
+		df := DiagFinding(f)
+		if df.Tool != ToolName {
+			t.Errorf("Tool = %q", df.Tool)
+		}
+		if df.RuleID != f.Rule.ID || df.CWE != f.Rule.CWE {
+			t.Errorf("rule identity lost: %+v -> %+v", f, df)
+		}
+		if df.OWASP != f.Rule.Category.String() || df.Severity != f.Rule.Severity.String() {
+			t.Errorf("classification lost: %+v -> %+v", f, df)
+		}
+		if df.Line != f.Line || df.Start != f.Start || df.End != f.End {
+			t.Errorf("position lost: %+v -> %+v", f, df)
+		}
+		if f.Rule.Fix != nil && df.FixPreview == "" && f.Rule.Fix.Note != "" {
+			t.Errorf("fix note lost for %s", f.Rule.ID)
+		}
+	}
+}
+
+func TestAnalyzerMatchesScanWith(t *testing.T) {
+	d := New(rules.NewCatalog())
+	src := "import os\nos.system(\"ls \" + d)\ncfg = yaml.load(stream)\n"
+	want := DiagFindings(d.ScanWith(src, Options{}))
+	a := d.Analyzer(Options{})
+	if a.Name() != "PatchitPy" {
+		t.Errorf("Name = %q", a.Name())
+	}
+	res, err := a.Analyze(context.Background(), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Vulnerable || len(res.Findings) != len(want) {
+		t.Fatalf("Analyze = %+v, want %d findings", res, len(want))
+	}
+	for i := range want {
+		if res.Findings[i] != want[i] {
+			t.Errorf("finding %d = %+v, want %+v", i, res.Findings[i], want[i])
+		}
+	}
+	if !diag.IsSorted(res.Findings) {
+		t.Error("adapter output not in canonical order")
+	}
+}
+
+func TestAnalyzerRespectsOptions(t *testing.T) {
+	d := New(rules.NewCatalog())
+	src := "import yaml\ncfg = yaml.load(stream)\n"
+	a := d.Analyzer(Options{MinSeverity: rules.SeverityCritical})
+	res, err := a.Analyze(context.Background(), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range res.Findings {
+		if f.Severity != rules.SeverityCritical.String() {
+			t.Errorf("severity filter leaked %+v", f)
+		}
+	}
+}

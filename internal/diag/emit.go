@@ -1,0 +1,73 @@
+package diag
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// FileFindings pairs one scanned file with its merged, canonically-ordered
+// findings across every analyzer that ran — the unit the emitters render.
+type FileFindings struct {
+	// File is the path as the user named it.
+	File string `json:"file"`
+	// Findings are the diagnostics in canonical order.
+	Findings []Finding `json:"findings"`
+}
+
+// WriteText renders findings in the human-readable one-line-per-finding
+// format:
+//
+//	path:line: [tool] RULE CWE SEVERITY — message [fix available]
+//
+// Clean files render as "path: no findings". Output order follows the
+// input order of files and the canonical order of findings.
+func WriteText(w io.Writer, files []FileFindings) error {
+	for _, ff := range files {
+		if len(ff.Findings) == 0 {
+			if _, err := fmt.Fprintf(w, "%s: no findings\n", ff.File); err != nil {
+				return err
+			}
+			continue
+		}
+		for _, f := range ff.Findings {
+			line := fmt.Sprintf("%s:%d: [%s] %s", ff.File, f.Line, f.Tool, f.RuleID)
+			if f.CWE != "" {
+				line += " " + f.CWE
+			}
+			if f.Severity != "" {
+				line += " " + f.Severity
+			}
+			line += " — " + f.Message
+			if f.FixPreview != "" {
+				line += " [fix available]"
+			}
+			if _, err := fmt.Fprintln(w, line); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// jsonlRecord is one WriteJSONL line: a Finding plus its file.
+type jsonlRecord struct {
+	File string `json:"file"`
+	Finding
+}
+
+// WriteJSONL renders findings as JSON Lines: one self-contained JSON
+// object per finding, in file then canonical-finding order — the
+// machine-readable stream format for piping into other tools. Files with
+// no findings emit nothing.
+func WriteJSONL(w io.Writer, files []FileFindings) error {
+	enc := json.NewEncoder(w)
+	for _, ff := range files {
+		for _, f := range ff.Findings {
+			if err := enc.Encode(jsonlRecord{File: ff.File, Finding: f}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

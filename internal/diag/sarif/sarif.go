@@ -1,0 +1,201 @@
+// Package sarif emits diag findings as a SARIF 2.1.0-shaped log — the
+// interchange format security dashboards and code hosts ingest, so any
+// analyzer behind the diag model can feed CI annotations without
+// tool-specific glue.
+//
+// The emitter is deterministic: one run per tool in first-appearance
+// order, results in file order then canonical finding order, and the rule
+// index of each run sorted by rule ID. Identical inputs produce identical
+// bytes at any scan concurrency.
+package sarif
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"strings"
+
+	"github.com/dessertlab/patchitpy/internal/diag"
+)
+
+// SchemaURI is the SARIF 2.1.0 schema the log declares.
+const SchemaURI = "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+
+// Version is the SARIF spec version the log declares.
+const Version = "2.1.0"
+
+// Log is the top-level SARIF object.
+type Log struct {
+	Schema  string `json:"$schema"`
+	Version string `json:"version"`
+	Runs    []Run  `json:"runs"`
+}
+
+// Run is one tool's scan over the file set.
+type Run struct {
+	Tool    Tool     `json:"tool"`
+	Results []Result `json:"results"`
+}
+
+// Tool wraps the driver descriptor.
+type Tool struct {
+	Driver Driver `json:"driver"`
+}
+
+// Driver describes the analyzer and indexes its rules.
+type Driver struct {
+	Name           string `json:"name"`
+	InformationURI string `json:"informationUri,omitempty"`
+	Rules          []Rule `json:"rules,omitempty"`
+}
+
+// Rule is one reportingDescriptor in the driver's rule index.
+type Rule struct {
+	ID               string            `json:"id"`
+	ShortDescription *Message          `json:"shortDescription,omitempty"`
+	Properties       map[string]string `json:"properties,omitempty"`
+}
+
+// Result is one finding.
+type Result struct {
+	RuleID     string            `json:"ruleId"`
+	RuleIndex  int               `json:"ruleIndex"`
+	Level      string            `json:"level"`
+	Message    Message           `json:"message"`
+	Locations  []Location        `json:"locations"`
+	Properties map[string]string `json:"properties,omitempty"`
+}
+
+// Message is a SARIF text message.
+type Message struct {
+	Text string `json:"text"`
+}
+
+// Location is a physical location.
+type Location struct {
+	PhysicalLocation PhysicalLocation `json:"physicalLocation"`
+}
+
+// PhysicalLocation points into an artifact.
+type PhysicalLocation struct {
+	ArtifactLocation ArtifactLocation `json:"artifactLocation"`
+	Region           *Region          `json:"region,omitempty"`
+}
+
+// ArtifactLocation names the scanned file.
+type ArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+// Region is the matched line (and snippet, when captured).
+type Region struct {
+	StartLine int      `json:"startLine,omitempty"`
+	Snippet   *Message `json:"snippet,omitempty"`
+}
+
+// Level maps a tool-native severity label onto the SARIF level taxonomy.
+func Level(severity string) string {
+	switch strings.ToUpper(severity) {
+	case "CRITICAL", "HIGH", "ERROR":
+		return "error"
+	case "MEDIUM", "WARNING":
+		return "warning"
+	case "LOW", "INFO", "NOTE":
+		return "note"
+	}
+	return "warning"
+}
+
+// Build assembles the SARIF log for the given files: one run per tool in
+// first-appearance order, each run carrying that tool's rule index and
+// results.
+func Build(files []diag.FileFindings) Log {
+	var toolOrder []string
+	byTool := map[string][]Result{}
+	rules := map[string]map[string]diag.Finding{} // tool -> ruleID -> exemplar
+
+	for _, ff := range files {
+		for _, f := range ff.Findings {
+			if _, seen := rules[f.Tool]; !seen {
+				toolOrder = append(toolOrder, f.Tool)
+				rules[f.Tool] = map[string]diag.Finding{}
+			}
+			if _, seen := rules[f.Tool][f.RuleID]; !seen {
+				rules[f.Tool][f.RuleID] = f
+			}
+			res := Result{
+				RuleID:  f.RuleID,
+				Level:   Level(f.Severity),
+				Message: Message{Text: f.Message},
+				Locations: []Location{{
+					PhysicalLocation: PhysicalLocation{
+						ArtifactLocation: ArtifactLocation{URI: ff.File},
+						Region:           region(f),
+					},
+				}},
+			}
+			if props := properties(f); len(props) > 0 {
+				res.Properties = props
+			}
+			byTool[f.Tool] = append(byTool[f.Tool], res)
+		}
+	}
+
+	log := Log{Schema: SchemaURI, Version: Version, Runs: []Run{}}
+	for _, tool := range toolOrder {
+		index := make([]Rule, 0, len(rules[tool]))
+		for id, f := range rules[tool] {
+			r := Rule{ID: id, ShortDescription: &Message{Text: f.Message}}
+			if props := properties(f); len(props) > 0 {
+				r.Properties = props
+			}
+			index = append(index, r)
+		}
+		sort.Slice(index, func(i, j int) bool { return index[i].ID < index[j].ID })
+		at := make(map[string]int, len(index))
+		for i, r := range index {
+			at[r.ID] = i
+		}
+		results := byTool[tool]
+		for i := range results {
+			results[i].RuleIndex = at[results[i].RuleID]
+		}
+		log.Runs = append(log.Runs, Run{
+			Tool:    Tool{Driver: Driver{Name: tool, Rules: index}},
+			Results: results,
+		})
+	}
+	return log
+}
+
+func region(f diag.Finding) *Region {
+	if f.Line == 0 && f.Snippet == "" {
+		return nil
+	}
+	r := &Region{StartLine: f.Line}
+	if f.Snippet != "" {
+		r.Snippet = &Message{Text: f.Snippet}
+	}
+	return r
+}
+
+// properties carries the CWE/OWASP metadata SARIF has no dedicated field
+// for, mirroring how real scanners (CodeQL, Semgrep) tag results.
+func properties(f diag.Finding) map[string]string {
+	props := map[string]string{}
+	if f.CWE != "" {
+		props["cwe"] = f.CWE
+	}
+	if f.OWASP != "" {
+		props["owasp"] = f.OWASP
+	}
+	return props
+}
+
+// Write emits the SARIF log for files to w, indented for readability and
+// byte-stable for identical inputs.
+func Write(w io.Writer, files []diag.FileFindings) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(Build(files))
+}

@@ -1,0 +1,110 @@
+package sarif
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"github.com/dessertlab/patchitpy/internal/diag"
+)
+
+func sampleFiles() []diag.FileFindings {
+	return []diag.FileFindings{
+		{File: "a.py", Findings: []diag.Finding{
+			{Tool: "PatchitPy", RuleID: "PIP-INJ-001", CWE: "CWE-089",
+				OWASP: "A03:2021 Injection", Severity: "CRITICAL", Line: 3,
+				Message: "SQL built by concatenation", Snippet: "cur.execute(q + uid)"},
+			{Tool: "PatchitPy", RuleID: "PIP-MISC-001", Severity: "LOW", Line: 9, Message: "debug"},
+			{Tool: "Bandit", RuleID: "B608", Severity: "MEDIUM", Line: 3, Message: "sql expressions"},
+		}},
+		{File: "b.py", Findings: []diag.Finding{
+			{Tool: "PatchitPy", RuleID: "PIP-INJ-001", CWE: "CWE-089", Severity: "CRITICAL",
+				Line: 12, Message: "SQL built by concatenation"},
+		}},
+	}
+}
+
+func TestBuildShape(t *testing.T) {
+	log := Build(sampleFiles())
+	if log.Version != "2.1.0" || !strings.Contains(log.Schema, "sarif-schema-2.1.0") {
+		t.Errorf("version/schema: %q %q", log.Version, log.Schema)
+	}
+	if len(log.Runs) != 2 {
+		t.Fatalf("runs = %d, want 2 (one per tool)", len(log.Runs))
+	}
+	pip := log.Runs[0]
+	if pip.Tool.Driver.Name != "PatchitPy" {
+		t.Errorf("run 0 driver = %q, want first-appearance order", pip.Tool.Driver.Name)
+	}
+	if len(pip.Results) != 3 {
+		t.Errorf("PatchitPy results = %d, want 3 (across both files)", len(pip.Results))
+	}
+	if len(pip.Tool.Driver.Rules) != 2 {
+		t.Fatalf("PatchitPy rule index = %d, want 2 distinct rules", len(pip.Tool.Driver.Rules))
+	}
+	if pip.Tool.Driver.Rules[0].ID != "PIP-INJ-001" {
+		t.Errorf("rule index not sorted: %+v", pip.Tool.Driver.Rules)
+	}
+	r0 := pip.Results[0]
+	if r0.RuleIndex != 0 || r0.Level != "error" {
+		t.Errorf("result 0 = %+v", r0)
+	}
+	if r0.Properties["cwe"] != "CWE-089" || r0.Properties["owasp"] != "A03:2021 Injection" {
+		t.Errorf("result 0 properties = %v", r0.Properties)
+	}
+	if loc := r0.Locations[0].PhysicalLocation; loc.ArtifactLocation.URI != "a.py" || loc.Region.StartLine != 3 {
+		t.Errorf("result 0 location = %+v", loc)
+	}
+	if log.Runs[1].Tool.Driver.Name != "Bandit" || log.Runs[1].Results[0].Level != "warning" {
+		t.Errorf("run 1 = %+v", log.Runs[1])
+	}
+}
+
+func TestWriteDeterministicAndValidJSON(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := Write(&a, sampleFiles()); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&b, sampleFiles()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("SARIF output not byte-stable across identical inputs")
+	}
+	var parsed map[string]any
+	if err := json.Unmarshal(a.Bytes(), &parsed); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if parsed["version"] != "2.1.0" {
+		t.Errorf("version = %v", parsed["version"])
+	}
+}
+
+func TestLevelMapping(t *testing.T) {
+	cases := map[string]string{
+		"CRITICAL": "error", "HIGH": "error", "ERROR": "error", "error": "error",
+		"MEDIUM": "warning", "WARNING": "warning",
+		"LOW": "note", "INFO": "note",
+		"": "warning", "WEIRD": "warning",
+	}
+	for sev, want := range cases {
+		if got := Level(sev); got != want {
+			t.Errorf("Level(%q) = %q, want %q", sev, got, want)
+		}
+	}
+}
+
+func TestEmptyFindings(t *testing.T) {
+	log := Build([]diag.FileFindings{{File: "clean.py"}})
+	if len(log.Runs) != 0 {
+		t.Errorf("clean input produced %d runs", len(log.Runs))
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"runs": []`) {
+		t.Errorf("empty log must keep runs array:\n%s", buf.String())
+	}
+}

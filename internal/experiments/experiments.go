@@ -20,6 +20,7 @@ import (
 	"github.com/dessertlab/patchitpy/internal/baseline/semgreplite"
 	"github.com/dessertlab/patchitpy/internal/complexity"
 	"github.com/dessertlab/patchitpy/internal/core"
+	"github.com/dessertlab/patchitpy/internal/diag"
 	"github.com/dessertlab/patchitpy/internal/generator"
 	"github.com/dessertlab/patchitpy/internal/lintscore"
 	"github.com/dessertlab/patchitpy/internal/metrics"
@@ -79,6 +80,11 @@ type CWECount struct {
 type Results struct {
 	Corpus CorpusStats
 
+	// Tools and PatchTools are the Table II / Table III row orders, taken
+	// from the analyzer registry the run was built with.
+	Tools      []string
+	PatchTools []string
+
 	// Table2[tool][model] is the detection confusion matrix; model may be
 	// the All key.
 	Table2 map[string]map[string]*metrics.Confusion
@@ -133,7 +139,9 @@ func Run() (*Results, error) {
 }
 
 // toolkit bundles the evaluated tools. All of them are safe for
-// concurrent use after construction.
+// concurrent use after construction. The named fields remain for the
+// sequential reference implementation; the parallel harness iterates the
+// analyzer registry, which wraps exactly the same instances.
 type toolkit struct {
 	engine     *core.PatchitPy
 	orc        *oracle.Oracle
@@ -141,10 +149,16 @@ type toolkit struct {
 	semgrep    *semgreplite.Scanner
 	codeql     *querydb.Engine
 	assistants []*llmsim.Assistant
+
+	// analyzers holds every tool behind the unified diagnostics model, in
+	// Table II row order; analyzerList is the same set as an ordered slice
+	// for index-addressed grid cells.
+	analyzers    *diag.Registry
+	analyzerList []diag.Analyzer
 }
 
 func newToolkit() *toolkit {
-	return &toolkit{
+	tk := &toolkit{
 		engine:     core.New(),
 		orc:        oracle.New(),
 		bandit:     banditlite.New(),
@@ -152,6 +166,17 @@ func newToolkit() *toolkit {
 		codeql:     querydb.New(),
 		assistants: llmsim.Assistants(),
 	}
+	reg := diag.NewRegistry()
+	reg.MustRegister(tk.engine.Analyzer())
+	reg.MustRegister(tk.codeql.Analyzer())
+	reg.MustRegister(tk.semgrep.Analyzer())
+	reg.MustRegister(tk.bandit.Analyzer())
+	for _, a := range tk.assistants {
+		reg.MustRegister(a.Analyzer())
+	}
+	tk.analyzers = reg
+	tk.analyzerList = reg.Analyzers()
+	return tk
 }
 
 // newToolkitWithCache applies opt's cache sizing to a fresh toolkit.
@@ -165,71 +190,50 @@ func newToolkitWithCache(opt RunOptions) *toolkit {
 	return tk
 }
 
-// Cell kinds: the fixed per-sample evaluation columns. LLM assistants
-// occupy cellLLM+0 .. cellLLM+len(assistants)-1.
-const (
-	cellPatchitPy = iota
-	cellBandit
-	cellSemgrep
-	cellCodeQL
-	cellLLM
-)
+// cellSample is the grid column holding per-sample series shared by every
+// tool row (the Generated complexity and the ground-truth quality score);
+// the analyzers occupy columns 1..len(analyzerList).
+const cellSample = 0
 
-// cellResult is the immutable outcome of one (tool, sample) evaluation.
-// Only the fields of the cell's kind are populated; the fold reads them
-// in the same order the sequential reference computes them.
+// cellResult is the immutable outcome of one grid cell. Only the fields
+// of the cell's kind are populated; the fold reads them in the same order
+// the sequential reference computes them.
 type cellResult struct {
-	// PatchitPy
-	detected   bool
-	repaired   bool
-	figGen     float64
-	figPip     float64
-	qualityPip float64
-	qualityGT  float64
+	// cellSample
+	figGen    float64
+	qualityGT float64
 
-	// Bandit / Semgrep
-	banditFindings  []banditlite.Finding
-	semgrepFindings []semgreplite.Finding
-
-	// CodeQL
-	codeqlVuln bool
-
-	// LLM assistants
-	review      llmsim.Review
-	llmRepaired bool
-	figLLM      float64
-	qualityLLM  float64
+	// analyzer cells
+	res      diag.Result
+	repaired bool
+	fig      float64
+	quality  float64
 }
 
-// evalCell computes one grid cell. It touches no shared mutable state.
-func (tk *toolkit) evalCell(s generator.Sample, kind int) cellResult {
+// evalCell computes one grid cell through the analyzer registry. It
+// touches no shared mutable state.
+func (tk *toolkit) evalCell(ctx context.Context, s generator.Sample, kind int) cellResult {
 	var c cellResult
-	switch kind {
-	case cellPatchitPy:
-		outcome := tk.engine.Fix(s.Code)
-		c.detected = outcome.Report.Vulnerable
-		c.repaired = c.detected && tk.orc.Repaired(s, outcome.Result.Source)
+	if kind == cellSample {
 		c.figGen = complexity.Program(s.Code)
-		c.figPip = complexity.Program(outcome.Result.Source)
-		if s.Truth.Vulnerable && c.repaired {
-			c.qualityPip = lintscore.Score(outcome.Result.Source)
-		}
 		if s.Truth.Vulnerable {
 			c.qualityGT = lintscore.Score(generator.SafeRewrite(s))
 		}
-	case cellBandit:
-		c.banditFindings = tk.bandit.Scan(s.Code)
-	case cellSemgrep:
-		c.semgrepFindings = tk.semgrep.Scan(s.Code)
-	case cellCodeQL:
-		c.codeqlVuln = tk.codeql.Vulnerable(s.Code)
-	default:
-		a := tk.assistants[kind-cellLLM]
-		c.review = a.Review(s)
-		c.llmRepaired = c.review.Detected && tk.orc.Repaired(s, c.review.Patched)
-		c.figLLM = complexity.Program(c.review.Patched)
-		if s.Truth.Vulnerable && c.llmRepaired {
-			c.qualityLLM = lintscore.Score(c.review.Patched)
+		return c
+	}
+	a := tk.analyzerList[kind-1]
+	res, err := a.Analyze(llmsim.WithSample(ctx, s), s.Code)
+	if err != nil {
+		// Analyze fails only on cancellation; the pool error then aborts
+		// the run before any fold reads this cell.
+		return c
+	}
+	c.res = res
+	if diag.CanPatch(a) {
+		c.repaired = res.Vulnerable && tk.orc.Repaired(s, res.Patched)
+		c.fig = complexity.Program(res.Patched)
+		if s.Truth.Vulnerable && c.repaired {
+			c.quality = lintscore.Score(res.Patched)
 		}
 	}
 	return c
@@ -239,17 +243,22 @@ func (tk *toolkit) evalCell(s generator.Sample, kind int) cellResult {
 // grid across opt.Concurrency workers, and honors ctx cancellation. The
 // results are identical to RunSequential at any concurrency.
 func RunContext(ctx context.Context, opt RunOptions) (*Results, error) {
+	return runContext(ctx, opt, newToolkitWithCache(opt))
+}
+
+// runContext is RunContext over a caller-supplied toolkit, so tests can
+// inspect the tools (e.g. the baselines' scan counters) after a run.
+func runContext(ctx context.Context, opt RunOptions, tk *toolkit) (*Results, error) {
 	ps := prompts.All()
 	samples, err := generator.Corpus(ps)
 	if err != nil {
 		return nil, fmt.Errorf("generate corpus: %w", err)
 	}
 
-	tk := newToolkitWithCache(opt)
-	cellsPerSample := cellLLM + len(tk.assistants)
+	cellsPerSample := 1 + len(tk.analyzerList)
 	grid := make([]cellResult, len(samples)*cellsPerSample)
 	err = workpool.Run(ctx, len(grid), opt.Concurrency, func(i int) {
-		grid[i] = tk.evalCell(samples[i/cellsPerSample], i%cellsPerSample)
+		grid[i] = tk.evalCell(ctx, samples[i/cellsPerSample], i%cellsPerSample)
 	})
 	if err != nil {
 		return nil, err
@@ -264,53 +273,56 @@ func RunContext(ctx context.Context, opt RunOptions) (*Results, error) {
 	for _, m := range ModelNames {
 		cweSeen[m] = map[string]bool{}
 	}
-	var banditFindings []banditlite.Finding
-	var semgrepFindings []semgreplite.Finding
+	suggWith := map[string]int{}
+	suggTotal := map[string]int{}
 
 	for si, s := range samples {
 		truth := s.Truth.Vulnerable
 		cells := grid[si*cellsPerSample : (si+1)*cellsPerSample]
 
-		pip := cells[cellPatchitPy]
-		res.addDetection(ToolPatchitPy, s.Model, pip.detected, truth)
-		res.addRepair(ToolPatchitPy, s.Model, pip.detected && truth, truth, pip.repaired && truth)
-		if pip.detected && truth {
-			for _, cwe := range s.Truth.CWEs {
-				cweSeen[s.Model][cwe] = true
-			}
-		}
-		res.Fig3[FigGenerated] = append(res.Fig3[FigGenerated], pip.figGen)
-		res.Fig3[ToolPatchitPy] = append(res.Fig3[ToolPatchitPy], pip.figPip)
-		if truth && pip.repaired {
-			res.Quality[ToolPatchitPy] = append(res.Quality[ToolPatchitPy], pip.qualityPip)
-		}
+		res.Fig3[FigGenerated] = append(res.Fig3[FigGenerated], cells[cellSample].figGen)
 		if truth {
-			res.Quality[GroundTruth] = append(res.Quality[GroundTruth], pip.qualityGT)
+			res.Quality[GroundTruth] = append(res.Quality[GroundTruth], cells[cellSample].qualityGT)
 		}
 
-		bf := cells[cellBandit].banditFindings
-		banditFindings = append(banditFindings, bf...)
-		res.addDetection(ToolBandit, s.Model, len(bf) > 0, truth)
-
-		sf := cells[cellSemgrep].semgrepFindings
-		semgrepFindings = append(semgrepFindings, sf...)
-		res.addDetection(ToolSemgrep, s.Model, len(sf) > 0, truth)
-
-		res.addDetection(ToolCodeQL, s.Model, cells[cellCodeQL].codeqlVuln, truth)
-
-		for ai, a := range tk.assistants {
-			c := cells[cellLLM+ai]
-			res.addDetection(a.Name, s.Model, c.review.Detected, truth)
-			res.addRepair(a.Name, s.Model, c.review.Detected && truth, truth, c.llmRepaired && truth)
-			res.Fig3[a.Name] = append(res.Fig3[a.Name], c.figLLM)
-			if truth && c.llmRepaired {
-				res.Quality[a.Name] = append(res.Quality[a.Name], c.qualityLLM)
+		for ai, a := range tk.analyzerList {
+			c := cells[1+ai]
+			name := a.Name()
+			res.addDetection(name, s.Model, c.res.Vulnerable, truth)
+			if name == ToolPatchitPy && c.res.Vulnerable && truth {
+				for _, cwe := range s.Truth.CWEs {
+					cweSeen[s.Model][cwe] = true
+				}
+			}
+			for _, f := range c.res.Findings {
+				suggTotal[name]++
+				if f.FixPreview != "" {
+					suggWith[name]++
+				}
+			}
+			if diag.CanPatch(a) {
+				res.addRepair(name, s.Model, c.res.Vulnerable && truth, truth, c.repaired && truth)
+				res.Fig3[name] = append(res.Fig3[name], c.fig)
+				if truth && c.repaired {
+					res.Quality[name] = append(res.Quality[name], c.quality)
+				}
 			}
 		}
 	}
 
-	res.finish(cweSeen, banditFindings, semgrepFindings)
+	res.finish(cweSeen,
+		suggestionRate(suggWith[ToolBandit], suggTotal[ToolBandit]),
+		suggestionRate(suggWith[ToolSemgrep], suggTotal[ToolSemgrep]))
 	return res, nil
+}
+
+// suggestionRate mirrors the baselines' SuggestionRate arithmetic on
+// pre-accumulated counters: same division, bit-identical result.
+func suggestionRate(with, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	return float64(with) / float64(total)
 }
 
 // RunSequential is the retained single-goroutine reference
@@ -382,12 +394,16 @@ func RunSequential() (*Results, error) {
 		}
 	}
 
-	res.finish(cweSeen, banditFindings, semgrepFindings)
+	res.finish(cweSeen,
+		banditlite.SuggestionRate(banditFindings),
+		semgreplite.SuggestionRate(semgrepFindings))
 	return res, nil
 }
 
 func newResults(tk *toolkit) *Results {
 	res := &Results{
+		Tools:           tk.analyzers.Names(),
+		PatchTools:      tk.analyzers.Patchers(),
 		Table2:          map[string]map[string]*metrics.Confusion{},
 		Table3:          map[string]map[string]*metrics.Repair{},
 		CWECoverage:     map[string]int{},
@@ -397,13 +413,13 @@ func newResults(tk *toolkit) *Results {
 		Quality:         map[string][]float64{},
 		QualityWilcoxon: map[string]float64{},
 	}
-	for _, tool := range DetectionTools {
+	for _, tool := range res.Tools {
 		res.Table2[tool] = map[string]*metrics.Confusion{All: {}}
 		for _, m := range ModelNames {
 			res.Table2[tool][m] = &metrics.Confusion{}
 		}
 	}
-	for _, tool := range PatchingTools {
+	for _, tool := range res.PatchTools {
 		res.Table3[tool] = map[string]*metrics.Repair{All: {}}
 		for _, m := range ModelNames {
 			res.Table3[tool][m] = &metrics.Repair{}
@@ -413,12 +429,12 @@ func newResults(tk *toolkit) *Results {
 }
 
 // finish computes the derived aggregates shared by both run paths.
-func (r *Results) finish(cweSeen map[string]map[string]bool, banditFindings []banditlite.Finding, semgrepFindings []semgreplite.Finding) {
+func (r *Results) finish(cweSeen map[string]map[string]bool, banditRate, semgrepRate float64) {
 	for _, m := range ModelNames {
 		r.CWECoverage[m] = len(cweSeen[m])
 	}
-	r.BanditSuggestionRate = banditlite.SuggestionRate(banditFindings)
-	r.SemgrepSuggestionRate = semgreplite.SuggestionRate(semgrepFindings)
+	r.BanditSuggestionRate = banditRate
+	r.SemgrepSuggestionRate = semgrepRate
 
 	for name, values := range r.Fig3 {
 		r.Fig3Summary[name] = complexity.Summarize(values)

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+)
+
+// The registry rows must reproduce the paper's static Table II/III
+// orders: the tables are driven by registration order, not by the
+// hardcoded name lists.
+func TestRegistryRowsMatchPaperOrder(t *testing.T) {
+	tk := newToolkit()
+	names := tk.analyzers.Names()
+	if len(names) != len(DetectionTools) {
+		t.Fatalf("registry = %v, want %v", names, DetectionTools)
+	}
+	for i, want := range DetectionTools {
+		if names[i] != want {
+			t.Fatalf("registry = %v, want %v", names, DetectionTools)
+		}
+	}
+	patchers := tk.analyzers.Patchers()
+	if len(patchers) != len(PatchingTools) {
+		t.Fatalf("patchers = %v, want %v", patchers, PatchingTools)
+	}
+	for i, want := range PatchingTools {
+		if patchers[i] != want {
+			t.Fatalf("patchers = %v, want %v", patchers, PatchingTools)
+		}
+	}
+}
+
+// Each baseline must scan each sample exactly once per run: the adapter
+// derives the binary judgement and the suggestion accounting from one
+// shared diag.Result instead of separate Scan + Vulnerable calls.
+func TestBaselinesScanEachSampleOnce(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full corpus run")
+	}
+	tk := newToolkit()
+	res, err := runContext(context.Background(), RunOptions{}, tk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := tk.bandit.Scans(), uint64(res.Corpus.Samples); got != want {
+		t.Errorf("bandit scanned %d times over %d samples, want exactly one scan per sample", got, want)
+	}
+}
+
+// Results carry the registry row orders so the report renders tables from
+// the run's own analyzer set.
+func TestResultsCarryRegistryRows(t *testing.T) {
+	res := results(t)
+	if len(res.Tools) != len(DetectionTools) || len(res.PatchTools) != len(PatchingTools) {
+		t.Fatalf("Tools = %v, PatchTools = %v", res.Tools, res.PatchTools)
+	}
+	for i, want := range DetectionTools {
+		if res.Tools[i] != want {
+			t.Fatalf("Tools = %v", res.Tools)
+		}
+	}
+	for i, want := range PatchingTools {
+		if res.PatchTools[i] != want {
+			t.Fatalf("PatchTools = %v", res.PatchTools)
+		}
+	}
+}

@@ -33,7 +33,7 @@ func (r *Results) WriteTable2(w io.Writer) {
 	fmt.Fprintln(w, "TABLE II — Detection results (Precision / Recall / F1 / Accuracy)")
 	fmt.Fprintf(w, "%-19s %-25s %-25s %-25s %-25s\n", "Tool", "Copilot", "Claude", "DeepSeek", "All models")
 	cols := append(append([]string{}, ModelNames...), All)
-	for _, tool := range DetectionTools {
+	for _, tool := range r.detectionRows() {
 		fmt.Fprintf(w, "%-19s", tool)
 		for _, m := range cols {
 			c := r.Table2[tool][m]
@@ -53,7 +53,7 @@ func (r *Results) WriteTable3(w io.Writer) {
 	fmt.Fprintln(w, "TABLE III — Patching results (Patched[Det.] / Patched[Tot.])")
 	fmt.Fprintf(w, "%-19s %-12s %-12s %-12s %-12s\n", "Tool", "Copilot", "Claude", "DeepSeek", "All models")
 	cols := append(append([]string{}, ModelNames...), All)
-	for _, tool := range PatchingTools {
+	for _, tool := range r.patchingRows() {
 		fmt.Fprintf(w, "%-19s", tool)
 		for _, m := range cols {
 			rep := r.Table3[tool][m]
@@ -114,6 +114,23 @@ func (r *Results) WriteQuality(w io.Writer) {
 		}
 		fmt.Fprintln(w, line)
 	}
+}
+
+// detectionRows is the Table II row order: the registry order the run
+// recorded, or the paper's static order for Results built without one.
+func (r *Results) detectionRows() []string {
+	if len(r.Tools) > 0 {
+		return r.Tools
+	}
+	return DetectionTools
+}
+
+// patchingRows is the Table III row order, on the same terms.
+func (r *Results) patchingRows() []string {
+	if len(r.PatchTools) > 0 {
+		return r.PatchTools
+	}
+	return PatchingTools
 }
 
 // WriteAll renders every section.
