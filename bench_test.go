@@ -30,6 +30,7 @@ import (
 	"github.com/dessertlab/patchitpy/internal/experiments"
 	"github.com/dessertlab/patchitpy/internal/generator"
 	"github.com/dessertlab/patchitpy/internal/lintscore"
+	"github.com/dessertlab/patchitpy/internal/obs"
 	"github.com/dessertlab/patchitpy/internal/prompts"
 	"github.com/dessertlab/patchitpy/internal/stats"
 )
@@ -221,6 +222,50 @@ func BenchmarkScanCorpus(b *testing.B) {
 	st := d.Stats()
 	b.ReportMetric(st.SkipRate(), "prefilter-skip-rate")
 	b.ReportMetric(float64(len(srcs)), "sources")
+}
+
+// BenchmarkScanCorpusObs is the observability overhead guard: the same
+// corpus scan as BenchmarkScanCorpus in three instrumentation states.
+// "detached" (no registry — the library default) and "disabled" (registry
+// attached, Enable never called — the serve default before an exporter
+// connects) must stay within noise of each other and of
+// BenchmarkScanCorpus; the <3% overhead budget from the design applies to
+// these no-op states. "enabled" pays for real clocks and atomics and is
+// reported for reference, not guarded.
+//
+//	go test -bench 'ScanCorpus(Obs)?$' -count 10 . | benchstat
+func BenchmarkScanCorpusObs(b *testing.B) {
+	srcs := corpusSources(b)
+	var total int64
+	for _, s := range srcs {
+		total += int64(len(s.Code))
+	}
+	scan := func(b *testing.B, d *detect.Detector, ctx context.Context) {
+		b.Helper()
+		b.SetBytes(total)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := d.ScanAll(ctx, srcs, detect.Options{NoCache: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("detached", func(b *testing.B) {
+		scan(b, detect.New(nil), context.Background())
+	})
+	b.Run("disabled", func(b *testing.B) {
+		d := detect.New(nil)
+		reg := obs.NewRegistry() // attached, never enabled
+		d.SetObs(reg)
+		scan(b, d, obs.With(context.Background(), reg))
+	})
+	b.Run("enabled", func(b *testing.B) {
+		d := detect.New(nil)
+		reg := obs.NewRegistry()
+		reg.Enable()
+		d.SetObs(reg)
+		scan(b, d, obs.With(context.Background(), reg))
+	})
 }
 
 // BenchmarkScanCorpusSequential is the pre-pipeline baseline: one

@@ -2,7 +2,9 @@
 // evaluation. With no flags it prints everything; -table / -figure select
 // a single artifact. The (tool × sample) evaluation grid runs on a
 // bounded worker pool; -j tunes the worker count and Ctrl-C cancels the
-// run cleanly.
+// run cleanly. A one-line run summary goes to stderr (-no-summary
+// suppresses it) and -metrics-out writes the full metrics snapshot as
+// JSON.
 //
 //	experiments                 # all tables and figures
 //	experiments -j 8            # same, with 8 evaluation workers
@@ -12,6 +14,7 @@
 //	experiments -table quality  # Pylint-score comparison
 //	experiments -table ablation # design-choice ablations
 //	experiments -figure 3       # Fig. 3 (cyclomatic complexity)
+//	experiments -metrics-out m.json  # dump scan/cache/analyzer metrics
 package main
 
 import (
@@ -22,23 +25,28 @@ import (
 	"os/signal"
 
 	"github.com/dessertlab/patchitpy/internal/experiments"
+	"github.com/dessertlab/patchitpy/internal/obs"
 )
 
 func main() {
 	table := flag.String("table", "", "render one table: 2, 3, corpus, prompts, quality or ablation")
 	figure := flag.String("figure", "", "render one figure: 3")
 	jobs := flag.Int("j", 0, "evaluation concurrency (0 = GOMAXPROCS)")
+	metricsOut := flag.String("metrics-out", "", "write the run's metrics snapshot to this file as JSON")
+	noSummary := flag.Bool("no-summary", false, "suppress the run summary line on stderr")
 	flag.Parse()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	if err := run(ctx, *table, *figure, *jobs); err != nil {
+	if err := run(ctx, *table, *figure, *jobs, *metricsOut, *noSummary); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ctx context.Context, table, figure string, jobs int) error {
-	res, err := experiments.RunContext(ctx, experiments.RunOptions{Concurrency: jobs})
+func run(ctx context.Context, table, figure string, jobs int, metricsOut string, noSummary bool) error {
+	obsReg := obs.NewRegistry()
+	obsReg.Enable()
+	res, err := experiments.RunContext(ctx, experiments.RunOptions{Concurrency: jobs, Obs: obsReg})
 	if err != nil {
 		return err
 	}
@@ -64,6 +72,15 @@ func run(ctx context.Context, table, figure string, jobs int) error {
 		res.WriteFig3(w)
 	default:
 		return fmt.Errorf("unknown selection: table=%q figure=%q", table, figure)
+	}
+	snap := obsReg.Snapshot()
+	if !noSummary {
+		fmt.Fprintln(os.Stderr, snap.SummaryLine(res.Corpus.Samples, int(snap.Counters[obs.MetricScanFindings])))
+	}
+	if metricsOut != "" {
+		if err := obsReg.WriteSnapshotFile(metricsOut); err != nil {
+			return fmt.Errorf("write metrics: %w", err)
+		}
 	}
 	return nil
 }

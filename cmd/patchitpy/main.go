@@ -1,9 +1,9 @@
 // Command patchitpy is the PatchitPy command-line front end.
 //
-//	patchitpy detect [-severity high] [-format text|json|sarif] [-tools list] [-j N] path ...
+//	patchitpy detect [-severity high] [-format text|json|sarif] [-tools list] [-j N] [-metrics-out m.json] path ...
 //	patchitpy patch  file.py [file2.py ...]   # patch in place (-o to stdout)
 //	patchitpy rules                            # list the rule catalog
-//	patchitpy serve [-cache 64]                # JSON editor protocol on stdio
+//	patchitpy serve [-cache 64] [-debug-addr :6060]  # JSON editor protocol on stdio
 //
 // `detect` accepts files, directories and `dir/...` arguments; directory
 // arguments are walked recursively for *.py files. Findings from every
@@ -20,6 +20,13 @@
 // content-addressed result cache sized by -cache (MiB, 0 disables);
 // {"cmd":"stats"} reports its hit/miss counters and the prefilter skip
 // rate.
+//
+// Observability: `detect` and `eval` print a one-line run summary to
+// stderr (suppress with -no-summary) and write the full metrics snapshot
+// as JSON with -metrics-out. `serve` answers {"cmd":"ping"} and
+// {"cmd":"metrics"}, and -debug-addr starts an HTTP listener with
+// /metrics (Prometheus text), /debug/vars, /debug/traces and
+// /debug/pprof/.
 package main
 
 import (
@@ -32,6 +39,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"github.com/dessertlab/patchitpy"
 	"github.com/dessertlab/patchitpy/internal/baseline/banditlite"
@@ -42,9 +50,14 @@ import (
 	"github.com/dessertlab/patchitpy/internal/diag"
 	"github.com/dessertlab/patchitpy/internal/diag/sarif"
 	"github.com/dessertlab/patchitpy/internal/experiments"
+	"github.com/dessertlab/patchitpy/internal/obs"
 	"github.com/dessertlab/patchitpy/internal/rules"
 	"github.com/dessertlab/patchitpy/internal/workpool"
 )
+
+// stderr is where the run summary and serve diagnostics go; package-level
+// so tests can capture or silence it without touching the golden stdout.
+var stderr io.Writer = os.Stderr
 
 // errFindings signals that the scan completed and reported findings; main
 // maps it to exit status 1, distinct from usage/I/O errors (status 2).
@@ -82,23 +95,51 @@ func runW(w io.Writer, args []string) error {
 	case "serve":
 		fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 		cacheMiB := fs.Int64("cache", 32, "result cache budget per cache, in MiB (0 disables caching)")
+		debugAddr := fs.String("debug-addr", "", "optional HTTP listen address for /metrics, /debug/vars, /debug/traces and /debug/pprof/ (e.g. :6060)")
 		if err := fs.Parse(rest); err != nil {
 			return err
 		}
 		engine.SetCacheBytes(*cacheMiB << 20)
 		engine.SetAnalyzers(core.DefaultAnalyzers(engine))
+		// A serve session always carries an enabled registry so the
+		// "metrics" verb works; the debug listener is opt-in.
+		obsReg := obs.NewRegistry()
+		obsReg.Enable()
+		engine.SetObs(obsReg)
+		if *debugAddr != "" {
+			srv, err := obs.ServeDebug(*debugAddr, obsReg)
+			if err != nil {
+				return fmt.Errorf("serve: debug listener: %w", err)
+			}
+			defer srv.Close()
+			fmt.Fprintf(stderr, "patchitpy: debug server listening on %s\n", srv.Addr())
+		}
 		return engine.Serve(os.Stdin, w)
 	case "eval":
 		fs := flag.NewFlagSet("eval", flag.ContinueOnError)
 		jobs := fs.Int("j", 0, "evaluation concurrency (0 = GOMAXPROCS)")
+		metricsOut := fs.String("metrics-out", "", "write the run's metrics snapshot to this file as JSON")
+		noSummary := fs.Bool("no-summary", false, "suppress the run summary line on stderr")
 		if err := fs.Parse(rest); err != nil {
 			return err
 		}
-		res, err := experiments.RunContext(context.Background(), experiments.RunOptions{Concurrency: *jobs})
+		obsReg := obs.NewRegistry()
+		obsReg.Enable()
+		res, err := experiments.RunContext(context.Background(),
+			experiments.RunOptions{Concurrency: *jobs, Obs: obsReg})
 		if err != nil {
 			return err
 		}
 		res.WriteAll(w)
+		snap := obsReg.Snapshot()
+		if !*noSummary {
+			fmt.Fprintln(stderr, snap.SummaryLine(res.Corpus.Samples, int(snap.Counters[obs.MetricScanFindings])))
+		}
+		if *metricsOut != "" {
+			if err := obsReg.WriteSnapshotFile(*metricsOut); err != nil {
+				return fmt.Errorf("eval: write metrics: %w", err)
+			}
+		}
 		return nil
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
@@ -107,14 +148,16 @@ func runW(w io.Writer, args []string) error {
 
 // detectRegistry builds the analyzers `detect -tools` can select: the
 // native detector (detection only, honoring the severity filter) plus the
-// three static-analysis baselines.
-func detectRegistry(engine *patchitpy.Engine, opt detect.Options) *diag.Registry {
+// three static-analysis baselines. The detector is returned alongside the
+// registry so the caller can attach observability to it.
+func detectRegistry(engine *patchitpy.Engine, opt detect.Options) (*diag.Registry, *detect.Detector) {
+	d := detect.New(engine.Catalog())
 	reg := diag.NewRegistry()
-	reg.MustRegister(detect.New(engine.Catalog()).Analyzer(opt))
+	reg.MustRegister(d.Analyzer(opt))
 	reg.MustRegister(querydb.New().Analyzer())
 	reg.MustRegister(semgreplite.New().Analyzer())
 	reg.MustRegister(banditlite.New().Analyzer())
-	return reg
+	return reg, d
 }
 
 func detectFiles(engine *patchitpy.Engine, w io.Writer, args []string) error {
@@ -124,6 +167,8 @@ func detectFiles(engine *patchitpy.Engine, w io.Writer, args []string) error {
 	asJSON := fs.Bool("json", false, "shorthand for -format json")
 	tools := fs.String("tools", "patchitpy", "comma-separated analyzers: patchitpy, codeql, semgrep, bandit — or \"all\"")
 	jobs := fs.Int("j", 0, "scan concurrency across files (0 = GOMAXPROCS)")
+	metricsOut := fs.String("metrics-out", "", "write the scan's metrics snapshot to this file as JSON")
+	noSummary := fs.Bool("no-summary", false, "suppress the scan summary line on stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -147,7 +192,15 @@ func detectFiles(engine *patchitpy.Engine, w io.Writer, args []string) error {
 		}
 		opt.MinSeverity = min
 	}
-	reg := detectRegistry(engine, opt)
+	// Each detect run gets a fresh enabled registry: the scan counters,
+	// cache stats and per-analyzer timings feed the summary line and the
+	// -metrics-out snapshot.
+	obsReg := obs.NewRegistry()
+	obsReg.Enable()
+	reg, det := detectRegistry(engine, opt)
+	det.SetObs(obsReg)
+	analyzerRuns := obsReg.CounterVec(obs.MetricAnalyzerRuns, "tool")
+	analyzerDur := obsReg.HistogramVec(obs.MetricAnalyzerDuration, "tool", nil)
 	selected, err := selectTools(reg, *tools)
 	if err != nil {
 		return err
@@ -170,12 +223,15 @@ func detectFiles(engine *patchitpy.Engine, w io.Writer, args []string) error {
 	// analyzer and merges the findings into canonical order. The native
 	// analyzer's scans go through the engine's content-addressed result
 	// cache, so duplicate file contents cost one scan.
-	ctx := context.Background()
+	ctx := obs.With(context.Background(), obsReg)
 	files := make([]diag.FileFindings, len(srcs))
 	err = workpool.Run(ctx, len(srcs), *jobs, func(i int) {
 		var merged []diag.Finding
 		for _, a := range selected {
+			start := time.Now()
 			res, err := a.Analyze(ctx, srcs[i].Code)
+			analyzerDur.With(a.Name()).Observe(time.Since(start))
+			analyzerRuns.Add(a.Name(), 1)
 			if err != nil {
 				return
 			}
@@ -199,10 +255,20 @@ func detectFiles(engine *patchitpy.Engine, w io.Writer, args []string) error {
 	if err != nil {
 		return err
 	}
+	total := 0
 	for _, ff := range files {
-		if len(ff.Findings) > 0 {
-			return errFindings
+		total += len(ff.Findings)
+	}
+	if !*noSummary {
+		fmt.Fprintln(stderr, obsReg.Snapshot().SummaryLine(len(files), total))
+	}
+	if *metricsOut != "" {
+		if err := obsReg.WriteSnapshotFile(*metricsOut); err != nil {
+			return fmt.Errorf("detect: write metrics: %w", err)
 		}
+	}
+	if total > 0 {
+		return errFindings
 	}
 	return nil
 }

@@ -11,13 +11,25 @@
 package core
 
 import (
+	"context"
+	"time"
+
 	"github.com/dessertlab/patchitpy/internal/detect"
 	"github.com/dessertlab/patchitpy/internal/diag"
 	"github.com/dessertlab/patchitpy/internal/editor"
+	"github.com/dessertlab/patchitpy/internal/obs"
 	"github.com/dessertlab/patchitpy/internal/patch"
 	"github.com/dessertlab/patchitpy/internal/resultcache"
 	"github.com/dessertlab/patchitpy/internal/rules"
 )
+
+// Version is the engine version reported by the serve protocol's "ping"
+// verb and re-exported by the root package.
+const Version = "0.4.0"
+
+// processStart anchors the uptime reported by "ping" and the
+// obs uptime gauge.
+var processStart = time.Now()
 
 // DefaultCacheBytes is the per-engine budget each result cache (analyze,
 // fix) starts with; SetCacheBytes overrides it.
@@ -34,6 +46,32 @@ type PatchitPy struct {
 	// analyzers, when set, is the registry the serve protocol's "tools"
 	// request field queries (see SetAnalyzers).
 	analyzers *diag.Registry
+
+	// obsReg and the serve* handles are the observability wiring attached
+	// by SetObs; nil obsReg means detached.
+	obsReg    *obs.Registry
+	serveReqs *obs.Vec
+	serveDur  *obs.HistogramVec
+}
+
+// SetObs attaches an observability registry to the engine: the detector's
+// scan metrics (SetObs on the detector), pull-style exports of the
+// analyze/fix result caches, the process uptime gauge, and per-request
+// counters and latency histograms for the serve session protocol. Pass
+// nil to detach. Setup API — do not call with requests in flight.
+func (p *PatchitPy) SetObs(reg *obs.Registry) {
+	p.obsReg = reg
+	if reg == nil {
+		p.detector.SetObs(nil)
+		p.serveReqs, p.serveDur = nil, nil
+		return
+	}
+	p.detector.SetObs(reg)
+	resultcache.RegisterObs(reg, "analyze", func() *resultcache.Cache[Report] { return p.analyzeCache })
+	resultcache.RegisterObs(reg, "fix", func() *resultcache.Cache[FixOutcome] { return p.fixCache })
+	reg.GaugeFunc(obs.MetricUptime, func() float64 { return time.Since(processStart).Seconds() })
+	p.serveReqs = reg.CounterVec(obs.MetricServeRequests, "cmd")
+	p.serveDur = reg.HistogramVec(obs.MetricServeDuration, "cmd", nil)
 }
 
 // New returns an engine using the built-in 85-rule catalog.
@@ -140,12 +178,18 @@ const (
 // Analyze runs the detection phase on src. Repeated calls with identical
 // src are served from the result cache.
 func (p *PatchitPy) Analyze(src string) Report {
+	return p.AnalyzeContext(context.Background(), src)
+}
+
+// AnalyzeContext is Analyze with a caller context, which carries the
+// tracing span tree and any context-scoped obs registry through the scan.
+func (p *PatchitPy) AnalyzeContext(ctx context.Context, src string) Report {
 	if p.analyzeCache == nil {
-		return p.analyzePrepared(p.detector.Prepare(src))
+		return p.analyzePrepared(ctx, p.detector.Prepare(src))
 	}
 	key := resultcache.Key(p.Catalog().Fingerprint(), analyzeKey, src)
 	report, _ := p.analyzeCache.GetOrCompute(key, func() Report {
-		return p.analyzePrepared(p.detector.Prepare(src))
+		return p.analyzePrepared(ctx, p.detector.Prepare(src))
 	})
 	return report.copy()
 }
@@ -154,8 +198,8 @@ func (p *PatchitPy) Analyze(src string) Report {
 // detector-level scan uses NoCache: the engine-level caches already
 // memoize by the same key material, so a second cache layer for the same
 // request would only duplicate memory.
-func (p *PatchitPy) analyzePrepared(prep *detect.Prepared) Report {
-	findings := p.detector.ScanPrepared(prep, detect.Options{NoCache: true})
+func (p *PatchitPy) analyzePrepared(ctx context.Context, prep *detect.Prepared) Report {
+	findings := p.detector.ScanPreparedContext(ctx, prep, detect.Options{NoCache: true})
 	return Report{
 		Findings:   findings,
 		Vulnerable: len(findings) > 0,
@@ -191,11 +235,16 @@ func (o FixOutcome) copy() FixOutcome {
 // Fix runs both phases: detection followed by patching. Repeated calls
 // with identical src are served from the result cache.
 func (p *PatchitPy) Fix(src string) FixOutcome {
+	return p.FixContext(context.Background(), src)
+}
+
+// FixContext is Fix with a caller context (see AnalyzeContext).
+func (p *PatchitPy) FixContext(ctx context.Context, src string) FixOutcome {
 	if p.fixCache == nil {
-		return p.fix(src)
+		return p.fix(ctx, src)
 	}
 	key := resultcache.Key(p.Catalog().Fingerprint(), fixKey, src)
-	outcome, _ := p.fixCache.GetOrCompute(key, func() FixOutcome { return p.fix(src) })
+	outcome, _ := p.fixCache.GetOrCompute(key, func() FixOutcome { return p.fix(ctx, src) })
 	return outcome.copy()
 }
 
@@ -205,7 +254,7 @@ func (p *PatchitPy) Fix(src string) FixOutcome {
 // line index (the text is unchanged between detection and edit
 // computation), replacing the per-fix strings.Count of the old SpanEdit
 // path.
-func (p *PatchitPy) fix(src string) FixOutcome {
+func (p *PatchitPy) fix(ctx context.Context, src string) FixOutcome {
 	prep := p.detector.Prepare(src)
 	var report Report
 	if p.analyzeCache != nil {
@@ -214,13 +263,15 @@ func (p *PatchitPy) fix(src string) FixOutcome {
 		// miss seeds the analyze cache for later detects.
 		key := resultcache.Key(p.Catalog().Fingerprint(), analyzeKey, src)
 		report, _ = p.analyzeCache.GetOrCompute(key, func() Report {
-			return p.analyzePrepared(prep)
+			return p.analyzePrepared(ctx, prep)
 		})
 		report = report.copy()
 	} else {
-		report = p.analyzePrepared(prep)
+		report = p.analyzePrepared(ctx, prep)
 	}
+	_, patchSpan := obs.Start(ctx, "patch")
 	result := patch.Apply(src, report.Findings)
+	patchSpan.End()
 	lines := prep.Lines()
 	edits := make([]editor.TextEdit, 0, len(result.Applied))
 	for _, a := range result.Applied {

@@ -7,9 +7,11 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"time"
 
 	"github.com/dessertlab/patchitpy/internal/diag"
 	"github.com/dessertlab/patchitpy/internal/editor"
+	"github.com/dessertlab/patchitpy/internal/obs"
 	"github.com/dessertlab/patchitpy/internal/resultcache"
 )
 
@@ -20,7 +22,8 @@ import (
 
 // Request is one line of the JSON session protocol.
 type Request struct {
-	// Cmd is "detect", "suggest", "patch", "rules" or "stats".
+	// Cmd is "detect", "suggest", "patch", "rules", "stats", "ping" or
+	// "metrics".
 	Cmd string `json:"cmd"`
 	// Code is the selected Python code (detect/suggest/patch).
 	Code string `json:"code,omitempty"`
@@ -94,6 +97,12 @@ type Response struct {
 	Stats      *StatsDTO    `json:"stats,omitempty"`
 	// Tools carries per-analyzer results for requests with a "tools" field.
 	Tools []ToolResultDTO `json:"tools,omitempty"`
+	// Version and UptimeMs answer the "ping" health check.
+	Version  string `json:"version,omitempty"`
+	UptimeMs int64  `json:"uptimeMs,omitempty"`
+	// Metrics is the full observability snapshot ("metrics" verb; requires
+	// SetObs).
+	Metrics *obs.Snapshot `json:"metrics,omitempty"`
 }
 
 // Serve reads newline-delimited JSON requests from r and writes one JSON
@@ -122,13 +131,34 @@ func (p *PatchitPy) Serve(r io.Reader, w io.Writer) error {
 	return scanner.Err()
 }
 
+// handle dispatches one request, wrapping the verb handler with the
+// per-command request counter, latency histogram and a "serve.<cmd>" trace
+// span when an enabled obs registry is attached. Detached or disabled
+// registries cost one nil-safe atomic load.
 func (p *PatchitPy) handle(req Request) Response {
+	if !p.obsReg.Enabled() {
+		return p.handleCmd(context.Background(), req)
+	}
+	cmd := req.Cmd
+	if cmd == "" {
+		cmd = "unknown"
+	}
+	ctx, span := obs.Start(obs.With(context.Background(), p.obsReg), "serve."+cmd)
+	start := time.Now()
+	resp := p.handleCmd(ctx, req)
+	p.serveDur.With(cmd).Observe(time.Since(start))
+	p.serveReqs.Add(cmd, 1)
+	span.End()
+	return resp
+}
+
+func (p *PatchitPy) handleCmd(ctx context.Context, req Request) Response {
 	switch req.Cmd {
 	case "detect":
 		if len(req.Tools) > 0 {
-			return p.detectTools(req)
+			return p.detectTools(ctx, req)
 		}
-		report := p.Analyze(req.Code)
+		report := p.AnalyzeContext(ctx, req.Code)
 		return Response{
 			OK:         true,
 			Vulnerable: report.Vulnerable,
@@ -136,7 +166,7 @@ func (p *PatchitPy) handle(req Request) Response {
 			CWEs:       report.CWEs,
 		}
 	case "suggest":
-		outcome := p.Fix(req.Code)
+		outcome := p.FixContext(ctx, req.Code)
 		previews := make([]FixPreview, 0, len(outcome.Result.Applied))
 		for i, a := range outcome.Result.Applied {
 			previews = append(previews, FixPreview{
@@ -155,7 +185,7 @@ func (p *PatchitPy) handle(req Request) Response {
 			CWEs:       outcome.Report.CWEs,
 		}
 	case "patch":
-		outcome := p.Fix(req.Code)
+		outcome := p.FixContext(ctx, req.Code)
 		return Response{
 			OK:         true,
 			Vulnerable: outcome.Report.Vulnerable,
@@ -179,6 +209,18 @@ func (p *PatchitPy) handle(req Request) Response {
 			RulesSkipped:    cs.Prefilter.RulesSkipped,
 			PrefilterSkip:   cs.Prefilter.SkipRate(),
 		}}
+	case "ping":
+		return Response{
+			OK:        true,
+			Version:   Version,
+			UptimeMs:  time.Since(processStart).Milliseconds(),
+			RuleCount: p.Catalog().Len(),
+		}
+	case "metrics":
+		if p.obsReg == nil {
+			return Response{OK: false, Error: "metrics not available: no observability registry attached (see SetObs)"}
+		}
+		return Response{OK: true, Metrics: p.obsReg.Snapshot()}
 	default:
 		return Response{OK: false, Error: "unknown command " + req.Cmd}
 	}
@@ -187,7 +229,7 @@ func (p *PatchitPy) handle(req Request) Response {
 // detectTools answers a "detect" request that names analyzers: each named
 // tool runs over the code and reports through the unified model. The
 // aggregate Vulnerable bit is the OR across the selected tools.
-func (p *PatchitPy) detectTools(req Request) Response {
+func (p *PatchitPy) detectTools(ctx context.Context, req Request) Response {
 	reg := p.analyzers
 	if reg == nil {
 		return Response{OK: false, Error: "tools not available: no analyzer registry attached"}
@@ -199,7 +241,7 @@ func (p *PatchitPy) detectTools(req Request) Response {
 			return Response{OK: false, Error: fmt.Sprintf("unknown tool %q (available: %s)",
 				name, strings.Join(reg.Names(), ", "))}
 		}
-		res, err := a.Analyze(context.Background(), req.Code)
+		res, err := a.Analyze(ctx, req.Code)
 		if err != nil {
 			return Response{OK: false, Error: err.Error()}
 		}

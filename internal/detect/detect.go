@@ -14,12 +14,15 @@
 package detect
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"github.com/dessertlab/patchitpy/internal/obs"
 	"github.com/dessertlab/patchitpy/internal/pytoken"
 	"github.com/dessertlab/patchitpy/internal/resultcache"
 	"github.com/dessertlab/patchitpy/internal/rules"
@@ -67,8 +70,53 @@ type Detector struct {
 	// disabled.
 	cache *resultcache.Cache[[]Finding]
 
+	// met holds the observability handles attached by SetObs; nil means
+	// detached (the library default), which keeps the scan loop free of
+	// even the enabled-flag check.
+	met *scanMetrics
+
 	rulesConsidered atomic.Uint64
 	rulesSkipped    atomic.Uint64
+}
+
+// scanMetrics bundles the detector's pre-registered obs handles so the
+// hot loop records through plain pointers. Recording is skipped entirely
+// unless the registry is enabled.
+type scanMetrics struct {
+	reg      *obs.Registry
+	scans    *obs.Counter
+	findings *obs.Counter
+	scanDur  *obs.Histogram
+	ruleDur  *obs.Histogram
+	ruleRuns *obs.Vec
+	ruleHits *obs.Vec
+	ruleTime *obs.Vec
+}
+
+// SetObs attaches an observability registry: per-scan and per-rule
+// counters and latency histograms, plus pull-style exports of the
+// prefilter accounting and the scan result cache. Pass nil to detach.
+// Like SetCacheBytes, this is setup API — do not call it with scans in
+// flight. Recording stays a no-op until reg is enabled.
+func (d *Detector) SetObs(reg *obs.Registry) {
+	if reg == nil {
+		d.met = nil
+		return
+	}
+	d.met = &scanMetrics{
+		reg:      reg,
+		scans:    reg.Counter(obs.MetricScans),
+		findings: reg.Counter(obs.MetricScanFindings),
+		scanDur:  reg.Histogram(obs.MetricScanDuration, nil),
+		ruleDur:  reg.Histogram(obs.MetricRuleDuration, nil),
+		ruleRuns: reg.CounterVec(obs.MetricRuleRuns, "rule"),
+		ruleHits: reg.CounterVec(obs.MetricRuleFindings, "rule"),
+		ruleTime: reg.DurationCounterVec(obs.MetricRuleTime, "rule"),
+	}
+	reg.CounterFunc(obs.MetricPrefilterConsidered, func() float64 { return float64(d.rulesConsidered.Load()) })
+	reg.CounterFunc(obs.MetricPrefilterSkipped, func() float64 { return float64(d.rulesSkipped.Load()) })
+	reg.GaugeFunc(obs.MetricPrefilterSkipRate, func() float64 { return d.Stats().SkipRate() })
+	resultcache.RegisterObs(reg, "scan", func() *resultcache.Cache[[]Finding] { return d.cache })
 }
 
 // New returns a Detector over the given catalog; a nil catalog uses the
@@ -286,18 +334,32 @@ func (d *Detector) ScanWith(src string, opt Options) []Finding {
 	return d.ScanPrepared(d.Prepare(src), opt)
 }
 
+// ScanWithContext is ScanWith with a context threaded through for span
+// tracing: when ctx carries an active obs span (or an enabled registry),
+// the scan records a "scan" span with prefilter/mask/rule-match child
+// phases. Findings are identical to ScanWith.
+func (d *Detector) ScanWithContext(ctx context.Context, src string, opt Options) []Finding {
+	return d.ScanPreparedContext(ctx, d.Prepare(src), opt)
+}
+
 // ScanPrepared scans a prepared source, reusing whatever per-source
 // artifacts p has already computed. p must have been created by this
 // detector's Prepare. Identical (source, options) scans are answered from
 // the result cache when it is enabled and opt.NoCache is false; concurrent
 // identical misses are de-duplicated so the scan runs once.
 func (d *Detector) ScanPrepared(p *Prepared, opt Options) []Finding {
+	return d.ScanPreparedContext(context.Background(), p, opt)
+}
+
+// ScanPreparedContext is ScanPrepared with a context for span tracing
+// (see ScanWithContext).
+func (d *Detector) ScanPreparedContext(ctx context.Context, p *Prepared, opt Options) []Finding {
 	if d.cache == nil || opt.NoCache {
-		return d.scanPrepared(p, opt)
+		return d.scanPrepared(ctx, p, opt)
 	}
 	key := resultcache.Key(d.catalog.Fingerprint(), opt.fingerprint(), p.src)
 	out, _ := d.cache.GetOrCompute(key, func() []Finding {
-		return d.scanPrepared(p, opt)
+		return d.scanPrepared(ctx, p, opt)
 	})
 	return copyFindings(out)
 }
@@ -314,15 +376,43 @@ func copyFindings(fs []Finding) []Finding {
 	return out
 }
 
-// scanPrepared is the uncached scan body.
-func (d *Detector) scanPrepared(p *Prepared, opt Options) []Finding {
+// scanPrepared is the uncached scan body. Observability is two-layered:
+// with no registry attached (d.met == nil) the loop is exactly the
+// uninstrumented PR 3 code path; with one attached but disabled, the
+// only cost is one atomic flag load per scan; enabled, each rule that
+// survives the prefilter is individually timed.
+func (d *Detector) scanPrepared(ctx context.Context, p *Prepared, opt Options) []Finding {
+	m := d.met
+	timed := m != nil && m.reg.Enabled()
+	var scanStart time.Time
+	if timed {
+		scanStart = time.Now()
+	}
+	ctx, scanSpan := obs.Start(ctx, "scan")
+
 	fp := opt.fingerprint()
 	admit := d.admitBits(opt, fp)
 	useAutomaton := !opt.NoPrefilter && !opt.ContainsPrefilter
 	var cand bitset
 	if useAutomaton {
-		cand = p.candidates()
+		if scanSpan != nil {
+			_, sp := obs.Start(ctx, "prefilter")
+			cand = p.candidates()
+			sp.End()
+		} else {
+			cand = p.candidates()
+		}
 	}
+	if scanSpan != nil {
+		// Under tracing, pay the (lazy, once-per-source) comment mask
+		// eagerly so it shows up as its own phase instead of inflating the
+		// first rule's span.
+		_, sp := obs.Start(ctx, "mask")
+		p.commentSpans()
+		sp.End()
+	}
+
+	_, ruleSpan := obs.Start(ctx, "rule-match")
 	var out []Finding
 	var considered, skipped uint64
 	for i, rule := range d.rules {
@@ -339,27 +429,21 @@ func (d *Detector) scanPrepared(p *Prepared, opt Options) []Finding {
 			skipped++
 			continue
 		}
-		if rule.Requires != nil && !rule.Requires.MatchString(p.src) {
+		if !timed {
+			d.matchRule(rule, p, &out)
 			continue
 		}
-		if rule.Excludes != nil && rule.Excludes.MatchString(p.src) {
-			continue
-		}
-		for _, idx := range rule.Pattern.FindAllStringSubmatchIndex(p.src, -1) {
-			start, end := idx[0], idx[1]
-			if inMask(p.commentSpans(), start) {
-				continue
-			}
-			out = append(out, Finding{
-				Rule:    rule,
-				Start:   start,
-				End:     end,
-				Line:    p.Lines().Line(start),
-				Snippet: p.src[start:end],
-				Groups:  append([]int(nil), idx...),
-			})
+		t0 := time.Now()
+		n := d.matchRule(rule, p, &out)
+		el := time.Since(t0)
+		m.ruleDur.Observe(el)
+		m.ruleTime.AddDuration(rule.ID, el)
+		m.ruleRuns.Add(rule.ID, 1)
+		if n > 0 {
+			m.ruleHits.Add(rule.ID, uint64(n))
 		}
 	}
+	ruleSpan.End()
 	d.rulesConsidered.Add(considered)
 	d.rulesSkipped.Add(skipped)
 	sort.Slice(out, func(i, j int) bool {
@@ -368,7 +452,41 @@ func (d *Detector) scanPrepared(p *Prepared, opt Options) []Finding {
 		}
 		return out[i].Rule.ID < out[j].Rule.ID
 	})
+	if timed {
+		m.scans.Inc()
+		m.findings.Add(uint64(len(out)))
+		m.scanDur.Observe(time.Since(scanStart))
+	}
+	scanSpan.End()
 	return out
+}
+
+// matchRule runs one admitted, prefilter-passed rule's regex phase over
+// p, appending matches to out, and returns how many findings it added.
+func (d *Detector) matchRule(rule *rules.Rule, p *Prepared, out *[]Finding) int {
+	if rule.Requires != nil && !rule.Requires.MatchString(p.src) {
+		return 0
+	}
+	if rule.Excludes != nil && rule.Excludes.MatchString(p.src) {
+		return 0
+	}
+	n := 0
+	for _, idx := range rule.Pattern.FindAllStringSubmatchIndex(p.src, -1) {
+		start, end := idx[0], idx[1]
+		if inMask(p.commentSpans(), start) {
+			continue
+		}
+		*out = append(*out, Finding{
+			Rule:    rule,
+			Start:   start,
+			End:     end,
+			Line:    p.Lines().Line(start),
+			Snippet: p.src[start:end],
+			Groups:  append([]int(nil), idx...),
+		})
+		n++
+	}
+	return n
 }
 
 // Vulnerable reports whether src triggers at least one rule — the binary

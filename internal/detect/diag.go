@@ -66,7 +66,7 @@ func (a analyzer) Analyze(ctx context.Context, src string) (diag.Result, error) 
 	if err := ctx.Err(); err != nil {
 		return diag.Result{}, err
 	}
-	fs := a.d.ScanWith(src, a.opt)
+	fs := a.d.ScanWithContext(ctx, src, a.opt)
 	return diag.Result{
 		Tool:       ToolName,
 		Findings:   DiagFindings(fs),

@@ -35,7 +35,7 @@ type Result struct {
 func (d *Detector) ScanAll(ctx context.Context, srcs []Source, opt Options) ([]Result, error) {
 	out := make([]Result, len(srcs))
 	err := workpool.Run(ctx, len(srcs), opt.Concurrency, func(i int) {
-		out[i] = Result{Source: srcs[i], Findings: d.ScanWith(srcs[i].Code, opt)}
+		out[i] = Result{Source: srcs[i], Findings: d.ScanWithContext(ctx, srcs[i].Code, opt)}
 	})
 	if err != nil {
 		return nil, err

@@ -13,6 +13,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"github.com/dessertlab/patchitpy/internal/baseline/banditlite"
 	"github.com/dessertlab/patchitpy/internal/baseline/llmsim"
@@ -24,6 +25,7 @@ import (
 	"github.com/dessertlab/patchitpy/internal/generator"
 	"github.com/dessertlab/patchitpy/internal/lintscore"
 	"github.com/dessertlab/patchitpy/internal/metrics"
+	"github.com/dessertlab/patchitpy/internal/obs"
 	"github.com/dessertlab/patchitpy/internal/oracle"
 	"github.com/dessertlab/patchitpy/internal/prompts"
 	"github.com/dessertlab/patchitpy/internal/stats"
@@ -130,6 +132,10 @@ type RunOptions struct {
 	// disables caching (the uncached reference configuration — results are
 	// identical either way, which TestCacheAblationIdentical asserts).
 	CacheBytes int64
+	// Obs, when non-nil, receives the run's telemetry: the engine's scan
+	// and cache metrics, the worker pool's saturation gauges, and a
+	// per-analyzer run counter + latency histogram labeled by tool name.
+	Obs *obs.Registry
 }
 
 // Run executes the full evaluation at default concurrency. It is
@@ -155,6 +161,28 @@ type toolkit struct {
 	// for index-addressed grid cells.
 	analyzers    *diag.Registry
 	analyzerList []diag.Analyzer
+
+	// obsReg and the analyzer* handles carry the run's telemetry when
+	// RunOptions.Obs is set; nil obsReg disables all of it (the registry
+	// stays out of internal/diag on purpose — timing lives at this call
+	// site so Analyzer implementations remain stdlib-pure).
+	obsReg       *obs.Registry
+	analyzerRuns *obs.Vec
+	analyzerDur  *obs.HistogramVec
+}
+
+// setObs attaches reg to the toolkit and its engine; nil is a no-op
+// toolkit-wide detach.
+func (tk *toolkit) setObs(reg *obs.Registry) {
+	tk.obsReg = reg
+	if reg == nil {
+		tk.engine.SetObs(nil)
+		tk.analyzerRuns, tk.analyzerDur = nil, nil
+		return
+	}
+	tk.engine.SetObs(reg)
+	tk.analyzerRuns = reg.CounterVec(obs.MetricAnalyzerRuns, "tool")
+	tk.analyzerDur = reg.HistogramVec(obs.MetricAnalyzerDuration, "tool", nil)
 }
 
 func newToolkit() *toolkit {
@@ -179,13 +207,17 @@ func newToolkit() *toolkit {
 	return tk
 }
 
-// newToolkitWithCache applies opt's cache sizing to a fresh toolkit.
+// newToolkitWithCache applies opt's cache sizing and observability
+// registry to a fresh toolkit.
 func newToolkitWithCache(opt RunOptions) *toolkit {
 	tk := newToolkit()
 	if opt.CacheBytes < 0 {
 		tk.engine.SetCacheBytes(0)
 	} else if opt.CacheBytes > 0 {
 		tk.engine.SetCacheBytes(opt.CacheBytes)
+	}
+	if opt.Obs != nil {
+		tk.setObs(opt.Obs)
 	}
 	return tk
 }
@@ -222,7 +254,16 @@ func (tk *toolkit) evalCell(ctx context.Context, s generator.Sample, kind int) c
 		return c
 	}
 	a := tk.analyzerList[kind-1]
+	var start time.Time
+	timed := tk.obsReg.Enabled()
+	if timed {
+		start = time.Now()
+	}
 	res, err := a.Analyze(llmsim.WithSample(ctx, s), s.Code)
+	if timed {
+		tk.analyzerDur.With(a.Name()).Observe(time.Since(start))
+		tk.analyzerRuns.Add(a.Name(), 1)
+	}
 	if err != nil {
 		// Analyze fails only on cancellation; the pool error then aborts
 		// the run before any fold reads this cell.
@@ -249,6 +290,11 @@ func RunContext(ctx context.Context, opt RunOptions) (*Results, error) {
 // runContext is RunContext over a caller-supplied toolkit, so tests can
 // inspect the tools (e.g. the baselines' scan counters) after a run.
 func runContext(ctx context.Context, opt RunOptions, tk *toolkit) (*Results, error) {
+	if opt.Obs != nil {
+		// Carry the registry in the context so the worker pool's saturation
+		// gauges see it too.
+		ctx = obs.With(ctx, opt.Obs)
+	}
 	ps := prompts.All()
 	samples, err := generator.Corpus(ps)
 	if err != nil {

@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"runtime"
+	"time"
+)
+
+// DebugServer is the HTTP sidecar behind `patchitpy serve -debug-addr`:
+// Prometheus metrics, expvar-style JSON, recent traces, and the stdlib
+// pprof profiling endpoints, all read-only.
+//
+//	/metrics        Prometheus text exposition (version 0.0.4)
+//	/debug/vars     expvar-style JSON: cmdline, memstats, metric snapshot
+//	/debug/traces   recent span traces, newest first
+//	/debug/pprof/   net/http/pprof index (profile, heap, trace, ...)
+type DebugServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// ServeDebug starts the debug server on addr (":0" picks a free port)
+// exposing reg, and returns once the listener is bound. Close releases
+// it.
+func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		json.NewEncoder(w).Encode(struct {
+			Cmdline   []string         `json:"cmdline"`
+			Memstats  runtime.MemStats `json:"memstats"`
+			PatchitPy *Snapshot        `json:"patchitpy"`
+		}{os.Args, ms, reg.Snapshot()})
+	})
+	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		traces := reg.Traces()
+		if traces == nil {
+			traces = []SpanData{}
+		}
+		json.NewEncoder(w).Encode(traces)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	s := &DebugServer{ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the bound listen address (resolved port for ":0").
+func (s *DebugServer) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the server down immediately.
+func (s *DebugServer) Close() error { return s.srv.Close() }

@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestDebugServer(t *testing.T) {
+	reg := fixtureRegistry()
+	reg.Enable()
+	_, sp := Start(With(t.Context(), reg), "scan")
+	sp.End()
+
+	srv, err := ServeDebug("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: read: %v", path, err)
+		}
+		return string(body)
+	}
+
+	if body := get("/metrics"); !strings.Contains(body, "patchitpy_scans_total 3") {
+		t.Errorf("/metrics missing counter:\n%s", body)
+	}
+	var vars struct {
+		Cmdline   []string  `json:"cmdline"`
+		PatchitPy *Snapshot `json:"patchitpy"`
+	}
+	if err := json.Unmarshal([]byte(get("/debug/vars")), &vars); err != nil {
+		t.Fatalf("/debug/vars not JSON: %v", err)
+	}
+	if len(vars.Cmdline) == 0 || vars.PatchitPy == nil {
+		t.Errorf("/debug/vars incomplete: %+v", vars)
+	}
+	if vars.PatchitPy.Counters["patchitpy_scans_total"] != 3 {
+		t.Errorf("/debug/vars snapshot counter = %g, want 3", vars.PatchitPy.Counters["patchitpy_scans_total"])
+	}
+	var traces []SpanData
+	if err := json.Unmarshal([]byte(get("/debug/traces")), &traces); err != nil {
+		t.Fatalf("/debug/traces not JSON: %v", err)
+	}
+	if len(traces) != 1 || traces[0].Name != "scan" {
+		t.Errorf("/debug/traces = %+v, want one scan trace", traces)
+	}
+	if body := get("/debug/pprof/"); !strings.Contains(body, "pprof") {
+		t.Errorf("/debug/pprof/ index unexpected:\n%s", body)
+	}
+}

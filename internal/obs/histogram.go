@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultLatencyBuckets are the histogram bounds (seconds) used when no
+// explicit buckets are given: 1µs to 2.5s in a 1-2.5-5 decade ladder,
+// which brackets everything from a single rule's regex pass to a full
+// corpus evaluation.
+var DefaultLatencyBuckets = []float64{
+	1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1, 2.5,
+}
+
+// Histogram is a fixed-bucket latency histogram: per-bucket atomic
+// counts plus an atomic nanosecond sum. Observe is lock-free; readers
+// may see a sum and counts from slightly different instants, which is
+// acceptable for monitoring.
+type Histogram struct {
+	bounds []float64       // ascending upper bounds, in seconds
+	counts []atomic.Uint64 // len(bounds)+1; last slot is the overflow bucket
+	sum    atomic.Int64    // nanoseconds
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefaultLatencyBuckets
+	}
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	s := d.Seconds()
+	// First bound >= s; Prometheus buckets are le-inclusive.
+	i := sort.SearchFloat64s(h.bounds, s)
+	h.counts[i].Add(1)
+	h.sum.Add(d.Nanoseconds())
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	var n uint64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the observation sum in seconds.
+func (h *Histogram) Sum() float64 {
+	return float64(h.sum.Load()) / 1e9
+}
+
+// Quantile approximates the q-th quantile (0 <= q <= 1) in seconds by
+// linear interpolation within the bucket containing the target rank.
+// Observations in the overflow bucket report the largest bound. Returns
+// 0 when the histogram is empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.Count()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum uint64
+	for i, upper := range h.bounds {
+		n := h.counts[i].Load()
+		if n == 0 {
+			cum += n
+			continue
+		}
+		if float64(cum+n) >= rank {
+			lower := 0.0
+			if i > 0 {
+				lower = h.bounds[i-1]
+			}
+			frac := (rank - float64(cum)) / float64(n)
+			if frac < 0 {
+				frac = 0
+			}
+			return lower + frac*(upper-lower)
+		}
+		cum += n
+	}
+	return h.bounds[len(h.bounds)-1]
+}

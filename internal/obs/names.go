@@ -1,0 +1,48 @@
+package obs
+
+// Canonical metric names. Every component registers under these
+// constants so the exposition surfaces (Prometheus text, JSON snapshot,
+// the serve "metrics" verb) and the summary-line helpers agree on the
+// spelling; DESIGN.md's "Observability" section documents each one.
+const (
+	// Detection engine (internal/detect). Counted on real (uncached)
+	// scans only; cache hits are accounted by the cache counters.
+	MetricScans        = "patchitpy_scans_total"                 // counter: uncached scans
+	MetricScanFindings = "patchitpy_scan_findings_total"         // counter: findings from uncached scans
+	MetricScanDuration = "patchitpy_scan_duration_seconds"       // histogram: whole-scan latency
+	MetricRuleRuns     = "patchitpy_rule_runs_total"             // counter{rule}: regex-phase executions
+	MetricRuleFindings = "patchitpy_rule_findings_total"         // counter{rule}: findings per rule
+	MetricRuleTime     = "patchitpy_rule_duration_seconds_total" // counter{rule}: cumulative regex-phase time
+	MetricRuleDuration = "patchitpy_rule_duration_seconds"       // histogram: per-rule-run latency, all rules
+
+	// Literal-prefilter accounting (cumulative, from detect.ScanStats).
+	MetricPrefilterConsidered = "patchitpy_prefilter_rules_considered_total" // counter fn
+	MetricPrefilterSkipped    = "patchitpy_prefilter_rules_skipped_total"    // counter fn
+	MetricPrefilterSkipRate   = "patchitpy_prefilter_skip_rate"              // gauge fn: skipped/considered
+
+	// Result caches (internal/resultcache), labeled
+	// cache="analyze"|"fix"|"scan".
+	MetricCacheHits      = "patchitpy_cache_hits_total"      // counter fn{cache}
+	MetricCacheMisses    = "patchitpy_cache_misses_total"    // counter fn{cache}
+	MetricCacheEvictions = "patchitpy_cache_evictions_total" // counter fn{cache}
+	MetricCacheHitRate   = "patchitpy_cache_hit_rate"        // gauge fn{cache}: hits/(hits+misses)
+	MetricCacheEntries   = "patchitpy_cache_entries"         // gauge fn{cache}
+	MetricCacheBytes     = "patchitpy_cache_bytes"           // gauge fn{cache}: retained cost
+
+	// Worker pool (internal/workpool), recorded when the Run context
+	// carries an enabled registry.
+	MetricPoolBatches = "patchitpy_workpool_batches_total"  // counter: Run invocations
+	MetricPoolJobs    = "patchitpy_workpool_jobs_total"     // counter: completed jobs
+	MetricPoolActive  = "patchitpy_workpool_active_workers" // gauge: workers inside fn
+	MetricPoolWorkers = "patchitpy_workpool_workers"        // gauge: pool size of the latest batch
+	MetricPoolPending = "patchitpy_workpool_jobs_pending"   // gauge: unclaimed jobs of the latest batch
+
+	// Registry-driven analyzer harness (experiments, CLI detect).
+	MetricAnalyzerRuns     = "patchitpy_analyzer_runs_total"       // counter{tool}
+	MetricAnalyzerDuration = "patchitpy_analyzer_duration_seconds" // histogram{tool}
+
+	// Serve session protocol (internal/core).
+	MetricServeRequests = "patchitpy_serve_requests_total"           // counter{cmd}
+	MetricServeDuration = "patchitpy_serve_request_duration_seconds" // histogram{cmd}
+	MetricUptime        = "patchitpy_uptime_seconds"                 // gauge fn: process uptime
+)

@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// DefaultTraceCapacity is the trace ring size a new registry starts
+// with: enough recent traces to inspect a burst of serve requests,
+// small enough to never matter for memory.
+const DefaultTraceCapacity = 64
+
+// SpanData is one finished span in an exported trace: a name, wall-clock
+// bounds, and the nested child phases. It is the JSON shape served at
+// /debug/traces.
+type SpanData struct {
+	Name       string     `json:"name"`
+	Start      time.Time  `json:"start"`
+	DurationMS float64    `json:"durationMs"`
+	Children   []SpanData `json:"children,omitempty"`
+}
+
+// Tracer keeps a bounded ring of the most recent finished root traces.
+// Recording a trace once the ring is full evicts the oldest.
+type Tracer struct {
+	mu   sync.Mutex
+	ring []SpanData
+	next int // ring index the next trace lands in
+	size int // live entries, <= len(ring)
+}
+
+func newTracer(capacity int) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Tracer{ring: make([]SpanData, capacity)}
+}
+
+// record stores one finished root trace, evicting the oldest when full.
+func (t *Tracer) record(sd SpanData) {
+	t.mu.Lock()
+	t.ring[t.next] = sd
+	t.next = (t.next + 1) % len(t.ring)
+	if t.size < len(t.ring) {
+		t.size++
+	}
+	t.mu.Unlock()
+}
+
+// Recent returns the retained traces, newest first.
+func (t *Tracer) Recent() []SpanData {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanData, 0, t.size)
+	for i := 1; i <= t.size; i++ {
+		out = append(out, t.ring[(t.next-i+len(t.ring))%len(t.ring)])
+	}
+	return out
+}
+
+// Traces returns the registry's retained traces, newest first.
+func (r *Registry) Traces() []SpanData {
+	if r == nil || r.tracer == nil {
+		return nil
+	}
+	return r.tracer.Recent()
+}
+
+// SetTraceCapacity resizes the trace ring, dropping retained traces.
+func (r *Registry) SetTraceCapacity(n int) {
+	r.mu.Lock()
+	r.tracer = newTracer(n)
+	r.mu.Unlock()
+}
+
+// Span is one live phase of a trace. A nil *Span is the no-op span every
+// method accepts, so call sites never branch on whether tracing is
+// active.
+type Span struct {
+	tracer *Tracer
+	parent *Span
+	name   string
+	start  time.Time
+
+	mu       sync.Mutex
+	end      time.Time
+	children []*Span
+}
+
+// ctxSpanKey carries the active span in a context.
+type ctxSpanKey struct{}
+
+// Start begins a span named name. If ctx already carries a span, the new
+// span becomes its child; otherwise a root span starts, provided ctx
+// carries an enabled registry (see With) — without one, Start is a no-op
+// returning ctx unchanged and a nil span.
+//
+// End the returned span exactly once. When a root span ends, the
+// finished trace is pushed into the registry's bounded ring.
+func Start(ctx context.Context, name string) (context.Context, *Span) {
+	if parent, ok := ctx.Value(ctxSpanKey{}).(*Span); ok && parent != nil {
+		sp := &Span{tracer: parent.tracer, parent: parent, name: name, start: time.Now()}
+		parent.mu.Lock()
+		parent.children = append(parent.children, sp)
+		parent.mu.Unlock()
+		return context.WithValue(ctx, ctxSpanKey{}, sp), sp
+	}
+	reg := From(ctx)
+	if !reg.Enabled() {
+		return ctx, nil
+	}
+	reg.mu.Lock()
+	tracer := reg.tracer
+	reg.mu.Unlock()
+	if tracer == nil {
+		return ctx, nil
+	}
+	sp := &Span{tracer: tracer, name: name, start: time.Now()}
+	return context.WithValue(ctx, ctxSpanKey{}, sp), sp
+}
+
+// End finishes the span. On a nil span it is a no-op. Ending a root span
+// records the whole trace; children that were never ended are reported
+// with their parent's end time.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.end = time.Now()
+	s.mu.Unlock()
+	if s.parent == nil && s.tracer != nil {
+		s.tracer.record(s.data(s.end))
+	}
+}
+
+// data snapshots the span tree. fallbackEnd stands in for spans that
+// were never explicitly ended.
+func (s *Span) data(fallbackEnd time.Time) SpanData {
+	s.mu.Lock()
+	end := s.end
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	if end.IsZero() {
+		end = fallbackEnd
+	}
+	dur := end.Sub(s.start)
+	if dur < 0 {
+		// An un-ended span whose parent finished before it started (a
+		// mis-instrumented site) would report negative; clamp to zero.
+		dur = 0
+	}
+	sd := SpanData{
+		Name:       s.name,
+		Start:      s.start,
+		DurationMS: float64(dur) / float64(time.Millisecond),
+	}
+	for _, c := range children {
+		sd.Children = append(sd.Children, c.data(end))
+	}
+	return sd
+}

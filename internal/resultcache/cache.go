@@ -23,6 +23,8 @@ import (
 	"container/list"
 	"sync"
 	"sync/atomic"
+
+	"github.com/dessertlab/patchitpy/internal/obs"
 )
 
 // numShards is the shard count; a power of two so the hash maps cheaply.
@@ -282,4 +284,47 @@ func (c *Cache[V]) Stats() Stats {
 		Misses:    c.misses.Load(),
 		Evictions: c.evictions.Load(),
 	}
+}
+
+// Snapshot is the cache's full public state: the counters plus the
+// occupancy figures every frontend (the serve "stats" verb, the obs
+// metric exports, the CLI summaries) reports from the same source.
+type Snapshot struct {
+	// Hits, Misses and Evictions mirror Stats.
+	Hits, Misses, Evictions uint64
+	// HitRate is Hits / (Hits + Misses), or 0 before any lookup.
+	HitRate float64
+	// Entries is the number of cached values across all shards.
+	Entries int
+	// Bytes is the retained cost across all shards.
+	Bytes int64
+}
+
+// Snapshot returns the cache's counters and occupancy in one call. A nil
+// cache reports zeros.
+func (c *Cache[V]) Snapshot() Snapshot {
+	s := c.Stats()
+	return Snapshot{
+		Hits:      s.Hits,
+		Misses:    s.Misses,
+		Evictions: s.Evictions,
+		HitRate:   s.HitRate(),
+		Entries:   c.Len(),
+		Bytes:     c.Bytes(),
+	}
+}
+
+// RegisterObs registers one cache's counters and occupancy with reg as
+// pull-style metrics labeled cache=name. The cache is fetched through
+// get at exposition time, so owners that replace their cache on
+// reconfiguration (SetCacheBytes) stay correctly wired; get may return
+// nil (reports zeros). Re-registering the same name replaces the
+// previous wiring.
+func RegisterObs[V any](reg *obs.Registry, name string, get func() *Cache[V]) {
+	reg.CounterFuncL(obs.MetricCacheHits, "cache", name, func() float64 { return float64(get().Stats().Hits) })
+	reg.CounterFuncL(obs.MetricCacheMisses, "cache", name, func() float64 { return float64(get().Stats().Misses) })
+	reg.CounterFuncL(obs.MetricCacheEvictions, "cache", name, func() float64 { return float64(get().Stats().Evictions) })
+	reg.GaugeFuncL(obs.MetricCacheHitRate, "cache", name, func() float64 { return get().Stats().HitRate() })
+	reg.GaugeFuncL(obs.MetricCacheEntries, "cache", name, func() float64 { return float64(get().Len()) })
+	reg.GaugeFuncL(obs.MetricCacheBytes, "cache", name, func() float64 { return float64(get().Bytes()) })
 }

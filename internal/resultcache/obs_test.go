@@ -1,0 +1,68 @@
+package resultcache
+
+import (
+	"testing"
+
+	"github.com/dessertlab/patchitpy/internal/obs"
+)
+
+func TestSnapshot(t *testing.T) {
+	c := New[string](1<<20, func(key, v string) int64 { return int64(len(v)) })
+	c.Get("a") // miss
+	c.Add("a", "value")
+	c.Get("a") // hit
+
+	s := c.Snapshot()
+	if s.Hits != 1 || s.Misses != 1 {
+		t.Errorf("snapshot hits/misses = %d/%d, want 1/1", s.Hits, s.Misses)
+	}
+	if s.HitRate != 0.5 {
+		t.Errorf("hit rate = %g, want 0.5", s.HitRate)
+	}
+	// Cost is key length + cost fn: len("a") + len("value").
+	if s.Entries != 1 || s.Bytes != 6 {
+		t.Errorf("occupancy = %d entries / %d bytes, want 1 / 6", s.Entries, s.Bytes)
+	}
+
+	var nilCache *Cache[string]
+	if got := nilCache.Snapshot(); got != (Snapshot{}) {
+		t.Errorf("nil cache snapshot = %+v, want zeros", got)
+	}
+}
+
+func TestRegisterObs(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := New[string](1<<20, func(key, v string) int64 { return int64(len(v)) })
+	RegisterObs(reg, "test", func() *Cache[string] { return c })
+
+	c.Get("a")
+	c.Add("a", "value")
+	c.Get("a")
+
+	snap := reg.Snapshot()
+	if got := snap.Counters[obs.MetricCacheHits+`{cache="test"}`]; got != 1 {
+		t.Errorf("exported hits = %g, want 1", got)
+	}
+	if got := snap.Counters[obs.MetricCacheMisses+`{cache="test"}`]; got != 1 {
+		t.Errorf("exported misses = %g, want 1", got)
+	}
+	if got := snap.Gauges[obs.MetricCacheHitRate+`{cache="test"}`]; got != 0.5 {
+		t.Errorf("exported hit rate = %g, want 0.5", got)
+	}
+	if got := snap.Gauges[obs.MetricCacheBytes+`{cache="test"}`]; got != 6 {
+		t.Errorf("exported bytes = %g, want 6 (key + value cost)", got)
+	}
+
+	// Replacing the cache (the SetCacheBytes pattern) stays wired because
+	// the getter is consulted at exposition time.
+	c = New[string](1<<20, func(key, v string) int64 { return int64(len(v)) })
+	if got := reg.Snapshot().Counters[obs.MetricCacheHits+`{cache="test"}`]; got != 0 {
+		t.Errorf("after cache replacement, exported hits = %g, want 0", got)
+	}
+
+	// A nil cache from the getter reports zeros rather than panicking.
+	RegisterObs(reg, "empty", func() *Cache[string] { return nil })
+	if got := reg.Snapshot().Counters[obs.MetricCacheHits+`{cache="empty"}`]; got != 0 {
+		t.Errorf("nil-cache export = %g, want 0", got)
+	}
+}

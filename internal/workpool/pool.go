@@ -11,6 +11,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"github.com/dessertlab/patchitpy/internal/obs"
 )
 
 // Clamp resolves a requested concurrency level: values <= 0 mean
@@ -39,6 +41,28 @@ func Run(ctx context.Context, n, concurrency int, fn func(i int)) error {
 		return ctx.Err()
 	}
 	workers := Clamp(concurrency, n)
+	// When the context carries an enabled obs registry, publish the
+	// pool's saturation: batch/job counters plus active-worker and
+	// pending-job gauges. The gauges describe the most recent batch;
+	// concurrent batches interleave their updates, which is acceptable
+	// for utilization monitoring. Without a registry this block is one
+	// nil-safe atomic load.
+	if reg := obs.From(ctx); reg.Enabled() {
+		reg.Counter(obs.MetricPoolBatches).Inc()
+		reg.Gauge(obs.MetricPoolWorkers).Set(int64(workers))
+		jobs := reg.Counter(obs.MetricPoolJobs)
+		active := reg.Gauge(obs.MetricPoolActive)
+		pending := reg.Gauge(obs.MetricPoolPending)
+		pending.Set(int64(n))
+		inner := fn
+		fn = func(i int) {
+			active.Inc()
+			inner(i)
+			active.Dec()
+			jobs.Inc()
+			pending.Add(-1)
+		}
+	}
 	if workers == 1 {
 		// Sequential fast path: no goroutines, identical job order.
 		for i := 0; i < n; i++ {

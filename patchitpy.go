@@ -32,6 +32,10 @@ import (
 	"github.com/dessertlab/patchitpy/internal/rules"
 )
 
+// Version is the engine version, reported by the serve protocol's "ping"
+// verb.
+const Version = core.Version
+
 // Engine is the PatchitPy analysis-and-remediation engine. It is safe for
 // concurrent use.
 type Engine = core.PatchitPy
