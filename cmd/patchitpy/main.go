@@ -3,6 +3,7 @@
 //	patchitpy detect [-severity high] [-format text|json|sarif] [-tools list] [-j N] [-metrics-out m.json] path ...
 //	patchitpy patch  file.py [file2.py ...]   # patch in place (-o to stdout)
 //	patchitpy rules                            # list the rule catalog
+//	patchitpy vet [-format text|json|sarif] [-metrics-out m.json]  # vet the rule catalog itself
 //	patchitpy serve [-cache 64] [-debug-addr :6060]  # JSON editor protocol on stdio
 //
 // `detect` accepts files, directories and `dir/...` arguments; directory
@@ -11,6 +12,13 @@
 // are merged into the unified diagnostics model and rendered as text,
 // JSON Lines or SARIF 2.1.0. Exit status: 0 when clean, 1 when findings
 // were reported, 2 on usage or I/O errors.
+//
+// `vet` runs the catalog vetting engine (internal/rulecheck) over the
+// built-in rules — regex health, prefilter coverage, metadata integrity,
+// inter-rule overlap and patch-template convergence — and renders the
+// issues through the same text/JSON/SARIF emitters, treating the catalog
+// as the file and rule positions as lines. Exit 1 iff error-severity
+// issues exist; advisories alone exit 0, so CI gates on the bare command.
 //
 // `serve` speaks the newline-delimited JSON protocol the paper's VS Code
 // extension uses: {"cmd":"detect","code":"..."} and
@@ -81,7 +89,7 @@ func run(args []string) error { return runW(os.Stdout, args) }
 // rendered output deterministically.
 func runW(w io.Writer, args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: patchitpy <detect|patch|rules|serve|eval> [args]")
+		return fmt.Errorf("usage: patchitpy <detect|patch|rules|vet|serve|eval> [args]")
 	}
 	cmd, rest := args[0], args[1:]
 	engine := patchitpy.New()
@@ -92,6 +100,8 @@ func runW(w io.Writer, args []string) error {
 		return patchFiles(engine, w, rest)
 	case "rules":
 		return listRules(engine, w)
+	case "vet":
+		return vetCatalog(engine, w, rest)
 	case "serve":
 		fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 		cacheMiB := fs.Int64("cache", 32, "result cache budget per cache, in MiB (0 disables caching)")

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/dessertlab/patchitpy"
+	"github.com/dessertlab/patchitpy/internal/diag"
+	"github.com/dessertlab/patchitpy/internal/diag/sarif"
+	"github.com/dessertlab/patchitpy/internal/obs"
+	"github.com/dessertlab/patchitpy/internal/rulecheck"
+)
+
+// vetCatalog implements `patchitpy vet`: static analysis over the rule
+// catalog itself. Exit status mirrors detect: 0 when the catalog carries
+// no error-severity issues, 1 when it does (advisories alone stay 0), 2
+// on usage errors — which is what lets CI gate on the bare command.
+func vetCatalog(engine *patchitpy.Engine, w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("vet", flag.ContinueOnError)
+	format := fs.String("format", "text", "output format: text, json (JSON Lines) or sarif")
+	metricsOut := fs.String("metrics-out", "", "write the vet run's metrics snapshot to this file as JSON")
+	noSummary := fs.Bool("no-summary", false, "suppress the summary line on stderr")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	switch *format {
+	case "text", "json", "sarif":
+	default:
+		return fmt.Errorf("vet: unknown format %q (use text, json or sarif)", *format)
+	}
+	if len(fs.Args()) != 0 {
+		return fmt.Errorf("vet: takes no positional arguments (it analyzes the built-in catalog)")
+	}
+
+	obsReg := obs.NewRegistry()
+	obsReg.Enable()
+	issueCount := obsReg.CounterVec(obs.MetricVetIssues, "severity")
+	checkCount := obsReg.CounterVec(obs.MetricVetChecks, "check")
+	start := time.Now()
+	rep := rulecheck.Check(engine.Catalog())
+	obsReg.Histogram(obs.MetricVetDuration, nil).Observe(time.Since(start))
+	obsReg.Counter(obs.MetricVetRuns).Add(1)
+	for _, is := range rep.Issues {
+		issueCount.Add(is.Severity.String(), 1)
+		checkCount.Add(is.Check, 1)
+	}
+
+	// The catalog is the "file" under analysis; rule indexes are lines.
+	files := []diag.FileFindings{{File: "catalog", Findings: rep.Findings()}}
+	var err error
+	switch *format {
+	case "json":
+		err = diag.WriteJSONL(w, files)
+	case "sarif":
+		err = sarif.Write(w, files)
+	default:
+		err = diag.WriteText(w, files)
+	}
+	if err != nil {
+		return err
+	}
+
+	if !*noSummary {
+		fmt.Fprintf(stderr, "patchitpy vet: %d rules, %d issues (%d errors, %d warnings, %d infos) fingerprint=%s\n",
+			rep.RuleCount, len(rep.Issues), rep.Errors(), rep.Warnings(), rep.Infos(), rep.Fingerprint)
+	}
+	if *metricsOut != "" {
+		if err := obsReg.WriteSnapshotFile(*metricsOut); err != nil {
+			return fmt.Errorf("vet: write metrics: %w", err)
+		}
+	}
+	if rep.HasErrors() {
+		return errFindings
+	}
+	return nil
+}

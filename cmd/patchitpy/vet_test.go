@@ -1,0 +1,80 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The vet subcommand's output is part of the CI contract: goldens pin the
+// text and SARIF renderings, and the SARIF must be byte-stable across
+// runs (the acceptance bar for using it as a build artifact).
+
+func TestVetTextGolden(t *testing.T) {
+	out, err := runCapture(t, "vet", "-no-summary")
+	if err != nil {
+		t.Fatalf("vet on the shipped catalog must exit clean, got %v", err)
+	}
+	checkGolden(t, "vet_text", out)
+}
+
+func TestVetSARIFGoldenAndStability(t *testing.T) {
+	first, err := runCapture(t, "vet", "-format", "sarif", "-no-summary")
+	if err != nil {
+		t.Fatalf("vet sarif: %v", err)
+	}
+	second, err := runCapture(t, "vet", "-format", "sarif", "-no-summary")
+	if err != nil {
+		t.Fatalf("vet sarif (second run): %v", err)
+	}
+	if first != second {
+		t.Error("vet SARIF output is not byte-stable across runs")
+	}
+	checkGolden(t, "vet_sarif", first)
+}
+
+func TestVetJSONWellFormed(t *testing.T) {
+	out, err := runCapture(t, "vet", "-format", "json", "-no-summary")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("vet -format json line is not JSON: %q: %v", line, err)
+		}
+		if rec["tool"] != "rulecheck" {
+			t.Errorf("vet finding tool = %v, want rulecheck", rec["tool"])
+		}
+	}
+}
+
+func TestVetUsageErrors(t *testing.T) {
+	if _, err := runCapture(t, "vet", "-format", "bogus"); err == nil || errors.Is(err, errFindings) {
+		t.Errorf("bad format: err = %v, want usage error", err)
+	}
+	if _, err := runCapture(t, "vet", "some.py"); err == nil || errors.Is(err, errFindings) {
+		t.Errorf("positional arg: err = %v, want usage error", err)
+	}
+}
+
+func TestVetMetricsOut(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "vet_metrics.json")
+	if _, err := runCapture(t, "vet", "-no-summary", "-metrics-out", path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap map[string]any
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("metrics snapshot is not JSON: %v", err)
+	}
+	if !strings.Contains(string(raw), "patchitpy_vet_runs_total") {
+		t.Error("metrics snapshot lacks patchitpy_vet_runs_total")
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"github.com/dessertlab/patchitpy/internal/editor"
 	"github.com/dessertlab/patchitpy/internal/obs"
 	"github.com/dessertlab/patchitpy/internal/resultcache"
+	"github.com/dessertlab/patchitpy/internal/rulecheck"
 )
 
 // The session protocol mirrors the VS Code extension's interaction: the
@@ -22,8 +23,8 @@ import (
 
 // Request is one line of the JSON session protocol.
 type Request struct {
-	// Cmd is "detect", "suggest", "patch", "rules", "stats", "ping" or
-	// "metrics".
+	// Cmd is "detect", "suggest", "patch", "rules", "vet", "stats",
+	// "ping" or "metrics".
 	Cmd string `json:"cmd"`
 	// Code is the selected Python code (detect/suggest/patch).
 	Code string `json:"code,omitempty"`
@@ -61,6 +62,17 @@ type StatsDTO struct {
 	PrefilterSkip   float64       `json:"prefilterSkipRate"`
 }
 
+// VetDTO is the "vet" verb payload: the catalog vetting report with its
+// issues in the unified diagnostics shape.
+type VetDTO struct {
+	RuleCount   int            `json:"ruleCount"`
+	Fingerprint string         `json:"fingerprint"`
+	Errors      int            `json:"errors"`
+	Warnings    int            `json:"warnings"`
+	Infos       int            `json:"infos"`
+	Findings    []diag.Finding `json:"findings,omitempty"`
+}
+
 // FixPreview shows one fix as a TextEdit against the submitted code, so
 // the editor can render the popup's preview before the user accepts.
 type FixPreview struct {
@@ -95,6 +107,8 @@ type Response struct {
 	RuleCount  int          `json:"ruleCount,omitempty"`
 	CWEs       []string     `json:"cwes,omitempty"`
 	Stats      *StatsDTO    `json:"stats,omitempty"`
+	// Vet carries the catalog vetting report ("vet" verb).
+	Vet *VetDTO `json:"vet,omitempty"`
 	// Tools carries per-analyzer results for requests with a "tools" field.
 	Tools []ToolResultDTO `json:"tools,omitempty"`
 	// Version and UptimeMs answer the "ping" health check.
@@ -196,6 +210,16 @@ func (p *PatchitPy) handleCmd(ctx context.Context, req Request) Response {
 		}
 	case "rules":
 		return Response{OK: true, RuleCount: p.Catalog().Len(), CWEs: p.Catalog().CWEs()}
+	case "vet":
+		rep := rulecheck.Check(p.Catalog())
+		return Response{OK: true, Vulnerable: rep.HasErrors(), Vet: &VetDTO{
+			RuleCount:   rep.RuleCount,
+			Fingerprint: rep.Fingerprint,
+			Errors:      rep.Errors(),
+			Warnings:    rep.Warnings(),
+			Infos:       rep.Infos(),
+			Findings:    rep.Findings(),
+		}}
 	case "stats":
 		cs := p.CacheStats()
 		toDTO := func(s resultcache.Stats) CacheStatsDTO {

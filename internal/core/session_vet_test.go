@@ -1,0 +1,50 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestServeVetVerb exercises the "vet" serve verb: the catalog vetting
+// report arrives as a structured payload, and the shipped catalog must
+// report zero errors (Vulnerable=false) with its advisory findings
+// itemized.
+func TestServeVetVerb(t *testing.T) {
+	p := New()
+	in := strings.NewReader(`{"cmd":"vet"}` + "\n")
+	var out bytes.Buffer
+	if err := p.Serve(in, &out); err != nil {
+		t.Fatal(err)
+	}
+	var resp Response
+	if err := json.Unmarshal(out.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.OK {
+		t.Fatalf("vet verb failed: %s", resp.Error)
+	}
+	if resp.Vet == nil {
+		t.Fatal("vet response carries no Vet payload")
+	}
+	if resp.Vet.RuleCount != 85 {
+		t.Errorf("RuleCount = %d, want 85", resp.Vet.RuleCount)
+	}
+	if resp.Vet.Errors != 0 || resp.Vulnerable {
+		t.Errorf("shipped catalog reports %d errors (vulnerable=%t), want 0",
+			resp.Vet.Errors, resp.Vulnerable)
+	}
+	if resp.Vet.Fingerprint != p.Catalog().Fingerprint() {
+		t.Errorf("fingerprint mismatch: %s vs %s", resp.Vet.Fingerprint, p.Catalog().Fingerprint())
+	}
+	if len(resp.Vet.Findings) != resp.Vet.Errors+resp.Vet.Warnings+resp.Vet.Infos {
+		t.Errorf("findings count %d != %d+%d+%d", len(resp.Vet.Findings),
+			resp.Vet.Errors, resp.Vet.Warnings, resp.Vet.Infos)
+	}
+	for _, f := range resp.Vet.Findings {
+		if f.Tool != "rulecheck" || f.RuleID == "" {
+			t.Errorf("malformed vet finding: %+v", f)
+		}
+	}
+}

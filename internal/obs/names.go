@@ -41,6 +41,12 @@ const (
 	MetricAnalyzerRuns     = "patchitpy_analyzer_runs_total"       // counter{tool}
 	MetricAnalyzerDuration = "patchitpy_analyzer_duration_seconds" // histogram{tool}
 
+	// Catalog vetting (internal/rulecheck via `patchitpy vet`).
+	MetricVetRuns     = "patchitpy_vet_runs_total"           // counter: vet invocations
+	MetricVetDuration = "patchitpy_vet_duration_seconds"     // histogram: whole-vet latency
+	MetricVetIssues   = "patchitpy_vet_issues_total"         // counter{severity}: issues by severity
+	MetricVetChecks   = "patchitpy_vet_check_findings_total" // counter{check}: issues by check slug
+
 	// Serve session protocol (internal/core).
 	MetricServeRequests = "patchitpy_serve_requests_total"           // counter{cmd}
 	MetricServeDuration = "patchitpy_serve_request_duration_seconds" // histogram{cmd}

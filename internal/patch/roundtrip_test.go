@@ -1,0 +1,65 @@
+package patch_test
+
+import (
+	"testing"
+
+	"github.com/dessertlab/patchitpy/internal/detect"
+	"github.com/dessertlab/patchitpy/internal/patch"
+	"github.com/dessertlab/patchitpy/internal/rulecheck"
+	"github.com/dessertlab/patchitpy/internal/rules"
+)
+
+// TestCatalogPatchRoundTrip is the catalog-wide remediation property: for
+// every fix-bearing rule, a synthesized witness must be detected, the fix
+// must apply, and re-scanning the patched source must no longer report the
+// rule — the fix actually removes the vulnerability instead of merely
+// rewriting it into another detectable shape. This is the same fixpoint
+// the rulecheck engine enforces (template-nonconvergent), restated here as
+// a direct property of the patch engine so a regression in Apply itself —
+// not just in a rule's template — fails close to the code that broke.
+func TestCatalogPatchRoundTrip(t *testing.T) {
+	cat := rules.NewCatalog()
+	det := detect.New(cat)
+	opts := detect.Options{NoCache: true}
+
+	fixable := 0
+	for _, r := range cat.Rules() {
+		if !r.HasFix() {
+			continue
+		}
+		fixable++
+		r := r
+		t.Run(r.ID, func(t *testing.T) {
+			src, ok := rulecheck.SynthesizeWitness(r)
+			if !ok {
+				t.Fatalf("no witness could be synthesized for %s", r.ID)
+			}
+
+			own := det.ScanWith(src, detect.Options{RuleIDs: []string{r.ID}, NoCache: true})
+			if len(own) == 0 {
+				t.Fatalf("witness %q is not detected by its own rule", src)
+			}
+
+			res := patch.Apply(src, own)
+			if len(res.Applied) == 0 {
+				t.Fatalf("fix for %s did not apply to witness %q (unpatched: %d)",
+					r.ID, src, len(res.Unpatched))
+			}
+			if res.Source == src {
+				t.Fatalf("fix for %s applied but left the source unchanged", r.ID)
+			}
+
+			after := det.ScanWith(res.Source, opts)
+			for _, f := range after {
+				if f.Rule.ID == r.ID {
+					t.Fatalf("rule %s still fires after its own fix:\nbefore: %q\nafter:  %q",
+						r.ID, src, res.Source)
+				}
+			}
+		})
+	}
+	if fixable == 0 {
+		t.Fatal("catalog has no fix-bearing rules; round-trip property is vacuous")
+	}
+	t.Logf("round-tripped %d fix-bearing rules", fixable)
+}

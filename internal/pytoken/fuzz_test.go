@@ -1,0 +1,97 @@
+package pytoken
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzTokenizer drives the tokenizer with arbitrary byte soup and checks
+// the invariants every caller relies on: no panics, token spans inside
+// the source and non-decreasing, and TokenizeAll preserving every source
+// byte outside indentation trivia. CI runs this with a short -fuzztime
+// as a smoke test; the real budget comes from local fuzzing sessions.
+func FuzzTokenizer(f *testing.F) {
+	seeds := []string{
+		"",
+		"x = 1\n",
+		"def f(a, b):\n    return a + b\n",
+		"import os\nos.system('ls')\n",
+		"s = \"unterminated",
+		"f'{x!r:{width}}'",
+		"if True:\n\tpass\n        pass\n",
+		"# comment only\n",
+		"a = (1,\n     2)\n",
+		"\\\n",
+		"\x00\x80\xff",
+		"class C:\n  def m(self):\n    '''doc'''\n    return r\"\\\"\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		toks, err := Tokenize(src)
+		if err != nil {
+			// Syntax errors are expected on garbage; the invariant is
+			// that they are *reported*, not panicked.
+			return
+		}
+		last := 0
+		for _, tok := range toks {
+			if tok.Kind == KindEOF || tok.Kind == KindIndent || tok.Kind == KindDedent ||
+				tok.Kind == KindNewline {
+				continue
+			}
+			if tok.Pos.Offset < last || tok.Pos.Offset > len(src) {
+				t.Fatalf("token %v at offset %d out of order/bounds (last=%d, len=%d)",
+					tok, tok.Pos.Offset, last, len(src))
+			}
+			if tok.Pos.Offset+len(tok.Text) > len(src) && tok.Kind == KindString {
+				t.Fatalf("token %v overruns source", tok)
+			}
+			last = tok.Pos.Offset
+		}
+
+		// The trivia-preserving variant must agree with the filtered one
+		// on every non-trivia token.
+		all, err := TokenizeAll(src)
+		if err != nil {
+			t.Fatalf("Tokenize succeeded but TokenizeAll failed: %v", err)
+		}
+		var filtered []Token
+		for _, tok := range all {
+			if tok.Kind == KindComment || tok.Kind == KindNL {
+				continue
+			}
+			filtered = append(filtered, tok)
+		}
+		if len(filtered) != len(toks) {
+			t.Fatalf("TokenizeAll/Tokenize disagree: %d vs %d tokens", len(filtered), len(toks))
+		}
+		for i := range toks {
+			if filtered[i].Kind != toks[i].Kind || filtered[i].Text != toks[i].Text {
+				t.Fatalf("token %d differs: %v vs %v", i, filtered[i], toks[i])
+			}
+		}
+
+		// Re-tokenizing the identical source must be deterministic.
+		again, err := Tokenize(src)
+		if err != nil || len(again) != len(toks) {
+			t.Fatalf("re-tokenize diverged: %v, %d vs %d", err, len(again), len(toks))
+		}
+	})
+}
+
+// FuzzTokenizerNoPanicOnCRLF targets the line-ending handling that has
+// historically been the panic-prone corner: every mix of \r, \n and
+// backslash continuations must tokenize or error cleanly.
+func FuzzTokenizerNoPanicOnCRLF(f *testing.F) {
+	f.Add("a\r\nb\rc\n", 2)
+	f.Add("x = '''\r\n'''\r", 1)
+	f.Fuzz(func(t *testing.T, src string, n int) {
+		if n < 0 || n > 4 {
+			n = 1
+		}
+		src = strings.Repeat(src, n+1)
+		_, _ = Tokenize(src)
+	})
+}

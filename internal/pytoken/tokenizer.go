@@ -153,8 +153,11 @@ func (t *Tokenizer) handleLineStart() (Token, bool, error) {
 		}
 	measured:
 		c := t.peekByte()
-		// Blank or comment-only lines produce no indentation changes.
-		if c == '\n' || c == '\r' || c == 0 || c == '#' {
+		// Blank or comment-only lines produce no indentation changes. End
+		// of input is detected by position, not by peekByte's 0 sentinel —
+		// a literal NUL byte in the source must fall through to the
+		// regular lexing path (and its error) instead of looping here.
+		if c == '\n' || c == '\r' || c == '#' || t.pos >= len(t.src) {
 			if c == '#' {
 				tok := t.lexComment()
 				t.pending = append(t.pending, tok)

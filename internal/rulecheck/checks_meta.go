@@ -1,0 +1,58 @@
+package rulecheck
+
+import (
+	"regexp"
+
+	"github.com/dessertlab/patchitpy/internal/rules"
+)
+
+// Metadata integrity: identifiers, CWE/OWASP mappings, severity range,
+// fingerprint stability. These checks need no execution — they are pure
+// table lookups over the compiled catalog.
+
+var cweFormatRe = regexp.MustCompile(`^CWE-\d{3}$`)
+
+func (ck *checker) checkMeta() {
+	for i := 1; i < len(ck.rs); i++ {
+		if ck.rs[i].ID == ck.rs[i-1].ID {
+			ck.add(SeverityError, "duplicate-id", -1,
+				"rule ID %q appears more than once in the catalog", ck.rs[i].ID)
+		}
+	}
+
+	for i, r := range ck.rs {
+		switch {
+		case !cweFormatRe.MatchString(r.CWE):
+			ck.add(SeverityError, "cwe-format", i,
+				"CWE identifier %q is not of the form CWE-NNN (zero-padded to three digits)", r.CWE)
+		case cweNames[r.CWE] == "":
+			ck.add(SeverityError, "cwe-unknown", i,
+				"CWE %q is not in the vetted CWE table (typo, or extend internal/rulecheck/cwedata.go deliberately)", r.CWE)
+		case !categoryAllowed(r.CWE, r.Category):
+			ck.add(SeverityError, "cwe-owasp-mismatch", i,
+				"%s (%s) is filed under %q, which is not an accepted OWASP Top 10:2021 mapping for it",
+				r.CWE, cweNames[r.CWE], r.Category)
+		}
+
+		if r.Category < rules.BrokenAccessControl || r.Category > rules.SSRF {
+			ck.add(SeverityError, "category-unknown", i,
+				"category %d is outside the OWASP Top 10:2021 range", int(r.Category))
+		}
+		if r.Severity < rules.SeverityLow || r.Severity > rules.SeverityCritical {
+			ck.add(SeverityError, "severity-range", i,
+				"severity %d is outside the LOW..CRITICAL range", int(r.Severity))
+		}
+		if r.Title == "" || r.Description == "" {
+			ck.add(SeverityWarning, "metadata-missing", i,
+				"rule has an empty title or description")
+		}
+	}
+
+	// Fingerprint stability: rebuilding a catalog from the same rules must
+	// reproduce the fingerprint, or every cache keyed on it silently
+	// degrades to a miss (or worse, a cross-catalog collision).
+	if fp := rules.NewCustom(ck.rs).Fingerprint(); fp != ck.catalog.Fingerprint() {
+		ck.add(SeverityError, "fingerprint-unstable", -1,
+			"catalog fingerprint is not stable under rebuild: %s != %s", fp, ck.catalog.Fingerprint())
+	}
+}

@@ -1,0 +1,147 @@
+package rulecheck
+
+import (
+	"regexp/syntax"
+	"strings"
+
+	"github.com/dessertlab/patchitpy/internal/detect"
+	"github.com/dessertlab/patchitpy/internal/rules"
+)
+
+// Inter-rule overlap and shadowing. Two complementary views:
+//
+//   - Structural: rules sharing an identical Pattern are duplicates
+//     (an error when the gates coincide too — the rules are then
+//     behaviourally indistinguishable and one of them is dead weight in
+//     every severity/category filter); alternations where an earlier
+//     branch is a proper prefix of a later one shadow the longer branch
+//     under Go's leftmost-first semantics.
+//
+//   - Differential: each rule's witness is scanned with the full catalog;
+//     another rule firing on an overlapping span is empirical overlap the
+//     structural view cannot prove or disprove.
+
+func (ck *checker) checkOverlap() {
+	byPattern := map[string][]int{}
+	for i, r := range ck.rs {
+		byPattern[r.Pattern.String()] = append(byPattern[r.Pattern.String()], i)
+	}
+	for _, group := range byPattern {
+		if len(group) < 2 {
+			continue
+		}
+		for _, j := range group[1:] {
+			i := group[0]
+			if gateKey(ck.rs[i]) == gateKey(ck.rs[j]) {
+				ck.add(SeverityError, "duplicate-rule", j,
+					"identical pattern AND gates as %s — the rules are behaviourally indistinguishable", ck.rs[i].ID)
+			} else {
+				ck.add(SeverityInfo, "duplicate-pattern", j,
+					"shares its exact pattern with %s (distinguished only by gates — intentional tiering, but keep the gates disjoint)", ck.rs[i].ID)
+			}
+		}
+	}
+
+	for i, r := range ck.rs {
+		if shadowed := shadowedBranch(r.Pattern.String()); shadowed != "" {
+			ck.add(SeverityInfo, "alt-shadowed", i,
+				"pattern alternation branch %q can never win: an earlier branch matches a prefix of it (leftmost-first semantics)", shadowed)
+		}
+	}
+
+	// Differential pass: scan each witness with the whole catalog and
+	// report other rules firing on a span overlapping the witness body.
+	for i, wit := range ck.wits {
+		if !wit.ok {
+			continue
+		}
+		body := strings.Index(wit.full, wit.body)
+		if body < 0 {
+			continue
+		}
+		for _, f := range ck.det.ScanWith(wit.full, detect.Options{NoCache: true}) {
+			if f.Rule.ID == ck.rs[i].ID {
+				continue
+			}
+			if f.Start < body+len(wit.body) && f.End > body {
+				ck.add(SeverityInfo, "overlap", i,
+					"witness also triggers %s on an overlapping span (expect double findings on sources matching both)", f.Rule.ID)
+			}
+		}
+	}
+}
+
+// gateKey canonicalizes a rule's gating for duplicate detection.
+func gateKey(r *rules.Rule) string {
+	var b strings.Builder
+	if r.Requires != nil {
+		b.WriteString(r.Requires.String())
+	}
+	b.WriteByte(0)
+	if r.Excludes != nil {
+		b.WriteString(r.Excludes.String())
+	}
+	return b.String()
+}
+
+// shadowedBranch returns the string form of the first alternation branch
+// that is unreachable because an earlier sibling matches a prefix of
+// every string it matches, or "" when none is. The claim is only sound
+// when the alternation is in tail position: any trailing element — even
+// a `\b` assertion — can fail after the short branch and thereby rescue
+// the longer one under leftmost-first semantics, so alternations with a
+// suffix are never reported.
+func shadowedBranch(expr string) string {
+	re, err := syntax.Parse(expr, syntax.Perl)
+	if err != nil {
+		return ""
+	}
+	return findShadowed(re, true)
+}
+
+func findShadowed(re *syntax.Regexp, tail bool) string {
+	if re.Op == syntax.OpAlternate && tail {
+		for i, early := range re.Sub {
+			// A nullable branch wins instantly at any position, so every
+			// later branch is dead when the alternation ends the pattern —
+			// the shape syntax.Parse's prefix factoring produces from
+			// `foo|foo_bar` (→ `foo(?:(?:)|_bar)`).
+			if early.Op == syntax.OpEmptyMatch && i+1 < len(re.Sub) {
+				return re.Sub[i+1].String()
+			}
+			if early.Op != syntax.OpLiteral || early.Flags&syntax.FoldCase != 0 {
+				continue
+			}
+			prefix := string(early.Rune)
+			for _, late := range re.Sub[i+1:] {
+				if late.Op == syntax.OpLiteral && late.Flags&syntax.FoldCase == 0 &&
+					strings.HasPrefix(string(late.Rune), prefix) {
+					return late.String()
+				}
+			}
+		}
+	}
+	switch re.Op {
+	case syntax.OpCapture, syntax.OpAlternate:
+		for _, sub := range re.Sub {
+			if s := findShadowed(sub, tail); s != "" {
+				return s
+			}
+		}
+	case syntax.OpConcat:
+		for i, sub := range re.Sub {
+			if s := findShadowed(sub, tail && i == len(re.Sub)-1); s != "" {
+				return s
+			}
+		}
+	default:
+		// Quantified bodies are never in tail position: a further
+		// iteration attempt follows every iteration.
+		for _, sub := range re.Sub {
+			if s := findShadowed(sub, false); s != "" {
+				return s
+			}
+		}
+	}
+	return ""
+}

@@ -1,0 +1,41 @@
+package rulecheck
+
+// Regex health: structural ReDoS hazards in patterns and gates, plus the
+// executed worst-case probe. Expression compilation itself cannot fail
+// here — the catalog compiles patterns with MustCompile at build — but
+// custom catalogs assembled via rules.NewCustom flow through the same
+// checks, and the syntax re-parse in analyzeRedos tolerates anything.
+
+func (ck *checker) checkRegex() {
+	for i, r := range ck.rs {
+		exprs := []struct{ label, expr string }{
+			{"pattern", r.Pattern.String()},
+		}
+		if r.Requires != nil {
+			exprs = append(exprs, struct{ label, expr string }{"requires gate", r.Requires.String()})
+		}
+		if r.Excludes != nil {
+			exprs = append(exprs, struct{ label, expr string }{"excludes gate", r.Excludes.String()})
+		}
+		for _, e := range exprs {
+			for _, f := range analyzeRedos(e.expr) {
+				switch f.kind {
+				case "nested-quantifier":
+					ck.add(SeverityError, "redos-nested", i, "%s: %s", e.label, f.detail)
+				case "overlapping-alternation":
+					ck.add(SeverityWarning, "redos-ambiguous-alt", i, "%s: %s", e.label, f.detail)
+				case "dotstar-prefix":
+					ck.add(SeverityWarning, "redos-dotstar", i, "%s: %s", e.label, f.detail)
+				}
+			}
+		}
+
+		if elapsed, ok := probeWorstCase(r.Pattern, r.Pattern.String(), ck.wits[i]); !ok {
+			// The message deliberately omits the measured duration so vet
+			// output stays byte-stable across runs; elapsed goes to metrics.
+			_ = elapsed
+			ck.add(SeverityError, "redos-probe", i,
+				"pattern exceeded the %v worst-case budget on a %d-byte adversarial input", probeBudget, probeSize)
+		}
+	}
+}

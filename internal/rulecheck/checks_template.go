@@ -1,0 +1,85 @@
+package rulecheck
+
+import (
+	"github.com/dessertlab/patchitpy/internal/detect"
+	"github.com/dessertlab/patchitpy/internal/patch"
+)
+
+// Patch-template soundness. Static part: a template must not reference a
+// capture group its pattern does not define (Expand silently substitutes
+// the empty string, corrupting the patched source). Dynamic part: for
+// each fix-bearing rule, run the real detect → patch → re-detect loop on
+// the rule's witness. The patched source must no longer trigger the rule
+// (convergence) and must not trigger rules the original did not
+// (no-introduction); violations are exactly the fixpoint failures the
+// paper's repair-rate methodology assumes cannot happen.
+
+func (ck *checker) checkTemplates() {
+	for i, r := range ck.rs {
+		if !r.HasFix() {
+			continue
+		}
+
+		if refs := patch.GroupRefs(r.Fix.Replace); len(refs) > 0 {
+			max := 0
+			for _, n := range refs {
+				if n > max {
+					max = n
+				}
+			}
+			if max > r.Pattern.NumSubexp() {
+				ck.add(SeverityError, "template-bad-group", i,
+					"fix template references group $%d but the pattern captures only %d group(s)", max, r.Pattern.NumSubexp())
+				continue
+			}
+		}
+
+		wit := ck.wits[i]
+		if !wit.ok {
+			continue // witness-failure already reported by checkPrefilter
+		}
+
+		noCache := detect.Options{NoCache: true}
+		before := ck.det.ScanWith(wit.full, noCache)
+		own := ck.det.ScanWith(wit.full, detect.Options{RuleIDs: []string{r.ID}, NoCache: true})
+		if len(own) == 0 {
+			ck.add(SeverityWarning, "template-unexercised", i,
+				"rule does not fire on its own witness %q (gate or comment-mask interaction); fixpoint check skipped", truncate(wit.full, 80))
+			continue
+		}
+
+		res := patch.Apply(wit.full, own)
+		if len(res.Applied) == 0 {
+			ck.add(SeverityError, "template-unapplied", i,
+				"patch engine applied no fix to the rule's own finding on witness %q", truncate(wit.full, 80))
+			continue
+		}
+
+		after := ck.det.ScanWith(res.Source, noCache)
+		beforeIDs := idSet(before)
+		for _, f := range after {
+			if f.Rule.ID == r.ID {
+				ck.add(SeverityError, "template-nonconvergent", i,
+					"fix applied to witness %q still matches the rule (patch loop would not terminate)", truncate(wit.full, 80))
+				break
+			}
+		}
+		seen := map[string]bool{}
+		for _, f := range after {
+			if f.Rule.ID == r.ID || beforeIDs[f.Rule.ID] || seen[f.Rule.ID] {
+				continue
+			}
+			seen[f.Rule.ID] = true
+			ck.add(SeverityError, "template-introduces", i,
+				"fix applied to witness introduces a new finding for %s", f.Rule.ID)
+		}
+	}
+}
+
+func idSet(fs []detect.Finding) map[string]bool {
+	out := make(map[string]bool, len(fs))
+	for _, f := range fs {
+		out[f.Rule.ID] = true
+	}
+	return out
+}

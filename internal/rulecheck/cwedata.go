@@ -1,0 +1,98 @@
+package rulecheck
+
+import "github.com/dessertlab/patchitpy/internal/rules"
+
+// Curated CWE knowledge for metadata vetting. Two tables:
+//
+//   - cweNames: every CWE identifier the catalog is allowed to reference,
+//     with its canonical short name. A rule citing a CWE outside this
+//     table is an error — either the identifier is a typo or the table
+//     needs a deliberate, reviewed addition.
+//
+//   - cweCategories: the OWASP Top 10:2021 categories each CWE may map
+//     to. The sets follow the official OWASP CWE mappings but stay
+//     deliberately lenient where the official assignment is contested in
+//     practice (e.g. CWE-295 is officially A07 yet near-universally filed
+//     under A02 by scanners), so the mismatch check flags genuine
+//     mis-filings — XXE under Integrity Failures — without warring over
+//     judgment calls.
+
+var cweNames = map[string]string{
+	"CWE-022": "Path Traversal",
+	"CWE-078": "OS Command Injection",
+	"CWE-079": "Cross-site Scripting",
+	"CWE-089": "SQL Injection",
+	"CWE-094": "Code Injection",
+	"CWE-095": "Eval Injection",
+	"CWE-208": "Observable Timing Discrepancy",
+	"CWE-209": "Error Message Information Exposure",
+	"CWE-256": "Plaintext Storage of a Password",
+	"CWE-259": "Hard-coded Password",
+	"CWE-295": "Improper Certificate Validation",
+	"CWE-306": "Missing Authentication for Critical Function",
+	"CWE-326": "Inadequate Encryption Strength",
+	"CWE-327": "Broken or Risky Cryptographic Algorithm",
+	"CWE-330": "Insufficiently Random Values",
+	"CWE-347": "Improper Verification of Cryptographic Signature",
+	"CWE-377": "Insecure Temporary File",
+	"CWE-400": "Uncontrolled Resource Consumption",
+	"CWE-434": "Unrestricted Upload of Dangerous File Type",
+	"CWE-489": "Active Debug Code",
+	"CWE-494": "Download of Code Without Integrity Check",
+	"CWE-502": "Deserialization of Untrusted Data",
+	"CWE-522": "Insufficiently Protected Credentials",
+	"CWE-605": "Multiple Binds to the Same Port",
+	"CWE-611": "XML External Entity Reference",
+	"CWE-614": "Sensitive Cookie Without Secure Attribute",
+	"CWE-703": "Improper Check of Exceptional Conditions",
+	"CWE-732": "Incorrect Permission Assignment",
+	"CWE-798": "Hard-coded Credentials",
+	"CWE-916": "Password Hash With Insufficient Effort",
+	"CWE-918": "Server-Side Request Forgery",
+	"CWE-942": "Permissive Cross-domain Policy",
+}
+
+var cweCategories = map[string][]rules.Category{
+	"CWE-022": {rules.BrokenAccessControl},
+	"CWE-078": {rules.Injection},
+	"CWE-079": {rules.Injection},
+	"CWE-089": {rules.Injection},
+	"CWE-094": {rules.Injection},
+	"CWE-095": {rules.Injection},
+	"CWE-208": {rules.CryptographicFailures},
+	"CWE-209": {rules.InsecureDesign, rules.LoggingFailures},
+	"CWE-256": {rules.InsecureDesign, rules.AuthFailures, rules.CryptographicFailures},
+	"CWE-259": {rules.AuthFailures},
+	"CWE-295": {rules.AuthFailures, rules.CryptographicFailures},
+	"CWE-306": {rules.AuthFailures},
+	"CWE-326": {rules.CryptographicFailures},
+	"CWE-327": {rules.CryptographicFailures},
+	"CWE-330": {rules.CryptographicFailures},
+	"CWE-347": {rules.CryptographicFailures, rules.IntegrityFailures},
+	"CWE-377": {rules.BrokenAccessControl, rules.SecurityMisconfiguration},
+	"CWE-400": {rules.InsecureDesign, rules.SecurityMisconfiguration},
+	"CWE-434": {rules.InsecureDesign, rules.BrokenAccessControl},
+	"CWE-489": {rules.SecurityMisconfiguration},
+	"CWE-494": {rules.IntegrityFailures},
+	"CWE-502": {rules.IntegrityFailures},
+	"CWE-522": {rules.InsecureDesign, rules.AuthFailures, rules.CryptographicFailures},
+	"CWE-605": {rules.SecurityMisconfiguration},
+	"CWE-611": {rules.SecurityMisconfiguration},
+	"CWE-614": {rules.SecurityMisconfiguration},
+	"CWE-703": {rules.InsecureDesign, rules.AuthFailures, rules.LoggingFailures},
+	"CWE-732": {rules.SecurityMisconfiguration, rules.BrokenAccessControl},
+	"CWE-798": {rules.AuthFailures},
+	"CWE-916": {rules.CryptographicFailures},
+	"CWE-918": {rules.SSRF},
+	"CWE-942": {rules.SecurityMisconfiguration},
+}
+
+// categoryAllowed reports whether cat is an accepted OWASP mapping for cwe.
+func categoryAllowed(cwe string, cat rules.Category) bool {
+	for _, c := range cweCategories[cwe] {
+		if c == cat {
+			return true
+		}
+	}
+	return false
+}

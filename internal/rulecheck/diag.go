@@ -1,0 +1,59 @@
+package rulecheck
+
+import (
+	"context"
+
+	"github.com/dessertlab/patchitpy/internal/diag"
+	"github.com/dessertlab/patchitpy/internal/rules"
+)
+
+// Bridge into the unified diagnostics model: vetting issues become
+// canonical diag.Findings so the existing text/JSONL/SARIF emitters
+// render vet output with zero new emitter code. The mapping treats the
+// sorted catalog as the "source file": Line is the rule's 1-based
+// position in it (0 for catalog-level issues), RuleID is the check slug,
+// and the offending rule's ID leads the message.
+
+// ToolName is the analyzer name vetting findings carry.
+const ToolName = "rulecheck"
+
+// Findings converts the report's issues to canonical diag findings, in
+// canonical order.
+func (r *Report) Findings() []diag.Finding {
+	out := make([]diag.Finding, 0, len(r.Issues))
+	for _, is := range r.Issues {
+		out = append(out, diag.Finding{
+			Tool:     ToolName,
+			RuleID:   is.Check,
+			Severity: is.Severity.String(),
+			Line:     is.RuleIndex,
+			Message:  is.Message,
+		})
+	}
+	diag.Sort(out)
+	return out
+}
+
+// Analyzer adapts catalog vetting to the diag.Analyzer interface. It
+// ignores the source argument — the catalog is the program under
+// analysis — and is therefore NOT registered in the default scan
+// registry; the vet subcommand and serve verb construct it explicitly.
+type Analyzer struct {
+	catalog *rules.Catalog
+}
+
+// NewAnalyzer returns a vetting analyzer over c.
+func NewAnalyzer(c *rules.Catalog) *Analyzer { return &Analyzer{catalog: c} }
+
+// Name implements diag.Analyzer.
+func (a *Analyzer) Name() string { return ToolName }
+
+// Analyze implements diag.Analyzer: it vets the catalog and reports the
+// issues as findings. src is ignored.
+func (a *Analyzer) Analyze(ctx context.Context, src string) (diag.Result, error) {
+	_ = ctx
+	_ = src
+	rep := Check(a.catalog)
+	fs := rep.Findings()
+	return diag.Result{Tool: ToolName, Findings: fs, Vulnerable: rep.HasErrors()}, nil
+}

@@ -1,0 +1,320 @@
+package rulecheck
+
+import (
+	"regexp"
+	"regexp/syntax"
+	"strings"
+	"time"
+)
+
+// ReDoS analysis. Go's regexp engine is RE2-derived and guarantees
+// linear-time matching, so no catalog rule can stall this repo's scan
+// path catastrophically — but the catalog is the paper's portable
+// artifact: the same patterns run inside the VS Code extension's
+// backtracking JavaScript engine, where a nested unbounded quantifier is
+// an outage. The structural heuristics below flag the classic
+// backtracking blowup shapes; a bounded worst-case probe then executes
+// each pattern on adversarial pump input under a generous time budget as
+// a safety net against patterns that are merely expensive, even for RE2
+// (huge counted repetitions, pathological literal sets).
+
+// redosFinding is one structural hazard in a pattern.
+type redosFinding struct {
+	kind   string // "nested-quantifier", "overlapping-alternation", "dotstar-prefix"
+	detail string
+}
+
+// analyzeRedos parses expr and returns the structural hazards found.
+func analyzeRedos(expr string) []redosFinding {
+	re, err := syntax.Parse(expr, syntax.Perl)
+	if err != nil {
+		return nil
+	}
+	var out []redosFinding
+	walkRedos(re, false, &out)
+	if hasDotStarPrefix(re) {
+		out = append(out, redosFinding{
+			kind:   "dotstar-prefix",
+			detail: "pattern begins with an unanchored `.*`/`.+`, which scans to end of line before the first required element",
+		})
+	}
+	return out
+}
+
+// walkRedos descends the AST tracking whether the current node sits under
+// an unbounded quantifier, emitting a finding for each hazardous nesting
+// or ambiguous alternation.
+func walkRedos(re *syntax.Regexp, underUnbounded bool, out *[]redosFinding) {
+	if unbounded(re) {
+		body := re.Sub[0]
+		if underUnbounded {
+			// The outer caller already reported the hazardous shape when it
+			// inspected its own body; recursing with the flag set keeps
+			// deeper nestings from double-reporting.
+		} else if nullable(body) || edgeUnbounded(body, true) || edgeUnbounded(body, false) {
+			*out = append(*out, redosFinding{
+				kind: "nested-quantifier",
+				detail: "unbounded quantifier over `" + body.String() +
+					"` admits ambiguous repetition splits (catastrophic backtracking in non-RE2 engines)",
+			})
+			underUnbounded = true
+		}
+		if alt := ambiguousAlternation(body); alt != nil {
+			*out = append(*out, redosFinding{
+				kind: "overlapping-alternation",
+				detail: "alternation `" + alt.String() +
+					"` under an unbounded quantifier has branches with overlapping first characters",
+			})
+		}
+	}
+	for _, sub := range re.Sub {
+		walkRedos(sub, underUnbounded, out)
+	}
+}
+
+// unbounded reports whether re is a quantifier with no upper repetition
+// bound.
+func unbounded(re *syntax.Regexp) bool {
+	switch re.Op {
+	case syntax.OpStar, syntax.OpPlus:
+		return true
+	case syntax.OpRepeat:
+		return re.Max < 0
+	}
+	return false
+}
+
+// nullable reports whether re can match the empty string.
+func nullable(re *syntax.Regexp) bool {
+	switch re.Op {
+	case syntax.OpEmptyMatch, syntax.OpStar, syntax.OpQuest,
+		syntax.OpBeginLine, syntax.OpEndLine, syntax.OpBeginText, syntax.OpEndText,
+		syntax.OpWordBoundary, syntax.OpNoWordBoundary:
+		return true
+	case syntax.OpLiteral:
+		return len(re.Rune) == 0
+	case syntax.OpRepeat:
+		return re.Min == 0 || nullable(re.Sub[0])
+	case syntax.OpPlus, syntax.OpCapture:
+		return nullable(re.Sub[0])
+	case syntax.OpConcat:
+		for _, sub := range re.Sub {
+			if !nullable(sub) {
+				return false
+			}
+		}
+		return true
+	case syntax.OpAlternate:
+		for _, sub := range re.Sub {
+			if nullable(sub) {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// edgeUnbounded reports whether an unbounded quantifier inside body is
+// reachable from its start (atStart) or end without crossing a
+// non-nullable element. An inner quantifier fenced on both sides by
+// required delimiters — e.g. the inner star of `(?:x|\(y*\))*` — cannot
+// create ambiguous iteration splits; an inner quantifier at an edge —
+// `(?:a+)+` — can.
+func edgeUnbounded(body *syntax.Regexp, atStart bool) bool {
+	switch body.Op {
+	case syntax.OpCapture:
+		return edgeUnbounded(body.Sub[0], atStart)
+	case syntax.OpStar, syntax.OpPlus:
+		return true
+	case syntax.OpRepeat:
+		if body.Max < 0 {
+			return true
+		}
+		return edgeUnbounded(body.Sub[0], atStart)
+	case syntax.OpQuest:
+		return edgeUnbounded(body.Sub[0], atStart)
+	case syntax.OpAlternate:
+		for _, sub := range body.Sub {
+			if edgeUnbounded(sub, atStart) {
+				return true
+			}
+		}
+		return false
+	case syntax.OpConcat:
+		subs := body.Sub
+		if !atStart {
+			subs = reversed(subs)
+		}
+		for _, sub := range subs {
+			if edgeUnbounded(sub, atStart) {
+				return true
+			}
+			if !nullable(sub) {
+				return false
+			}
+		}
+		return false
+	}
+	return false
+}
+
+func reversed(subs []*syntax.Regexp) []*syntax.Regexp {
+	out := make([]*syntax.Regexp, len(subs))
+	for i, s := range subs {
+		out[len(subs)-1-i] = s
+	}
+	return out
+}
+
+// ambiguousAlternation returns the first alternation inside body whose
+// branches have overlapping first-byte sets — or a nullable branch next
+// to non-nullable ones, the shape syntax.Parse's prefix factoring leaves
+// behind for `a|ab` (→ `a(?:(?:)|b)`) — or nil.
+func ambiguousAlternation(body *syntax.Regexp) *syntax.Regexp {
+	if body.Op == syntax.OpAlternate {
+		var seen [256]bool
+		hasNullable := false
+		for _, sub := range body.Sub {
+			if nullable(sub) {
+				hasNullable = true
+				continue
+			}
+			var first [256]bool
+			firstBytes(sub, &first)
+			for b := 0; b < 256; b++ {
+				if first[b] && seen[b] {
+					return body
+				}
+			}
+			for b := 0; b < 256; b++ {
+				seen[b] = seen[b] || first[b]
+			}
+		}
+		if hasNullable && len(body.Sub) > 1 {
+			return body
+		}
+	}
+	for _, sub := range body.Sub {
+		if alt := ambiguousAlternation(sub); alt != nil {
+			return alt
+		}
+	}
+	return nil
+}
+
+// firstBytes accumulates the bytes that can begin a match of re into set.
+// The approximation is conservative for ASCII (multi-byte runes mark
+// their lead byte).
+func firstBytes(re *syntax.Regexp, set *[256]bool) {
+	switch re.Op {
+	case syntax.OpLiteral:
+		if len(re.Rune) > 0 {
+			markRune(re.Rune[0], re.Flags&syntax.FoldCase != 0, set)
+		}
+	case syntax.OpCharClass:
+		for i := 0; i+1 < len(re.Rune); i += 2 {
+			for r := re.Rune[i]; r <= re.Rune[i+1] && r < 256; r++ {
+				set[byte(r)] = true
+			}
+			if re.Rune[i] > 255 {
+				set[0xF0] = true // lead byte territory; coarse but safe
+			}
+		}
+	case syntax.OpAnyChar, syntax.OpAnyCharNotNL:
+		for b := 0; b < 256; b++ {
+			set[b] = true
+		}
+		if re.Op == syntax.OpAnyCharNotNL {
+			set['\n'] = false
+		}
+	case syntax.OpCapture, syntax.OpPlus, syntax.OpStar, syntax.OpQuest, syntax.OpRepeat:
+		firstBytes(re.Sub[0], set)
+	case syntax.OpAlternate:
+		for _, sub := range re.Sub {
+			firstBytes(sub, set)
+		}
+	case syntax.OpConcat:
+		for _, sub := range re.Sub {
+			firstBytes(sub, set)
+			if !nullable(sub) {
+				return
+			}
+		}
+	}
+}
+
+func markRune(r rune, fold bool, set *[256]bool) {
+	if r < 256 {
+		set[byte(r)] = true
+	}
+	if fold {
+		for _, v := range []rune{r &^ 0x20, r | 0x20} {
+			if v < 256 {
+				set[byte(v)] = true
+			}
+		}
+	}
+}
+
+// hasDotStarPrefix reports whether the pattern's match necessarily begins
+// with an unanchored any-char repetition — the `.*foo` shape that makes
+// every match re-scan its line prefix.
+func hasDotStarPrefix(re *syntax.Regexp) bool {
+	switch re.Op {
+	case syntax.OpCapture:
+		return hasDotStarPrefix(re.Sub[0])
+	case syntax.OpConcat:
+		for _, sub := range re.Sub {
+			switch sub.Op {
+			case syntax.OpBeginLine, syntax.OpBeginText, syntax.OpEmptyMatch:
+				continue
+			}
+			return hasDotStarPrefix(sub)
+		}
+		return false
+	case syntax.OpStar, syntax.OpPlus:
+		s := re.Sub[0]
+		return s.Op == syntax.OpAnyChar || s.Op == syntax.OpAnyCharNotNL
+	}
+	return false
+}
+
+// probeBudget is the per-rule wall-clock allowance for the worst-case
+// input probe. RE2 scans the probe inputs in well under a millisecond;
+// the budget is three orders of magnitude above that so scheduler noise
+// cannot produce flaky vet output.
+const probeBudget = 500 * time.Millisecond
+
+// probeSize is the adversarial input length in bytes.
+const probeSize = 32 << 10
+
+// probeWorstCase runs re over adversarial pump inputs and reports whether
+// the total match time stayed within budget. Inputs are derived from the
+// pattern itself: its possible first bytes repeated (maximizing candidate
+// start positions) and a truncated witness repeated (maximizing
+// almost-matches).
+func probeWorstCase(re *regexp.Regexp, parsed string, wit witness) (time.Duration, bool) {
+	var first [256]bool
+	if p, err := syntax.Parse(parsed, syntax.Perl); err == nil {
+		firstBytes(p, &first)
+	}
+	pump := byte('a')
+	for b := 0; b < 256; b++ {
+		if first[b] && b != '\n' {
+			pump = byte(b)
+			break
+		}
+	}
+	inputs := []string{strings.Repeat(string(pump), probeSize)}
+	if wit.ok && len(wit.body) > 1 {
+		stub := wit.body[:len(wit.body)-1]
+		inputs = append(inputs, strings.Repeat(stub, probeSize/len(stub)+1)[:probeSize])
+	}
+	start := time.Now()
+	for _, in := range inputs {
+		re.MatchString(in)
+	}
+	elapsed := time.Since(start)
+	return elapsed, elapsed <= probeBudget
+}

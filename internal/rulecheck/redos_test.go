@@ -1,0 +1,92 @@
+package rulecheck
+
+import (
+	"regexp"
+	"regexp/syntax"
+	"testing"
+)
+
+func mustRe(expr string) *regexp.Regexp { return regexp.MustCompile(expr) }
+
+func kinds(fs []redosFinding) map[string]int {
+	out := map[string]int{}
+	for _, f := range fs {
+		out[f.kind]++
+	}
+	return out
+}
+
+func TestAnalyzeRedosNested(t *testing.T) {
+	for _, expr := range []string{
+		`(?:a+)+b`,    // the textbook case
+		`(a*)*$`,      // nullable body
+		`(?:\w+\s?)*`, // nullable tail inside the body
+		`(?:a|a+b)+`,  // unbounded quantifier at a branch edge
+	} {
+		if kinds(analyzeRedos(expr))["nested-quantifier"] == 0 {
+			t.Errorf("nested-quantifier missed on %q", expr)
+		}
+	}
+}
+
+func TestAnalyzeRedosGuardedNestingClean(t *testing.T) {
+	for _, expr := range []string{
+		// PIP-CFG-005's shape: the inner star is fenced by literal parens.
+		`\.set_cookie\(((?:[^()\n]|\([^()\n]*\))*)\)`,
+		`(?:ab)+`,
+		`\w+\s*=\s*\d+`,
+		`(?:"[^"]*")+`,
+	} {
+		if n := kinds(analyzeRedos(expr))["nested-quantifier"]; n != 0 {
+			t.Errorf("nested-quantifier false positive (%d) on %q", n, expr)
+		}
+	}
+}
+
+func TestAnalyzeRedosOverlappingAlternation(t *testing.T) {
+	if kinds(analyzeRedos(`(?:a|ab)+x`))["overlapping-alternation"] == 0 {
+		t.Error("overlapping-alternation missed on (?:a|ab)+x")
+	}
+	if n := kinds(analyzeRedos(`(?:a|b)+x`))["overlapping-alternation"]; n != 0 {
+		t.Errorf("overlapping-alternation false positive on disjoint branches (%d)", n)
+	}
+}
+
+func TestAnalyzeRedosDotStarPrefix(t *testing.T) {
+	if kinds(analyzeRedos(`.*password`))["dotstar-prefix"] == 0 {
+		t.Error("dotstar-prefix missed on .*password")
+	}
+	for _, clean := range []string{`password.*`, `^\s*eval\(`} {
+		if n := kinds(analyzeRedos(clean))["dotstar-prefix"]; n != 0 {
+			t.Errorf("dotstar-prefix false positive on %q", clean)
+		}
+	}
+}
+
+func TestNullable(t *testing.T) {
+	cases := map[string]bool{
+		`a*`:       true,
+		`a?b?`:     true,
+		`a`:        false,
+		`a+`:       false,
+		`(?:a|b*)`: true,
+		`a{0,3}`:   true,
+		`a{2,}`:    false,
+	}
+	for expr, want := range cases {
+		re, err := syntax.Parse(expr, syntax.Perl)
+		if err != nil {
+			t.Fatalf("%q: %v", expr, err)
+		}
+		if got := nullable(re); got != want {
+			t.Errorf("nullable(%q) = %t, want %t", expr, got, want)
+		}
+	}
+}
+
+func TestProbeWorstCaseWithinBudget(t *testing.T) {
+	re := mustRe(`(?m)eval\(\s*request`)
+	if _, ok := probeWorstCase(re, re.String(), witness{ok: true, body: "eval(request"}); !ok {
+		t.Error("benign pattern exceeded the probe budget")
+	}
+}

@@ -1,0 +1,154 @@
+// Package rulecheck statically vets the rule catalog itself: the 85
+// detection rules and their patch templates are the artifact the whole
+// pipeline rests on, and this package is the analyzer that treats them —
+// not the scanned corpus — as the program under analysis.
+//
+// Five check families run over a catalog (see DESIGN.md "Rule vetting"):
+// regex health (ReDoS heuristics plus a bounded worst-case probe),
+// prefilter coverage (introspecting the same literal extraction the scan
+// automaton builds), metadata integrity (CWE/OWASP tables, duplicate
+// IDs, fingerprint stability), inter-rule overlap (literal subsumption
+// and differential execution on synthesized witnesses), and
+// patch-template soundness (a fix applied to a rule's witness must
+// converge under re-scan). Issues carry an Error/Warning/Info severity;
+// `patchitpy vet` exits non-zero on any Error, which gates CI.
+package rulecheck
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/dessertlab/patchitpy/internal/detect"
+	"github.com/dessertlab/patchitpy/internal/rules"
+)
+
+// Severity ranks an issue. Errors fail `patchitpy vet`; warnings and
+// infos are advisory.
+type Severity int
+
+// Issue severities, ordered.
+const (
+	SeverityInfo Severity = iota + 1
+	SeverityWarning
+	SeverityError
+)
+
+// String returns the severity label.
+func (s Severity) String() string {
+	switch s {
+	case SeverityInfo:
+		return "INFO"
+	case SeverityWarning:
+		return "WARNING"
+	case SeverityError:
+		return "ERROR"
+	}
+	return fmt.Sprintf("Severity(%d)", int(s))
+}
+
+// Issue is one vetting finding about the catalog.
+type Issue struct {
+	// Check names the check that fired, e.g. "redos-nested".
+	Check string
+	// Severity is the issue's rank.
+	Severity Severity
+	// RuleID identifies the offending rule; empty for catalog-level
+	// issues (duplicate IDs, fingerprint instability).
+	RuleID string
+	// RuleIndex is the 1-based position of the rule in the sorted
+	// catalog, or 0 for catalog-level issues. It gives emitters a stable
+	// "line number" for the catalog-as-file rendering.
+	RuleIndex int
+	// Message is the human-readable explanation.
+	Message string
+}
+
+// Report is the outcome of vetting one catalog.
+type Report struct {
+	// RuleCount is the number of rules vetted.
+	RuleCount int
+	// Fingerprint is the catalog fingerprint the report describes.
+	Fingerprint string
+	// Issues holds every finding, sorted by (RuleIndex, Check, Message).
+	Issues []Issue
+}
+
+// Errors counts error-severity issues.
+func (r *Report) Errors() int { return r.count(SeverityError) }
+
+// Warnings counts warning-severity issues.
+func (r *Report) Warnings() int { return r.count(SeverityWarning) }
+
+// Infos counts info-severity issues.
+func (r *Report) Infos() int { return r.count(SeverityInfo) }
+
+func (r *Report) count(s Severity) int {
+	n := 0
+	for _, is := range r.Issues {
+		if is.Severity == s {
+			n++
+		}
+	}
+	return n
+}
+
+// HasErrors reports whether the catalog fails vetting.
+func (r *Report) HasErrors() bool { return r.Errors() > 0 }
+
+// checker carries the shared state of one vetting run.
+type checker struct {
+	catalog *rules.Catalog
+	rs      []*rules.Rule
+	det     *detect.Detector
+	wits    []witness // aligned with rs
+	issues  []Issue
+}
+
+// Check vets the catalog and returns the full report. The run is
+// deterministic: the same catalog always yields byte-identical issues in
+// the same order.
+func Check(c *rules.Catalog) *Report {
+	ck := &checker{
+		catalog: c,
+		rs:      c.Rules(),
+		det:     detect.New(c),
+	}
+	ck.wits = make([]witness, len(ck.rs))
+	for i, r := range ck.rs {
+		ck.wits[i] = synthesize(r)
+	}
+
+	ck.checkMeta()
+	ck.checkRegex()
+	ck.checkPrefilter()
+	ck.checkOverlap()
+	ck.checkTemplates()
+
+	sort.SliceStable(ck.issues, func(i, j int) bool {
+		a, b := ck.issues[i], ck.issues[j]
+		if a.RuleIndex != b.RuleIndex {
+			return a.RuleIndex < b.RuleIndex
+		}
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Message < b.Message
+	})
+	return &Report{
+		RuleCount:   c.Len(),
+		Fingerprint: c.Fingerprint(),
+		Issues:      ck.issues,
+	}
+}
+
+// add records an issue against rule index i (0-based position in ck.rs),
+// or against the catalog when i < 0.
+func (ck *checker) add(sev Severity, check string, i int, format string, args ...any) {
+	is := Issue{Check: check, Severity: sev, Message: fmt.Sprintf(format, args...)}
+	if i >= 0 {
+		is.RuleID = ck.rs[i].ID
+		is.RuleIndex = i + 1
+		is.Message = is.RuleID + ": " + is.Message
+	}
+	ck.issues = append(ck.issues, is)
+}

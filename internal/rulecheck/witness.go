@@ -1,0 +1,206 @@
+package rulecheck
+
+import (
+	"regexp/syntax"
+	"strings"
+
+	"github.com/dessertlab/patchitpy/internal/rules"
+)
+
+// Witness synthesis: for each rule, derive a minimal source string its
+// Pattern matches (and, when the rule carries gates, that its Requires
+// gate admits and its Excludes gate does not reject). Witnesses drive the
+// differential checks — prefilter soundness, inter-rule shadowing and
+// patch-template convergence all execute the real engines on them.
+
+// maxWitnessCandidates caps how many alternative strings synthesis
+// explores per expression; alternation-heavy patterns would otherwise
+// explode combinatorially.
+const maxWitnessCandidates = 16
+
+// witness is one rule's synthesized evidence.
+type witness struct {
+	// full is the source string handed to the engines: the pattern match
+	// plus, when needed, a preceding line satisfying the Requires gate.
+	full string
+	// body is the substring matching the rule's Pattern alone.
+	body string
+	// ok reports whether synthesis succeeded; reason explains a failure.
+	ok     bool
+	reason string
+}
+
+// SynthesizeWitness derives a minimal source string that rule r should
+// fire on: its Pattern matches, its Requires gate (if any) admits it and
+// its Excludes gate (if any) does not reject it. ok is false when no such
+// string could be built from the rule's expressions. Property tests in
+// other packages use this to exercise the real engines against every
+// catalog rule without hand-writing 85 vulnerable snippets.
+func SynthesizeWitness(r *rules.Rule) (src string, ok bool) {
+	w := synthesize(r)
+	return w.full, w.ok
+}
+
+// synthesize derives a witness for r, trying pattern candidates (and, when
+// the pattern alone does not satisfy a Requires gate, pattern × requires
+// combinations) until one passes all three gates.
+func synthesize(r *rules.Rule) witness {
+	bodies, err := expressionWitnesses(r.Pattern.String())
+	if err != nil {
+		return witness{reason: "pattern does not parse: " + err.Error()}
+	}
+	var matched []string
+	for _, b := range bodies {
+		if r.Pattern.MatchString(b) {
+			matched = append(matched, b)
+		}
+	}
+	if len(matched) == 0 {
+		return witness{reason: "no synthesized candidate matches the pattern"}
+	}
+
+	var gates []string
+	if r.Requires != nil {
+		gates, err = expressionWitnesses(r.Requires.String())
+		if err != nil {
+			return witness{reason: "requires gate does not parse: " + err.Error()}
+		}
+	}
+
+	for _, body := range matched {
+		for _, full := range gatedCandidates(r, body, gates) {
+			if r.Pattern.MatchString(full) &&
+				(r.Requires == nil || r.Requires.MatchString(full)) &&
+				(r.Excludes == nil || !r.Excludes.MatchString(full)) {
+				return witness{full: full, body: body, ok: true}
+			}
+		}
+	}
+	return witness{reason: "every candidate is rejected by the rule's own gates"}
+}
+
+// gatedCandidates returns the full-source candidates for one pattern
+// body: the body alone when it already satisfies the Requires gate,
+// otherwise the body preceded by each requires-gate witness line.
+func gatedCandidates(r *rules.Rule, body string, gates []string) []string {
+	if r.Requires == nil || r.Requires.MatchString(body) {
+		return []string{body}
+	}
+	out := make([]string, 0, len(gates))
+	for _, g := range gates {
+		out = append(out, g+"\n"+body)
+	}
+	return out
+}
+
+// expressionWitnesses parses expr and returns up to maxWitnessCandidates
+// strings the expression should match, built by choosing alternation
+// branches in order and taking minimal repetitions.
+func expressionWitnesses(expr string) ([]string, error) {
+	re, err := syntax.Parse(expr, syntax.Perl)
+	if err != nil {
+		return nil, err
+	}
+	return nodeWitnesses(re), nil
+}
+
+// nodeWitnesses generates candidate strings for one parsed node.
+func nodeWitnesses(re *syntax.Regexp) []string {
+	switch re.Op {
+	case syntax.OpLiteral:
+		return []string{string(re.Rune)}
+	case syntax.OpCharClass:
+		return []string{string(classRune(re))}
+	case syntax.OpAnyChar, syntax.OpAnyCharNotNL:
+		return []string{"a"}
+	case syntax.OpBeginLine, syntax.OpEndLine, syntax.OpBeginText, syntax.OpEndText,
+		syntax.OpWordBoundary, syntax.OpNoWordBoundary, syntax.OpEmptyMatch:
+		return []string{""}
+	case syntax.OpCapture:
+		return nodeWitnesses(re.Sub[0])
+	case syntax.OpStar, syntax.OpQuest:
+		// Zero repetitions always suffice for a match.
+		return []string{""}
+	case syntax.OpPlus:
+		return nodeWitnesses(re.Sub[0])
+	case syntax.OpRepeat:
+		if re.Min == 0 {
+			return []string{""}
+		}
+		subs := nodeWitnesses(re.Sub[0])
+		out := make([]string, 0, len(subs))
+		for _, s := range subs {
+			out = append(out, strings.Repeat(s, re.Min))
+		}
+		return out
+	case syntax.OpConcat:
+		parts := [][]string{}
+		for _, sub := range re.Sub {
+			parts = append(parts, nodeWitnesses(sub))
+		}
+		return crossProduct(parts)
+	case syntax.OpAlternate:
+		var out []string
+		for _, sub := range re.Sub {
+			out = append(out, nodeWitnesses(sub)...)
+			if len(out) >= maxWitnessCandidates {
+				return out[:maxWitnessCandidates]
+			}
+		}
+		return out
+	default:
+		// OpNoMatch and anything unanticipated: no witness.
+		return nil
+	}
+}
+
+// classRune picks a representative rune from a character class, preferring
+// runes that keep witnesses looking like source code: lowercase letters,
+// then digits, then uppercase, then any printable ASCII, then whatever
+// the class admits first.
+func classRune(re *syntax.Regexp) rune {
+	type band struct{ lo, hi rune }
+	for _, pref := range []band{{'a', 'z'}, {'0', '9'}, {'A', 'Z'}, {'!', '~'}, {' ', ' '}} {
+		for i := 0; i+1 < len(re.Rune); i += 2 {
+			lo, hi := re.Rune[i], re.Rune[i+1]
+			if hi < pref.lo || lo > pref.hi {
+				continue
+			}
+			if lo < pref.lo {
+				lo = pref.lo
+			}
+			return lo
+		}
+	}
+	if len(re.Rune) > 0 {
+		return re.Rune[0]
+	}
+	return 'a'
+}
+
+// crossProduct combines per-part candidate lists into whole-string
+// candidates, capped at maxWitnessCandidates. The first candidate always
+// concatenates each part's first choice; later candidates vary one part
+// at a time so alternation-heavy patterns still yield diverse witnesses.
+func crossProduct(parts [][]string) []string {
+	first := make([]string, len(parts))
+	for i, p := range parts {
+		if len(p) == 0 {
+			return nil
+		}
+		first[i] = p[0]
+	}
+	out := []string{strings.Join(first, "")}
+	for i, p := range parts {
+		for _, alt := range p[1:] {
+			variant := make([]string, len(parts))
+			copy(variant, first)
+			variant[i] = alt
+			out = append(out, strings.Join(variant, ""))
+			if len(out) >= maxWitnessCandidates {
+				return out
+			}
+		}
+	}
+	return out
+}

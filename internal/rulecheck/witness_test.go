@@ -1,0 +1,98 @@
+package rulecheck
+
+import (
+	"testing"
+
+	"github.com/dessertlab/patchitpy/internal/rules"
+)
+
+// TestSynthesizeShippedCatalog asserts witness synthesis succeeds for
+// every shipped rule — the differential checks cover nothing for a rule
+// without a witness, so full coverage here is load-bearing.
+func TestSynthesizeShippedCatalog(t *testing.T) {
+	for _, r := range rules.NewCatalog().Rules() {
+		wit := synthesize(r)
+		if !wit.ok {
+			t.Errorf("%s: no witness: %s", r.ID, wit.reason)
+			continue
+		}
+		if !r.Pattern.MatchString(wit.full) {
+			t.Errorf("%s: witness %q does not match its own pattern", r.ID, wit.full)
+		}
+		if r.Requires != nil && !r.Requires.MatchString(wit.full) {
+			t.Errorf("%s: witness %q fails the requires gate", r.ID, wit.full)
+		}
+		if r.Excludes != nil && r.Excludes.MatchString(wit.full) {
+			t.Errorf("%s: witness %q trips the excludes gate", r.ID, wit.full)
+		}
+	}
+}
+
+func TestExpressionWitnesses(t *testing.T) {
+	cases := []struct {
+		expr string
+		want string // the first candidate
+	}{
+		{`abc`, "abc"},
+		{`a+`, "a"},
+		{`a*b`, "b"},
+		{`a{3}`, "aaa"},
+		{`(?:x|y)z`, "xz"},
+		{`[a-f]\d`, "a0"},
+		{`^import\s+os$`, "import os"},
+	}
+	for _, tc := range cases {
+		got, err := expressionWitnesses(tc.expr)
+		if err != nil {
+			t.Errorf("%q: %v", tc.expr, err)
+			continue
+		}
+		if len(got) == 0 || got[0] != tc.want {
+			t.Errorf("expressionWitnesses(%q) = %v, want first %q", tc.expr, got, tc.want)
+		}
+	}
+}
+
+func TestWitnessCandidateCap(t *testing.T) {
+	got, err := expressionWitnesses(`(?:a|b|c|d|e)(?:f|g|h|i|j)(?:k|l|m|n|o)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) > maxWitnessCandidates {
+		t.Errorf("candidate count %d exceeds cap %d", len(got), maxWitnessCandidates)
+	}
+}
+
+func TestGatedWitness(t *testing.T) {
+	r := &rules.Rule{
+		ID:       "PIP-TST-001",
+		Pattern:  mustRe(`danger\(`),
+		Requires: mustRe(`import danger_lib`),
+	}
+	wit := synthesize(r)
+	if !wit.ok {
+		t.Fatalf("no witness: %s", wit.reason)
+	}
+	if !r.Requires.MatchString(wit.full) || !r.Pattern.MatchString(wit.full) {
+		t.Errorf("gated witness %q fails a gate", wit.full)
+	}
+	if wit.body == wit.full {
+		t.Errorf("gate line was not prepended: %q", wit.full)
+	}
+}
+
+func TestExcludedWitness(t *testing.T) {
+	// Excludes matches every candidate the pattern can produce, so
+	// synthesis must fail with a reason instead of returning a witness
+	// the engine would never fire on.
+	r := &rules.Rule{
+		ID:       "PIP-TST-001",
+		Pattern:  mustRe(`load\(`),
+		Excludes: mustRe(`load`),
+	}
+	if wit := synthesize(r); wit.ok {
+		t.Errorf("synthesize returned %q despite an all-excluding gate", wit.full)
+	} else if wit.reason == "" {
+		t.Error("failed synthesis carries no reason")
+	}
+}

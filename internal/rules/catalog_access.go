@@ -118,7 +118,7 @@ func accessSpecs() []spec {
 			excludes: `(?i)allowed_extensions|allowed_file|\.endswith\(|splitext`,
 		},
 		{
-			id: "PIP-ACC-011", cwe: "CWE-306", cat: BrokenAccessControl,
+			id: "PIP-ACC-011", cwe: "CWE-306", cat: AuthFailures,
 			title:    "Administrative route without authentication",
 			desc:     "Admin endpoints reachable without an auth decorator expose privileged functionality.",
 			sev:      SeverityCritical,

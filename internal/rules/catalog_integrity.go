@@ -78,7 +78,7 @@ func integritySpecs() []spec {
 			requires: `requests\.|urlopen|urllib`,
 		},
 		{
-			id: "PIP-INT-009", cwe: "CWE-611", cat: IntegrityFailures,
+			id: "PIP-INT-009", cwe: "CWE-611", cat: SecurityMisconfiguration,
 			title:   "xml.etree parses untrusted XML",
 			desc:    "The stdlib XML parser is vulnerable to entity-expansion attacks; use defusedxml.",
 			sev:     SeverityHigh,
@@ -89,7 +89,7 @@ func integritySpecs() []spec {
 			},
 		},
 		{
-			id: "PIP-INT-010", cwe: "CWE-611", cat: IntegrityFailures,
+			id: "PIP-INT-010", cwe: "CWE-611", cat: SecurityMisconfiguration,
 			title:   "xml.dom.minidom parses untrusted XML",
 			desc:    "The stdlib XML parser is vulnerable to entity-expansion attacks; use defusedxml.",
 			sev:     SeverityHigh,
@@ -100,7 +100,7 @@ func integritySpecs() []spec {
 			},
 		},
 		{
-			id: "PIP-INT-011", cwe: "CWE-611", cat: IntegrityFailures,
+			id: "PIP-INT-011", cwe: "CWE-611", cat: SecurityMisconfiguration,
 			title:   "xml.sax parses untrusted XML",
 			desc:    "The stdlib SAX parser resolves external entities; use defusedxml.sax.",
 			sev:     SeverityHigh,

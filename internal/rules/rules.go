@@ -150,6 +150,25 @@ func NewCatalog() *Catalog {
 	return c
 }
 
+// NewCustom builds a catalog from already-compiled rules — the entry
+// point for embedding custom rule sets and for catalog-vetting tests that
+// need deliberately broken catalogs. Rules are sorted by ID. Unlike
+// NewCatalog, duplicate IDs are preserved in the rule slice (ByID resolves
+// to the last one), so static checks over the catalog can observe them.
+func NewCustom(rs []*Rule) *Catalog {
+	c := &Catalog{
+		rules: make([]*Rule, 0, len(rs)),
+		byID:  make(map[string]*Rule, len(rs)),
+	}
+	for _, r := range rs {
+		c.rules = append(c.rules, r)
+		c.byID[r.ID] = r
+	}
+	sort.Slice(c.rules, func(i, j int) bool { return c.rules[i].ID < c.rules[j].ID })
+	c.fp = fingerprint(c.rules)
+	return c
+}
+
 // Fingerprint returns a hash over every rule's behavioural fields (ID,
 // patterns, gates, fix template). Two catalogs with the same fingerprint
 // produce the same findings for any source, so the fingerprint is a valid
