@@ -1,0 +1,340 @@
+// Command loadgen replays corpus traffic against the PatchitPy HTTP
+// front end and reports the serving path's latency/throughput profile as
+// BENCH_SERVE.json, so the serve-path trajectory is tracked across PRs
+// (the CI bench-serve job uploads the file as an artifact and gates on
+// its sanity).
+//
+//	loadgen [-addr http://host:port] [-c 16] [-d 10s] [-verbs detect,patch]
+//	        [-unique 0] [-timeout 10s] [-out BENCH_SERVE.json]
+//
+// The request corpus is the paper's 609-sample generated evaluation set
+// (three simulated models over 203 prompts) — the same code the
+// experiments harness scans, replayed as editor traffic. -unique caps
+// the number of distinct sources cycled (0 = all), which directly
+// controls the cache-hit profile: -unique 32 models a hot working set, 0
+// models fleet-wide diversity.
+//
+// With no -addr, loadgen spawns an in-process server (sized by -workers
+// and -queue) on a loopback port, so one command produces a benchmark
+// locally and in CI. The report captures exact (not bucketed) latency
+// quantiles — p50/p90/p99/p999 — plus RPS, per-status counts, shed rate
+// and the response-cache hit rate.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/dessertlab/patchitpy/internal/core"
+	"github.com/dessertlab/patchitpy/internal/generator"
+	"github.com/dessertlab/patchitpy/internal/obs"
+	"github.com/dessertlab/patchitpy/internal/prompts"
+	"github.com/dessertlab/patchitpy/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(2)
+	}
+}
+
+// Report is the BENCH_SERVE.json schema. Latencies are milliseconds;
+// quantiles are exact (computed over the recorded per-request samples,
+// not histogram buckets).
+type Report struct {
+	TimestampUnix int64  `json:"timestampUnix"`
+	Version       string `json:"version"`
+	Addr          string `json:"addr"`
+	Spawned       bool   `json:"spawned"`
+
+	Concurrency   int      `json:"concurrency"`
+	DurationSec   float64  `json:"durationSec"`
+	Verbs         []string `json:"verbs"`
+	UniqueSources int      `json:"uniqueSources"`
+
+	Requests int     `json:"requests"`
+	RPS      float64 `json:"rps"`
+	Errors   int     `json:"errors"`
+	Shed     int     `json:"shed"`
+	ShedRate float64 `json:"shedRate"`
+
+	Status map[string]int `json:"status"`
+
+	Latency struct {
+		P50  float64 `json:"p50Ms"`
+		P90  float64 `json:"p90Ms"`
+		P99  float64 `json:"p99Ms"`
+		P999 float64 `json:"p999Ms"`
+		Max  float64 `json:"maxMs"`
+		Mean float64 `json:"meanMs"`
+	} `json:"latency"`
+
+	CacheHitRate float64 `json:"cacheHitRate"`
+	PingOK       bool    `json:"pingOK"`
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	addr := fs.String("addr", "", "base URL of a running server (e.g. http://127.0.0.1:8080); empty spawns one in-process")
+	concurrency := fs.Int("c", 16, "concurrent client workers")
+	duration := fs.Duration("d", 10*time.Second, "load duration")
+	verbsFlag := fs.String("verbs", "detect,patch", "comma-separated verbs to cycle per request (detect, suggest, patch)")
+	unique := fs.Int("unique", 0, "distinct corpus sources to cycle (0 = all 609)")
+	timeout := fs.Duration("timeout", 10*time.Second, "per-request client timeout")
+	out := fs.String("out", "BENCH_SERVE.json", "report output path (\"-\" for stdout only)")
+	workers := fs.Int("workers", 0, "spawned server: worker goroutines (0 = GOMAXPROCS)")
+	queueDepth := fs.Int("queue", 0, "spawned server: bounded queue depth (0 = 4 per worker)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *concurrency < 1 {
+		return fmt.Errorf("-c must be >= 1")
+	}
+	var verbs []string
+	for _, v := range strings.Split(*verbsFlag, ",") {
+		v = strings.TrimSpace(v)
+		if v == "" {
+			continue
+		}
+		switch v {
+		case "detect", "suggest", "patch":
+			verbs = append(verbs, v)
+		default:
+			return fmt.Errorf("-verbs: unsupported verb %q (use detect, suggest, patch)", v)
+		}
+	}
+	if len(verbs) == 0 {
+		return fmt.Errorf("-verbs selected nothing")
+	}
+
+	// The replay corpus: every generated sample's code, optionally capped
+	// to the first -unique distinct sources.
+	samples, err := generator.Corpus(prompts.All())
+	if err != nil {
+		return fmt.Errorf("generate corpus: %w", err)
+	}
+	sources := make([]string, 0, len(samples))
+	for _, s := range samples {
+		sources = append(sources, s.Code)
+	}
+	if *unique > 0 && *unique < len(sources) {
+		sources = sources[:*unique]
+	}
+
+	rep := Report{
+		Version:       core.Version,
+		Concurrency:   *concurrency,
+		Verbs:         verbs,
+		UniqueSources: len(sources),
+		Status:        map[string]int{},
+	}
+
+	base := *addr
+	if base == "" {
+		// Spawn an in-process server on a loopback port: same code path
+		// as `patchitpy serve -http`, minus the process boundary.
+		reg := obs.NewRegistry()
+		reg.Enable()
+		engine := core.New()
+		engine.SetAnalyzers(core.DefaultAnalyzers(engine))
+		engine.SetObs(reg)
+		srv, err := serve.New(serve.Config{Engine: engine, Obs: reg, Workers: *workers, QueueDepth: *queueDepth})
+		if err != nil {
+			return err
+		}
+		if err := srv.Listen("127.0.0.1:0"); err != nil {
+			return err
+		}
+		served := make(chan error, 1)
+		go func() { served <- srv.Serve() }()
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			srv.Shutdown(ctx)
+			<-served
+		}()
+		base = "http://" + srv.Addr()
+		rep.Spawned = true
+	}
+	base = strings.TrimSuffix(base, "/")
+	rep.Addr = base
+
+	client := &http.Client{
+		Timeout: *timeout,
+		Transport: &http.Transport{
+			MaxIdleConns:        *concurrency * 2,
+			MaxIdleConnsPerHost: *concurrency * 2,
+		},
+	}
+
+	// Pre-encode every (verb, source) request body once; workers only
+	// POST bytes.
+	type shot struct {
+		url  string
+		body []byte
+	}
+	shots := make([]shot, 0, len(sources)*len(verbs))
+	for _, code := range sources {
+		body, err := json.Marshal(core.Request{Code: code})
+		if err != nil {
+			return err
+		}
+		for _, v := range verbs {
+			shots = append(shots, shot{url: base + "/v1/" + v, body: body})
+		}
+	}
+
+	// The run: workers pull shot indices round-robin until the deadline.
+	type sample struct {
+		ns     int64
+		status int
+		err    bool
+	}
+	var (
+		next    atomic.Int64
+		mu      sync.Mutex
+		results []sample
+	)
+	deadline := time.Now().Add(*duration)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]sample, 0, 1024)
+			for time.Now().Before(deadline) {
+				s := shots[int(next.Add(1)-1)%len(shots)]
+				t0 := time.Now()
+				resp, err := client.Post(s.url, "application/json", bytes.NewReader(s.body))
+				ns := time.Since(t0).Nanoseconds()
+				if err != nil {
+					local = append(local, sample{ns: ns, err: true})
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				local = append(local, sample{ns: ns, status: resp.StatusCode})
+			}
+			mu.Lock()
+			results = append(results, local...)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep.TimestampUnix = time.Now().Unix()
+	rep.DurationSec = elapsed.Seconds()
+	rep.Requests = len(results)
+	if elapsed > 0 {
+		rep.RPS = float64(len(results)) / elapsed.Seconds()
+	}
+	var okLatencies []float64
+	var sum float64
+	for _, s := range results {
+		switch {
+		case s.err:
+			rep.Errors++
+		case s.status == http.StatusTooManyRequests:
+			rep.Shed++
+			rep.Status[strconv.Itoa(s.status)]++
+		default:
+			rep.Status[strconv.Itoa(s.status)]++
+			if s.status >= 200 && s.status < 300 {
+				ms := float64(s.ns) / 1e6
+				okLatencies = append(okLatencies, ms)
+				sum += ms
+			}
+		}
+	}
+	if rep.Requests > 0 {
+		rep.ShedRate = float64(rep.Shed) / float64(rep.Requests)
+	}
+	if len(okLatencies) > 0 {
+		sort.Float64s(okLatencies)
+		rep.Latency.P50 = quantile(okLatencies, 0.50)
+		rep.Latency.P90 = quantile(okLatencies, 0.90)
+		rep.Latency.P99 = quantile(okLatencies, 0.99)
+		rep.Latency.P999 = quantile(okLatencies, 0.999)
+		rep.Latency.Max = okLatencies[len(okLatencies)-1]
+		rep.Latency.Mean = sum / float64(len(okLatencies))
+	}
+
+	rep.PingOK = pingOK(client, base)
+	rep.CacheHitRate = httpCacheHitRate(client, base)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if *out != "" && *out != "-" {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			return err
+		}
+	}
+	if _, err := stdout.Write(data); err != nil {
+		return err
+	}
+	return nil
+}
+
+// quantile returns the exact q-quantile of sorted (nearest-rank).
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// pingOK health-checks the server after the run.
+func pingOK(client *http.Client, base string) bool {
+	resp, err := client.Get(base + "/v1/ping")
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	var r core.Response
+	if err := json.NewDecoder(resp.Body).Decode(&r); err != nil {
+		return false
+	}
+	return resp.StatusCode == http.StatusOK && r.OK
+}
+
+// httpCacheHitRate reads the response cache's hit rate from the server's
+// metrics snapshot (the front-end cache absorbs repeats before they
+// reach the engine caches, so it is the rate that describes replay
+// traffic). Returns 0 when the server exposes no metrics.
+func httpCacheHitRate(client *http.Client, base string) float64 {
+	resp, err := client.Get(base + "/v1/metrics")
+	if err != nil {
+		return 0
+	}
+	defer resp.Body.Close()
+	var r struct {
+		OK      bool          `json:"ok"`
+		Metrics *obs.Snapshot `json:"metrics"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&r); err != nil || !r.OK || r.Metrics == nil {
+		return 0
+	}
+	return r.Metrics.Gauges[`patchitpy_cache_hit_rate{cache="http"}`]
+}

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestLoadgenSmoke runs a short spawned-server load and checks the
+// BENCH_SERVE.json report is produced with sane contents — the same
+// sanity conditions the CI bench-serve job gates on.
+func TestLoadgenSmoke(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_SERVE.json")
+	var stdout bytes.Buffer
+	err := run([]string{
+		"-d", "500ms", "-c", "4", "-unique", "16", "-verbs", "detect,patch", "-out", out,
+	}, &stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, stdout.Bytes()) {
+		t.Error("file and stdout reports differ")
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if rep.Requests == 0 {
+		t.Fatal("no requests recorded")
+	}
+	if !rep.PingOK {
+		t.Error("ping after run not OK")
+	}
+	if rep.ShedRate >= 1 {
+		t.Errorf("shed rate %v: everything shed", rep.ShedRate)
+	}
+	if rep.Latency.P99 <= 0 {
+		t.Errorf("p99 = %v, want > 0", rep.Latency.P99)
+	}
+	if rep.Latency.P50 > rep.Latency.P999 {
+		t.Errorf("quantiles not monotone: p50=%v p999=%v", rep.Latency.P50, rep.Latency.P999)
+	}
+	if rep.RPS <= 0 {
+		t.Errorf("rps = %v", rep.RPS)
+	}
+	if rep.Status["200"] == 0 {
+		t.Errorf("no 200s in %v", rep.Status)
+	}
+	if !rep.Spawned || rep.UniqueSources != 16 {
+		t.Errorf("spawned=%v unique=%d", rep.Spawned, rep.UniqueSources)
+	}
+	// Replaying 16 sources × 2 verbs in 500ms revisits sources, so the
+	// response cache must be doing work.
+	if rep.CacheHitRate <= 0 {
+		t.Errorf("cacheHitRate = %v, want > 0 on replay traffic", rep.CacheHitRate)
+	}
+}
+
+func TestLoadgenRejectsBadVerb(t *testing.T) {
+	var stdout bytes.Buffer
+	if err := run([]string{"-verbs", "rm-rf"}, &stdout); err == nil {
+		t.Fatal("bad verb accepted")
+	}
+}

@@ -5,6 +5,7 @@
 //	patchitpy rules                            # list the rule catalog
 //	patchitpy vet [-format text|json|sarif] [-metrics-out m.json]  # vet the rule catalog itself
 //	patchitpy serve [-cache 64] [-debug-addr :6060]  # JSON editor protocol on stdio
+//	patchitpy serve -http :8080 [-workers N] [-queue N] [-timeout 10s]  # same verbs over HTTP
 //
 // `detect` accepts files, directories and `dir/...` arguments; directory
 // arguments are walked recursively for *.py files. Findings from every
@@ -29,6 +30,14 @@
 // {"cmd":"stats"} reports its hit/miss counters and the prefilter skip
 // rate.
 //
+// With -http the same verbs are served as HTTP endpoints (POST
+// /v1/detect, /v1/patch, ..., POST /v1/rpc for the raw protocol, GET for
+// the body-less verbs) through a bounded work queue: a full queue sheds
+// with 429 + Retry-After, every request runs under -timeout, identical
+// requests coalesce through the response cache, and SIGINT/SIGTERM
+// drains gracefully (stop accepting, finish in-flight, flush -metrics-out).
+// The stdio mode honors the same signals with the same drain semantics.
+//
 // Observability: `detect` and `eval` print a one-line run summary to
 // stderr (suppress with -no-summary) and write the full metrics snapshot
 // as JSON with -metrics-out. `serve` answers {"cmd":"ping"} and
@@ -45,8 +54,10 @@ import (
 	"io"
 	"io/fs"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"github.com/dessertlab/patchitpy"
@@ -60,6 +71,7 @@ import (
 	"github.com/dessertlab/patchitpy/internal/experiments"
 	"github.com/dessertlab/patchitpy/internal/obs"
 	"github.com/dessertlab/patchitpy/internal/rules"
+	"github.com/dessertlab/patchitpy/internal/serve"
 	"github.com/dessertlab/patchitpy/internal/workpool"
 )
 
@@ -106,6 +118,11 @@ func runW(w io.Writer, args []string) error {
 		fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 		cacheMiB := fs.Int64("cache", 32, "result cache budget per cache, in MiB (0 disables caching)")
 		debugAddr := fs.String("debug-addr", "", "optional HTTP listen address for /metrics, /debug/vars, /debug/traces and /debug/pprof/ (e.g. :6060)")
+		httpAddr := fs.String("http", "", "serve the JSON verbs over HTTP on this address (e.g. :8080) instead of stdin/stdout")
+		workers := fs.Int("workers", 0, "HTTP mode: worker goroutines executing verb work (0 = GOMAXPROCS)")
+		queueDepth := fs.Int("queue", 0, "HTTP mode: bounded work queue depth; a full queue sheds with 429 (0 = 4 per worker)")
+		timeout := fs.Duration("timeout", 0, "HTTP mode: per-request deadline covering queue wait + execution (0 = 10s, negative disables)")
+		metricsOut := fs.String("metrics-out", "", "write the session's final metrics snapshot to this file on shutdown")
 		if err := fs.Parse(rest); err != nil {
 			return err
 		}
@@ -124,7 +141,56 @@ func runW(w io.Writer, args []string) error {
 			defer srv.Close()
 			fmt.Fprintf(stderr, "patchitpy: debug server listening on %s\n", srv.Addr())
 		}
-		return engine.Serve(os.Stdin, w)
+		// Both front ends drain gracefully on SIGINT/SIGTERM: stop
+		// accepting, finish in-flight work, flush the metrics snapshot.
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		flushMetrics := func() error {
+			if *metricsOut == "" {
+				return nil
+			}
+			if err := obsReg.WriteSnapshotFile(*metricsOut); err != nil {
+				return fmt.Errorf("serve: write metrics: %w", err)
+			}
+			return nil
+		}
+		if *httpAddr == "" {
+			if err := engine.ServeContext(ctx, os.Stdin, w); err != nil {
+				return err
+			}
+			return flushMetrics()
+		}
+		srv, err := serve.New(serve.Config{
+			Engine:     engine,
+			Obs:        obsReg,
+			Workers:    *workers,
+			QueueDepth: *queueDepth,
+			Timeout:    *timeout,
+		})
+		if err != nil {
+			return err
+		}
+		if err := srv.Listen(*httpAddr); err != nil {
+			return fmt.Errorf("serve: listen: %w", err)
+		}
+		fmt.Fprintf(stderr, "patchitpy: serving HTTP on %s\n", srv.Addr())
+		served := make(chan error, 1)
+		go func() { served <- srv.Serve() }()
+		select {
+		case err := <-served:
+			return err
+		case <-ctx.Done():
+		}
+		fmt.Fprintln(stderr, "patchitpy: draining (signal received)")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			return fmt.Errorf("serve: shutdown: %w", err)
+		}
+		if err := <-served; err != nil {
+			return err
+		}
+		return flushMetrics()
 	case "eval":
 		fs := flag.NewFlagSet("eval", flag.ContinueOnError)
 		jobs := fs.Int("j", 0, "evaluation concurrency (0 = GOMAXPROCS)")

@@ -25,7 +25,7 @@ import (
 
 // Version is the engine version reported by the serve protocol's "ping"
 // verb and re-exported by the root package.
-const Version = "0.4.0"
+const Version = "0.5.0"
 
 // processStart anchors the uptime reported by "ping" and the
 // obs uptime gauge.

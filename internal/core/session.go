@@ -119,45 +119,101 @@ type Response struct {
 	Metrics *obs.Snapshot `json:"metrics,omitempty"`
 }
 
+// MaxRequestBytes bounds one protocol request: the stdin loop's line
+// buffer and the HTTP front end's body reader both enforce it, so a
+// request that fits one transport fits the other.
+const MaxRequestBytes = 4 * 1024 * 1024
+
 // Serve reads newline-delimited JSON requests from r and writes one JSON
 // response per line to w, until EOF. Malformed requests produce error
 // responses; the session keeps running.
 func (p *PatchitPy) Serve(r io.Reader, w io.Writer) error {
-	scanner := bufio.NewScanner(r)
-	scanner.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
-	enc := json.NewEncoder(w)
-	for scanner.Scan() {
-		line := scanner.Bytes()
-		if len(line) == 0 {
-			continue
-		}
-		var req Request
-		if err := json.Unmarshal(line, &req); err != nil {
-			if err := enc.Encode(Response{OK: false, Error: "bad request: " + err.Error()}); err != nil {
-				return fmt.Errorf("write response: %w", err)
-			}
-			continue
-		}
-		if err := enc.Encode(p.handle(req)); err != nil {
-			return fmt.Errorf("write response: %w", err)
-		}
-	}
-	return scanner.Err()
+	return p.ServeContext(context.Background(), r, w)
 }
 
-// handle dispatches one request, wrapping the verb handler with the
-// per-command request counter, latency histogram and a "serve.<cmd>" trace
-// span when an enabled obs registry is attached. Detached or disabled
-// registries cost one nil-safe atomic load.
-func (p *PatchitPy) handle(req Request) Response {
+// ServeContext is Serve with cancellation semantics matching the HTTP
+// front end's graceful drain: when ctx is canceled (SIGINT/SIGTERM in
+// `patchitpy serve`), the loop stops accepting new request lines, the
+// request already being handled runs to completion and its response is
+// written, and ServeContext returns nil. Lines are pulled by a reader
+// goroutine so a cancellation is honored even while the session is idle,
+// blocked on a read; the goroutine itself exits on the next line or EOF.
+func (p *PatchitPy) ServeContext(ctx context.Context, r io.Reader, w io.Writer) error {
+	type lineMsg struct {
+		line []byte
+		err  error
+	}
+	lines := make(chan lineMsg)
+	go func() {
+		defer close(lines)
+		scanner := bufio.NewScanner(r)
+		scanner.Buffer(make([]byte, 0, 64*1024), MaxRequestBytes)
+		for scanner.Scan() {
+			line := append([]byte(nil), scanner.Bytes()...)
+			select {
+			case lines <- lineMsg{line: line}:
+			case <-ctx.Done():
+				return
+			}
+		}
+		if err := scanner.Err(); err != nil {
+			select {
+			case lines <- lineMsg{err: err}:
+			case <-ctx.Done():
+			}
+		}
+	}()
+	enc := json.NewEncoder(w)
+	for {
+		// Cancellation wins over buffered input: once ctx is done no
+		// further line is accepted, even if one is already waiting.
+		if ctx.Err() != nil {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil
+		case msg, ok := <-lines:
+			if !ok {
+				return nil
+			}
+			if msg.err != nil {
+				return msg.err
+			}
+			if len(msg.line) == 0 {
+				continue
+			}
+			var req Request
+			if err := json.Unmarshal(msg.line, &req); err != nil {
+				if err := enc.Encode(Response{OK: false, Error: "bad request: " + err.Error()}); err != nil {
+					return fmt.Errorf("write response: %w", err)
+				}
+				continue
+			}
+			if err := enc.Encode(p.Handle(context.Background(), req)); err != nil {
+				return fmt.Errorf("write response: %w", err)
+			}
+		}
+	}
+}
+
+// Handle dispatches one protocol request and returns its response — the
+// single verb implementation shared by every front end (the stdin line
+// loop above and internal/serve's HTTP endpoints), which is what makes
+// the front ends response-identical by construction. The verb handler is
+// wrapped with the per-command request counter, latency histogram and a
+// "serve.<cmd>" trace span when an enabled obs registry is attached;
+// detached or disabled registries cost one nil-safe atomic load. ctx
+// carries the caller's deadline through the scan and patch phases.
+func (p *PatchitPy) Handle(ctx context.Context, req Request) Response {
 	if !p.obsReg.Enabled() {
-		return p.handleCmd(context.Background(), req)
+		return p.handleCmd(ctx, req)
 	}
 	cmd := req.Cmd
 	if cmd == "" {
 		cmd = "unknown"
 	}
-	ctx, span := obs.Start(obs.With(context.Background(), p.obsReg), "serve."+cmd)
+	ctx, span := obs.Start(obs.With(ctx, p.obsReg), "serve."+cmd)
 	start := time.Now()
 	resp := p.handleCmd(ctx, req)
 	p.serveDur.With(cmd).Observe(time.Since(start))

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestServeContextDrainsOnCancel drives the stdin front end through a
+// pipe: one request is answered, then the context is canceled (the
+// SIGINT/SIGTERM path in `patchitpy serve`) while the session is idle,
+// and ServeContext must return nil promptly — graceful drain, not an
+// error and not a hang.
+func TestServeContextDrainsOnCancel(t *testing.T) {
+	pr, pw := io.Pipe()
+	outR, outW := io.Pipe()
+	ctx, cancel := context.WithCancel(context.Background())
+
+	done := make(chan error, 1)
+	go func() { done <- New().ServeContext(ctx, pr, outW) }()
+
+	enc := json.NewEncoder(pw)
+	if err := enc.Encode(Request{Cmd: "ping"}); err != nil {
+		t.Fatal(err)
+	}
+	var resp Response
+	if err := json.NewDecoder(bufio.NewReader(outR)).Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.OK || resp.Version != Version {
+		t.Fatalf("ping over pipe: %+v", resp)
+	}
+
+	cancel() // no more input arrives; the reader goroutine is blocked
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("ServeContext after cancel: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("ServeContext did not return after cancel")
+	}
+	pw.Close()
+	outR.Close()
+}
+
+// TestServeContextStopsReadingAfterCancel proves a canceled session does
+// not consume further requests: lines after the cancellation point are
+// left unanswered.
+func TestServeContextStopsReadingAfterCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out strings.Builder
+	in := strings.NewReader(`{"cmd":"ping"}` + "\n" + `{"cmd":"rules"}` + "\n")
+	if err := New().ServeContext(ctx, in, &out); err != nil {
+		t.Fatalf("ServeContext: %v", err)
+	}
+	if out.Len() != 0 {
+		t.Fatalf("canceled session still answered: %q", out.String())
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"strings"
 	"testing"
@@ -59,12 +60,12 @@ func TestServeToolsField(t *testing.T) {
 // session keeps serving.
 func TestServeToolsWithoutRegistry(t *testing.T) {
 	p := New()
-	resp := p.handle(Request{Cmd: "detect", Code: toolsCode, Tools: []string{"Bandit"}})
+	resp := p.Handle(context.Background(), Request{Cmd: "detect", Code: toolsCode, Tools: []string{"Bandit"}})
 	if resp.OK || !strings.Contains(resp.Error, "no analyzer registry") {
 		t.Errorf("response = %+v", resp)
 	}
 	// A plain detect still works.
-	if resp := p.handle(Request{Cmd: "detect", Code: toolsCode}); !resp.OK || !resp.Vulnerable {
+	if resp := p.Handle(context.Background(), Request{Cmd: "detect", Code: toolsCode}); !resp.OK || !resp.Vulnerable {
 		t.Errorf("plain detect after tools error: %+v", resp)
 	}
 }

@@ -51,4 +51,16 @@ const (
 	MetricServeRequests = "patchitpy_serve_requests_total"           // counter{cmd}
 	MetricServeDuration = "patchitpy_serve_request_duration_seconds" // histogram{cmd}
 	MetricUptime        = "patchitpy_uptime_seconds"                 // gauge fn: process uptime
+
+	// HTTP front end (internal/serve). The verb-level work is accounted by
+	// the serve metrics above (both front ends go through core.Handle);
+	// these cover the transport: admission, queueing and shedding.
+	MetricHTTPRequests   = "patchitpy_http_requests_total"           // counter{verb}: requests admitted to a handler
+	MetricHTTPResponses  = "patchitpy_http_responses_total"          // counter{code}: responses by HTTP status
+	MetricHTTPDuration   = "patchitpy_http_request_duration_seconds" // histogram{verb}: admission-to-response latency
+	MetricHTTPInFlight   = "patchitpy_http_in_flight"                // gauge: requests between admission and response
+	MetricHTTPQueueDepth = "patchitpy_http_queue_depth"              // gauge fn: jobs waiting for a worker
+	MetricHTTPQueueCap   = "patchitpy_http_queue_capacity"           // gauge fn: bounded queue size
+	MetricHTTPShed       = "patchitpy_http_shed_total"               // counter: requests refused with 429
+	MetricHTTPTimeouts   = "patchitpy_http_timeouts_total"           // counter: deadline expiries (queued or running)
 )

@@ -92,6 +92,7 @@ type entry[V any] struct {
 type call[V any] struct {
 	wg  sync.WaitGroup
 	val V
+	err error
 }
 
 type shard[V any] struct {
@@ -208,8 +209,19 @@ func (c *Cache[V]) Add(key string, v V) {
 // counts as a miss for the caller that waited: the work was not cached
 // when it asked).
 func (c *Cache[V]) GetOrCompute(key string, fn func() V) (v V, hit bool) {
+	v, hit, _ = c.GetOrComputeErr(key, func() (V, error) { return fn(), nil })
+	return v, hit
+}
+
+// GetOrComputeErr is GetOrCompute for fallible computations: on a miss,
+// fn runs once and every concurrent caller with the same key shares its
+// (value, error) pair, but only successful results are stored — a
+// failure is reported to the flight that computed it and then forgotten,
+// so the next request retries instead of being served a cached error.
+func (c *Cache[V]) GetOrComputeErr(key string, fn func() (V, error)) (v V, hit bool, err error) {
 	if c == nil {
-		return fn(), false
+		v, err = fn()
+		return v, false, err
 	}
 	s := c.shardFor(key)
 	s.mu.Lock()
@@ -218,13 +230,13 @@ func (c *Cache[V]) GetOrCompute(key string, fn func() V) (v V, hit bool) {
 		v := el.Value.(*entry[V]).val
 		s.mu.Unlock()
 		c.hits.Add(1)
-		return v, true
+		return v, true, nil
 	}
 	if cl, ok := s.inflight[key]; ok {
 		s.mu.Unlock()
 		c.misses.Add(1)
 		cl.wg.Wait()
-		return cl.val, false
+		return cl.val, false, cl.err
 	}
 	cl := &call[V]{}
 	cl.wg.Add(1)
@@ -232,15 +244,17 @@ func (c *Cache[V]) GetOrCompute(key string, fn func() V) (v V, hit bool) {
 	s.mu.Unlock()
 	c.misses.Add(1)
 
-	cl.val = fn()
+	cl.val, cl.err = fn()
 
 	s.mu.Lock()
 	delete(s.inflight, key)
 	s.mu.Unlock()
 	cl.wg.Done()
 
-	c.Add(key, cl.val)
-	return cl.val, false
+	if cl.err == nil {
+		c.Add(key, cl.val)
+	}
+	return cl.val, false, cl.err
 }
 
 // Len returns the number of cached entries across all shards.

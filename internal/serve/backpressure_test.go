@@ -1,0 +1,90 @@
+package serve
+
+import (
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/dessertlab/patchitpy/internal/obs"
+)
+
+// TestBurstSheds429 pins the bounded-queue behaviour: with one worker
+// held busy and a one-slot queue filled, every further request in the
+// burst is shed immediately with 429 + Retry-After instead of being
+// buffered, and the shed counter records each refusal.
+func TestBurstSheds429(t *testing.T) {
+	s, ts, reg := newTestServer(t, Config{Workers: 1, QueueDepth: 1, Timeout: 30 * time.Second, RetryAfter: 2 * time.Second})
+	entered := make(chan struct{}, 4)
+	release := make(chan struct{})
+	s.testHook = func(string) {
+		entered <- struct{}{}
+		<-release
+	}
+
+	// ping is never cache-served, so every request needs a queue slot.
+	slowGet := func(results chan<- int) {
+		resp, err := http.Get(ts.URL + "/v1/ping")
+		if err != nil {
+			results <- -1
+			return
+		}
+		resp.Body.Close()
+		results <- resp.StatusCode
+	}
+
+	occupied := make(chan int, 1)
+	go slowGet(occupied) // request A: occupies the worker
+	<-entered
+	queued := make(chan int, 1)
+	go slowGet(queued) // request B: fills the single queue slot
+	// B is admitted asynchronously; wait until the queue reports it.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.queue.Depth() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("second request never reached the queue")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The burst: every one of these must shed, deterministically.
+	const burst = 16
+	shed := make(chan int, burst)
+	var wg sync.WaitGroup
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Get(ts.URL + "/v1/ping")
+			if err != nil {
+				shed <- -1
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusTooManyRequests {
+				if ra := resp.Header.Get("Retry-After"); ra != "2" {
+					t.Errorf("Retry-After = %q, want \"2\"", ra)
+				}
+			}
+			shed <- resp.StatusCode
+		}()
+	}
+	wg.Wait()
+	for i := 0; i < burst; i++ {
+		if code := <-shed; code != http.StatusTooManyRequests {
+			t.Errorf("burst request %d: status %d, want 429", i, code)
+		}
+	}
+	if n := reg.Counter(obs.MetricHTTPShed).Value(); n < burst {
+		t.Errorf("shed counter = %d, want >= %d", n, burst)
+	}
+
+	// Draining the worker lets the held and queued requests finish OK.
+	close(release)
+	if code := <-occupied; code != http.StatusOK {
+		t.Errorf("held request finished with %d", code)
+	}
+	if code := <-queued; code != http.StatusOK {
+		t.Errorf("queued request finished with %d", code)
+	}
+}

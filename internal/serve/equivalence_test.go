@@ -1,0 +1,162 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/dessertlab/patchitpy/internal/core"
+)
+
+// equivalenceRequests spans every deterministic verb: detect (clean,
+// vulnerable, multi-finding), suggest, patch, the multi-tool detect,
+// vet and rules. Time-varying verbs (ping, stats, metrics) are excluded:
+// their payloads embed uptime and traffic counters by design.
+func equivalenceRequests() []core.Request {
+	multi := "import yaml, pickle\n" +
+		"cfg = yaml.load(stream)\n" +
+		"obj = pickle.loads(blob)\n" +
+		"import hashlib\nh = hashlib.md5(data)\n"
+	return []core.Request{
+		{Cmd: "detect", Code: cleanCode},
+		{Cmd: "detect", Code: vulnCode},
+		{Cmd: "detect", Code: multi},
+		{Cmd: "suggest", Code: multi},
+		{Cmd: "patch", Code: vulnCode},
+		{Cmd: "patch", Code: multi},
+		{Cmd: "detect", Code: vulnCode, Tools: []string{"Bandit", "Semgrep", "PatchitPy"}},
+		{Cmd: "detect", Code: cleanCode, Tools: []string{"CodeQL"}},
+		{Cmd: "vet"},
+		{Cmd: "rules"},
+		{Cmd: "nosuchverb"},
+	}
+}
+
+// newEquivEngine builds engines identically for both front ends; the
+// obs registry is left detached so neither side records — metrics do not
+// alter response bytes, but detaching keeps the comparison strict.
+func newEquivEngine() *core.PatchitPy {
+	engine := core.New()
+	engine.SetAnalyzers(core.DefaultAnalyzers(engine))
+	return engine
+}
+
+// TestHTTPMatchesStdinByteForByte runs the same request sequence through
+// the stdin line loop and the HTTP /v1/rpc endpoint and requires the
+// concatenated response bytes to be identical — the two front ends are
+// one protocol over two transports.
+func TestHTTPMatchesStdinByteForByte(t *testing.T) {
+	reqs := equivalenceRequests()
+
+	// Stdin front end.
+	var lines bytes.Buffer
+	enc := json.NewEncoder(&lines)
+	for _, r := range reqs {
+		if err := enc.Encode(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var stdinOut bytes.Buffer
+	if err := newEquivEngine().Serve(&lines, &stdinOut); err != nil {
+		t.Fatalf("stdin serve: %v", err)
+	}
+
+	// HTTP front end, same requests through /v1/rpc.
+	s, err := New(Config{Engine: newEquivEngine()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.queue.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	var httpOut bytes.Buffer
+	for _, r := range reqs {
+		body, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(ts.URL+"/v1/rpc", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := io.Copy(&httpOut, resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+
+	if !bytes.Equal(stdinOut.Bytes(), httpOut.Bytes()) {
+		sl := strings.Split(stdinOut.String(), "\n")
+		hl := strings.Split(httpOut.String(), "\n")
+		for i := range sl {
+			if i >= len(hl) || sl[i] != hl[i] {
+				t.Fatalf("front ends diverge at response %d:\nstdin: %s\nhttp:  %s", i, sl[i], at(hl, i))
+			}
+		}
+		t.Fatalf("http produced extra output: %q", hl[len(sl):])
+	}
+}
+
+// TestVerbEndpointsMatchStdin repeats the comparison through the
+// per-verb endpoints (cmd carried by the path, not the body) and with
+// the response cache exercised: a second pass over the same requests
+// must still be byte-identical — cached bytes are the same bytes.
+func TestVerbEndpointsMatchStdin(t *testing.T) {
+	reqs := equivalenceRequests()
+	var lines bytes.Buffer
+	enc := json.NewEncoder(&lines)
+	for _, r := range reqs {
+		if err := enc.Encode(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var stdinOut bytes.Buffer
+	if err := newEquivEngine().Serve(&lines, &stdinOut); err != nil {
+		t.Fatalf("stdin serve: %v", err)
+	}
+
+	s, err := New(Config{Engine: newEquivEngine()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.queue.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	for pass := 0; pass < 2; pass++ {
+		var httpOut bytes.Buffer
+		for _, r := range reqs {
+			verb := r.Cmd
+			r.Cmd = "" // the endpoint path carries the verb
+			body, err := json.Marshal(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := http.Post(ts.URL+"/v1/"+verb, "application/json", bytes.NewReader(body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := io.Copy(&httpOut, resp.Body); err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+		}
+		if !bytes.Equal(stdinOut.Bytes(), httpOut.Bytes()) {
+			t.Fatalf("pass %d: verb endpoints diverge from stdin:\nstdin:\n%s\nhttp:\n%s",
+				pass, stdinOut.String(), httpOut.String())
+		}
+	}
+	if st := s.respCache.Stats(); st.Hits == 0 {
+		t.Error("second pass produced no response-cache hits")
+	}
+}
+
+func at(lines []string, i int) string {
+	if i >= len(lines) {
+		return "<missing>"
+	}
+	return lines[i]
+}

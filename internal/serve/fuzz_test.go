@@ -1,0 +1,79 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/dessertlab/patchitpy/internal/core"
+)
+
+// fuzzSrv is shared across fuzz iterations: building an engine compiles
+// the 85-rule catalog, far too slow to repeat per input.
+var (
+	fuzzOnce sync.Once
+	fuzzSrv  *Server
+)
+
+func fuzzServer(t testing.TB) *Server {
+	fuzzOnce.Do(func() {
+		engine := core.New()
+		engine.SetAnalyzers(core.DefaultAnalyzers(engine))
+		s, err := New(Config{
+			Engine:       engine,
+			MaxBodyBytes: 1 << 16, // small cap so oversized inputs hit the 413 path cheaply
+			Timeout:      30 * time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fuzzSrv = s
+	})
+	return fuzzSrv
+}
+
+// FuzzServeRequest throws arbitrary bytes at the HTTP request decoder
+// and the full /v1/rpc handler: malformed JSON, oversized bodies and
+// unknown verbs must produce a well-formed JSON error response, never a
+// panic. The handler is driven directly (no network, no net/http panic
+// recovery) so any panic fails the fuzz run.
+func FuzzServeRequest(f *testing.F) {
+	f.Add([]byte(`{"cmd":"detect","code":"import yaml\ncfg = yaml.load(s)\n"}`))
+	f.Add([]byte(`{"cmd":"patch","code":"x = eval(input())"}`))
+	f.Add([]byte(`{"cmd":"ping"}`))
+	f.Add([]byte(`{"cmd":"frobnicate"}`))
+	f.Add([]byte(`{"cmd":"detect","tools":["Bandit","nosuch"],"code":"x"}`))
+	f.Add([]byte(`{"cmd":`))
+	f.Add([]byte(`{"cmd":123,"code":{}}`))
+	f.Add([]byte(``))
+	f.Add([]byte(`[]`))
+	f.Add([]byte("\x00\xff\xfe"))
+	f.Add(bytes.Repeat([]byte("A"), 1<<17)) // over the fuzz server's body cap
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s := fuzzServer(t)
+
+		// The decoder alone must never panic.
+		var req core.Request
+		_ = decodeRequest(data, &req)
+
+		// The full handler: any status is acceptable, but the body must
+		// always be one well-formed JSON response.
+		rec := httptest.NewRecorder()
+		hr := httptest.NewRequest(http.MethodPost, "/v1/rpc", bytes.NewReader(data))
+		s.Handler().ServeHTTP(rec, hr)
+		var resp core.Response
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatalf("status %d body is not a protocol response: %v\n%q", rec.Code, err, rec.Body.Bytes())
+		}
+		if rec.Code == http.StatusOK && !resp.OK {
+			t.Fatalf("200 with ok:false: %q", rec.Body.Bytes())
+		}
+		if rec.Code >= 400 && resp.OK {
+			t.Fatalf("status %d with ok:true: %q", rec.Code, rec.Body.Bytes())
+		}
+	})
+}

@@ -1,0 +1,303 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/dessertlab/patchitpy/internal/core"
+	"github.com/dessertlab/patchitpy/internal/obs"
+)
+
+// vulnCode trips the yaml.load rule; cleanCode trips nothing.
+const (
+	vulnCode  = "import yaml\ncfg = yaml.load(stream)\n"
+	cleanCode = "def add(a, b):\n    return a + b\n"
+)
+
+// newTestServer builds a Server over a fresh engine (analyzers and an
+// enabled obs registry attached) plus an httptest front.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server, *obs.Registry) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	reg.Enable()
+	if cfg.Engine == nil {
+		engine := core.New()
+		engine.SetAnalyzers(core.DefaultAnalyzers(engine))
+		engine.SetObs(reg)
+		cfg.Engine = engine
+	}
+	if cfg.Obs == nil {
+		cfg.Obs = reg
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.queue.Close()
+	})
+	return s, ts, reg
+}
+
+// post sends body to path and returns the status and decoded response.
+func post(t *testing.T, ts *httptest.Server, path, body string) (int, core.Response) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out core.Response
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("POST %s: decode response: %v", path, err)
+	}
+	return resp.StatusCode, out
+}
+
+func get(t *testing.T, ts *httptest.Server, path string) (int, core.Response) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out core.Response
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("GET %s: decode response: %v", path, err)
+	}
+	return resp.StatusCode, out
+}
+
+func TestDetectEndpoint(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+	body, _ := json.Marshal(core.Request{Code: vulnCode})
+	status, resp := post(t, ts, "/v1/detect", string(body))
+	if status != http.StatusOK || !resp.OK || !resp.Vulnerable {
+		t.Fatalf("detect: status=%d resp=%+v", status, resp)
+	}
+	if len(resp.Findings) == 0 || resp.Findings[0].RuleID == "" {
+		t.Fatalf("detect: no findings in %+v", resp)
+	}
+
+	body, _ = json.Marshal(core.Request{Code: cleanCode})
+	status, resp = post(t, ts, "/v1/detect", string(body))
+	if status != http.StatusOK || !resp.OK || resp.Vulnerable {
+		t.Fatalf("clean detect: status=%d resp=%+v", status, resp)
+	}
+}
+
+func TestPatchAndSuggestEndpoints(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+	body, _ := json.Marshal(core.Request{Code: vulnCode})
+	status, resp := post(t, ts, "/v1/patch", string(body))
+	if status != http.StatusOK || !resp.OK || resp.Patched == "" {
+		t.Fatalf("patch: status=%d resp=%+v", status, resp)
+	}
+	if !strings.Contains(resp.Patched, "safe_load") {
+		t.Errorf("patch did not rewrite yaml.load: %q", resp.Patched)
+	}
+	status, resp = post(t, ts, "/v1/suggest", string(body))
+	if status != http.StatusOK || !resp.OK || len(resp.Previews) == 0 {
+		t.Fatalf("suggest: status=%d resp=%+v", status, resp)
+	}
+}
+
+func TestToolsRequest(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+	body, _ := json.Marshal(core.Request{Code: vulnCode, Tools: []string{"Bandit", "PatchitPy"}})
+	status, resp := post(t, ts, "/v1/detect", string(body))
+	if status != http.StatusOK || !resp.OK || len(resp.Tools) != 2 {
+		t.Fatalf("tools detect: status=%d resp=%+v", status, resp)
+	}
+}
+
+func TestGetEndpoints(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+	for _, verb := range []string{"ping", "stats", "metrics", "rules", "vet"} {
+		status, resp := get(t, ts, "/v1/"+verb)
+		if status != http.StatusOK || !resp.OK {
+			t.Errorf("GET /v1/%s: status=%d resp.OK=%v error=%q", verb, status, resp.OK, resp.Error)
+		}
+	}
+	if status, resp := get(t, ts, "/v1/ping"); status != http.StatusOK || resp.Version != core.Version {
+		t.Errorf("ping: status=%d version=%q", status, resp.Version)
+	}
+}
+
+func TestRPCEndpoint(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+	status, resp := post(t, ts, "/v1/rpc", `{"cmd":"ping"}`)
+	if status != http.StatusOK || !resp.OK {
+		t.Fatalf("rpc ping: status=%d resp=%+v", status, resp)
+	}
+	if status, resp := post(t, ts, "/v1/rpc", `{"code":"x"}`); status != http.StatusBadRequest || resp.OK {
+		t.Fatalf("rpc without cmd: status=%d resp=%+v", status, resp)
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	s, ts, _ := newTestServer(t, Config{MaxBodyBytes: 1024})
+	if status, resp := post(t, ts, "/v1/frobnicate", `{}`); status != http.StatusBadRequest ||
+		!strings.Contains(resp.Error, "unknown command") {
+		t.Errorf("unknown verb: status=%d resp=%+v", status, resp)
+	}
+	if status, resp := post(t, ts, "/v1/detect", `{"cmd":"patch"}`); status != http.StatusBadRequest ||
+		!strings.Contains(resp.Error, "does not match") {
+		t.Errorf("cmd mismatch: status=%d resp=%+v", status, resp)
+	}
+	if status, resp := post(t, ts, "/v1/detect", `{"code":`); status != http.StatusBadRequest ||
+		!strings.Contains(resp.Error, "bad request") {
+		t.Errorf("malformed JSON: status=%d resp=%+v", status, resp)
+	}
+	big, _ := json.Marshal(core.Request{Code: strings.Repeat("x", 2048)})
+	if status, _ := post(t, ts, "/v1/detect", string(big)); status != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized body: status=%d, want 413", status)
+	}
+	// GET on a body-taking verb is refused.
+	if status, _ := get(t, ts, "/v1/detect"); status != http.StatusMethodNotAllowed {
+		t.Errorf("GET detect: status=%d, want 405", status)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/ping", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("DELETE ping: status=%d, want 405", resp.StatusCode)
+	}
+	if status, _ := post(t, ts, "/v1/", `{}`); status != http.StatusNotFound {
+		t.Errorf("empty verb: status=%d, want 404", status)
+	}
+	_ = s
+}
+
+// TestResponseCacheCoalesces proves a repeated identical request is a
+// response-cache hit answered without consuming a queue slot.
+func TestResponseCacheCoalesces(t *testing.T) {
+	s, ts, _ := newTestServer(t, Config{})
+	body, _ := json.Marshal(core.Request{Code: vulnCode})
+	_, first := post(t, ts, "/v1/detect", string(body))
+	_, second := post(t, ts, "/v1/detect", string(body))
+	a, _ := json.Marshal(first)
+	b, _ := json.Marshal(second)
+	if string(a) != string(b) {
+		t.Fatalf("cached response differs:\n%s\n%s", a, b)
+	}
+	if st := s.respCache.Stats(); st.Hits == 0 {
+		t.Errorf("response cache stats after repeat: %+v, want a hit", st)
+	}
+	// Protocol failures must not be cached.
+	bad, _ := json.Marshal(core.Request{Code: vulnCode, Tools: []string{"nosuch"}})
+	post(t, ts, "/v1/detect", string(bad))
+	hitsBefore := s.respCache.Stats().Hits
+	if status, resp := post(t, ts, "/v1/detect", string(bad)); status != http.StatusBadRequest || resp.OK {
+		t.Errorf("repeated failing request: status=%d resp=%+v", status, resp)
+	}
+	if st := s.respCache.Stats(); st.Hits != hitsBefore {
+		t.Errorf("failing response was served from cache (hits %d -> %d)", hitsBefore, st.Hits)
+	}
+}
+
+// TestDeadlineWhileQueued holds the only worker busy so a short-deadline
+// request expires in the queue and is answered 503 without executing.
+func TestDeadlineWhileQueued(t *testing.T) {
+	s, ts, reg := newTestServer(t, Config{Workers: 1, QueueDepth: 4, Timeout: 50 * time.Millisecond})
+	entered := make(chan struct{}, 8)
+	release := make(chan struct{})
+	s.testHook = func(string) {
+		entered <- struct{}{}
+		<-release
+	}
+	defer close(release)
+	go func() { // occupies the worker
+		resp, err := http.Get(ts.URL + "/v1/ping")
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	<-entered
+	status, resp := get(t, ts, "/v1/ping")
+	if status != http.StatusServiceUnavailable || resp.OK {
+		t.Fatalf("queued past deadline: status=%d resp=%+v", status, resp)
+	}
+	if n := reg.Counter(obs.MetricHTTPTimeouts).Value(); n == 0 {
+		t.Error("timeout counter not incremented")
+	}
+}
+
+// TestShutdownDrains starts a real listener, then proves Shutdown stops
+// accepting while a request in flight still completes.
+func TestShutdownDrains(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Enable()
+	engine := core.New()
+	engine.SetObs(reg)
+	s, err := New(Config{Engine: engine, Obs: reg, Workers: 2, Timeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	served := make(chan error, 1)
+	go func() { served <- s.Serve() }()
+
+	entered := make(chan struct{}, 1)
+	release := make(chan struct{})
+	s.testHook = func(string) {
+		entered <- struct{}{}
+		<-release
+	}
+	type result struct {
+		status int
+		err    error
+	}
+	inflight := make(chan result, 1)
+	go func() {
+		resp, err := http.Get("http://" + s.Addr() + "/v1/ping")
+		if err != nil {
+			inflight <- result{err: err}
+			return
+		}
+		resp.Body.Close()
+		inflight <- result{status: resp.StatusCode}
+	}()
+	<-entered
+
+	done := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		done <- s.Shutdown(ctx)
+	}()
+	time.Sleep(20 * time.Millisecond) // let Shutdown close the listener
+	close(release)
+
+	r := <-inflight
+	if r.err != nil || r.status != http.StatusOK {
+		t.Fatalf("in-flight request during drain: %+v", r)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if err := <-served; err != nil {
+		t.Fatalf("Serve returned %v after Shutdown, want nil", err)
+	}
+	if _, err := http.Get("http://" + s.Addr() + "/v1/ping"); err == nil {
+		t.Error("listener still accepting after Shutdown")
+	}
+}
+
+func TestNewRequiresEngine(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("New without engine succeeded")
+	}
+}

@@ -1,0 +1,94 @@
+package workpool
+
+import (
+	"sync"
+)
+
+// Queue is the long-lived counterpart to Run: a fixed set of workers
+// draining a bounded job channel. Run fans a known batch of n jobs across
+// temporary workers; a server front end instead receives an unbounded
+// stream of requests and must refuse work rather than buffer it without
+// limit. Queue gives that path its admission control: TrySubmit either
+// enqueues a job or reports, immediately and without blocking, that the
+// queue is full — the caller sheds the request (HTTP 429) instead of
+// growing memory.
+//
+// Close implements graceful drain: no new work is admitted, jobs already
+// queued still run, and Close returns once every worker has exited. A
+// Queue is safe for concurrent use.
+type Queue struct {
+	mu     sync.RWMutex
+	closed bool
+	jobs   chan func()
+	wg     sync.WaitGroup
+
+	workers  int
+	capacity int
+}
+
+// NewQueue starts workers goroutines draining a job buffer of the given
+// capacity. workers <= 0 means GOMAXPROCS (via Clamp); capacity <= 0
+// means 4 jobs per worker, a small constant chosen so a full queue
+// signals sustained overload rather than a momentary burst.
+func NewQueue(workers, capacity int) *Queue {
+	workers = Clamp(workers, int(^uint(0)>>1))
+	if capacity <= 0 {
+		capacity = 4 * workers
+	}
+	q := &Queue{
+		jobs:     make(chan func(), capacity),
+		workers:  workers,
+		capacity: capacity,
+	}
+	q.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer q.wg.Done()
+			for job := range q.jobs {
+				job()
+			}
+		}()
+	}
+	return q
+}
+
+// TrySubmit enqueues job for execution by one of the workers. It never
+// blocks: the return value reports whether the job was admitted — false
+// means the queue is at capacity (or closed) and the caller must shed the
+// request.
+func (q *Queue) TrySubmit(job func()) bool {
+	q.mu.RLock()
+	defer q.mu.RUnlock()
+	if q.closed {
+		return false
+	}
+	select {
+	case q.jobs <- job:
+		return true
+	default:
+		return false
+	}
+}
+
+// Depth returns the number of admitted jobs not yet picked up by a
+// worker — the queue's instantaneous backlog.
+func (q *Queue) Depth() int { return len(q.jobs) }
+
+// Capacity returns the job buffer size.
+func (q *Queue) Capacity() int { return q.capacity }
+
+// Workers returns the worker count.
+func (q *Queue) Workers() int { return q.workers }
+
+// Close stops admitting work, lets the workers drain every job already
+// queued, and returns once they have all exited. Close is idempotent and
+// safe to call concurrently with TrySubmit.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	if !q.closed {
+		q.closed = true
+		close(q.jobs)
+	}
+	q.mu.Unlock()
+	q.wg.Wait()
+}

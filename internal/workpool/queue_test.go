@@ -1,0 +1,110 @@
+package workpool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestQueueRunsJobs(t *testing.T) {
+	q := NewQueue(4, 16)
+	var n atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		for !q.TrySubmit(func() { n.Add(1); wg.Done() }) {
+			time.Sleep(time.Millisecond) // full: wait for workers to drain
+		}
+	}
+	wg.Wait()
+	if got := n.Load(); got != 100 {
+		t.Fatalf("ran %d jobs, want 100", got)
+	}
+	q.Close()
+}
+
+func TestQueueDefaults(t *testing.T) {
+	q := NewQueue(0, 0)
+	defer q.Close()
+	if q.Workers() != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers() = %d, want GOMAXPROCS %d", q.Workers(), runtime.GOMAXPROCS(0))
+	}
+	if q.Capacity() != 4*q.Workers() {
+		t.Errorf("Capacity() = %d, want %d", q.Capacity(), 4*q.Workers())
+	}
+}
+
+// TestQueueShedsWhenFull fills the single worker and the whole buffer
+// with blocked jobs, then asserts the next submission is refused rather
+// than buffered or blocked on.
+func TestQueueShedsWhenFull(t *testing.T) {
+	q := NewQueue(1, 2)
+	release := make(chan struct{})
+	var started sync.WaitGroup
+	started.Add(1)
+	if !q.TrySubmit(func() { started.Done(); <-release }) {
+		t.Fatal("first submit refused")
+	}
+	started.Wait() // worker is now occupied; buffer is empty
+	for i := 0; i < 2; i++ {
+		if !q.TrySubmit(func() { <-release }) {
+			t.Fatalf("buffered submit %d refused", i)
+		}
+	}
+	if q.TrySubmit(func() {}) {
+		t.Fatal("submit admitted beyond capacity")
+	}
+	if d := q.Depth(); d != 2 {
+		t.Errorf("Depth() = %d, want 2", d)
+	}
+	close(release)
+	q.Close()
+}
+
+// TestQueueCloseDrains proves graceful drain: jobs admitted before Close
+// all run; submissions after Close are refused.
+func TestQueueCloseDrains(t *testing.T) {
+	q := NewQueue(2, 64)
+	var n atomic.Int64
+	admitted := 0
+	for i := 0; i < 50; i++ {
+		if q.TrySubmit(func() { n.Add(1) }) {
+			admitted++
+		}
+	}
+	q.Close()
+	if got := int(n.Load()); got != admitted {
+		t.Fatalf("drained %d jobs, admitted %d", got, admitted)
+	}
+	if q.TrySubmit(func() {}) {
+		t.Fatal("submit admitted after Close")
+	}
+}
+
+// TestQueueCloseConcurrentSubmit races Close against a storm of
+// TrySubmit calls; under -race this guards the closed-channel handoff.
+func TestQueueCloseConcurrentSubmit(t *testing.T) {
+	q := NewQueue(4, 8)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					q.TrySubmit(func() {})
+				}
+			}
+		}()
+	}
+	time.Sleep(5 * time.Millisecond)
+	q.Close()
+	close(stop)
+	wg.Wait()
+}
