@@ -5,7 +5,7 @@
 // its sanity).
 //
 //	loadgen [-addr http://host:port] [-c 16] [-d 10s] [-verbs detect,patch]
-//	        [-unique 0] [-timeout 10s] [-out BENCH_SERVE.json]
+//	        [-unique 0] [-timeout 10s] [-edit-sessions 0] [-out BENCH_SERVE.json]
 //
 // The request corpus is the paper's 609-sample generated evaluation set
 // (three simulated models over 203 prompts) — the same code the
@@ -19,6 +19,13 @@
 // locally and in CI. The report captures exact (not bucketed) latency
 // quantiles — p50/p90/p99/p999 — plus RPS, per-status counts, shed rate
 // and the response-cache hit rate.
+//
+// -edit-sessions N > 0 appends a stateful phase after the stateless
+// sweep: N concurrent buffer sessions stream randomized keystroke edits
+// through the open/edit/close verbs, then measure full-scan detects of
+// the same buffers as the baseline. The report gains editP50Ms/
+// editP99Ms/editMeanMs, fullScanP50Ms and incrementalHitRate — the CI
+// gate asserts edit p99 beats full-scan p50.
 package main
 
 import (
@@ -28,6 +35,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
 	"sort"
@@ -38,6 +46,7 @@ import (
 	"time"
 
 	"github.com/dessertlab/patchitpy/internal/core"
+	"github.com/dessertlab/patchitpy/internal/editor"
 	"github.com/dessertlab/patchitpy/internal/generator"
 	"github.com/dessertlab/patchitpy/internal/obs"
 	"github.com/dessertlab/patchitpy/internal/prompts"
@@ -84,6 +93,23 @@ type Report struct {
 
 	CacheHitRate float64 `json:"cacheHitRate"`
 	PingOK       bool    `json:"pingOK"`
+
+	// Edit-session phase (-edit-sessions > 0): stateful open/edit/close
+	// traffic streaming keystroke-sized edits, reported alongside the
+	// stateless replay so the incremental path's latency is tracked
+	// against the full-scan baseline. FullScanP50 is the p50 of detect
+	// requests over the same evolving buffers — unique text every time,
+	// so every one is a cache-missing full scan; the CI gate requires
+	// EditP99 < FullScanP50. IncrementalHitRate is the fraction of edits
+	// answered by the incremental re-scan path (no full-scan fallback).
+	EditSessions       int     `json:"editSessions,omitempty"`
+	EditRequests       int     `json:"editRequests,omitempty"`
+	EditErrors         int     `json:"editErrors,omitempty"`
+	EditP50            float64 `json:"editP50Ms,omitempty"`
+	EditP99            float64 `json:"editP99Ms,omitempty"`
+	EditMean           float64 `json:"editMeanMs,omitempty"`
+	FullScanP50        float64 `json:"fullScanP50Ms,omitempty"`
+	IncrementalHitRate float64 `json:"incrementalHitRate,omitempty"`
 }
 
 func run(args []string, stdout io.Writer) error {
@@ -97,6 +123,7 @@ func run(args []string, stdout io.Writer) error {
 	out := fs.String("out", "BENCH_SERVE.json", "report output path (\"-\" for stdout only)")
 	workers := fs.Int("workers", 0, "spawned server: worker goroutines (0 = GOMAXPROCS)")
 	queueDepth := fs.Int("queue", 0, "spawned server: bounded queue depth (0 = 4 per worker)")
+	editSessions := fs.Int("edit-sessions", 0, "concurrent editor sessions streaming incremental edits for another -d after the replay (0 = skip)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -274,6 +301,10 @@ func run(args []string, stdout io.Writer) error {
 		rep.Latency.Mean = sum / float64(len(okLatencies))
 	}
 
+	if *editSessions > 0 {
+		editPhase(client, base, sources, *editSessions, *duration, &rep)
+	}
+
 	rep.PingOK = pingOK(client, base)
 	rep.CacheHitRate = httpCacheHitRate(client, base)
 
@@ -291,6 +322,257 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 	return nil
+}
+
+// editKeystrokes are in-line single insertions — the dominant event in a
+// real editing stream and the case the tier-1 mask splice serves (no new
+// lines, no indent change, no bracket-depth change).
+var editKeystrokes = []string{"x", " ", "_", "0", "n", "v"}
+
+// editSnippets are the larger structural insertions mixed into the
+// stream: comment markers, statements and block constructs. These change
+// line counts or indent profiles, so they exercise the tier-2 retokenize
+// path. All are quote-free: a quoted snippet landing at a line start
+// inside a docstring would flip string balance for the whole suffix, and
+// the randomized stream never types the closing delimiter that a human
+// would.
+var editSnippets = []string{
+	"# note\n", "pass\n", "a = 1\n", "def f():\n    return 1\n",
+}
+
+// editVulnSnippets are finding-creating insertions, mixed in at a low
+// rate (a new finding every ~60 edits). Each one permanently densifies
+// the buffer — zones near it re-run that rule's regex forever after —
+// so a high rate grows a hundred-finding file no editor session looks
+// like and benchmarks the density pathology instead of typing.
+var editVulnSnippets = []string{
+	"os.system(cmd)\n", "h = hashlib.md5(data)\n", "cfg = yaml.load(s)\n",
+}
+
+// sessionBuffers builds editor-file-sized session documents: one corpus
+// sample embedded in ~16 KiB of clean generated code. That models the
+// file an editor actually streams edits over — findings are sparse, most
+// of the buffer is unremarkable — which is the regime incremental
+// re-scanning targets. (Concatenating raw corpus samples instead yields
+// pathological density — dozens of findings per buffer — where nearly
+// every dirty zone contains some rule's literal and affectedness decays
+// toward re-running everything.)
+func sessionBuffers(sources []string, n int) []string {
+	bufs := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		var b strings.Builder
+		src := sources[i%len(sources)]
+		b.WriteString(src)
+		if !strings.HasSuffix(src, "\n") {
+			b.WriteByte('\n')
+		}
+		for j := 0; b.Len() < 16<<10; j++ {
+			fmt.Fprintf(&b, "def pad_%d_%d(value):\n    total = value + %d\n    return total\n\n", i, j, j)
+		}
+		bufs = append(bufs, b.String())
+	}
+	return bufs
+}
+
+// nextEdit picks the next randomized edit against cur: mostly single
+// keystrokes inside a line, with occasional structural snippet inserts
+// and whole-line deletes, at roughly editor-realistic proportions. Edits
+// are line-aware — snippets land at line starts, and keystrokes and
+// deletes avoid lines carrying quotes or continuations — so the stream
+// keeps the buffer tokenizable the way coherent human editing does. (A
+// byte-blind stream shreds a string delimiter within the first few
+// dozen edits and never repairs it, which benchmarks the degraded
+// broken-syntax path instead of the incremental one.)
+func nextEdit(rng *rand.Rand, cur string) (start, end int, repl string) {
+	for try := 0; try < 8; try++ {
+		off := rng.Intn(len(cur) + 1)
+		ls, le := lineSpanAt(cur, off)
+		switch {
+		case rng.Intn(8) == 0 && len(cur) > 4<<10:
+			if !quoteFree(cur[ls:le]) {
+				continue
+			}
+			start, end = ls, le
+			if end < len(cur) {
+				end++ // take the newline with the line
+			}
+			return start, end, ""
+		case rng.Intn(4) == 0:
+			if rng.Intn(8) == 0 {
+				return ls, ls, editVulnSnippets[rng.Intn(len(editVulnSnippets))]
+			}
+			return ls, ls, editSnippets[rng.Intn(len(editSnippets))]
+		default:
+			if !quoteFree(cur[ls:le]) {
+				continue
+			}
+			// Keystrokes land after the leading whitespace: touching a
+			// line's indent (or widening it with a space) dedents some
+			// later line onto a level that no longer exists, and the
+			// random stream never types the fix. Whitespace-only lines
+			// are all indent, so they get no keystrokes at all.
+			ie := ls
+			for ie < le && cur[ie] == ' ' {
+				ie++
+			}
+			if ie == le && ie > ls {
+				continue
+			}
+			if off < ie {
+				off = ie
+			}
+			repl = editKeystrokes[rng.Intn(len(editKeystrokes))]
+			if repl == " " && off <= ie {
+				if ie == le {
+					continue
+				}
+				off = ie + 1
+			}
+			return off, off, repl
+		}
+	}
+	// Every probed line carried a quote; append a safe statement line.
+	return len(cur), len(cur), "a = 1\n"
+}
+
+// lineSpanAt returns the [start, end) span of the line containing off,
+// excluding the trailing newline.
+func lineSpanAt(s string, off int) (int, int) {
+	ls := strings.LastIndexByte(s[:off], '\n') + 1
+	le := strings.IndexByte(s[off:], '\n')
+	if le < 0 {
+		le = len(s)
+	} else {
+		le += off
+	}
+	return ls, le
+}
+
+// quoteFree reports whether editing inside s cannot split a string
+// delimiter or a backslash continuation.
+func quoteFree(s string) bool {
+	return !strings.ContainsAny(s, `'"\`)
+}
+
+// postRequest sends one protocol request to base/v1/verb and decodes the
+// response, returning the wire latency.
+func postRequest(client *http.Client, base, verb string, req core.Request) (core.Response, float64, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return core.Response{}, 0, err
+	}
+	t0 := time.Now()
+	httpResp, err := client.Post(base+"/v1/"+verb, "application/json", bytes.NewReader(body))
+	ms := float64(time.Since(t0).Nanoseconds()) / 1e6
+	if err != nil {
+		return core.Response{}, ms, err
+	}
+	defer httpResp.Body.Close()
+	var resp core.Response
+	if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
+		return core.Response{}, ms, err
+	}
+	return resp, ms, nil
+}
+
+// editPhase runs the stateful benchmark: sessions concurrent workers
+// each open a buffer and stream randomized keystroke-sized edits until
+// the deadline. The full-scan baseline (detect of the final, unique
+// buffer text) runs as a separate pass after the edit stream so the two
+// latency populations do not queue behind each other — each is measured
+// under the concurrency of its own kind. Results land in rep's
+// edit-phase fields.
+func editPhase(client *http.Client, base string, sources []string, sessions int, d time.Duration, rep *Report) {
+	bufs := sessionBuffers(sources, sessions*2)
+	type outcome struct {
+		editMs  []float64
+		fullMs  []float64
+		fulls   int // edits that fell back to a full scan
+		errors  int
+		editSum float64
+	}
+	deadline := time.Now().Add(d)
+	results := make([]outcome, sessions)
+	var wg sync.WaitGroup
+	for w := 0; w < sessions; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			o := &results[w]
+			rng := rand.New(rand.NewSource(int64(w+1) * 7919))
+			cur := bufs[w%len(bufs)]
+			open := func() (string, bool) {
+				resp, _, err := postRequest(client, base, "open", core.Request{Code: cur})
+				return resp.Session, err == nil && resp.OK
+			}
+			sid, ok := open()
+			if !ok {
+				o.errors++
+				return
+			}
+			for time.Now().Before(deadline) {
+				start, end, repl := nextEdit(rng, cur)
+				te := editor.SpanEdit(cur, start, end, repl)
+				resp, ms, err := postRequest(client, base, "edit",
+					core.Request{Session: sid, Edits: []editor.TextEdit{te}})
+				if err != nil || !resp.OK {
+					// Evicted or closed underneath us: reopen and move on.
+					o.errors++
+					cur = bufs[rng.Intn(len(bufs))]
+					if sid, ok = open(); !ok {
+						return
+					}
+					continue
+				}
+				cur = cur[:start] + repl + cur[end:]
+				o.editMs = append(o.editMs, ms)
+				o.editSum += ms
+				if resp.Inc != nil && resp.Inc.Full {
+					o.fulls++
+				}
+				// Keystroke think time: an editor session is a paced
+				// stream, not a closed loop slamming the queue — this
+				// measures per-edit latency, not edit-verb saturation
+				// throughput (the stateless sweep covers saturation).
+				time.Sleep(5 * time.Millisecond)
+			}
+			postRequest(client, base, "close", core.Request{Session: sid})
+			// Full-scan baseline pass: detect the final buffer a few
+			// times, each uniquified with a comment line so neither the
+			// response cache nor the scan cache can answer it.
+			for i := 0; i < 4; i++ {
+				code := fmt.Sprintf("%s# baseline %d %d\n", cur, w, i)
+				if _, ms, err := postRequest(client, base, "detect", core.Request{Code: code}); err == nil {
+					o.fullMs = append(o.fullMs, ms)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var editMs, fullMs []float64
+	var sum float64
+	var fulls int
+	for i := range results {
+		editMs = append(editMs, results[i].editMs...)
+		fullMs = append(fullMs, results[i].fullMs...)
+		sum += results[i].editSum
+		fulls += results[i].fulls
+		rep.EditErrors += results[i].errors
+	}
+	rep.EditSessions = sessions
+	rep.EditRequests = len(editMs)
+	if len(editMs) > 0 {
+		sort.Float64s(editMs)
+		rep.EditP50 = quantile(editMs, 0.50)
+		rep.EditP99 = quantile(editMs, 0.99)
+		rep.EditMean = sum / float64(len(editMs))
+		rep.IncrementalHitRate = 1 - float64(fulls)/float64(len(editMs))
+	}
+	if len(fullMs) > 0 {
+		sort.Float64s(fullMs)
+		rep.FullScanP50 = quantile(fullMs, 0.50)
+	}
 }
 
 // quantile returns the exact q-quantile of sorted (nearest-rank).

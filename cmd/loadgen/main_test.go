@@ -15,7 +15,8 @@ func TestLoadgenSmoke(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "BENCH_SERVE.json")
 	var stdout bytes.Buffer
 	err := run([]string{
-		"-d", "500ms", "-c", "4", "-unique", "16", "-verbs", "detect,patch", "-out", out,
+		"-d", "500ms", "-c", "4", "-unique", "16", "-verbs", "detect,patch",
+		"-edit-sessions", "2", "-out", out,
 	}, &stdout)
 	if err != nil {
 		t.Fatal(err)
@@ -59,6 +60,22 @@ func TestLoadgenSmoke(t *testing.T) {
 	// response cache must be doing work.
 	if rep.CacheHitRate <= 0 {
 		t.Errorf("cacheHitRate = %v, want > 0 on replay traffic", rep.CacheHitRate)
+	}
+	// Edit phase: sessions streamed edits and measured both populations.
+	if rep.EditSessions != 2 || rep.EditRequests == 0 {
+		t.Fatalf("edit phase: sessions=%d requests=%d", rep.EditSessions, rep.EditRequests)
+	}
+	if rep.EditErrors != 0 {
+		t.Errorf("editErrors = %d", rep.EditErrors)
+	}
+	if rep.EditP50 <= 0 || rep.EditP50 > rep.EditP99 {
+		t.Errorf("edit quantiles not sane: p50=%v p99=%v", rep.EditP50, rep.EditP99)
+	}
+	if rep.FullScanP50 <= 0 {
+		t.Errorf("fullScanP50 = %v, want > 0", rep.FullScanP50)
+	}
+	if rep.IncrementalHitRate <= 0.5 {
+		t.Errorf("incrementalHitRate = %v, want > 0.5", rep.IncrementalHitRate)
 	}
 }
 

@@ -30,6 +30,15 @@
 // {"cmd":"stats"} reports its hit/miss counters and the prefilter skip
 // rate.
 //
+// Stateful buffer sessions avoid re-scanning a whole document on every
+// keystroke: {"cmd":"open","code":"..."} scans once and returns a
+// session id, {"cmd":"edit","session":"s1","edits":[...]} applies
+// LSP-style range edits and returns findings re-scanned only around the
+// dirty region (the "inc" field reports how the rescan resolved), and
+// {"cmd":"close","session":"s1"} releases the buffer. Sessions are
+// LRU-bounded; an invalid edit closes its session rather than serve a
+// diverged buffer.
+//
 // With -http the same verbs are served as HTTP endpoints (POST
 // /v1/detect, /v1/patch, ..., POST /v1/rpc for the raw protocol, GET for
 // the body-less verbs) through a bounded work queue: a full queue sheds

@@ -16,6 +16,7 @@ import (
 
 	"github.com/dessertlab/patchitpy/internal/detect"
 	"github.com/dessertlab/patchitpy/internal/diag"
+	"github.com/dessertlab/patchitpy/internal/docsession"
 	"github.com/dessertlab/patchitpy/internal/editor"
 	"github.com/dessertlab/patchitpy/internal/obs"
 	"github.com/dessertlab/patchitpy/internal/patch"
@@ -25,7 +26,7 @@ import (
 
 // Version is the engine version reported by the serve protocol's "ping"
 // verb and re-exported by the root package.
-const Version = "0.5.0"
+const Version = "0.6.0"
 
 // processStart anchors the uptime reported by "ping" and the
 // obs uptime gauge.
@@ -42,6 +43,11 @@ type PatchitPy struct {
 	detector     *detect.Detector
 	analyzeCache *resultcache.Cache[Report]
 	fixCache     *resultcache.Cache[FixOutcome]
+
+	// sessions backs the serve protocol's stateful buffer verbs
+	// (open/edit/close): incremental re-scanning over long-lived
+	// documents instead of whole-buffer re-submission.
+	sessions *docsession.Manager
 
 	// analyzers, when set, is the registry the serve protocol's "tools"
 	// request field queries (see SetAnalyzers).
@@ -63,10 +69,12 @@ func (p *PatchitPy) SetObs(reg *obs.Registry) {
 	p.obsReg = reg
 	if reg == nil {
 		p.detector.SetObs(nil)
+		p.sessions.SetObs(nil)
 		p.serveReqs, p.serveDur = nil, nil
 		return
 	}
 	p.detector.SetObs(reg)
+	p.sessions.SetObs(reg)
 	resultcache.RegisterObs(reg, "analyze", func() *resultcache.Cache[Report] { return p.analyzeCache })
 	resultcache.RegisterObs(reg, "fix", func() *resultcache.Cache[FixOutcome] { return p.fixCache })
 	reg.GaugeFunc(obs.MetricUptime, func() float64 { return time.Since(processStart).Seconds() })
@@ -82,6 +90,7 @@ func New() *PatchitPy {
 // NewWithCatalog returns an engine over a custom catalog (nil = built-in).
 func NewWithCatalog(catalog *rules.Catalog) *PatchitPy {
 	p := &PatchitPy{detector: detect.New(catalog)}
+	p.sessions = docsession.NewManager(p.detector, docsession.DefaultCapacity)
 	p.SetCacheBytes(DefaultCacheBytes)
 	return p
 }

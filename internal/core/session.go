@@ -9,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/dessertlab/patchitpy/internal/detect"
 	"github.com/dessertlab/patchitpy/internal/diag"
 	"github.com/dessertlab/patchitpy/internal/editor"
 	"github.com/dessertlab/patchitpy/internal/obs"
@@ -23,15 +24,24 @@ import (
 
 // Request is one line of the JSON session protocol.
 type Request struct {
-	// Cmd is "detect", "suggest", "patch", "rules", "vet", "stats",
-	// "ping" or "metrics".
+	// Cmd is "detect", "suggest", "patch", "open", "edit", "close",
+	// "rules", "vet", "stats", "ping" or "metrics".
 	Cmd string `json:"cmd"`
-	// Code is the selected Python code (detect/suggest/patch).
+	// Code is the selected Python code (detect/suggest/patch) or the
+	// initial buffer text (open).
 	Code string `json:"code,omitempty"`
 	// Tools, when non-empty on a "detect" request, selects analyzers from
 	// the registry attached with SetAnalyzers (matched case-insensitively)
 	// and answers with one per-tool result instead of the native report.
 	Tools []string `json:"tools,omitempty"`
+	// Session names the buffer session an "edit" or "close" targets (the
+	// id a prior "open" response returned).
+	Session string `json:"session,omitempty"`
+	// Edits are the buffer changes of an "edit" request, applied
+	// sequentially: each range is resolved against the text produced by
+	// the previous edit, matching the order an editor's change events
+	// arrive in.
+	Edits []editor.TextEdit `json:"edits,omitempty"`
 }
 
 // ToolResultDTO is one analyzer's verdict in a multi-tool detect
@@ -82,6 +92,25 @@ type FixPreview struct {
 	Replacement string          `json:"replacement"`
 }
 
+// IncStatsDTO describes the incremental work behind one "edit"
+// response: how much of the buffer was treated as dirty and how the
+// rule set split between re-running and replaying. Clients use it to
+// report re-scan efficiency; the loadgen benchmark aggregates it into
+// an incremental-hit-rate.
+type IncStatsDTO struct {
+	// Full is true when the edit fell back to a from-scratch scan.
+	Full bool `json:"full"`
+	// Spliced is true when the comment mask was updated in place
+	// (tier-1 splice) rather than retokenized.
+	Spliced bool `json:"spliced"`
+	// DirtyBytes is the merged dirty-window size in the edited text.
+	DirtyBytes int `json:"dirtyBytes"`
+	// RulesRerun and RulesReplayed split the admitted rules between
+	// regex re-execution and finding replay.
+	RulesRerun    int `json:"rulesRerun"`
+	RulesReplayed int `json:"rulesReplayed"`
+}
+
 // FindingDTO is a finding serialized for the editor.
 type FindingDTO struct {
 	RuleID   string `json:"ruleId"`
@@ -109,6 +138,12 @@ type Response struct {
 	Stats      *StatsDTO    `json:"stats,omitempty"`
 	// Vet carries the catalog vetting report ("vet" verb).
 	Vet *VetDTO `json:"vet,omitempty"`
+	// Session and Gen identify a buffer session and its document
+	// generation ("open"/"edit" responses).
+	Session string `json:"session,omitempty"`
+	Gen     uint64 `json:"gen,omitempty"`
+	// Inc reports the incremental re-scan accounting of an "edit".
+	Inc *IncStatsDTO `json:"inc,omitempty"`
 	// Tools carries per-analyzer results for requests with a "tools" field.
 	Tools []ToolResultDTO `json:"tools,omitempty"`
 	// Version and UptimeMs answer the "ping" health check.
@@ -232,7 +267,7 @@ func (p *PatchitPy) handleCmd(ctx context.Context, req Request) Response {
 		return Response{
 			OK:         true,
 			Vulnerable: report.Vulnerable,
-			Findings:   toDTOs(report),
+			Findings:   toDTOs(report.Findings),
 			CWEs:       report.CWEs,
 		}
 	case "suggest":
@@ -249,7 +284,7 @@ func (p *PatchitPy) handleCmd(ctx context.Context, req Request) Response {
 		return Response{
 			OK:         true,
 			Vulnerable: outcome.Report.Vulnerable,
-			Findings:   toDTOs(outcome.Report),
+			Findings:   toDTOs(outcome.Report.Findings),
 			Previews:   previews,
 			Imports:    outcome.Result.ImportsAdded,
 			CWEs:       outcome.Report.CWEs,
@@ -259,11 +294,46 @@ func (p *PatchitPy) handleCmd(ctx context.Context, req Request) Response {
 		return Response{
 			OK:         true,
 			Vulnerable: outcome.Report.Vulnerable,
-			Findings:   toDTOs(outcome.Report),
+			Findings:   toDTOs(outcome.Report.Findings),
 			Patched:    outcome.Result.Source,
 			Imports:    outcome.Result.ImportsAdded,
 			CWEs:       outcome.Report.CWEs,
 		}
+	case "open":
+		res := p.sessions.Open(ctx, req.Code)
+		return Response{
+			OK:         true,
+			Session:    res.ID,
+			Gen:        res.Gen,
+			Vulnerable: len(res.Findings) > 0,
+			Findings:   toDTOs(res.Findings),
+			CWEs:       detect.DistinctCWEs(res.Findings),
+		}
+	case "edit":
+		res, err := p.sessions.Edit(ctx, req.Session, req.Edits)
+		if err != nil {
+			return Response{OK: false, Error: err.Error()}
+		}
+		return Response{
+			OK:         true,
+			Session:    res.ID,
+			Gen:        res.Gen,
+			Vulnerable: len(res.Findings) > 0,
+			Findings:   toDTOs(res.Findings),
+			CWEs:       detect.DistinctCWEs(res.Findings),
+			Inc: &IncStatsDTO{
+				Full:          res.Stats.Full,
+				Spliced:       res.Stats.MaskSpliced,
+				DirtyBytes:    res.Stats.DirtyBytes,
+				RulesRerun:    res.Stats.RulesRerun,
+				RulesReplayed: res.Stats.RulesReplayed,
+			},
+		}
+	case "close":
+		if err := p.sessions.Close(req.Session); err != nil {
+			return Response{OK: false, Error: err.Error()}
+		}
+		return Response{OK: true, Session: req.Session}
 	case "rules":
 		return Response{OK: true, RuleCount: p.Catalog().Len(), CWEs: p.Catalog().CWEs()}
 	case "vet":
@@ -335,9 +405,9 @@ func (p *PatchitPy) detectTools(ctx context.Context, req Request) Response {
 	return resp
 }
 
-func toDTOs(report Report) []FindingDTO {
-	out := make([]FindingDTO, 0, len(report.Findings))
-	for _, f := range report.Findings {
+func toDTOs(findings []detect.Finding) []FindingDTO {
+	out := make([]FindingDTO, 0, len(findings))
+	for _, f := range findings {
 		dto := FindingDTO{
 			RuleID:   f.Rule.ID,
 			CWE:      f.Rule.CWE,

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"github.com/dessertlab/patchitpy/internal/editor"
+)
+
+// TestServeBufferSession drives the open/edit/close verbs through the
+// stdio line loop: one buffer session whose incremental edit responses
+// must match a from-scratch detect of the same text.
+func TestServeBufferSession(t *testing.T) {
+	p := New()
+	src := "import yaml\ncfg = yaml.load(stream)\n"
+	appendEval := []editor.TextEdit{{
+		Range:   editor.Range{Start: editor.Position{Line: 2}, End: editor.Position{Line: 2}},
+		NewText: "x = eval(user_input)\n",
+	}}
+	reqs := []Request{
+		{Cmd: "open", Code: src},
+		{Cmd: "edit", Session: "s1", Edits: appendEval},
+		{Cmd: "close", Session: "s1"},
+		{Cmd: "edit", Session: "s1", Edits: appendEval},
+	}
+	var in bytes.Buffer
+	enc := json.NewEncoder(&in)
+	for _, r := range reqs {
+		if err := enc.Encode(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var out bytes.Buffer
+	if err := p.Serve(&in, &out); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("responses = %d, want 4", len(lines))
+	}
+
+	var open, edit, closed, stale Response
+	for i, dst := range []*Response{&open, &edit, &closed, &stale} {
+		if err := json.Unmarshal([]byte(lines[i]), dst); err != nil {
+			t.Fatalf("response %d: %v", i, err)
+		}
+	}
+	if !open.OK || open.Session != "s1" || !open.Vulnerable || len(open.Findings) != 1 {
+		t.Fatalf("open response: %+v", open)
+	}
+	if !edit.OK || edit.Session != "s1" || edit.Gen == 0 || edit.Inc == nil {
+		t.Fatalf("edit response: %+v", edit)
+	}
+	if edit.Inc.Full {
+		t.Fatalf("append edit should not fall back to a full scan: %+v", edit.Inc)
+	}
+
+	// The edit response must equal a stateless detect of the edited text
+	// in every shared field.
+	want := p.Handle(context.Background(), Request{Cmd: "detect", Code: src + "x = eval(user_input)\n"})
+	if len(edit.Findings) != len(want.Findings) {
+		t.Fatalf("edit findings = %d, detect findings = %d", len(edit.Findings), len(want.Findings))
+	}
+	for i := range want.Findings {
+		if edit.Findings[i] != want.Findings[i] {
+			t.Errorf("finding %d: edit %+v != detect %+v", i, edit.Findings[i], want.Findings[i])
+		}
+	}
+	if strings.Join(edit.CWEs, ",") != strings.Join(want.CWEs, ",") {
+		t.Errorf("CWEs: edit %v != detect %v", edit.CWEs, want.CWEs)
+	}
+
+	if !closed.OK || closed.Session != "s1" {
+		t.Fatalf("close response: %+v", closed)
+	}
+	if stale.OK || !strings.Contains(stale.Error, "unknown session") {
+		t.Fatalf("edit after close should fail: %+v", stale)
+	}
+}
+
+// TestServeEditBadRange pins the protocol behavior for an invalid edit:
+// an error response, and the session is gone (the buffer may have
+// diverged mid-batch, so the server refuses to keep serving it).
+func TestServeEditBadRange(t *testing.T) {
+	p := New()
+	open := p.Handle(context.Background(), Request{Cmd: "open", Code: "x = 1\ny = 2\n"})
+	if !open.OK {
+		t.Fatalf("open: %+v", open)
+	}
+	bad := Request{Cmd: "edit", Session: open.Session, Edits: []editor.TextEdit{{
+		Range: editor.Range{Start: editor.Position{Line: 1}, End: editor.Position{Line: 0}},
+	}}}
+	resp := p.Handle(context.Background(), bad)
+	if resp.OK || !strings.Contains(resp.Error, "session "+open.Session+" closed") {
+		t.Fatalf("bad edit response: %+v", resp)
+	}
+	again := p.Handle(context.Background(), Request{Cmd: "edit", Session: open.Session})
+	if again.OK {
+		t.Fatalf("session should be closed after invalid edit: %+v", again)
+	}
+}

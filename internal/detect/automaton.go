@@ -108,12 +108,24 @@ type literalIndex struct {
 	// usable literal set — the rule cannot be prefiltered).
 	patternIDs  [][]int32
 	requiresIDs [][]int32
+	// excludesIDs[i] are the literal IDs of rule i's Excludes gate. They
+	// never join the candidate computation (an excludes match suppresses
+	// rather than enables a rule); incremental rescans read them to decide
+	// whether an edit could have flipped the gate.
+	excludesIDs [][]int32
+	// maxLit is the longest interned literal in bytes; incremental zone
+	// scans widen their span by maxLit-1 so no occurrence straddles out.
+	maxLit int
 }
 
-func buildLiteralIndex(filters []ruleFilter) *literalIndex {
+// buildLiteralIndex interns pattern + requires literals from filters and
+// the per-rule excludes literal sets (aligned with filters, nil entries
+// allowed) into one shared automaton.
+func buildLiteralIndex(filters []ruleFilter, excludesLits [][]string) *literalIndex {
 	ix := &literalIndex{
 		patternIDs:  make([][]int32, len(filters)),
 		requiresIDs: make([][]int32, len(filters)),
+		excludesIDs: make([][]int32, len(filters)),
 	}
 	var lits []string
 	ids := map[string]int32{}
@@ -136,8 +148,14 @@ func buildLiteralIndex(filters []ruleFilter) *literalIndex {
 	for i, f := range filters {
 		ix.patternIDs[i] = intern(f.patternLits)
 		ix.requiresIDs[i] = intern(f.requiresLits)
+		ix.excludesIDs[i] = intern(excludesLits[i])
 	}
 	ix.ac = buildAutomaton(lits)
+	for _, lit := range lits {
+		if len(lit) > ix.maxLit {
+			ix.maxLit = len(lit)
+		}
+	}
 	return ix
 }
 

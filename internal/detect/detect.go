@@ -60,6 +60,17 @@ type Detector struct {
 	lits    *literalIndex // shared Aho-Corasick automaton over all literals
 	allBits bitset        // admit bitset for the zero Options
 
+	// loc classifies each rule for incremental rescans (see locality.go);
+	// zoneReach is the max analyzable reach, in non-blank-line hops.
+	loc       []locality
+	zoneReach int
+	// ruleIdx maps a rule back to its catalog index, so RescanEdited can
+	// route previous findings to their rule's locality class.
+	ruleIdx map[*rules.Rule]int
+	// zoneRegexRules lists rule indices whose affectedness uses the
+	// direct zone-match fallback (see locality.zoneRegex).
+	zoneRegexRules []int
+
 	// seenPool recycles the automaton's per-scan literal scratch slice.
 	seenPool sync.Pool
 	// admitCache maps an Options fingerprint to its admit bitset, so the
@@ -91,6 +102,15 @@ type scanMetrics struct {
 	ruleRuns *obs.Vec
 	ruleHits *obs.Vec
 	ruleTime *obs.Vec
+
+	// Incremental-rescan instrumentation (RescanEdited).
+	incRescans   *obs.Counter
+	incFull      *obs.Counter
+	incMaskFall  *obs.Counter
+	incDirty     *obs.Histogram
+	incRerun     *obs.Counter
+	incReplayed  *obs.Counter
+	incRescanDur *obs.Histogram
 }
 
 // SetObs attaches an observability registry: per-scan and per-rule
@@ -112,6 +132,14 @@ func (d *Detector) SetObs(reg *obs.Registry) {
 		ruleRuns: reg.CounterVec(obs.MetricRuleRuns, "rule"),
 		ruleHits: reg.CounterVec(obs.MetricRuleFindings, "rule"),
 		ruleTime: reg.DurationCounterVec(obs.MetricRuleTime, "rule"),
+
+		incRescans:   reg.Counter(obs.MetricIncRescans),
+		incFull:      reg.Counter(obs.MetricIncFullRescans),
+		incMaskFall:  reg.Counter(obs.MetricIncMaskFallbacks),
+		incDirty:     reg.Histogram(obs.MetricIncDirtyBytes, obs.SizeBuckets),
+		incRerun:     reg.Counter(obs.MetricIncRulesRerun),
+		incReplayed:  reg.Counter(obs.MetricIncRulesReplayed),
+		incRescanDur: reg.Histogram(obs.MetricIncRescanTime, nil),
 	}
 	reg.CounterFunc(obs.MetricPrefilterConsidered, func() float64 { return float64(d.rulesConsidered.Load()) })
 	reg.CounterFunc(obs.MetricPrefilterSkipped, func() float64 { return float64(d.rulesSkipped.Load()) })
@@ -132,10 +160,22 @@ func New(catalog *rules.Catalog) *Detector {
 		rules:   rs,
 		filters: buildFilters(rs),
 	}
-	d.lits = buildLiteralIndex(d.filters)
+	excludesLits := make([][]string, len(rs))
+	for i, r := range rs {
+		if r.Excludes != nil {
+			excludesLits[i] = requiredLiterals(r.Excludes.String())
+		}
+	}
+	d.lits = buildLiteralIndex(d.filters, excludesLits)
+	d.loc, d.zoneReach = classifyRules(rs, d.filters, excludesLits)
 	d.allBits = newBitset(len(rs))
+	d.ruleIdx = make(map[*rules.Rule]int, len(rs))
 	for i := range rs {
 		d.allBits.set(i)
+		d.ruleIdx[rs[i]] = i
+		if d.loc[i].needsZoneRegex() {
+			d.zoneRegexRules = append(d.zoneRegexRules, i)
+		}
 	}
 	n := d.lits.ac.numLiterals
 	d.seenPool.New = func() any {
@@ -463,6 +503,8 @@ func (d *Detector) scanPrepared(ctx context.Context, p *Prepared, opt Options) [
 
 // matchRule runs one admitted, prefilter-passed rule's regex phase over
 // p, appending matches to out, and returns how many findings it added.
+// The lazy artifacts are fetched once up front (not per match), which
+// also means callers must not hold p.mu.
 func (d *Detector) matchRule(rule *rules.Rule, p *Prepared, out *[]Finding) int {
 	if rule.Requires != nil && !rule.Requires.MatchString(p.src) {
 		return 0
@@ -470,23 +512,47 @@ func (d *Detector) matchRule(rule *rules.Rule, p *Prepared, out *[]Finding) int 
 	if rule.Excludes != nil && rule.Excludes.MatchString(p.src) {
 		return 0
 	}
+	idxs := rule.Pattern.FindAllStringSubmatchIndex(p.src, -1)
+	if len(idxs) == 0 {
+		return 0
+	}
+	mask := p.commentSpans()
+	lines := p.Lines()
 	n := 0
-	for _, idx := range rule.Pattern.FindAllStringSubmatchIndex(p.src, -1) {
+	for _, idx := range idxs {
 		start, end := idx[0], idx[1]
-		if inMask(p.commentSpans(), start) {
+		if inMask(mask, start) {
 			continue
 		}
 		*out = append(*out, Finding{
 			Rule:    rule,
 			Start:   start,
 			End:     end,
-			Line:    p.Lines().Line(start),
+			Line:    lines.Line(start),
 			Snippet: p.src[start:end],
 			Groups:  append([]int(nil), idx...),
 		})
 		n++
 	}
 	return n
+}
+
+// recordRescan publishes one RescanEdited outcome to the attached
+// registry. Callers check the enabled flag first.
+func (d *Detector) recordRescan(st RescanStats, dur time.Duration) {
+	m := d.met
+	if st.Full {
+		m.incFull.Inc()
+	} else {
+		m.incRescans.Inc()
+	}
+	if !st.MaskSpliced {
+		m.incMaskFall.Inc()
+	}
+	m.incDirty.ObserveValue(float64(st.DirtyBytes))
+	m.incRerun.Add(uint64(st.RulesRerun))
+	m.incReplayed.Add(uint64(st.RulesReplayed))
+	m.incRescanDur.Observe(dur)
 }
 
 // Vulnerable reports whether src triggers at least one rule — the binary

@@ -2,34 +2,57 @@ package detect
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"github.com/dessertlab/patchitpy/internal/lineindex"
 )
 
 // Prepared carries the per-source artifacts every rule of a scan shares:
-// the comment mask, the newline-offset line index, and the literal
-// automaton's candidate-rule bitset. Before it existed, commentMask
-// re-tokenized the source on every scan and every finding re-counted
-// newlines from offset zero; now each is computed at most once per source
-// and only when first needed.
+// the comment mask (plus the string-span and bracket-depth tables the
+// incremental path needs), the newline-offset line index, and the literal
+// automaton's candidate-rule bitset. Each artifact is computed at most
+// once per source version and only when first needed.
+//
+// Since the incremental-scanning refactor a Prepared is a mutable,
+// versioned document rather than an immutable string wrapper: ApplyEdit
+// and ApplyEdits splice the source in place, shift the line index by the
+// edit delta, and record the dirty window so RescanEdited can re-run only
+// the rules the edit could have affected. Gen returns the version; every
+// applied edit increments it.
 //
 // A Prepared is bound to the Detector that created it and may be reused
-// across any number of ScanPrepared calls for the same (unchanged) source
-// — core.Fix shares one between the detection scan and the patch phase's
-// edit-position computation. All lazy fields are sync.Once-guarded, so a
-// Prepared is safe for concurrent use.
+// across any number of ScanPrepared calls only while the source is
+// unchanged — core.Fix shares one between the detection scan and the
+// patch phase's edit-position computation. After an ApplyEdit, earlier
+// scan results describe a previous generation; rescan (RescanEdited, or
+// any Scan* entry point) before using positions against the new source.
+//
+// Concurrency: concurrent readers (ScanPrepared and the accessors) are
+// safe with each other — lazy artifacts are mutex-guarded. Mutations
+// (ApplyEdit, ApplyEdits, RescanEdited) demand external write
+// exclusivity: no other goroutine may use the Prepared concurrently with
+// them. docsession enforces that with a per-session lock.
 type Prepared struct {
 	d   *Detector
 	src string
 
-	maskOnce sync.Once
-	mask     []span
+	// gen counts applied edits; read it with Gen.
+	gen atomic.Uint64
 
-	linesOnce sync.Once
+	// mu guards every lazy field below and the pending edit state.
+	mu sync.Mutex
+
+	haveLines bool
 	lines     lineindex.Index
 
-	candOnce sync.Once
-	cand     bitset
+	haveTok bool
+	tok     tokArtifacts
+
+	haveCand  bool
+	candStale bool // cand predates pending edits; see candidatesLocked
+	cand      bitset
+
+	pending *pendingEdit
 }
 
 // Prepare wraps src for repeated scanning by this detector. The expensive
@@ -39,25 +62,59 @@ func (d *Detector) Prepare(src string) *Prepared {
 	return &Prepared{d: d, src: src}
 }
 
-// Source returns the prepared source text.
+// Source returns the current source text.
 func (p *Prepared) Source() string { return p.src }
+
+// Gen returns the document generation: how many edits have been applied
+// since Prepare. Findings are only valid against the generation they were
+// scanned at.
+func (p *Prepared) Gen() uint64 { return p.gen.Load() }
 
 // Lines returns the source's line index, computing it on first call.
 func (p *Prepared) Lines() lineindex.Index {
-	p.linesOnce.Do(func() { p.lines = lineindex.New(p.src) })
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.linesLocked()
+}
+
+func (p *Prepared) linesLocked() lineindex.Index {
+	if !p.haveLines {
+		p.lines = lineindex.New(p.src)
+		p.haveLines = true
+	}
 	return p.lines
 }
 
 // commentSpans returns the comment mask, tokenizing on first call.
 func (p *Prepared) commentSpans() []span {
-	p.maskOnce.Do(func() { p.mask = commentMask(p.src) })
-	return p.mask
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.tokLocked().mask
+}
+
+func (p *Prepared) tokLocked() tokArtifacts {
+	if !p.haveTok {
+		p.tok = buildArtifacts(p.src, p.linesLocked())
+		p.haveTok = true
+	}
+	return p.tok
 }
 
 // candidates returns the automaton's candidate-rule bitset, running the
 // one-pass literal scan on first call.
 func (p *Prepared) candidates() bitset {
-	p.candOnce.Do(func() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.candidatesLocked()
+}
+
+// candidatesLocked returns an exact candidate bitset for the current
+// source. candStale marks a bitset that predates pending edits; rescans
+// normally refresh it cheaply from the dirty-zone literal scan
+// (RescanEdited), but if a plain scan arrives first the bitset is
+// recomputed from scratch here so no entry point can read stale bits.
+func (p *Prepared) candidatesLocked() bitset {
+	if !p.haveCand || p.candStale {
 		d := p.d
 		seen := d.seenPool.Get().(*[]bool)
 		s := *seen
@@ -66,6 +123,8 @@ func (p *Prepared) candidates() bitset {
 		}
 		p.cand = d.lits.candidates(p.src, s, len(d.rules))
 		d.seenPool.Put(seen)
-	})
+		p.haveCand = true
+		p.candStale = false
+	}
 	return p.cand
 }

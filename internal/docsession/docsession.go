@@ -1,0 +1,216 @@
+// Package docsession manages stateful buffer sessions for incremental
+// scanning: each session pins one detect.Prepared document plus the
+// findings of its last scan, so an editor can stream keystroke-sized
+// edits and get re-scans that only touch the dirty region
+// (detect.RescanEdited) instead of re-submitting the whole buffer.
+//
+// The Manager is the single shared registry behind the serve protocol's
+// "open"/"edit"/"close" verbs. It is bounded: at capacity, opening a new
+// session evicts the least-recently-used one, so a fleet of editors that
+// forget to close cannot grow the server without limit.
+package docsession
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"github.com/dessertlab/patchitpy/internal/detect"
+	"github.com/dessertlab/patchitpy/internal/editor"
+	"github.com/dessertlab/patchitpy/internal/obs"
+)
+
+// DefaultCapacity bounds a Manager when NewManager is given a
+// non-positive capacity.
+const DefaultCapacity = 64
+
+// session is one open buffer: the prepared document, the findings of the
+// last scan over it (the replay input for the next RescanEdited), and an
+// LRU stamp. The per-session mutex serializes edits on one buffer while
+// letting distinct sessions scan concurrently.
+type session struct {
+	mu   sync.Mutex
+	id   string
+	prep *detect.Prepared
+	last []detect.Finding
+}
+
+// Manager owns the open sessions. Safe for concurrent use.
+type Manager struct {
+	mu   sync.Mutex
+	d    *detect.Detector
+	cap  int
+	seq  uint64 // id counter: sessions are named "s1", "s2", ...
+	tick uint64 // LRU clock
+	sess map[string]*session
+	used map[string]uint64 // id -> last tick, guarded by mu
+
+	// obs handles; detached counters (counting into nowhere) until
+	// SetObs swaps in registry-owned ones, so call sites need no nil
+	// guards.
+	opened, closed, evicted, edits *obs.Counter
+}
+
+// NewManager returns a Manager scanning with d, holding at most capacity
+// open sessions (<= 0: DefaultCapacity).
+func NewManager(d *detect.Detector, capacity int) *Manager {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Manager{
+		d:       d,
+		cap:     capacity,
+		sess:    make(map[string]*session),
+		used:    make(map[string]uint64),
+		opened:  new(obs.Counter),
+		closed:  new(obs.Counter),
+		evicted: new(obs.Counter),
+		edits:   new(obs.Counter),
+	}
+}
+
+// SetObs attaches an observability registry: a live-session gauge plus
+// opened/closed/evicted/edit counters. Pass nil to detach. Setup API —
+// do not call with requests in flight.
+func (m *Manager) SetObs(reg *obs.Registry) {
+	if reg == nil {
+		m.opened, m.closed, m.evicted = new(obs.Counter), new(obs.Counter), new(obs.Counter)
+		m.edits = new(obs.Counter)
+		return
+	}
+	reg.GaugeFunc(obs.MetricSessionsOpen, func() float64 { return float64(m.Len()) })
+	m.opened = reg.Counter(obs.MetricSessionsOpened)
+	m.closed = reg.Counter(obs.MetricSessionsClosed)
+	m.evicted = reg.Counter(obs.MetricSessionsEvicted)
+	m.edits = reg.Counter(obs.MetricSessionEdits)
+}
+
+// Result is the outcome of an Open or Edit: the session's identity, the
+// document generation after the operation, and the full findings over
+// the current buffer text (replayed + re-scanned merged — never a
+// delta, so clients stay stateless about findings).
+type Result struct {
+	ID       string
+	Gen      uint64
+	Findings []detect.Finding
+	// Stats describes the incremental work of an Edit (zero on Open).
+	Stats detect.RescanStats
+}
+
+// Open creates a session over src, scans it from scratch, and returns
+// the new session's id with the findings. At capacity the
+// least-recently-used session is evicted first.
+func (m *Manager) Open(ctx context.Context, src string) Result {
+	prep := m.d.Prepare(src)
+	// Sessions must bypass the detector's scan cache: the cache would be
+	// populated with every intermediate keystroke state, evicting useful
+	// whole-document entries for states that recur essentially never.
+	findings := m.d.ScanPreparedContext(ctx, prep, detect.Options{NoCache: true})
+
+	m.mu.Lock()
+	for len(m.sess) >= m.cap {
+		m.evictOldestLocked()
+	}
+	m.seq++
+	s := &session{id: fmt.Sprintf("s%d", m.seq), prep: prep, last: findings}
+	m.sess[s.id] = s
+	m.touchLocked(s.id)
+	m.mu.Unlock()
+
+	m.opened.Add(1)
+	return Result{ID: s.id, Gen: prep.Gen(), Findings: findings}
+}
+
+// Edit applies edits to the session's buffer sequentially — each range
+// is resolved against the text produced by the previous edit, the LSP
+// ordering an editor's change events use — then re-scans incrementally.
+// An invalid edit (inverted range) closes the session, since the buffer
+// may already have diverged from the client's; the client should reopen.
+func (m *Manager) Edit(ctx context.Context, id string, edits []editor.TextEdit) (Result, error) {
+	s, err := m.lookup(id)
+	if err != nil {
+		return Result{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, e := range edits {
+		if err := s.prep.ApplyEdit(e); err != nil {
+			m.drop(id)
+			m.closed.Add(1)
+			return Result{}, fmt.Errorf("%v; session %s closed", err, id)
+		}
+	}
+	findings, stats := m.d.RescanEditedContext(ctx, s.prep, s.last, detect.Options{NoCache: true})
+	s.last = findings
+	m.edits.Add(uint64(len(edits)))
+	return Result{ID: id, Gen: s.prep.Gen(), Findings: findings, Stats: stats}, nil
+}
+
+// Close removes a session. Closing an unknown (or already-evicted) id is
+// an error, so clients learn their session is gone.
+func (m *Manager) Close(id string) error {
+	m.mu.Lock()
+	_, ok := m.sess[id]
+	if ok {
+		delete(m.sess, id)
+		delete(m.used, id)
+	}
+	m.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("unknown session %q", id)
+	}
+	m.closed.Add(1)
+	return nil
+}
+
+// Len reports the number of open sessions.
+func (m *Manager) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.sess)
+}
+
+// lookup finds id and bumps its LRU stamp.
+func (m *Manager) lookup(id string) (*session, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.sess[id]
+	if !ok {
+		return nil, fmt.Errorf("unknown session %q", id)
+	}
+	m.touchLocked(id)
+	return s, nil
+}
+
+func (m *Manager) touchLocked(id string) {
+	m.tick++
+	m.used[id] = m.tick
+}
+
+// drop removes id without the unknown-id error (internal cleanup).
+func (m *Manager) drop(id string) {
+	m.mu.Lock()
+	delete(m.sess, id)
+	delete(m.used, id)
+	m.mu.Unlock()
+}
+
+// evictOldestLocked removes the session with the smallest LRU stamp.
+// The capacity is small (tens), so a linear scan beats maintaining a
+// heap across the hot lookup path. Callers hold m.mu.
+func (m *Manager) evictOldestLocked() {
+	var victim string
+	var oldest uint64
+	first := true
+	for id, tick := range m.used {
+		if first || tick < oldest {
+			victim, oldest, first = id, tick, false
+		}
+	}
+	if victim == "" {
+		return
+	}
+	delete(m.sess, victim)
+	delete(m.used, victim)
+	m.evicted.Add(1)
+}

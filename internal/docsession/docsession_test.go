@@ -1,0 +1,248 @@
+package docsession_test
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/dessertlab/patchitpy/internal/detect"
+	"github.com/dessertlab/patchitpy/internal/docsession"
+	"github.com/dessertlab/patchitpy/internal/editor"
+	"github.com/dessertlab/patchitpy/internal/obs"
+)
+
+var uncached = detect.Options{NoCache: true}
+
+const sample = "import os\nos.system(cmd)\nprint('ok')\n"
+
+// fromScratch is the oracle: a plain scan of src on a fresh document.
+func fromScratch(t *testing.T, d *detect.Detector, src string) []detect.Finding {
+	t.Helper()
+	return d.ScanPrepared(d.Prepare(src), uncached)
+}
+
+// sameFindings compares the fields a protocol client sees.
+func sameFindings(got, want []detect.Finding) string {
+	if len(got) != len(want) {
+		return fmt.Sprintf("finding count %d, want %d", len(got), len(want))
+	}
+	for i := range got {
+		g, w := got[i], want[i]
+		if g.Rule != w.Rule || g.Start != w.Start || g.End != w.End || g.Line != w.Line || g.Snippet != w.Snippet {
+			return fmt.Sprintf("finding %d: got %s@%d..%d line %d %q, want %s@%d..%d line %d %q",
+				i, g.Rule.ID, g.Start, g.End, g.Line, g.Snippet, w.Rule.ID, w.Start, w.End, w.Line, w.Snippet)
+		}
+	}
+	return ""
+}
+
+// spanEdit builds a TextEdit replacing src[start:end] in the *current*
+// session text, mirroring how a client derives ranges from its buffer.
+func spanEdit(src string, start, end int, repl string) editor.TextEdit {
+	return editor.SpanEdit(src, start, end, repl)
+}
+
+func TestOpenEditClose(t *testing.T) {
+	d := detect.New(nil)
+	m := docsession.NewManager(d, 8)
+	ctx := context.Background()
+
+	res := m.Open(ctx, sample)
+	if res.ID != "s1" {
+		t.Fatalf("first session id = %q, want s1", res.ID)
+	}
+	if diff := sameFindings(res.Findings, fromScratch(t, d, sample)); diff != "" {
+		t.Fatalf("open findings: %s", diff)
+	}
+	if len(res.Findings) == 0 {
+		t.Fatal("sample should produce at least one finding")
+	}
+	gen0 := res.Gen
+
+	// Append a second vulnerable line and expect the incremental result
+	// to match a from-scratch scan of the edited text.
+	edited := sample + "yaml.load(x)\n"
+	res2, err := m.Edit(ctx, res.ID, []editor.TextEdit{
+		spanEdit(sample, len(sample), len(sample), "yaml.load(x)\n"),
+	})
+	if err != nil {
+		t.Fatalf("Edit: %v", err)
+	}
+	if res2.Gen <= gen0 {
+		t.Fatalf("generation did not advance: %d -> %d", gen0, res2.Gen)
+	}
+	if diff := sameFindings(res2.Findings, fromScratch(t, d, edited)); diff != "" {
+		t.Fatalf("edit findings: %s", diff)
+	}
+	if res2.Stats.Full {
+		t.Fatal("append edit should re-scan incrementally, not fall back to full")
+	}
+
+	if err := m.Close(res.ID); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := m.Edit(ctx, res.ID, nil); err == nil {
+		t.Fatal("Edit after Close should fail")
+	}
+	if err := m.Close(res.ID); err == nil {
+		t.Fatal("double Close should fail")
+	}
+	if m.Len() != 0 {
+		t.Fatalf("Len = %d after close, want 0", m.Len())
+	}
+}
+
+func TestDeterministicIDs(t *testing.T) {
+	m := docsession.NewManager(detect.New(nil), 8)
+	ctx := context.Background()
+	for i := 1; i <= 3; i++ {
+		res := m.Open(ctx, sample)
+		if want := fmt.Sprintf("s%d", i); res.ID != want {
+			t.Fatalf("session %d id = %q, want %q", i, res.ID, want)
+		}
+	}
+	// IDs are never reused, even after a close frees a slot.
+	if err := m.Close("s2"); err != nil {
+		t.Fatal(err)
+	}
+	if res := m.Open(ctx, sample); res.ID != "s4" {
+		t.Fatalf("post-close id = %q, want s4", res.ID)
+	}
+}
+
+func TestSequentialEditSemantics(t *testing.T) {
+	d := detect.New(nil)
+	m := docsession.NewManager(d, 8)
+	ctx := context.Background()
+
+	res := m.Open(ctx, sample)
+	// Two edits where the second's range is only meaningful against the
+	// text produced by the first (LSP change-event ordering).
+	cur := sample
+	e1 := spanEdit(cur, 0, 0, "# header\n")
+	cur = "# header\n" + cur
+	idx := strings.Index(cur, "cmd")
+	e2 := spanEdit(cur, idx, idx+len("cmd"), "user_input")
+	cur = strings.Replace(cur, "cmd", "user_input", 1)
+
+	res2, err := m.Edit(ctx, res.ID, []editor.TextEdit{e1, e2})
+	if err != nil {
+		t.Fatalf("Edit: %v", err)
+	}
+	if diff := sameFindings(res2.Findings, fromScratch(t, d, cur)); diff != "" {
+		t.Fatalf("sequential edits: %s", diff)
+	}
+}
+
+func TestInvalidEditClosesSession(t *testing.T) {
+	m := docsession.NewManager(detect.New(nil), 8)
+	ctx := context.Background()
+	res := m.Open(ctx, sample)
+	bad := editor.TextEdit{Range: editor.Range{
+		Start: editor.Position{Line: 1, Character: 0},
+		End:   editor.Position{Line: 0, Character: 0},
+	}}
+	if _, err := m.Edit(ctx, res.ID, []editor.TextEdit{bad}); err == nil {
+		t.Fatal("inverted edit should error")
+	}
+	if m.Len() != 0 {
+		t.Fatalf("session should be closed after invalid edit; Len = %d", m.Len())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	d := detect.New(nil)
+	m := docsession.NewManager(d, 2)
+	ctx := context.Background()
+
+	s1 := m.Open(ctx, sample)
+	s2 := m.Open(ctx, sample)
+	// Touch s1 so s2 becomes the LRU victim.
+	if _, err := m.Edit(ctx, s1.ID, nil); err != nil {
+		t.Fatalf("touch edit: %v", err)
+	}
+	s3 := m.Open(ctx, sample)
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d at capacity 2", m.Len())
+	}
+	if _, err := m.Edit(ctx, s2.ID, nil); err == nil {
+		t.Fatal("evicted session s2 should be gone")
+	}
+	for _, id := range []string{s1.ID, s3.ID} {
+		if _, err := m.Edit(ctx, id, nil); err != nil {
+			t.Fatalf("session %s should have survived: %v", id, err)
+		}
+	}
+}
+
+func TestCapacityDefault(t *testing.T) {
+	m := docsession.NewManager(detect.New(nil), 0)
+	ctx := context.Background()
+	for i := 0; i < docsession.DefaultCapacity+5; i++ {
+		m.Open(ctx, sample)
+	}
+	if m.Len() != docsession.DefaultCapacity {
+		t.Fatalf("Len = %d, want default capacity %d", m.Len(), docsession.DefaultCapacity)
+	}
+}
+
+func TestObsCounters(t *testing.T) {
+	d := detect.New(nil)
+	m := docsession.NewManager(d, 2)
+	reg := obs.NewRegistry()
+	m.SetObs(reg)
+	ctx := context.Background()
+
+	s1 := m.Open(ctx, sample)
+	m.Open(ctx, sample)
+	m.Open(ctx, sample)                                // evicts one
+	if _, err := m.Edit(ctx, s1.ID, []editor.TextEdit{ // s1 was evicted? (s1 is oldest)
+		spanEdit(sample, 0, 0, "# x\n"),
+	}); err == nil {
+		t.Fatal("s1 should have been evicted as the LRU session")
+	}
+
+	snap := reg.Snapshot()
+	if v := snap.Counters[obs.MetricSessionsOpened]; v != 3 {
+		t.Errorf("%s = %v, want 3", obs.MetricSessionsOpened, v)
+	}
+	if v := snap.Counters[obs.MetricSessionsEvicted]; v != 1 {
+		t.Errorf("%s = %v, want 1", obs.MetricSessionsEvicted, v)
+	}
+	if v := snap.Gauges[obs.MetricSessionsOpen]; v != 2 {
+		t.Errorf("%s = %v, want 2", obs.MetricSessionsOpen, v)
+	}
+}
+
+func TestConcurrentSessions(t *testing.T) {
+	d := detect.New(nil)
+	m := docsession.NewManager(d, 16)
+	ctx := context.Background()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			cur := sample
+			res := m.Open(ctx, cur)
+			for i := 0; i < 10; i++ {
+				ins := fmt.Sprintf("x%d_%d = eval(user_input)\n", g, i)
+				e := spanEdit(cur, len(cur), len(cur), ins)
+				cur += ins
+				r, err := m.Edit(ctx, res.ID, []editor.TextEdit{e})
+				if err != nil {
+					t.Errorf("goroutine %d edit %d: %v", g, i, err)
+					return
+				}
+				if diff := sameFindings(r.Findings, fromScratch(t, d, cur)); diff != "" {
+					t.Errorf("goroutine %d edit %d: %s", g, i, diff)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

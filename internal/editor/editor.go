@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"github.com/dessertlab/patchitpy/internal/lineindex"
 )
 
 // Position is a zero-based line/character location, as in the VS Code API.
@@ -34,40 +36,78 @@ type WorkspaceEdit struct {
 	Edits []TextEdit `json:"edits"`
 }
 
+// PosMapper converts between byte offsets and Positions of one document
+// through a shared line index: build it once, then every conversion is
+// O(log lines). The package-level OffsetToPosition/PositionToOffset build
+// a throwaway index per call (O(n)); anything converting more than one
+// position of the same document should use a PosMapper — the old
+// strings.Count/IndexByte loops made such callers quadratic.
+type PosMapper struct {
+	src string
+	ix  lineindex.Index
+}
+
+// NewPosMapper indexes src for repeated position conversions.
+func NewPosMapper(src string) PosMapper {
+	return PosMapper{src: src, ix: lineindex.New(src)}
+}
+
+// MapperFor wraps an already-built line index of src. The index must have
+// been built from exactly this source.
+func MapperFor(src string, ix lineindex.Index) PosMapper {
+	return PosMapper{src: src, ix: ix}
+}
+
+// OffsetToPosition converts a byte offset to a Position. Offsets past the
+// end of the source clamp to the end.
+func (m PosMapper) OffsetToPosition(offset int) Position {
+	if offset > len(m.src) {
+		offset = len(m.src)
+	}
+	line, col := m.ix.Position(offset)
+	return Position{Line: line, Character: col}
+}
+
+// PositionToOffset converts a Position to a byte offset. Positions past
+// the end of a line clamp to the line end; lines past the end clamp to
+// len(src).
+func (m PosMapper) PositionToOffset(pos Position) int {
+	if pos.Line < 0 {
+		pos.Line = 0
+	}
+	if pos.Line >= m.ix.NumLines() {
+		return len(m.src)
+	}
+	start := m.ix.LineStart(pos.Line)
+	end := len(m.src)
+	if pos.Line+1 < m.ix.NumLines() {
+		end = m.ix.LineStart(pos.Line+1) - 1 // exclude the '\n'
+	}
+	col := pos.Character
+	if col > end-start {
+		col = end - start
+	}
+	if col < 0 {
+		col = 0
+	}
+	return start + col
+}
+
+// Resolve converts a Range to byte offsets.
+func (m PosMapper) Resolve(r Range) (start, end int) {
+	return m.PositionToOffset(r.Start), m.PositionToOffset(r.End)
+}
+
 // OffsetToPosition converts a byte offset in src to a Position.
 func OffsetToPosition(src string, offset int) Position {
-	if offset > len(src) {
-		offset = len(src)
-	}
-	line := strings.Count(src[:offset], "\n")
-	col := offset
-	if idx := strings.LastIndexByte(src[:offset], '\n'); idx >= 0 {
-		col = offset - idx - 1
-	}
-	return Position{Line: line, Character: col}
+	return NewPosMapper(src).OffsetToPosition(offset)
 }
 
 // PositionToOffset converts a Position to a byte offset in src. Positions
 // past the end of a line clamp to the line end; lines past the end clamp to
 // len(src).
 func PositionToOffset(src string, pos Position) int {
-	offset := 0
-	for line := 0; line < pos.Line; line++ {
-		nl := strings.IndexByte(src[offset:], '\n')
-		if nl < 0 {
-			return len(src)
-		}
-		offset += nl + 1
-	}
-	lineEnd := strings.IndexByte(src[offset:], '\n')
-	if lineEnd < 0 {
-		lineEnd = len(src) - offset
-	}
-	col := pos.Character
-	if col > lineEnd {
-		col = lineEnd
-	}
-	return offset + col
+	return NewPosMapper(src).PositionToOffset(pos)
 }
 
 // SpanEdit builds a TextEdit replacing src[start:end] with newText.
@@ -88,10 +128,10 @@ func ApplyEdits(src string, edits []TextEdit) (string, error) {
 		start, end int
 		text       string
 	}
+	m := NewPosMapper(src)
 	resolved := make([]offsetEdit, 0, len(edits))
 	for _, e := range edits {
-		start := PositionToOffset(src, e.Range.Start)
-		end := PositionToOffset(src, e.Range.End)
+		start, end := m.Resolve(e.Range)
 		if end < start {
 			return "", fmt.Errorf("edit range inverted: %+v", e.Range)
 		}

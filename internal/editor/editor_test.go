@@ -130,3 +130,82 @@ func TestApplyEditsEmpty(t *testing.T) {
 		t.Errorf("no-op failed: %q, %v", got, err)
 	}
 }
+
+// slowOffsetToPosition is the pre-index reference implementation.
+func slowOffsetToPosition(src string, offset int) Position {
+	if offset > len(src) {
+		offset = len(src)
+	}
+	line, col := 0, 0
+	for i := 0; i < offset; i++ {
+		if src[i] == '\n' {
+			line++
+			col = 0
+		} else {
+			col++
+		}
+	}
+	return Position{Line: line, Character: col}
+}
+
+// slowPositionToOffset is the pre-index reference implementation.
+func slowPositionToOffset(src string, pos Position) int {
+	offset := 0
+	for line := 0; line < pos.Line; line++ {
+		nl := -1
+		for i := offset; i < len(src); i++ {
+			if src[i] == '\n' {
+				nl = i - offset
+				break
+			}
+		}
+		if nl < 0 {
+			return len(src)
+		}
+		offset += nl + 1
+	}
+	lineEnd := -1
+	for i := offset; i < len(src); i++ {
+		if src[i] == '\n' {
+			lineEnd = i - offset
+			break
+		}
+	}
+	if lineEnd < 0 {
+		lineEnd = len(src) - offset
+	}
+	col := pos.Character
+	if col > lineEnd {
+		col = lineEnd
+	}
+	return offset + col
+}
+
+func TestPosMapperMatchesReference(t *testing.T) {
+	srcs := []string{
+		"",
+		"no newline",
+		"\n",
+		"a\nbb\nccc",
+		"a\nbb\nccc\n",
+		"\n\n\n",
+		"crlf\r\nlines\r\n",
+		sample,
+	}
+	for _, src := range srcs {
+		m := NewPosMapper(src)
+		for off := 0; off <= len(src)+2; off++ {
+			if got, want := m.OffsetToPosition(off), slowOffsetToPosition(src, off); got != want {
+				t.Fatalf("OffsetToPosition(%d) in %q = %+v, want %+v", off, src, got, want)
+			}
+		}
+		for line := 0; line <= len(src)+2; line++ {
+			for ch := 0; ch <= len(src)+2; ch++ {
+				pos := Position{Line: line, Character: ch}
+				if got, want := m.PositionToOffset(pos), slowPositionToOffset(src, pos); got != want {
+					t.Fatalf("PositionToOffset(%+v) in %q = %d, want %d", pos, src, got, want)
+				}
+			}
+		}
+	}
+}

@@ -51,3 +51,42 @@ func (ix Index) lineAt(off int) int {
 	i := sort.Search(len(ix), func(i int) bool { return ix[i] > off })
 	return i - 1
 }
+
+// LineStart returns the byte offset at which 0-based line starts.
+func (ix Index) LineStart(line int) int { return ix[line] }
+
+// NumLines returns how many lines the indexed source has (always >= 1).
+func (ix Index) NumLines() int { return len(ix) }
+
+// Splice returns the index of the source obtained by replacing the bytes
+// in [start, oldEnd) with repl, reusing the unchanged prefix and shifting
+// the suffix by the length delta instead of rescanning the whole source.
+// It is equivalent to New on the spliced source but costs O(log lines +
+// len(repl) + suffix lines).
+func (ix Index) Splice(start, oldEnd int, repl string) Index {
+	delta := len(repl) - (oldEnd - start)
+	// Prefix: entries at or before start. An entry equal to start is a
+	// line beginning exactly where the replaced span starts; the newline
+	// producing it sits in the unchanged prefix, so it survives.
+	p := sort.Search(len(ix), func(i int) bool { return ix[i] > start })
+	// Suffix: entries whose newline is at or past oldEnd.
+	s := sort.Search(len(ix), func(i int) bool { return ix[i] > oldEnd })
+
+	n := p + (len(ix) - s)
+	for i := 0; i < len(repl); i++ {
+		if repl[i] == '\n' {
+			n++
+		}
+	}
+	out := make(Index, 0, n)
+	out = append(out, ix[:p]...)
+	for i := 0; i < len(repl); i++ {
+		if repl[i] == '\n' {
+			out = append(out, start+i+1)
+		}
+	}
+	for _, e := range ix[s:] {
+		out = append(out, e+delta)
+	}
+	return out
+}

@@ -71,3 +71,66 @@ func TestPosition(t *testing.T) {
 		}
 	}
 }
+
+func TestSpliceMatchesNew(t *testing.T) {
+	srcs := []string{
+		"",
+		"one line no newline",
+		"\n",
+		"a\nb\nc\n",
+		"a\n\n\nb",
+		"x = 1\ny = 2\nz = 3\n",
+		strings.Repeat("line with text\n", 20),
+	}
+	repls := []string{"", "x", "\n", "a\nb", "\n\n\n", "tail", "q\r\nw"}
+	for _, src := range srcs {
+		for start := 0; start <= len(src); start++ {
+			for end := start; end <= len(src); end++ {
+				for _, repl := range repls {
+					got := New(src).Splice(start, end, repl)
+					newSrc := src[:start] + repl + src[end:]
+					want := New(newSrc)
+					if len(got) != len(want) {
+						t.Fatalf("Splice(%d, %d, %q) on %q: %v, want %v", start, end, repl, src, got, want)
+					}
+					for i := range got {
+						if got[i] != want[i] {
+							t.Fatalf("Splice(%d, %d, %q) on %q: %v, want %v", start, end, repl, src, got, want)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSpliceRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	alphabet := "ab\n\nc\nd"
+	for trial := 0; trial < 500; trial++ {
+		n := rng.Intn(60)
+		buf := make([]byte, n)
+		for i := range buf {
+			buf[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		src := string(buf)
+		start := rng.Intn(len(src) + 1)
+		end := start + rng.Intn(len(src)-start+1)
+		rn := rng.Intn(10)
+		rb := make([]byte, rn)
+		for i := range rb {
+			rb[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		repl := string(rb)
+		got := New(src).Splice(start, end, repl)
+		want := New(src[:start] + repl + src[end:])
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: Splice(%d, %d, %q) on %q: %v, want %v", trial, start, end, repl, src, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: Splice(%d, %d, %q) on %q: %v, want %v", trial, start, end, repl, src, got, want)
+			}
+		}
+	}
+}

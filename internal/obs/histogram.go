@@ -34,6 +34,10 @@ func newHistogram(bounds []float64) *Histogram {
 	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
 }
 
+// SizeBuckets are histogram bounds for byte-size distributions (use with
+// ObserveValue): 16B to 1MiB in powers of four.
+var SizeBuckets = []float64{16, 64, 256, 1024, 4096, 16384, 65536, 262144, 1048576}
+
 // Observe records one duration.
 func (h *Histogram) Observe(d time.Duration) {
 	s := d.Seconds()
@@ -41,6 +45,15 @@ func (h *Histogram) Observe(d time.Duration) {
 	i := sort.SearchFloat64s(h.bounds, s)
 	h.counts[i].Add(1)
 	h.sum.Add(d.Nanoseconds())
+}
+
+// ObserveValue records one dimensionless observation (a size, a count).
+// The histogram's "seconds" are then that unit: Sum and Quantile report
+// values, not latencies. Do not mix with Observe on the same histogram.
+func (h *Histogram) ObserveValue(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.sum.Add(int64(v * 1e9))
 }
 
 // Count returns the total number of observations.

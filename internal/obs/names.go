@@ -15,6 +15,22 @@ const (
 	MetricRuleTime     = "patchitpy_rule_duration_seconds_total" // counter{rule}: cumulative regex-phase time
 	MetricRuleDuration = "patchitpy_rule_duration_seconds"       // histogram: per-rule-run latency, all rules
 
+	// Incremental re-scanning (internal/detect, RescanEdited).
+	MetricIncRescans       = "patchitpy_incremental_rescans_total"        // counter: incremental rescans (replay path)
+	MetricIncFullRescans   = "patchitpy_incremental_full_rescans_total"   // counter: rescans that fell back to a full scan
+	MetricIncMaskFallbacks = "patchitpy_incremental_mask_fallbacks_total" // counter: rescans that retokenized (tier 2 or 3)
+	MetricIncDirtyBytes    = "patchitpy_incremental_dirty_bytes"          // histogram: merged dirty-window size
+	MetricIncRulesRerun    = "patchitpy_incremental_rules_rerun_total"    // counter: rules whose regexes re-ran
+	MetricIncRulesReplayed = "patchitpy_incremental_rules_replayed_total" // counter: rules that replayed findings
+	MetricIncRescanTime    = "patchitpy_incremental_rescan_seconds"       // histogram: rescan latency (incl. fallbacks)
+
+	// Buffer sessions (internal/docsession).
+	MetricSessionsOpen    = "patchitpy_sessions_open"          // gauge fn: live sessions
+	MetricSessionsOpened  = "patchitpy_sessions_opened_total"  // counter: open verbs
+	MetricSessionsClosed  = "patchitpy_sessions_closed_total"  // counter: close verbs
+	MetricSessionsEvicted = "patchitpy_sessions_evicted_total" // counter: LRU evictions at capacity
+	MetricSessionEdits    = "patchitpy_session_edits_total"    // counter: edits applied across sessions
+
 	// Literal-prefilter accounting (cumulative, from detect.ScanStats).
 	MetricPrefilterConsidered = "patchitpy_prefilter_rules_considered_total" // counter fn
 	MetricPrefilterSkipped    = "patchitpy_prefilter_rules_skipped_total"    // counter fn

@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"github.com/dessertlab/patchitpy/internal/core"
+	"github.com/dessertlab/patchitpy/internal/editor"
 )
 
 // equivalenceRequests spans every deterministic verb: detect (clean,
@@ -151,6 +152,87 @@ func TestVerbEndpointsMatchStdin(t *testing.T) {
 	}
 	if st := s.respCache.Stats(); st.Hits == 0 {
 		t.Error("second pass produced no response-cache hits")
+	}
+}
+
+// sessionRequests is a scripted buffer-session conversation. Session
+// ids are deterministic ("s1", "s2", ...) on a fresh engine, so the
+// exact same script produces the exact same responses on both front
+// ends — including the error for an edit against a closed session.
+func sessionRequests() []core.Request {
+	appendEval := []editor.TextEdit{{
+		Range:   editor.Range{Start: editor.Position{Line: 2}, End: editor.Position{Line: 2}},
+		NewText: "x = eval(user_input)\n",
+	}}
+	commentOut := []editor.TextEdit{{
+		Range:   editor.Range{Start: editor.Position{Line: 1}, End: editor.Position{Line: 1}},
+		NewText: "# ",
+	}}
+	return []core.Request{
+		{Cmd: "open", Code: vulnCode},  // s1
+		{Cmd: "open", Code: cleanCode}, // s2
+		{Cmd: "edit", Session: "s1", Edits: appendEval},
+		{Cmd: "edit", Session: "s1", Edits: commentOut},
+		{Cmd: "edit", Session: "s2", Edits: appendEval},
+		{Cmd: "close", Session: "s1"},
+		{Cmd: "edit", Session: "s1", Edits: appendEval}, // error: closed
+		{Cmd: "close", Session: "nope"},                 // error: unknown
+		{Cmd: "close", Session: "s2"},
+	}
+}
+
+// TestSessionVerbsMatchStdin runs the scripted session conversation
+// through both front ends (fresh engine each) and requires identical
+// response bytes: the stateful verbs are transport-agnostic too.
+func TestSessionVerbsMatchStdin(t *testing.T) {
+	reqs := sessionRequests()
+
+	var lines bytes.Buffer
+	enc := json.NewEncoder(&lines)
+	for _, r := range reqs {
+		if err := enc.Encode(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var stdinOut bytes.Buffer
+	if err := newEquivEngine().Serve(&lines, &stdinOut); err != nil {
+		t.Fatalf("stdin serve: %v", err)
+	}
+
+	s, err := New(Config{Engine: newEquivEngine()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.queue.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	var httpOut bytes.Buffer
+	for _, r := range reqs {
+		verb := r.Cmd
+		r.Cmd = ""
+		body, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(ts.URL+"/v1/"+verb, "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := io.Copy(&httpOut, resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+
+	if !bytes.Equal(stdinOut.Bytes(), httpOut.Bytes()) {
+		sl := strings.Split(stdinOut.String(), "\n")
+		hl := strings.Split(httpOut.String(), "\n")
+		for i := range sl {
+			if i >= len(hl) || sl[i] != hl[i] {
+				t.Fatalf("session verbs diverge at response %d:\nstdin: %s\nhttp:  %s", i, sl[i], at(hl, i))
+			}
+		}
+		t.Fatalf("http produced extra output: %q", hl[len(sl):])
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"github.com/dessertlab/patchitpy/internal/core"
+	"github.com/dessertlab/patchitpy/internal/editor"
 	"github.com/dessertlab/patchitpy/internal/obs"
 )
 
@@ -128,6 +129,66 @@ func TestGetEndpoints(t *testing.T) {
 	}
 	if status, resp := get(t, ts, "/v1/ping"); status != http.StatusOK || resp.Version != core.Version {
 		t.Errorf("ping: status=%d version=%q", status, resp.Version)
+	}
+}
+
+func TestSessionEndpoints(t *testing.T) {
+	s, ts, _ := newTestServer(t, Config{})
+
+	// Open a buffer, edit it incrementally, close it.
+	body, _ := json.Marshal(core.Request{Code: vulnCode})
+	status, resp := post(t, ts, "/v1/open", string(body))
+	if status != http.StatusOK || !resp.OK || resp.Session == "" {
+		t.Fatalf("open: status=%d resp=%+v", status, resp)
+	}
+	if !resp.Vulnerable || len(resp.Findings) == 0 {
+		t.Fatalf("open should report the yaml.load finding: %+v", resp)
+	}
+	sid := resp.Session
+
+	edit := core.Request{Session: sid, Edits: []editor.TextEdit{{
+		Range:   editor.Range{Start: editor.Position{Line: 2}, End: editor.Position{Line: 2}},
+		NewText: "x = eval(user_input)\n",
+	}}}
+	body, _ = json.Marshal(edit)
+	status, resp = post(t, ts, "/v1/edit", string(body))
+	if status != http.StatusOK || !resp.OK {
+		t.Fatalf("edit: status=%d resp=%+v", status, resp)
+	}
+	if resp.Inc == nil || resp.Inc.Full {
+		t.Fatalf("edit should re-scan incrementally: inc=%+v", resp.Inc)
+	}
+	if len(resp.Findings) < 2 {
+		t.Fatalf("edit should add the eval finding: %+v", resp.Findings)
+	}
+	firstGen := resp.Gen
+
+	// An identical edit request must execute again, not come from the
+	// response cache: the verb is stateful (same bytes, new meaning).
+	status, resp = post(t, ts, "/v1/edit", string(body))
+	if status != http.StatusOK || !resp.OK {
+		t.Fatalf("second edit: status=%d resp=%+v", status, resp)
+	}
+	if resp.Gen == firstGen {
+		t.Fatal("second identical edit was served from cache: generation did not advance")
+	}
+	if st := s.respCache.Stats(); st.Hits != 0 {
+		t.Errorf("session verb produced response-cache hits: %+v", st)
+	}
+
+	// Session verbs require POST.
+	if got, _ := get(t, ts, "/v1/open"); got != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/open = %d, want 405", got)
+	}
+
+	body, _ = json.Marshal(core.Request{Session: sid})
+	status, resp = post(t, ts, "/v1/close", string(body))
+	if status != http.StatusOK || !resp.OK {
+		t.Fatalf("close: status=%d resp=%+v", status, resp)
+	}
+	status, resp = post(t, ts, "/v1/close", string(body))
+	if status != http.StatusBadRequest || resp.OK {
+		t.Fatalf("double close should be a protocol error: status=%d resp=%+v", status, resp)
 	}
 }
 
