@@ -20,6 +20,11 @@
 // quantiles — p50/p90/p99/p999 — plus RPS, per-status counts, shed rate
 // and the response-cache hit rate.
 //
+// After the run the report gains a trace-derived phase breakdown —
+// queue-wait / scan / patch / encode p50 and p99 — pulled from the
+// server's tail-based trace retention: /debug/traces of the listener
+// named by -trace-addr, or the in-process registry in spawned mode.
+//
 // -edit-sessions N > 0 appends a stateful phase after the stateless
 // sweep: N concurrent buffer sessions stream randomized keystroke edits
 // through the open/edit/close verbs, then measure full-scan detects of
@@ -110,6 +115,30 @@ type Report struct {
 	EditMean           float64 `json:"editMeanMs,omitempty"`
 	FullScanP50        float64 `json:"fullScanP50Ms,omitempty"`
 	IncrementalHitRate float64 `json:"incrementalHitRate,omitempty"`
+
+	// Trace-derived phase breakdown: per-phase latency quantiles pulled
+	// from the server's retained request traces after the run, splitting
+	// wall-clock into queue wait (admission to worker dispatch), scan
+	// (detector regex phase), patch (template application) and encode
+	// (response marshalling). Sourced from -trace-addr's /debug/traces,
+	// or read directly off the in-process registry in spawned mode. The
+	// sample set is the tail-based retention (recent + slow + error
+	// rings), so it is biased toward interesting requests by design.
+	// QueuedTotal is the end-to-end duration of exactly the traces the
+	// queue-wait samples come from (queued, cache-missing requests), so
+	// QueueWaitP99/QueuedTotalP99 is a well-defined fraction in [0,1]:
+	// the CI gate uses it to assert queueing never dominates service.
+	TraceSamples   int     `json:"traceSamples,omitempty"`
+	QueueWaitP50   float64 `json:"queueWaitP50Ms,omitempty"`
+	QueueWaitP99   float64 `json:"queueWaitP99Ms,omitempty"`
+	QueuedTotalP50 float64 `json:"queuedTotalP50Ms,omitempty"`
+	QueuedTotalP99 float64 `json:"queuedTotalP99Ms,omitempty"`
+	ScanP50        float64 `json:"scanP50Ms,omitempty"`
+	ScanP99        float64 `json:"scanP99Ms,omitempty"`
+	PatchP50       float64 `json:"patchP50Ms,omitempty"`
+	PatchP99       float64 `json:"patchP99Ms,omitempty"`
+	EncodeP50      float64 `json:"encodeP50Ms,omitempty"`
+	EncodeP99      float64 `json:"encodeP99Ms,omitempty"`
 }
 
 func run(args []string, stdout io.Writer) error {
@@ -124,6 +153,7 @@ func run(args []string, stdout io.Writer) error {
 	workers := fs.Int("workers", 0, "spawned server: worker goroutines (0 = GOMAXPROCS)")
 	queueDepth := fs.Int("queue", 0, "spawned server: bounded queue depth (0 = 4 per worker)")
 	editSessions := fs.Int("edit-sessions", 0, "concurrent editor sessions streaming incremental edits for another -d after the replay (0 = skip)")
+	traceAddr := fs.String("trace-addr", "", "base URL of the server's debug listener (e.g. http://127.0.0.1:6060) for the trace-derived phase breakdown; spawned mode reads its own registry")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -170,11 +200,13 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	base := *addr
+	var spawnedReg *obs.Registry
 	if base == "" {
 		// Spawn an in-process server on a loopback port: same code path
 		// as `patchitpy serve -http`, minus the process boundary.
 		reg := obs.NewRegistry()
 		reg.Enable()
+		spawnedReg = reg
 		engine := core.New()
 		engine.SetAnalyzers(core.DefaultAnalyzers(engine))
 		engine.SetObs(reg)
@@ -307,6 +339,20 @@ func run(args []string, stdout io.Writer) error {
 
 	rep.PingOK = pingOK(client, base)
 	rep.CacheHitRate = httpCacheHitRate(client, base)
+
+	// Per-phase breakdown from the server's retained request traces:
+	// spawned mode reads its own registry, external servers are queried
+	// through their -debug-addr listener.
+	switch {
+	case spawnedReg != nil:
+		traceBreakdown(spawnedReg.TraceBuckets(), &rep)
+	case *traceAddr != "":
+		tb, err := fetchTraces(client, strings.TrimSuffix(*traceAddr, "/"))
+		if err != nil {
+			return fmt.Errorf("fetch traces: %w", err)
+		}
+		traceBreakdown(tb, &rep)
+	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -572,6 +618,66 @@ func editPhase(client *http.Client, base string, sources []string, sessions int,
 	if len(fullMs) > 0 {
 		sort.Float64s(fullMs)
 		rep.FullScanP50 = quantile(fullMs, 0.50)
+	}
+}
+
+// fetchTraces pulls the tail-based trace retention from a debug
+// listener's /debug/traces endpoint.
+func fetchTraces(client *http.Client, base string) (obs.TraceBuckets, error) {
+	var tb obs.TraceBuckets
+	resp, err := client.Get(base + "/debug/traces")
+	if err != nil {
+		return tb, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return tb, fmt.Errorf("GET /debug/traces: status %d", resp.StatusCode)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&tb)
+	return tb, err
+}
+
+// traceBreakdown fills rep's per-phase quantiles from the retained
+// traces: every HTTP-rooted trace contributes each of its queue-wait /
+// scan / patch / encode span durations as one sample.
+func traceBreakdown(tb obs.TraceBuckets, rep *Report) {
+	phases := map[string][]float64{}
+	seen := map[string]bool{}
+	for _, sd := range append(append(tb.Recent, tb.Slow...), tb.Errors...) {
+		if seen[sd.TraceID] || !strings.HasPrefix(sd.Name, "http.") {
+			continue
+		}
+		seen[sd.TraceID] = true
+		rep.TraceSamples++
+		before := len(phases["queue-wait"])
+		collectPhases(sd, phases)
+		if len(phases["queue-wait"]) > before {
+			// Root duration of a queued trace: the denominator
+			// population matching the queue-wait samples one-to-one.
+			phases["queued-total"] = append(phases["queued-total"], sd.DurationMS)
+		}
+	}
+	pq := func(name string, q float64) float64 {
+		ms := phases[name]
+		sort.Float64s(ms)
+		return quantile(ms, q)
+	}
+	rep.QueueWaitP50, rep.QueueWaitP99 = pq("queue-wait", 0.50), pq("queue-wait", 0.99)
+	rep.QueuedTotalP50, rep.QueuedTotalP99 = pq("queued-total", 0.50), pq("queued-total", 0.99)
+	rep.ScanP50, rep.ScanP99 = pq("scan", 0.50), pq("scan", 0.99)
+	rep.PatchP50, rep.PatchP99 = pq("patch", 0.50), pq("patch", 0.99)
+	rep.EncodeP50, rep.EncodeP99 = pq("encode", 0.50), pq("encode", 0.99)
+}
+
+// collectPhases walks a span tree accumulating the durations of the
+// named breakdown phases.
+func collectPhases(sd obs.SpanData, phases map[string][]float64) {
+	switch sd.Name {
+	case "queue-wait", "scan", "patch", "encode":
+		phases[sd.Name] = append(phases[sd.Name], sd.DurationMS)
+	}
+	for _, c := range sd.Children {
+		collectPhases(c, phases)
 	}
 }
 

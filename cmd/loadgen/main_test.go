@@ -77,6 +77,30 @@ func TestLoadgenSmoke(t *testing.T) {
 	if rep.IncrementalHitRate <= 0.5 {
 		t.Errorf("incrementalHitRate = %v, want > 0.5", rep.IncrementalHitRate)
 	}
+	// Spawned mode reads the trace retention directly: the breakdown
+	// must carry samples and every phase the serving path always runs.
+	if rep.TraceSamples == 0 {
+		t.Fatal("no trace samples in the breakdown")
+	}
+	if rep.QueueWaitP50 < 0 || rep.QueueWaitP50 > rep.QueueWaitP99 {
+		t.Errorf("queue-wait quantiles not sane: p50=%v p99=%v", rep.QueueWaitP50, rep.QueueWaitP99)
+	}
+	// Each queued trace's wait is bounded by its own total, and the
+	// denominator population matches one-to-one, so the p99s must obey
+	// the same order — this is the invariant the CI queue-wait gate
+	// divides through.
+	if rep.QueuedTotalP99 < rep.QueueWaitP99 {
+		t.Errorf("queuedTotalP99 %v < queueWaitP99 %v", rep.QueuedTotalP99, rep.QueueWaitP99)
+	}
+	if rep.QueuedTotalP99 <= 0 {
+		t.Errorf("queuedTotalP99 = %v, want > 0", rep.QueuedTotalP99)
+	}
+	if rep.ScanP99 <= 0 {
+		t.Errorf("scanP99 = %v, want > 0 (detect traffic ran)", rep.ScanP99)
+	}
+	if rep.EncodeP99 <= 0 {
+		t.Errorf("encodeP99 = %v, want > 0 (every computed response encodes)", rep.EncodeP99)
+	}
 }
 
 func TestLoadgenRejectsBadVerb(t *testing.T) {

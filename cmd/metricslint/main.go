@@ -1,0 +1,118 @@
+// Command metricslint fetches a metrics endpoint and validates the
+// exposition with the pure-Go parser in internal/obs — no Prometheus
+// toolchain needed in CI. Both dialects are checked: the default
+// Prometheus 0.0.4 text form, and the OpenMetrics 1.0 form negotiated
+// with an Accept header (TYPE grammar, label escaping, histogram bucket
+// monotonicity, exemplar syntax, terminal # EOF).
+//
+//	metricslint -url http://127.0.0.1:6060/metrics [-require-exemplars]
+//
+// Exit status: 0 when both dialects lint clean (and, with
+// -require-exemplars, at least one trace_id exemplar is present), 1 on
+// lint findings, 2 on usage or fetch errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/dessertlab/patchitpy/internal/obs"
+)
+
+func main() {
+	switch err := run(os.Args[1:], os.Stdout); {
+	case err == nil:
+	case err == errLint:
+		os.Exit(1)
+	default:
+		fmt.Fprintln(os.Stderr, "metricslint:", err)
+		os.Exit(2)
+	}
+}
+
+// errLint marks a completed run that found exposition defects; main maps
+// it to exit 1, distinct from fetch/usage failures (exit 2).
+var errLint = fmt.Errorf("lint findings")
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("metricslint", flag.ContinueOnError)
+	url := fs.String("url", "", "metrics endpoint to fetch (e.g. http://127.0.0.1:6060/metrics)")
+	requireExemplars := fs.Bool("require-exemplars", false, "fail unless the OpenMetrics form carries at least one trace_id exemplar")
+	timeout := fs.Duration("timeout", 10*time.Second, "per-fetch timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *url == "" {
+		return fmt.Errorf("-url is required")
+	}
+	client := &http.Client{Timeout: *timeout}
+
+	failed := false
+	report := func(dialect string, data []byte, errs []error) {
+		if len(errs) == 0 {
+			fmt.Fprintf(stdout, "metricslint: %s OK (%d bytes)\n", dialect, len(data))
+			return
+		}
+		failed = true
+		for _, e := range errs {
+			fmt.Fprintf(stdout, "metricslint: %s: %v\n", dialect, e)
+		}
+	}
+
+	prom, _, err := fetch(client, *url, "")
+	if err != nil {
+		return err
+	}
+	report("prometheus-0.0.4", prom, obs.LintExposition(prom))
+
+	om, ct, err := fetch(client, *url, "application/openmetrics-text")
+	if err != nil {
+		return err
+	}
+	var omErrs []error
+	if !strings.Contains(ct, "application/openmetrics-text") {
+		omErrs = append(omErrs, fmt.Errorf("content negotiation ignored: got Content-Type %q", ct))
+	}
+	if !strings.HasSuffix(string(om), "# EOF\n") {
+		omErrs = append(omErrs, fmt.Errorf("missing terminal # EOF"))
+	}
+	if *requireExemplars && !strings.Contains(string(om), `# {trace_id="`) {
+		omErrs = append(omErrs, fmt.Errorf("no trace_id exemplar in the exposition"))
+	}
+	report("openmetrics-1.0", om, append(omErrs, obs.LintExposition(om)...))
+
+	if failed {
+		return errLint
+	}
+	return nil
+}
+
+// fetch GETs url, optionally with an Accept header, and returns the body
+// and response content type.
+func fetch(client *http.Client, url, accept string) ([]byte, string, error) {
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return nil, "", err
+	}
+	if accept != "" {
+		req.Header.Set("Accept", accept)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, "", fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	return body, resp.Header.Get("Content-Type"), nil
+}

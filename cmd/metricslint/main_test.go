@@ -1,0 +1,64 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/dessertlab/patchitpy/internal/obs"
+)
+
+// TestLintsDebugEndpoint runs the linter against a real debug listener
+// with traced, exemplar-carrying data behind it: both dialects must pass,
+// including -require-exemplars.
+func TestLintsDebugEndpoint(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Enable()
+	_, sp := obs.Start(obs.With(context.Background(), reg), "req")
+	reg.Histogram(obs.MetricScanDuration, nil).ObserveExemplar(2*time.Millisecond, sp.TraceID())
+	reg.Counter(obs.MetricScans).Inc()
+	sp.End()
+
+	srv, err := obs.ServeDebug("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	var out bytes.Buffer
+	if err := run([]string{"-url", "http://" + srv.Addr() + "/metrics", "-require-exemplars"}, &out); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "prometheus-0.0.4 OK") || !strings.Contains(out.String(), "openmetrics-1.0 OK") {
+		t.Errorf("output missing OK lines:\n%s", out.String())
+	}
+}
+
+// TestRejectsMalformedEndpoint points the linter at a server emitting a
+// defective exposition and requires the lint-failure exit path.
+func TestRejectsMalformedEndpoint(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("foo_total 1\n"))
+	}))
+	defer ts.Close()
+
+	var out bytes.Buffer
+	err := run([]string{"-url", ts.URL}, &out)
+	if err != errLint {
+		t.Fatalf("run = %v, want errLint\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "no preceding TYPE") {
+		t.Errorf("output missing the lint finding:\n%s", out.String())
+	}
+}
+
+func TestRequiresURL(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil || err == errLint {
+		t.Fatalf("run without -url = %v, want usage error", err)
+	}
+}

@@ -4,7 +4,7 @@
 //	patchitpy patch  file.py [file2.py ...]   # patch in place (-o to stdout)
 //	patchitpy rules                            # list the rule catalog
 //	patchitpy vet [-format text|json|sarif] [-metrics-out m.json]  # vet the rule catalog itself
-//	patchitpy serve [-cache 64] [-debug-addr :6060]  # JSON editor protocol on stdio
+//	patchitpy serve [-cache 64] [-debug-addr :6060] [-log-format text|json]  # JSON editor protocol on stdio
 //	patchitpy serve -http :8080 [-workers N] [-queue N] [-timeout 10s]  # same verbs over HTTP
 //
 // `detect` accepts files, directories and `dir/...` arguments; directory
@@ -50,9 +50,15 @@
 // Observability: `detect` and `eval` print a one-line run summary to
 // stderr (suppress with -no-summary) and write the full metrics snapshot
 // as JSON with -metrics-out. `serve` answers {"cmd":"ping"} and
-// {"cmd":"metrics"}, and -debug-addr starts an HTTP listener with
-// /metrics (Prometheus text), /debug/vars, /debug/traces and
-// /debug/pprof/.
+// {"cmd":"metrics"}, writes one trace-correlated structured log record
+// per request to stderr (-log-format text|json, sampled per message by
+// -log-sample), and -debug-addr starts an HTTP listener with /metrics
+// (Prometheus text; OpenMetrics with exemplars via ?format=openmetrics
+// or content negotiation), /debug/vars, /debug/traces (JSON, or
+// Perfetto-loadable Chrome trace events with ?format=chrome) and
+// /debug/pprof/. HTTP requests may carry a W3C traceparent header; the
+// response echoes the trace ID in X-Patchitpy-Trace and in the protocol
+// response's "trace" field.
 package main
 
 import (
@@ -132,6 +138,8 @@ func runW(w io.Writer, args []string) error {
 		queueDepth := fs.Int("queue", 0, "HTTP mode: bounded work queue depth; a full queue sheds with 429 (0 = 4 per worker)")
 		timeout := fs.Duration("timeout", 0, "HTTP mode: per-request deadline covering queue wait + execution (0 = 10s, negative disables)")
 		metricsOut := fs.String("metrics-out", "", "write the session's final metrics snapshot to this file on shutdown")
+		logFormat := fs.String("log-format", "text", "structured request log format on stderr: text or json")
+		logSample := fs.Int("log-sample", 0, "per-message log records passed per second before sampling drops the rest (0 = 100)")
 		if err := fs.Parse(rest); err != nil {
 			return err
 		}
@@ -142,6 +150,17 @@ func runW(w io.Writer, args []string) error {
 		obsReg := obs.NewRegistry()
 		obsReg.Enable()
 		engine.SetObs(obsReg)
+		// Request logs go to stderr on both transports (stdout carries
+		// protocol responses in stdio mode), trace-correlated and sampled
+		// so a hot serving path cannot flood the stream.
+		logger, err := obs.NewLogger(stderr, *logFormat, obs.LoggerOptions{
+			Obs:             obsReg,
+			SamplePerSecond: *logSample,
+		})
+		if err != nil {
+			return fmt.Errorf("serve: %w", err)
+		}
+		engine.SetLogger(logger)
 		if *debugAddr != "" {
 			srv, err := obs.ServeDebug(*debugAddr, obsReg)
 			if err != nil {
@@ -172,6 +191,7 @@ func runW(w io.Writer, args []string) error {
 		srv, err := serve.New(serve.Config{
 			Engine:     engine,
 			Obs:        obsReg,
+			Logger:     logger,
 			Workers:    *workers,
 			QueueDepth: *queueDepth,
 			Timeout:    *timeout,

@@ -12,6 +12,7 @@ package core
 
 import (
 	"context"
+	"log/slog"
 	"time"
 
 	"github.com/dessertlab/patchitpy/internal/detect"
@@ -26,7 +27,7 @@ import (
 
 // Version is the engine version reported by the serve protocol's "ping"
 // verb and re-exported by the root package.
-const Version = "0.6.0"
+const Version = "0.7.0"
 
 // processStart anchors the uptime reported by "ping" and the
 // obs uptime gauge.
@@ -58,6 +59,10 @@ type PatchitPy struct {
 	obsReg    *obs.Registry
 	serveReqs *obs.Vec
 	serveDur  *obs.HistogramVec
+
+	// logger, when set, receives structured serve logs (see SetLogger);
+	// nil means silent.
+	logger *slog.Logger
 }
 
 // SetObs attaches an observability registry to the engine: the detector's
@@ -80,6 +85,15 @@ func (p *PatchitPy) SetObs(reg *obs.Registry) {
 	reg.GaugeFunc(obs.MetricUptime, func() float64 { return time.Since(processStart).Seconds() })
 	p.serveReqs = reg.CounterVec(obs.MetricServeRequests, "cmd")
 	p.serveDur = reg.HistogramVec(obs.MetricServeDuration, "cmd", nil)
+}
+
+// SetLogger attaches a structured logger: the stdio serve loop logs one
+// record per request (cmd, ok, duration, trace ID) and the session
+// store logs evictions and error closes. Pass nil to silence. Setup
+// API — do not call with requests in flight.
+func (p *PatchitPy) SetLogger(l *slog.Logger) {
+	p.logger = l
+	p.sessions.SetLogger(l)
 }
 
 // New returns an engine using the built-in 85-rule catalog.
@@ -178,6 +192,14 @@ func (r Report) copy() Report {
 	return out
 }
 
+// hitMiss renders a cache outcome as a span attribute value.
+func hitMiss(hit bool) string {
+	if hit {
+		return "hit"
+	}
+	return "miss"
+}
+
 // analyzeKey and fixKey are the request-kind cache key components.
 const (
 	analyzeKey = "analyze"
@@ -197,9 +219,10 @@ func (p *PatchitPy) AnalyzeContext(ctx context.Context, src string) Report {
 		return p.analyzePrepared(ctx, p.detector.Prepare(src))
 	}
 	key := resultcache.Key(p.Catalog().Fingerprint(), analyzeKey, src)
-	report, _ := p.analyzeCache.GetOrCompute(key, func() Report {
+	report, hit := p.analyzeCache.GetOrCompute(key, func() Report {
 		return p.analyzePrepared(ctx, p.detector.Prepare(src))
 	})
+	obs.SpanFrom(ctx).SetAttr("cache.analyze", hitMiss(hit))
 	return report.copy()
 }
 
@@ -253,7 +276,8 @@ func (p *PatchitPy) FixContext(ctx context.Context, src string) FixOutcome {
 		return p.fix(ctx, src)
 	}
 	key := resultcache.Key(p.Catalog().Fingerprint(), fixKey, src)
-	outcome, _ := p.fixCache.GetOrCompute(key, func() FixOutcome { return p.fix(ctx, src) })
+	outcome, hit := p.fixCache.GetOrCompute(key, func() FixOutcome { return p.fix(ctx, src) })
+	obs.SpanFrom(ctx).SetAttr("cache.fix", hitMiss(hit))
 	return outcome.copy()
 }
 
@@ -271,9 +295,11 @@ func (p *PatchitPy) fix(ctx context.Context, src string) FixOutcome {
 		// source makes the fix path's detection a cache hit, and a fix-path
 		// miss seeds the analyze cache for later detects.
 		key := resultcache.Key(p.Catalog().Fingerprint(), analyzeKey, src)
-		report, _ = p.analyzeCache.GetOrCompute(key, func() Report {
+		var hit bool
+		report, hit = p.analyzeCache.GetOrCompute(key, func() Report {
 			return p.analyzePrepared(ctx, prep)
 		})
+		obs.SpanFrom(ctx).SetAttr("cache.analyze", hitMiss(hit))
 		report = report.copy()
 	} else {
 		report = p.analyzePrepared(ctx, prep)

@@ -152,6 +152,12 @@ type Response struct {
 	// Metrics is the full observability snapshot ("metrics" verb; requires
 	// SetObs).
 	Metrics *obs.Snapshot `json:"metrics,omitempty"`
+	// Trace is the 128-bit trace ID of the span tree this request
+	// recorded (hex, the W3C traceparent trace-id field), present only
+	// when an enabled obs registry traced the request. Clients quote it
+	// to correlate a response with /debug/traces, histogram exemplars
+	// and log records.
+	Trace string `json:"trace,omitempty"`
 }
 
 // MaxRequestBytes bounds one protocol request: the stdin loop's line
@@ -220,12 +226,36 @@ func (p *PatchitPy) ServeContext(ctx context.Context, r io.Reader, w io.Writer) 
 			}
 			var req Request
 			if err := json.Unmarshal(msg.line, &req); err != nil {
+				if p.logger != nil {
+					p.logger.Warn("bad request", "transport", "stdio", "error", err.Error())
+				}
 				if err := enc.Encode(Response{OK: false, Error: "bad request: " + err.Error()}); err != nil {
 					return fmt.Errorf("write response: %w", err)
 				}
 				continue
 			}
-			if err := enc.Encode(p.Handle(context.Background(), req)); err != nil {
+			start := time.Now()
+			resp := p.Handle(context.Background(), req)
+			if p.logger != nil {
+				// The stdio transport's per-request log record, matching
+				// the HTTP front end's shape: verb, outcome, duration,
+				// trace ID.
+				attrs := []any{
+					"transport", "stdio",
+					"cmd", req.Cmd,
+					"ok", resp.OK,
+					"durationMs", float64(time.Since(start)) / float64(time.Millisecond),
+				}
+				if resp.Trace != "" {
+					attrs = append(attrs, "trace", resp.Trace)
+				}
+				if resp.OK {
+					p.logger.Info("request", attrs...)
+				} else {
+					p.logger.Warn("request", append(attrs, "error", resp.Error)...)
+				}
+			}
+			if err := enc.Encode(resp); err != nil {
 				return fmt.Errorf("write response: %w", err)
 			}
 		}
@@ -249,10 +279,29 @@ func (p *PatchitPy) Handle(ctx context.Context, req Request) Response {
 		cmd = "unknown"
 	}
 	ctx, span := obs.Start(obs.With(ctx, p.obsReg), "serve."+cmd)
+	if req.Session != "" {
+		span.SetAttr("session", req.Session)
+	}
 	start := time.Now()
 	resp := p.handleCmd(ctx, req)
-	p.serveDur.With(cmd).Observe(time.Since(start))
+	// The exemplar ties this observation's latency bucket to the trace
+	// ID, so a histogram outlier links back to its /debug/traces entry.
+	p.serveDur.With(cmd).ObserveExemplar(time.Since(start), span.TraceID())
 	p.serveReqs.Add(cmd, 1)
+	if span != nil {
+		if resp.Session != "" && req.Session == "" {
+			span.SetAttr("session", resp.Session)
+		}
+		if len(resp.Findings) > 0 {
+			span.SetAttr("findings", len(resp.Findings))
+		}
+		if !resp.OK {
+			span.SetError(resp.Error)
+		}
+		if tid := span.TraceID(); !tid.IsZero() {
+			resp.Trace = tid.String()
+		}
+	}
 	span.End()
 	return resp
 }

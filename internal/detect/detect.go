@@ -481,8 +481,17 @@ func (d *Detector) scanPrepared(ctx context.Context, p *Prepared, opt Options) [
 		m.ruleRuns.Add(rule.ID, 1)
 		if n > 0 {
 			m.ruleHits.Add(rule.ID, uint64(n))
+			// Only rules that actually fired get a child span: per-rule
+			// spans for all 85 rules would blow the span budget (and the
+			// reader's patience) on every scan, while the firing rules are
+			// exactly the ones a trace viewer needs to attribute time to.
+			rsp := ruleSpan.RecordChild("rule."+rule.ID, t0, t0.Add(el))
+			rsp.SetAttr("rule", rule.ID)
+			rsp.SetAttr("findings", n)
 		}
 	}
+	ruleSpan.SetAttr("rules.run", int(considered-skipped))
+	ruleSpan.SetAttr("rules.skipped", int(skipped))
 	ruleSpan.End()
 	d.rulesConsidered.Add(considered)
 	d.rulesSkipped.Add(skipped)
@@ -495,8 +504,10 @@ func (d *Detector) scanPrepared(ctx context.Context, p *Prepared, opt Options) [
 	if timed {
 		m.scans.Inc()
 		m.findings.Add(uint64(len(out)))
-		m.scanDur.Observe(time.Since(scanStart))
+		m.scanDur.ObserveExemplar(time.Since(scanStart), obs.TraceIDFrom(ctx))
 	}
+	scanSpan.SetAttr("bytes", len(p.src))
+	scanSpan.SetAttr("findings", len(out))
 	scanSpan.End()
 	return out
 }

@@ -13,6 +13,7 @@ package docsession
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"sync"
 
 	"github.com/dessertlab/patchitpy/internal/detect"
@@ -49,6 +50,10 @@ type Manager struct {
 	// SetObs swaps in registry-owned ones, so call sites need no nil
 	// guards.
 	opened, closed, evicted, edits *obs.Counter
+
+	// logger receives lifecycle events worth operator attention (LRU
+	// evictions, error closes); discarding until SetLogger.
+	logger *slog.Logger
 }
 
 // NewManager returns a Manager scanning with d, holding at most capacity
@@ -66,6 +71,7 @@ func NewManager(d *detect.Detector, capacity int) *Manager {
 		closed:  new(obs.Counter),
 		evicted: new(obs.Counter),
 		edits:   new(obs.Counter),
+		logger:  obs.DiscardLogger(),
 	}
 }
 
@@ -83,6 +89,15 @@ func (m *Manager) SetObs(reg *obs.Registry) {
 	m.closed = reg.Counter(obs.MetricSessionsClosed)
 	m.evicted = reg.Counter(obs.MetricSessionsEvicted)
 	m.edits = reg.Counter(obs.MetricSessionEdits)
+}
+
+// SetLogger attaches a structured logger for session lifecycle events.
+// Pass nil to silence. Setup API — do not call with requests in flight.
+func (m *Manager) SetLogger(l *slog.Logger) {
+	if l == nil {
+		l = obs.DiscardLogger()
+	}
+	m.logger = l
 }
 
 // Result is the outcome of an Open or Edit: the session's identity, the
@@ -137,6 +152,8 @@ func (m *Manager) Edit(ctx context.Context, id string, edits []editor.TextEdit) 
 		if err := s.prep.ApplyEdit(e); err != nil {
 			m.drop(id)
 			m.closed.Add(1)
+			m.logger.WarnContext(ctx, "session closed on invalid edit",
+				"session", id, "error", err.Error())
 			return Result{}, fmt.Errorf("%v; session %s closed", err, id)
 		}
 	}
@@ -213,4 +230,5 @@ func (m *Manager) evictOldestLocked() {
 	delete(m.sess, victim)
 	delete(m.used, victim)
 	m.evicted.Add(1)
+	m.logger.Warn("session evicted at capacity", "session", victim, "capacity", m.cap)
 }

@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// chromeEvent is one Chrome trace-event ("X" = complete event with a
+// duration). Timestamps and durations are microseconds, per the trace
+// event format that Perfetto and chrome://tracing load.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   int64          `json:"ts"`
+	Dur  int64          `json:"dur"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace renders traces as Chrome trace-event JSON
+// ({"traceEvents":[...]}), loadable in Perfetto (ui.perfetto.dev) or
+// chrome://tracing. Each trace gets its own track (tid), nested spans
+// become stacked complete events, and span attributes, error status and
+// the 128-bit trace ID ride along in args — so "open the p99 outlier in
+// a flame view" is one curl and one drag-and-drop.
+func WriteChromeTrace(w io.Writer, traces []SpanData) error {
+	events := []chromeEvent{}
+	for i := range traces {
+		appendChromeEvents(&events, &traces[i], traces[i].TraceID, i+1)
+	}
+	return json.NewEncoder(w).Encode(struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}{events})
+}
+
+func appendChromeEvents(events *[]chromeEvent, sd *SpanData, traceID string, tid int) {
+	args := map[string]any{}
+	for k, v := range sd.Attrs {
+		args[k] = v
+	}
+	if traceID != "" {
+		args["traceId"] = traceID
+	}
+	if sd.SpanID != "" {
+		args["spanId"] = sd.SpanID
+	}
+	if sd.Error != "" {
+		args["error"] = sd.Error
+	}
+	if sd.DroppedSpans > 0 {
+		args["droppedSpans"] = sd.DroppedSpans
+	}
+	*events = append(*events, chromeEvent{
+		Name: sd.Name,
+		Ph:   "X",
+		TS:   sd.Start.UnixMicro(),
+		Dur:  int64(sd.DurationMS * 1000),
+		PID:  1,
+		TID:  tid,
+		Args: args,
+	})
+	for i := range sd.Children {
+		appendChromeEvents(events, &sd.Children[i], traceID, tid)
+	}
+}

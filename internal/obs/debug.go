@@ -7,6 +7,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 )
 
@@ -14,9 +15,13 @@ import (
 // Prometheus metrics, expvar-style JSON, recent traces, and the stdlib
 // pprof profiling endpoints, all read-only.
 //
-//	/metrics        Prometheus text exposition (version 0.0.4)
+//	/metrics        Prometheus text exposition (version 0.0.4); OpenMetrics
+//	                1.0 with trace exemplars when the Accept header asks for
+//	                application/openmetrics-text or ?format=openmetrics
 //	/debug/vars     expvar-style JSON: cmdline, memstats, metric snapshot
-//	/debug/traces   recent span traces, newest first
+//	/debug/traces   retained traces ({recent, slow, errors}, each newest
+//	                first); ?format=chrome renders Chrome trace-event JSON
+//	                loadable in Perfetto
 //	/debug/pprof/   net/http/pprof index (profile, heap, trace, ...)
 type DebugServer struct {
 	ln  net.Listener
@@ -32,8 +37,13 @@ func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
 		return nil, err
 	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if wantsOpenMetrics(r) {
+			w.Header().Set("Content-Type", OpenMetricsContentType)
+			reg.WriteOpenMetrics(w)
+			return
+		}
+		w.Header().Set("Content-Type", PrometheusContentType)
 		reg.WritePrometheus(w)
 	})
 	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
@@ -46,13 +56,18 @@ func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
 			PatchitPy *Snapshot        `json:"patchitpy"`
 		}{os.Args, ms, reg.Snapshot()})
 	})
-	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, _ *http.Request) {
+	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
+		tb := reg.TraceBuckets()
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
-		traces := reg.Traces()
-		if traces == nil {
-			traces = []SpanData{}
+		if r.URL.Query().Get("format") == "chrome" {
+			// One Perfetto-loadable file covering every retained trace;
+			// slow/error traces may duplicate recent ones, which just
+			// shows them on their own tracks.
+			all := append(append(append([]SpanData{}, tb.Recent...), tb.Slow...), tb.Errors...)
+			WriteChromeTrace(w, all)
+			return
 		}
-		json.NewEncoder(w).Encode(traces)
+		json.NewEncoder(w).Encode(tb)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -63,6 +78,15 @@ func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
 	s := &DebugServer{ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
 	go s.srv.Serve(ln)
 	return s, nil
+}
+
+// wantsOpenMetrics reports whether the request negotiated the
+// OpenMetrics exposition, by Accept header or ?format=openmetrics.
+func wantsOpenMetrics(r *http.Request) bool {
+	if r.URL.Query().Get("format") == "openmetrics" {
+		return true
+	}
+	return strings.Contains(r.Header.Get("Accept"), "application/openmetrics-text")
 }
 
 // Addr returns the bound listen address (resolved port for ":0").

@@ -20,9 +20,10 @@ var DefaultLatencyBuckets = []float64{
 // may see a sum and counts from slightly different instants, which is
 // acceptable for monitoring.
 type Histogram struct {
-	bounds []float64       // ascending upper bounds, in seconds
-	counts []atomic.Uint64 // len(bounds)+1; last slot is the overflow bucket
-	sum    atomic.Int64    // nanoseconds
+	bounds    []float64                  // ascending upper bounds, in seconds
+	counts    []atomic.Uint64            // len(bounds)+1; last slot is the overflow bucket
+	sum       atomic.Int64               // nanoseconds
+	exemplars []atomic.Pointer[Exemplar] // len(bounds)+1; latest exemplar per bucket
 }
 
 func newHistogram(bounds []float64) *Histogram {
@@ -31,7 +32,20 @@ func newHistogram(bounds []float64) *Histogram {
 	}
 	b := append([]float64(nil), bounds...)
 	sort.Float64s(b)
-	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+	return &Histogram{
+		bounds:    b,
+		counts:    make([]atomic.Uint64, len(b)+1),
+		exemplars: make([]atomic.Pointer[Exemplar], len(b)+1),
+	}
+}
+
+// Exemplar links one observation in a histogram bucket to the trace
+// that produced it — the OpenMetrics exemplar model, letting a p99
+// outlier on a dashboard jump straight to its /debug/traces entry.
+type Exemplar struct {
+	TraceID string    // 32-hex trace ID
+	Value   float64   // observed value in the histogram's unit (seconds)
+	Time    time.Time // observation time
 }
 
 // SizeBuckets are histogram bounds for byte-size distributions (use with
@@ -45,6 +59,28 @@ func (h *Histogram) Observe(d time.Duration) {
 	i := sort.SearchFloat64s(h.bounds, s)
 	h.counts[i].Add(1)
 	h.sum.Add(d.Nanoseconds())
+}
+
+// ObserveExemplar records one duration and, when tid is non-zero,
+// stores it as the bucket's latest exemplar. The exemplar write is one
+// atomic pointer swap, so traced requests pay a few nanoseconds over
+// Observe and untraced ones (zero tid) pay nothing extra.
+func (h *Histogram) ObserveExemplar(d time.Duration, tid TraceID) {
+	s := d.Seconds()
+	i := sort.SearchFloat64s(h.bounds, s)
+	h.counts[i].Add(1)
+	h.sum.Add(d.Nanoseconds())
+	if !tid.IsZero() {
+		h.exemplars[i].Store(&Exemplar{TraceID: tid.String(), Value: s, Time: time.Now()})
+	}
+}
+
+// exemplarAt returns the latest exemplar for bucket i, or nil.
+func (h *Histogram) exemplarAt(i int) *Exemplar {
+	if h.exemplars == nil || i < 0 || i >= len(h.exemplars) {
+		return nil
+	}
+	return h.exemplars[i].Load()
 }
 
 // ObserveValue records one dimensionless observation (a size, a count).

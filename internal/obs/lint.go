@@ -1,0 +1,344 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// LintExposition validates a Prometheus 0.0.4 or OpenMetrics 1.0 text
+// exposition: line grammar (metric and label names, quoted/escaped
+// label values, float values), TYPE declarations preceding their
+// samples, histogram bucket le bounds ascending with monotone
+// cumulative counts, exemplar syntax (OpenMetrics only), and # EOF
+// placement. The dialect is inferred from the presence of a # EOF line.
+// Returns one error per defect with its 1-based line number; nil means
+// the exposition is well-formed. This is the parser behind the CI
+// metrics-lint gate — a malformed /metrics page fails the build instead
+// of failing the scraper in production.
+func LintExposition(data []byte) []error {
+	var errs []error
+	lines := strings.Split(string(data), "\n")
+	// A trailing newline yields one empty final element; drop it.
+	if n := len(lines); n > 0 && lines[n-1] == "" {
+		lines = lines[:n-1]
+	}
+	openMetrics := false
+	for _, ln := range lines {
+		if ln == "# EOF" {
+			openMetrics = true
+			break
+		}
+	}
+	types := map[string]string{} // family name -> type
+	sawEOF := false
+	// bucket-run state: consecutive _bucket samples of one series.
+	var runKey string // name + pre-le labels of the current bucket run
+	var runLE float64
+	var runCount uint64
+	resetRun := func() { runKey = "" }
+
+	for i, ln := range lines {
+		lineNo := i + 1
+		fail := func(format string, args ...any) {
+			errs = append(errs, fmt.Errorf("line %d: %s", lineNo, fmt.Sprintf(format, args...)))
+		}
+		if sawEOF {
+			fail("content after # EOF")
+			break
+		}
+		if ln == "" {
+			fail("empty line")
+			resetRun()
+			continue
+		}
+		if strings.HasPrefix(ln, "#") {
+			resetRun()
+			switch {
+			case ln == "# EOF":
+				sawEOF = true
+			case strings.HasPrefix(ln, "# TYPE "):
+				rest := strings.TrimPrefix(ln, "# TYPE ")
+				sp := strings.IndexByte(rest, ' ')
+				if sp < 0 {
+					fail("TYPE line missing type: %q", ln)
+					continue
+				}
+				name, typ := rest[:sp], rest[sp+1:]
+				if !validMetricName(name) {
+					fail("invalid metric name in TYPE: %q", name)
+				}
+				switch typ {
+				case "counter", "gauge", "histogram", "summary", "untyped", "unknown", "info", "stateset", "gaugehistogram":
+				default:
+					fail("unknown metric type %q", typ)
+				}
+				if _, dup := types[name]; dup {
+					fail("duplicate TYPE for family %q", name)
+				}
+				types[name] = typ
+			case strings.HasPrefix(ln, "# HELP "), strings.HasPrefix(ln, "# UNIT "):
+				// Well-formed enough: name then free text.
+			default:
+				if openMetrics {
+					fail("unknown comment directive: %q", ln)
+				}
+				// 0.0.4 allows arbitrary comments.
+			}
+			continue
+		}
+
+		name, labels, value, exemplar, err := parseSample(ln)
+		if err != nil {
+			fail("%v", err)
+			resetRun()
+			continue
+		}
+		if exemplar != "" && !openMetrics {
+			fail("exemplar on a Prometheus 0.0.4 line (no # EOF seen): %q", ln)
+		}
+		if exemplar != "" {
+			if err := lintExemplar(exemplar); err != nil {
+				fail("bad exemplar: %v", err)
+			}
+		}
+		fam := familyOf(name, types)
+		if fam == "" {
+			fail("sample %q has no preceding TYPE", name)
+		}
+		// Histogram bucket checks: le present and parseable, bounds
+		// strictly ascending, cumulative counts non-decreasing within a
+		// contiguous run of the same series.
+		if strings.HasSuffix(name, "_bucket") && types[fam] == "histogram" {
+			le, ok := labels["le"]
+			if !ok {
+				fail("histogram bucket without le label: %q", ln)
+				resetRun()
+				continue
+			}
+			leV, err := parseFloat(le)
+			if err != nil {
+				fail("unparseable le %q", le)
+				resetRun()
+				continue
+			}
+			count, err := strconv.ParseUint(value, 10, 64)
+			if err != nil {
+				fail("bucket count %q is not an unsigned integer", value)
+				resetRun()
+				continue
+			}
+			key := name + "{" + labelsKeyWithoutLE(labels) + "}"
+			if key == runKey {
+				if leV <= runLE {
+					fail("bucket le %q not ascending (previous %s)", le, fmtFloat(runLE))
+				}
+				if count < runCount {
+					fail("bucket count %d decreased (previous %d)", count, runCount)
+				}
+			}
+			runKey, runLE, runCount = key, leV, count
+			continue
+		}
+		resetRun()
+		if _, err := parseFloat(value); err != nil {
+			fail("unparseable sample value %q", value)
+		}
+	}
+	if openMetrics && !sawEOF {
+		errs = append(errs, fmt.Errorf("line %d: missing terminal # EOF", len(lines)))
+	}
+	return errs
+}
+
+// familyOf resolves a sample name to its declared family, accounting
+// for the histogram/summary and counter suffixes.
+func familyOf(name string, types map[string]string) string {
+	if _, ok := types[name]; ok {
+		return name
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if base := strings.TrimSuffix(name, suf); base != name {
+			if _, ok := types[base]; ok {
+				return base
+			}
+		}
+	}
+	// OpenMetrics counters: TYPE names the family without _total.
+	if base := strings.TrimSuffix(name, "_total"); base != name {
+		if _, ok := types[base]; ok {
+			return base
+		}
+	}
+	return ""
+}
+
+// parseSample splits one sample line into name, labels, value and the
+// raw exemplar suffix (everything after " # ", empty when absent).
+func parseSample(ln string) (name string, labels map[string]string, value string, exemplar string, err error) {
+	rest := ln
+	if idx := strings.Index(rest, " # "); idx >= 0 {
+		exemplar = rest[idx+3:]
+		rest = rest[:idx]
+	}
+	i := 0
+	for i < len(rest) && isNameChar(rest[i], i == 0) {
+		i++
+	}
+	if i == 0 {
+		return "", nil, "", "", fmt.Errorf("sample does not start with a metric name: %q", ln)
+	}
+	name = rest[:i]
+	rest = rest[i:]
+	labels = map[string]string{}
+	if strings.HasPrefix(rest, "{") {
+		end, lbls, lerr := parseLabels(rest)
+		if lerr != nil {
+			return name, nil, "", exemplar, lerr
+		}
+		labels = lbls
+		rest = rest[end:]
+	}
+	rest = strings.TrimPrefix(rest, " ")
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return name, labels, "", exemplar, fmt.Errorf("expected value [timestamp] after %q, got %q", name, rest)
+	}
+	if len(fields) == 2 {
+		if _, terr := parseFloat(fields[1]); terr != nil {
+			return name, labels, "", exemplar, fmt.Errorf("unparseable timestamp %q", fields[1])
+		}
+	}
+	return name, labels, fields[0], exemplar, nil
+}
+
+// parseLabels parses a {k="v",...} block starting at s[0]=='{' and
+// returns the index just past the closing brace.
+func parseLabels(s string) (int, map[string]string, error) {
+	labels := map[string]string{}
+	i := 1 // past '{'
+	for {
+		if i >= len(s) {
+			return 0, nil, fmt.Errorf("unterminated label block")
+		}
+		if s[i] == '}' {
+			return i + 1, labels, nil
+		}
+		start := i
+		for i < len(s) && isNameChar(s[i], i == start) && s[i] != ':' {
+			i++
+		}
+		if i == start {
+			return 0, nil, fmt.Errorf("empty label name at %q", s[start:])
+		}
+		lname := s[start:i]
+		if i >= len(s) || s[i] != '=' {
+			return 0, nil, fmt.Errorf("label %q missing =", lname)
+		}
+		i++
+		if i >= len(s) || s[i] != '"' {
+			return 0, nil, fmt.Errorf("label %q value not quoted", lname)
+		}
+		i++
+		var val strings.Builder
+		for {
+			if i >= len(s) {
+				return 0, nil, fmt.Errorf("unterminated value for label %q", lname)
+			}
+			c := s[i]
+			if c == '"' {
+				i++
+				break
+			}
+			if c == '\\' {
+				if i+1 >= len(s) {
+					return 0, nil, fmt.Errorf("dangling escape in label %q", lname)
+				}
+				switch s[i+1] {
+				case '\\', '"', 'n':
+				default:
+					return 0, nil, fmt.Errorf("invalid escape \\%c in label %q", s[i+1], lname)
+				}
+				val.WriteByte(s[i+1])
+				i += 2
+				continue
+			}
+			val.WriteByte(c)
+			i++
+		}
+		labels[lname] = val.String()
+		if i < len(s) && s[i] == ',' {
+			i++
+		}
+	}
+}
+
+// lintExemplar validates the part after " # ": a label block, a value,
+// and an optional timestamp.
+func lintExemplar(ex string) error {
+	if !strings.HasPrefix(ex, "{") {
+		return fmt.Errorf("exemplar must start with a label block: %q", ex)
+	}
+	end, _, err := parseLabels(ex)
+	if err != nil {
+		return err
+	}
+	rest := strings.TrimPrefix(ex[end:], " ")
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return fmt.Errorf("expected exemplar value [timestamp], got %q", rest)
+	}
+	for _, f := range fields {
+		if _, err := parseFloat(f); err != nil {
+			return fmt.Errorf("unparseable exemplar number %q", f)
+		}
+	}
+	return nil
+}
+
+// labelsKeyWithoutLE renders labels minus le, sorted, to identify one
+// bucket series.
+func labelsKeyWithoutLE(labels map[string]string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if k != "le" {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + "=" + labels[k]
+	}
+	return strings.Join(parts, ",")
+}
+
+func parseFloat(s string) (float64, error) {
+	switch s {
+	case "+Inf", "-Inf", "NaN":
+		// strconv accepts these too, but be explicit: they are the
+		// only non-numeric spellings the formats allow.
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// isNameChar reports whether c may appear in a metric/label name.
+func isNameChar(c byte, first bool) bool {
+	switch {
+	case 'a' <= c && c <= 'z', 'A' <= c && c <= 'Z', c == '_', c == ':':
+		return true
+	case '0' <= c && c <= '9':
+		return !first
+	}
+	return false
+}
+
+func validMetricName(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if !isNameChar(s[i], i == 0) {
+			return false
+		}
+	}
+	return len(s) > 0
+}

@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestLintAcceptsOwnExposition locks the linter to the writers: both
+// dialects of the fixture registry's own output must lint clean,
+// including exemplar syntax in the OpenMetrics form.
+func TestLintAcceptsOwnExposition(t *testing.T) {
+	reg := fixtureRegistry()
+	reg.Enable()
+	// Record a traced observation so the OpenMetrics output carries a
+	// real exemplar line.
+	_, sp := Start(With(context.Background(), reg), "req")
+	reg.Histogram(MetricScanDuration, nil).ObserveExemplar(3*time.Millisecond, sp.TraceID())
+	sp.End()
+
+	var prom bytes.Buffer
+	if err := reg.WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	if errs := LintExposition(prom.Bytes()); len(errs) != 0 {
+		t.Errorf("Prometheus output fails lint: %v\n%s", errs, prom.String())
+	}
+
+	var om bytes.Buffer
+	if err := reg.WriteOpenMetrics(&om); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(om.String(), `# {trace_id="`+sp.TraceID().String()+`"}`) {
+		t.Fatalf("OpenMetrics output missing the exemplar:\n%s", om.String())
+	}
+	if !strings.HasSuffix(om.String(), "# EOF\n") {
+		t.Fatalf("OpenMetrics output missing terminal # EOF")
+	}
+	if errs := LintExposition(om.Bytes()); len(errs) != 0 {
+		t.Errorf("OpenMetrics output fails lint: %v\n%s", errs, om.String())
+	}
+}
+
+func TestLintRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want string // substring of the expected error
+	}{
+		{"no TYPE", "foo_total 1\n", "no preceding TYPE"},
+		{"bad name", "# TYPE 9foo counter\n9foo_total 1\n# EOF\n", "invalid metric name"},
+		{"bad type", "# TYPE foo banana\nfoo 1\n", "unknown metric type"},
+		{"duplicate TYPE", "# TYPE foo counter\n# TYPE foo counter\nfoo_total 1\n", "duplicate TYPE"},
+		{"bad value", "# TYPE foo gauge\nfoo abc\n", "unparseable sample value"},
+		{"empty line", "# TYPE foo gauge\n\nfoo 1\n", "empty line"},
+		{"unterminated labels", "# TYPE foo gauge\nfoo{a=\"b 1\n", "unterminated"},
+		{"unquoted label", "# TYPE foo gauge\nfoo{a=b} 1\n", "not quoted"},
+		{"content after EOF", "# TYPE foo gauge\nfoo 1\n# EOF\nfoo 2\n", "content after # EOF"},
+		{"exemplar in 0.0.4", "# TYPE foo histogram\nfoo_bucket{le=\"+Inf\"} 1 # {trace_id=\"ab\"} 1\n", "exemplar on a Prometheus 0.0.4 line"},
+		{"bad exemplar", "# TYPE foo histogram\nfoo_bucket{le=\"+Inf\"} 1 # nope 1\n# EOF\n", "bad exemplar"},
+		{"le not ascending", "# TYPE foo histogram\nfoo_bucket{le=\"0.5\"} 1\nfoo_bucket{le=\"0.1\"} 2\n", "not ascending"},
+		{"count decreasing", "# TYPE foo histogram\nfoo_bucket{le=\"0.1\"} 5\nfoo_bucket{le=\"0.5\"} 3\n", "decreased"},
+		{"bucket missing le", "# TYPE foo histogram\nfoo_bucket{x=\"y\"} 5\n", "without le"},
+		{"bucket count float", "# TYPE foo histogram\nfoo_bucket{le=\"0.1\"} 5.5\n", "not an unsigned integer"},
+	}
+	for _, c := range cases {
+		errs := LintExposition([]byte(c.in))
+		found := false
+		for _, e := range errs {
+			if strings.Contains(e.Error(), c.want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: lint errors %v do not mention %q", c.name, errs, c.want)
+		}
+	}
+}
+
+func TestLintCleanInputs(t *testing.T) {
+	cases := []string{
+		"",
+		"# TYPE foo counter\nfoo_total 1\n",
+		"# TYPE foo counter\n# HELP foo A counter.\nfoo_total{tool=\"a b\"} 1 1690000000\n",
+		"# TYPE foo gauge\nfoo +Inf\n",
+		"# arbitrary 0.0.4 comment\n# TYPE foo gauge\nfoo 1\n",
+		"# TYPE foo histogram\nfoo_bucket{le=\"0.1\"} 1\nfoo_bucket{le=\"+Inf\"} 2\nfoo_sum 0.3\nfoo_count 2\n# EOF\n",
+		// Escaped label values.
+		"# TYPE foo gauge\nfoo{path=\"a\\\\b\\\"c\\nd\"} 1\n",
+		// Two series' bucket runs back to back: the le reset is legal.
+		"# TYPE foo histogram\nfoo_bucket{verb=\"a\",le=\"0.5\"} 1\nfoo_bucket{verb=\"a\",le=\"+Inf\"} 1\nfoo_bucket{verb=\"b\",le=\"0.1\"} 9\nfoo_bucket{verb=\"b\",le=\"+Inf\"} 9\n",
+	}
+	for _, in := range cases {
+		if errs := LintExposition([]byte(in)); len(errs) != 0 {
+			t.Errorf("clean input %q got lint errors: %v", in, errs)
+		}
+	}
+}

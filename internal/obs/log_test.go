@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNewLoggerFormats(t *testing.T) {
+	var buf bytes.Buffer
+	lg, err := NewLogger(&buf, "text", LoggerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Info("hello", "k", "v")
+	if out := buf.String(); !strings.Contains(out, "msg=hello") || !strings.Contains(out, "k=v") {
+		t.Errorf("text output = %q", out)
+	}
+
+	buf.Reset()
+	lg, err = NewLogger(&buf, "json", LoggerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Info("hello", "k", "v")
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("json output not JSON: %v (%q)", err, buf.String())
+	}
+	if rec["msg"] != "hello" || rec["k"] != "v" {
+		t.Errorf("json record = %v", rec)
+	}
+
+	if _, err := NewLogger(&buf, "yaml", LoggerOptions{}); err == nil {
+		t.Error("unknown format accepted")
+	}
+}
+
+func TestLoggerInjectsTraceID(t *testing.T) {
+	reg := NewRegistry()
+	reg.Enable()
+	var buf bytes.Buffer
+	lg, err := NewLogger(&buf, "json", LoggerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, sp := Start(With(context.Background(), reg), "req")
+	lg.InfoContext(ctx, "traced record")
+	sp.End()
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec["trace"] != sp.TraceID().String() {
+		t.Errorf("trace attr = %v, want %s", rec["trace"], sp.TraceID())
+	}
+
+	// No span in ctx: no trace attr.
+	buf.Reset()
+	lg.Info("untraced record")
+	if strings.Contains(buf.String(), `"trace"`) {
+		t.Errorf("untraced record has a trace attr: %q", buf.String())
+	}
+}
+
+func TestLoggerSampling(t *testing.T) {
+	// Re-run with fresh state if the burst straddles a Unix-second
+	// boundary (the sampler window would roll mid-burst and
+	// legitimately pass more records).
+	var reg *Registry
+	var buf bytes.Buffer
+	for attempt := 0; attempt < 10; attempt++ {
+		reg = NewRegistry()
+		buf.Reset()
+		lg, err := NewLogger(&buf, "json", LoggerOptions{SamplePerSecond: 3, Obs: reg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		start := time.Now().Unix()
+		for i := 0; i < 10; i++ {
+			lg.Info("repetitive")
+		}
+		lg.Info("distinct") // different message: its own budget
+		if time.Now().Unix() == start {
+			break
+		}
+	}
+	lines := strings.Count(buf.String(), "\n")
+	if lines != 4 {
+		t.Errorf("emitted %d records, want 3 sampled + 1 distinct:\n%s", lines, buf.String())
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters[`patchitpy_log_dropped_total`]; got != 7 {
+		t.Errorf("dropped counter = %g, want 7", got)
+	}
+	if got := snap.Counters[`patchitpy_log_records_total{level="INFO"}`]; got != 4 {
+		t.Errorf("records counter = %g, want 4", got)
+	}
+}
+
+func TestDiscardLogger(t *testing.T) {
+	lg := DiscardLogger()
+	if lg.Enabled(context.Background(), 0) {
+		t.Error("discard logger reports enabled")
+	}
+	lg.Info("dropped") // must not panic
+}

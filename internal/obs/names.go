@@ -7,13 +7,13 @@ package obs
 const (
 	// Detection engine (internal/detect). Counted on real (uncached)
 	// scans only; cache hits are accounted by the cache counters.
-	MetricScans        = "patchitpy_scans_total"                 // counter: uncached scans
-	MetricScanFindings = "patchitpy_scan_findings_total"         // counter: findings from uncached scans
-	MetricScanDuration = "patchitpy_scan_duration_seconds"       // histogram: whole-scan latency
-	MetricRuleRuns     = "patchitpy_rule_runs_total"             // counter{rule}: regex-phase executions
-	MetricRuleFindings = "patchitpy_rule_findings_total"         // counter{rule}: findings per rule
-	MetricRuleTime     = "patchitpy_rule_duration_seconds_total" // counter{rule}: cumulative regex-phase time
-	MetricRuleDuration = "patchitpy_rule_duration_seconds"       // histogram: per-rule-run latency, all rules
+	MetricScans        = "patchitpy_scans_total"             // counter: uncached scans
+	MetricScanFindings = "patchitpy_scan_findings_total"     // counter: findings from uncached scans
+	MetricScanDuration = "patchitpy_scan_duration_seconds"   // histogram: whole-scan latency
+	MetricRuleRuns     = "patchitpy_rule_runs_total"         // counter{rule}: regex-phase executions
+	MetricRuleFindings = "patchitpy_rule_findings_total"     // counter{rule}: findings per rule
+	MetricRuleTime     = "patchitpy_rule_time_seconds_total" // counter{rule}: cumulative regex-phase time
+	MetricRuleDuration = "patchitpy_rule_duration_seconds"   // histogram: per-rule-run latency, all rules
 
 	// Incremental re-scanning (internal/detect, RescanEdited).
 	MetricIncRescans       = "patchitpy_incremental_rescans_total"        // counter: incremental rescans (replay path)
@@ -79,4 +79,9 @@ const (
 	MetricHTTPQueueCap   = "patchitpy_http_queue_capacity"           // gauge fn: bounded queue size
 	MetricHTTPShed       = "patchitpy_http_shed_total"               // counter: requests refused with 429
 	MetricHTTPTimeouts   = "patchitpy_http_timeouts_total"           // counter: deadline expiries (queued or running)
+	MetricHTTPQueueWait  = "patchitpy_http_queue_wait_seconds"       // histogram: submit-to-dispatch wait in the bounded queue
+
+	// Structured logging (internal/obs log layer).
+	MetricLogRecords = "patchitpy_log_records_total" // counter{level}: records emitted
+	MetricLogDropped = "patchitpy_log_dropped_total" // counter: records suppressed by the sampler
 )

@@ -304,6 +304,12 @@ func (v *HistogramVec) Observe(value string, d time.Duration) {
 	v.With(value).Observe(d)
 }
 
+// ObserveExemplar records d in the histogram for value with a trace-ID
+// exemplar (see Histogram.ObserveExemplar).
+func (v *HistogramVec) ObserveExemplar(value string, d time.Duration, tid TraceID) {
+	v.With(value).ObserveExemplar(d, tid)
+}
+
 // ctxRegKey carries the active registry in a context, so layers without
 // an explicit registry parameter (workpool.Run, spans inside the scan)
 // can find it.

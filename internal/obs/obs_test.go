@@ -140,7 +140,7 @@ func fixtureRegistry() *Registry {
 	rv := reg.CounterVec("patchitpy_rule_findings_total", "rule")
 	rv.Add("PIP-INJ-005", 2)
 	rv.Add("PIP-CRY-001", 1)
-	dv := reg.DurationCounterVec("patchitpy_rule_duration_seconds_total", "rule")
+	dv := reg.DurationCounterVec("patchitpy_rule_time_seconds_total", "rule")
 	dv.AddDuration("PIP-INJ-005", 1500*time.Microsecond)
 	reg.GaugeFunc("patchitpy_cache_hit_rate", func() float64 { return 0.25 })
 	h := reg.Histogram("patchitpy_scan_duration_seconds", []float64{0.001, 0.01, 0.1})
@@ -193,7 +193,7 @@ func TestSnapshotHistogram(t *testing.T) {
 			t.Errorf("bucket counts not cumulative at %d: %+v", i, h.Buckets)
 		}
 	}
-	if ck := `patchitpy_rule_duration_seconds_total{rule="PIP-INJ-005"}`; snap.Counters[ck] != 0.0015 {
+	if ck := `patchitpy_rule_time_seconds_total{rule="PIP-INJ-005"}`; snap.Counters[ck] != 0.0015 {
 		t.Errorf("duration counter = %g, want 0.0015 (seconds)", snap.Counters[ck])
 	}
 }

@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/hex"
+	"math/rand/v2"
+	"strings"
+)
+
+// TraceID is a W3C Trace Context 128-bit trace identifier. The zero
+// value means "no trace".
+type TraceID [16]byte
+
+// SpanID is a 64-bit span identifier within a trace.
+type SpanID [8]byte
+
+// IsZero reports whether the trace ID is the invalid all-zero ID.
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// String renders the ID as 32 lowercase hex digits (the traceparent
+// wire form). The zero ID renders as the empty string.
+func (t TraceID) String() string {
+	if t.IsZero() {
+		return ""
+	}
+	return hex.EncodeToString(t[:])
+}
+
+// IsZero reports whether the span ID is the invalid all-zero ID.
+func (s SpanID) IsZero() bool { return s == SpanID{} }
+
+// String renders the ID as 16 lowercase hex digits.
+func (s SpanID) String() string {
+	if s.IsZero() {
+		return ""
+	}
+	return hex.EncodeToString(s[:])
+}
+
+// NewTraceID returns a random non-zero trace ID. IDs only need to be
+// unique within the bounded trace rings of one process and its
+// correlated logs, so math/rand/v2 (which seeds itself from the OS) is
+// enough; no crypto guarantee is claimed.
+func NewTraceID() TraceID {
+	var t TraceID
+	for t.IsZero() {
+		binary.BigEndian.PutUint64(t[:8], rand.Uint64())
+		binary.BigEndian.PutUint64(t[8:], rand.Uint64())
+	}
+	return t
+}
+
+// NewSpanID returns a random non-zero span ID.
+func NewSpanID() SpanID {
+	var s SpanID
+	for s.IsZero() {
+		binary.BigEndian.PutUint64(s[:], rand.Uint64())
+	}
+	return s
+}
+
+// ParseTraceID parses 32 hex digits into a TraceID. The zero ID is
+// rejected, per the W3C spec.
+func ParseTraceID(s string) (TraceID, bool) {
+	var t TraceID
+	if len(s) != 32 {
+		return TraceID{}, false
+	}
+	if _, err := hex.Decode(t[:], []byte(s)); err != nil || t.IsZero() {
+		return TraceID{}, false
+	}
+	return t, true
+}
+
+// ParseTraceparent extracts the trace ID from a W3C traceparent header
+// (`version-traceid-parentid-flags`, e.g.
+// "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"). Unknown
+// future versions are accepted as long as the first four fields parse;
+// the reserved version ff, malformed fields, and zero IDs are rejected.
+func ParseTraceparent(h string) (TraceID, bool) {
+	h = strings.TrimSpace(h)
+	parts := strings.Split(h, "-")
+	if len(parts) < 4 {
+		return TraceID{}, false
+	}
+	ver := parts[0]
+	if len(ver) != 2 || !isHex(ver) || strings.EqualFold(ver, "ff") {
+		return TraceID{}, false
+	}
+	if ver == "00" && len(parts) != 4 {
+		return TraceID{}, false
+	}
+	if len(parts[2]) != 16 || !isHex(parts[2]) || len(parts[3]) != 2 || !isHex(parts[3]) {
+		return TraceID{}, false
+	}
+	if allZero(parts[2]) {
+		return TraceID{}, false
+	}
+	return ParseTraceID(strings.ToLower(parts[1]))
+}
+
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !('0' <= c && c <= '9' || 'a' <= c && c <= 'f' || 'A' <= c && c <= 'F') {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+func allZero(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] != '0' {
+			return false
+		}
+	}
+	return true
+}
+
+// ctxTraceKey carries an ingested trace ID (from a traceparent header)
+// that the next root span should adopt.
+type ctxTraceKey struct{}
+
+// WithTrace returns a context carrying tid as the trace ID the next
+// root span started under it will adopt, instead of generating a random
+// one. This is how serve propagates an ingested W3C traceparent into
+// the span tree. A zero tid returns ctx unchanged.
+func WithTrace(ctx context.Context, tid TraceID) context.Context {
+	if tid.IsZero() {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxTraceKey{}, tid)
+}
+
+// SpanFrom returns the span carried by ctx, or nil. Use it to attach
+// attributes to the active span from layers that don't start their own
+// (cache hit/miss flags, session IDs).
+func SpanFrom(ctx context.Context) *Span {
+	sp, _ := ctx.Value(ctxSpanKey{}).(*Span)
+	return sp
+}
+
+// TraceIDFrom returns the trace ID of the active span in ctx, falling
+// back to an ingested WithTrace ID, or the zero ID when ctx carries
+// neither.
+func TraceIDFrom(ctx context.Context) TraceID {
+	if sp := SpanFrom(ctx); sp != nil && sp.state != nil {
+		return sp.state.traceID
+	}
+	if tid, ok := ctx.Value(ctxTraceKey{}).(TraceID); ok {
+		return tid
+	}
+	return TraceID{}
+}

@@ -29,6 +29,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"strconv"
@@ -48,8 +49,16 @@ type Config struct {
 	Engine *core.PatchitPy
 	// Obs, when non-nil and enabled, receives the transport metrics
 	// (queue depth, shed/timeout counters, per-verb latency) on top of
-	// the engine's own serve.<cmd> instrumentation.
+	// the engine's own serve.<cmd> instrumentation, and turns on request
+	// tracing: each request runs under an "http.<verb>" root span
+	// (adopting an incoming W3C traceparent trace ID when present),
+	// echoes its trace ID in the X-Patchitpy-Trace response header, and
+	// links latency histogram observations to trace IDs via exemplars.
 	Obs *obs.Registry
+	// Logger, when non-nil, receives one structured record per request
+	// (verb, status, duration, trace ID) plus queue lifecycle events.
+	// nil logs nothing; use obs.NewLogger to build one with sampling.
+	Logger *slog.Logger
 	// Workers is the number of goroutines executing verb work
 	// (<= 0: GOMAXPROCS).
 	Workers int
@@ -89,9 +98,11 @@ type Server struct {
 	retryAfter time.Duration
 
 	reg       *obs.Registry
+	logger    *slog.Logger
 	httpReqs  *obs.Vec
 	httpCodes *obs.Vec
 	httpDur   *obs.HistogramVec
+	httpWait  *obs.Histogram
 
 	httpSrv *http.Server
 	ln      net.Listener
@@ -133,6 +144,10 @@ func New(cfg Config) (*Server, error) {
 		maxBody:    maxBody,
 		retryAfter: retryAfter,
 		reg:        cfg.Obs,
+		logger:     cfg.Logger,
+	}
+	if cfg.Logger != nil {
+		s.queue.SetLogger(cfg.Logger)
 	}
 	if cacheBytes > 0 {
 		s.respCache = resultcache.New(cacheBytes, func(key string, v []byte) int64 {
@@ -143,6 +158,7 @@ func New(cfg Config) (*Server, error) {
 		s.httpReqs = reg.CounterVec(obs.MetricHTTPRequests, "verb")
 		s.httpCodes = reg.CounterVec(obs.MetricHTTPResponses, "code")
 		s.httpDur = reg.HistogramVec(obs.MetricHTTPDuration, "verb", nil)
+		s.httpWait = reg.Histogram(obs.MetricHTTPQueueWait, nil)
 		reg.GaugeFunc(obs.MetricHTTPQueueDepth, func() float64 { return float64(s.queue.Depth()) })
 		reg.GaugeFunc(obs.MetricHTTPQueueCap, func() float64 { return float64(s.queue.Capacity()) })
 		resultcache.RegisterObs(reg, "http", func() *resultcache.Cache[[]byte] { return s.respCache })
@@ -312,14 +328,43 @@ func (s *Server) serveVerb(w http.ResponseWriter, r *http.Request) {
 		req.Cmd = verb
 	}
 
+	ctx := r.Context()
+	start := time.Now()
 	obsOn := s.reg.Enabled()
+	var span *obs.Span
 	if obsOn {
 		s.httpReqs.Add(verb, 1)
 		s.reg.Gauge(obs.MetricHTTPInFlight).Inc()
 		defer s.reg.Gauge(obs.MetricHTTPInFlight).Dec()
-		start := time.Now()
-		defer func() { s.httpDur.With(verb).Observe(time.Since(start)) }()
+		// Adopt the caller's W3C trace ID when the request carries a
+		// valid traceparent, so one distributed trace spans the editor
+		// client and this server; otherwise the root span mints one.
+		if tid, ok := obs.ParseTraceparent(r.Header.Get("traceparent")); ok {
+			ctx = obs.WithTrace(ctx, tid)
+		}
+		ctx, span = obs.Start(obs.With(ctx, s.reg), "http."+verb)
+		span.SetAttr("verb", verb)
+		// Echo the trace ID before any write, so even sheds and
+		// timeouts hand the client a handle into /debug/traces.
+		if tid := span.TraceID(); !tid.IsZero() {
+			w.Header().Set("X-Patchitpy-Trace", tid.String())
+		}
 	}
+	status := 0
+	cache := ""
+	defer func() {
+		if obsOn {
+			if cache != "" {
+				span.SetAttr("cache", cache)
+			}
+			span.SetAttr("status", status)
+			span.End()
+			s.httpDur.With(verb).ObserveExemplar(time.Since(start), span.TraceID())
+		}
+		if s.logger != nil {
+			s.logRequest(ctx, verb, status, cache, time.Since(start))
+		}
+	}()
 
 	// A cache hit is answered inline: no queue slot, no worker, no
 	// engine call — the fully encoded response bytes go straight out.
@@ -327,12 +372,14 @@ func (s *Server) serveVerb(w http.ResponseWriter, r *http.Request) {
 	if s.respCache != nil && cacheableVerbs[verb] {
 		key = s.cacheKey(&req)
 		if cached, ok := s.respCache.Get(key); ok {
-			s.writeJSON(w, http.StatusOK, cached)
+			cache = "hit"
+			status = http.StatusOK
+			s.writeJSON(w, status, cached)
 			return
 		}
+		cache = "miss"
 	}
 
-	ctx := r.Context()
 	if s.timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, s.timeout)
@@ -341,9 +388,18 @@ func (s *Server) serveVerb(w http.ResponseWriter, r *http.Request) {
 
 	done := make(chan struct{})
 	var respBody []byte
-	var status int
+	var jobStatus int
+	submitted := time.Now()
 	job := func() {
 		defer close(done)
+		if obsOn {
+			// Time spent waiting for a worker, as both a span (the
+			// per-request breakdown) and a histogram (the fleet-wide
+			// distribution, exemplar-linked back to this trace).
+			now := time.Now()
+			span.RecordChild("queue-wait", submitted, now)
+			s.httpWait.ObserveExemplar(now.Sub(submitted), span.TraceID())
+		}
 		// The deadline may have expired (or the client hung up) while
 		// the job sat in the queue; skip the work, the handler has
 		// already answered.
@@ -353,32 +409,60 @@ func (s *Server) serveVerb(w http.ResponseWriter, r *http.Request) {
 		if s.testHook != nil {
 			s.testHook(verb)
 		}
-		status, respBody = s.execute(ctx, verb, key, &req)
+		jobStatus, respBody = s.execute(ctx, verb, key, &req)
 	}
 	if !s.queue.TrySubmit(job) {
 		if obsOn {
 			s.reg.Counter(obs.MetricHTTPShed).Inc()
+			span.SetError("shed: queue full")
 		}
 		w.Header().Set("Retry-After", strconv.Itoa(int((s.retryAfter+time.Second-1)/time.Second)))
-		s.writeJSON(w, http.StatusTooManyRequests, errorBody("server overloaded, request shed"))
+		status = http.StatusTooManyRequests
+		s.writeJSON(w, status, errorBody("server overloaded, request shed"))
 		return
 	}
 	select {
 	case <-done:
-		if status == 0 { // job saw the deadline expired and skipped
+		if jobStatus == 0 { // job saw the deadline expired and skipped
 			if obsOn {
 				s.reg.Counter(obs.MetricHTTPTimeouts).Inc()
+				span.SetError("deadline exceeded in queue")
 			}
-			s.writeJSON(w, http.StatusServiceUnavailable, errorBody("request deadline exceeded"))
+			status = http.StatusServiceUnavailable
+			s.writeJSON(w, status, errorBody("request deadline exceeded"))
 			return
 		}
+		status = jobStatus
 		s.writeJSON(w, status, respBody)
 	case <-ctx.Done():
 		if obsOn {
 			s.reg.Counter(obs.MetricHTTPTimeouts).Inc()
+			span.SetError("deadline exceeded")
 		}
-		s.writeJSON(w, http.StatusServiceUnavailable, errorBody("request deadline exceeded"))
+		status = http.StatusServiceUnavailable
+		s.writeJSON(w, status, errorBody("request deadline exceeded"))
 	}
+}
+
+// logRequest emits the per-request structured record. The trace ID rides
+// in via ctx (the logger's trace handler stamps it), so an HTTP record
+// and the engine's own records for the same request share one "trace"
+// attribute value.
+func (s *Server) logRequest(ctx context.Context, verb string, status int, cache string, d time.Duration) {
+	attrs := []any{
+		"transport", "http",
+		"verb", verb,
+		"status", status,
+		"durationMs", float64(d) / float64(time.Millisecond),
+	}
+	if cache != "" {
+		attrs = append(attrs, "cache", cache)
+	}
+	if status >= 400 {
+		s.logger.WarnContext(ctx, "request", attrs...)
+		return
+	}
+	s.logger.InfoContext(ctx, "request", attrs...)
 }
 
 // cacheKey derives the response-cache key for req: catalog fingerprint
@@ -405,7 +489,12 @@ var errNotOK = errors.New("serve: protocol error response")
 func (s *Server) execute(ctx context.Context, verb, key string, req *core.Request) (int, []byte) {
 	compute := func() ([]byte, error) {
 		resp := s.engine.Handle(ctx, *req)
+		encStart := time.Now()
 		b, err := json.Marshal(resp)
+		// Under coalescing, ctx (and so the span) belongs to the request
+		// that actually computed; followers share the bytes, not the
+		// trace.
+		obs.SpanFrom(ctx).RecordChild("encode", encStart, time.Now())
 		if err != nil {
 			return errorBody("encode response: " + err.Error()), errNotOK
 		}

@@ -8,9 +8,11 @@ package workpool
 
 import (
 	"context"
+	"log/slog"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/dessertlab/patchitpy/internal/obs"
 )
@@ -41,6 +43,16 @@ func Run(ctx context.Context, n, concurrency int, fn func(i int)) error {
 		return ctx.Err()
 	}
 	workers := Clamp(concurrency, n)
+	// A context-carried logger gets one debug record per batch — the
+	// grain an operator cares about; per-job records would drown it.
+	if lg := obs.LoggerFrom(ctx); lg != nil && lg.Enabled(ctx, slog.LevelDebug) {
+		start := time.Now()
+		defer func() {
+			lg.DebugContext(ctx, "workpool batch done",
+				"jobs", n, "workers", workers,
+				"durationMs", float64(time.Since(start))/float64(time.Millisecond))
+		}()
+	}
 	// When the context carries an enabled obs registry, publish the
 	// pool's saturation: batch/job counters plus active-worker and
 	// pending-job gauges. The gauges describe the most recent batch;

@@ -1,6 +1,7 @@
 package workpool
 
 import (
+	"log/slog"
 	"sync"
 )
 
@@ -24,6 +25,7 @@ type Queue struct {
 
 	workers  int
 	capacity int
+	logger   *slog.Logger // nil until SetLogger; drain events only
 }
 
 // NewQueue starts workers goroutines draining a job buffer of the given
@@ -50,6 +52,14 @@ func NewQueue(workers, capacity int) *Queue {
 		}()
 	}
 	return q
+}
+
+// SetLogger attaches a structured logger for queue lifecycle events
+// (the Close drain). Setup API — call before serving traffic.
+func (q *Queue) SetLogger(l *slog.Logger) {
+	q.mu.Lock()
+	q.logger = l
+	q.mu.Unlock()
 }
 
 // TrySubmit enqueues job for execution by one of the workers. It never
@@ -85,10 +95,19 @@ func (q *Queue) Workers() int { return q.workers }
 // safe to call concurrently with TrySubmit.
 func (q *Queue) Close() {
 	q.mu.Lock()
-	if !q.closed {
+	first := !q.closed
+	depth := len(q.jobs)
+	lg := q.logger
+	if first {
 		q.closed = true
 		close(q.jobs)
 	}
 	q.mu.Unlock()
+	if first && lg != nil {
+		lg.Info("queue draining", "queued", depth, "workers", q.workers)
+	}
 	q.wg.Wait()
+	if first && lg != nil {
+		lg.Info("queue drained")
+	}
 }
