@@ -224,6 +224,39 @@ func BenchmarkScanCorpus(b *testing.B) {
 	b.ReportMetric(float64(len(srcs)), "sources")
 }
 
+// BenchmarkTaintCorpus is BenchmarkScanCorpus with the taint precision
+// filter enabled: every source additionally pays parse + CFG + reaching-
+// definitions fixpoint. CI's bench smoke gates the ratio between the two
+// at <= 1.25x, which keeps the filter cheap enough to leave on in server
+// deployments. It reports how many findings the filter suppressed.
+func BenchmarkTaintCorpus(b *testing.B) {
+	srcs := corpusSources(b)
+	d := detect.New(nil)
+	var total int64
+	for _, s := range srcs {
+		total += int64(len(s.Code))
+	}
+	b.SetBytes(total)
+	b.ResetTimer()
+	var suppressed int
+	for i := 0; i < b.N; i++ {
+		res, err := d.ScanAll(context.Background(), srcs, detect.Options{NoCache: true, TaintFilter: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		suppressed = 0
+		for _, r := range res {
+			for _, f := range r.Findings {
+				if f.Suppressed {
+					suppressed++
+				}
+			}
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(suppressed), "suppressed-findings")
+}
+
 // BenchmarkScanCorpusObs is the observability overhead guard: the same
 // corpus scan as BenchmarkScanCorpus in three instrumentation states.
 // "detached" (no registry — the library default) and "disabled" (registry

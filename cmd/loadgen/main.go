@@ -5,7 +5,8 @@
 // its sanity).
 //
 //	loadgen [-addr http://host:port] [-c 16] [-d 10s] [-verbs detect,patch]
-//	        [-unique 0] [-timeout 10s] [-edit-sessions 0] [-out BENCH_SERVE.json]
+//	        [-unique 0] [-timeout 10s] [-edit-sessions 0] [-taint]
+//	        [-out BENCH_SERVE.json]
 //
 // The request corpus is the paper's 609-sample generated evaluation set
 // (three simulated models over 203 prompts) — the same code the
@@ -31,6 +32,14 @@
 // the same buffers as the baseline. The report gains editP50Ms/
 // editP99Ms/editMeanMs, fullScanP50Ms and incrementalHitRate — the CI
 // gate asserts edit p99 beats full-scan p50.
+//
+// -taint appends a taint pass: one taint-filtered detect request per
+// distinct corpus source, plus the hand-labeled taint-study corpus
+// (whose constant-argument samples are the suppressible shapes). The
+// report gains taintRequests/taintErrors/taintFindings/taintSuppressed,
+// taintSuppressRate (suppressed / total findings across the pass) and
+// taintDetectP50Ms/taintDetectP99Ms — the CI gate asserts the pass ran
+// clean and the rate is a meaningful fraction.
 package main
 
 import (
@@ -116,6 +125,22 @@ type Report struct {
 	FullScanP50        float64 `json:"fullScanP50Ms,omitempty"`
 	IncrementalHitRate float64 `json:"incrementalHitRate,omitempty"`
 
+	// Taint pass (-taint): taint-filtered detect requests over the corpus
+	// sources plus the labeled taint-study corpus, reported after the
+	// replay. TaintSuppressRate is suppressed findings over total findings
+	// returned across the pass — the wire-level measure of how much of
+	// the detection stream the precision filter demotes. The study corpus
+	// guarantees the numerator is non-zero (the 609-sample replay corpus
+	// has no constant-provenance false positives to demote), so the CI
+	// gate can pin the rate to a strict (0, 1) interval.
+	TaintRequests     int     `json:"taintRequests,omitempty"`
+	TaintErrors       int     `json:"taintErrors,omitempty"`
+	TaintFindings     int     `json:"taintFindings,omitempty"`
+	TaintSuppressed   int     `json:"taintSuppressed,omitempty"`
+	TaintSuppressRate float64 `json:"taintSuppressRate,omitempty"`
+	TaintP50          float64 `json:"taintDetectP50Ms,omitempty"`
+	TaintP99          float64 `json:"taintDetectP99Ms,omitempty"`
+
 	// Trace-derived phase breakdown: per-phase latency quantiles pulled
 	// from the server's retained request traces after the run, splitting
 	// wall-clock into queue wait (admission to worker dispatch), scan
@@ -153,6 +178,7 @@ func run(args []string, stdout io.Writer) error {
 	workers := fs.Int("workers", 0, "spawned server: worker goroutines (0 = GOMAXPROCS)")
 	queueDepth := fs.Int("queue", 0, "spawned server: bounded queue depth (0 = 4 per worker)")
 	editSessions := fs.Int("edit-sessions", 0, "concurrent editor sessions streaming incremental edits for another -d after the replay (0 = skip)")
+	taintPass := fs.Bool("taint", false, "run a taint-filtered detect pass (corpus + taint-study samples) after the replay and report taintSuppressRate")
 	traceAddr := fs.String("trace-addr", "", "base URL of the server's debug listener (e.g. http://127.0.0.1:6060) for the trace-derived phase breakdown; spawned mode reads its own registry")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -335,6 +361,9 @@ func run(args []string, stdout io.Writer) error {
 
 	if *editSessions > 0 {
 		editPhase(client, base, sources, *editSessions, *duration, &rep)
+	}
+	if *taintPass {
+		taintPhase(client, base, sources, *concurrency, &rep)
 	}
 
 	rep.PingOK = pingOK(client, base)
@@ -618,6 +647,69 @@ func editPhase(client *http.Client, base string, sources []string, sessions int,
 	if len(fullMs) > 0 {
 		sort.Float64s(fullMs)
 		rep.FullScanP50 = quantile(fullMs, 0.50)
+	}
+}
+
+// taintPhase runs the taint pass: one "taint": true detect request per
+// distinct corpus source plus every taint-study sample, fanned across
+// the client concurrency. Suppressed counts come off the wire
+// (Response.TaintSuppressed), so the rate measures the full serve path
+// — protocol decode, taint-filtered scan, DTO encode — not just the
+// detector. Shed responses are retried briefly: the pass runs after the
+// replay deadline, so the queue has drained and a retry lands.
+func taintPhase(client *http.Client, base string, sources []string, concurrency int, rep *Report) {
+	codes := make([]string, 0, len(sources)+16)
+	codes = append(codes, sources...)
+	for _, s := range generator.TaintStudyCorpus() {
+		codes = append(codes, s.Code)
+	}
+	var (
+		next atomic.Int64
+		mu   sync.Mutex
+		lats []float64
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= len(codes) {
+					return
+				}
+				var resp core.Response
+				var ms float64
+				err := fmt.Errorf("unsent")
+				for attempt := 0; attempt < 5; attempt++ {
+					resp, ms, err = postRequest(client, base, "detect",
+						core.Request{Code: codes[i], Taint: true})
+					if err == nil && resp.OK {
+						break
+					}
+					time.Sleep(20 * time.Millisecond)
+				}
+				mu.Lock()
+				if err != nil || !resp.OK {
+					rep.TaintErrors++
+				} else {
+					rep.TaintRequests++
+					rep.TaintFindings += len(resp.Findings)
+					rep.TaintSuppressed += resp.TaintSuppressed
+					lats = append(lats, ms)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if rep.TaintFindings > 0 {
+		rep.TaintSuppressRate = float64(rep.TaintSuppressed) / float64(rep.TaintFindings)
+	}
+	if len(lats) > 0 {
+		sort.Float64s(lats)
+		rep.TaintP50 = quantile(lats, 0.50)
+		rep.TaintP99 = quantile(lats, 0.99)
 	}
 }
 

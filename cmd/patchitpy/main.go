@@ -87,6 +87,7 @@ import (
 	"github.com/dessertlab/patchitpy/internal/obs"
 	"github.com/dessertlab/patchitpy/internal/rules"
 	"github.com/dessertlab/patchitpy/internal/serve"
+	"github.com/dessertlab/patchitpy/internal/taint"
 	"github.com/dessertlab/patchitpy/internal/workpool"
 )
 
@@ -225,6 +226,7 @@ func runW(w io.Writer, args []string) error {
 		jobs := fs.Int("j", 0, "evaluation concurrency (0 = GOMAXPROCS)")
 		metricsOut := fs.String("metrics-out", "", "write the run's metrics snapshot to this file as JSON")
 		noSummary := fs.Bool("no-summary", false, "suppress the run summary line on stderr")
+		taintStudy := fs.Bool("taint", false, "append the taint precision study (regex vs regex+taint vs taintflow)")
 		if err := fs.Parse(rest); err != nil {
 			return err
 		}
@@ -236,6 +238,15 @@ func runW(w io.Writer, args []string) error {
 			return err
 		}
 		res.WriteAll(w)
+		if *taintStudy {
+			st, err := experiments.RunTaintStudy(context.Background(),
+				experiments.RunOptions{Concurrency: *jobs, Obs: obsReg})
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(w)
+			st.WriteTaint(w)
+		}
 		snap := obsReg.Snapshot()
 		if !*noSummary {
 			fmt.Fprintln(stderr, snap.SummaryLine(res.Corpus.Samples, int(snap.Counters[obs.MetricScanFindings])))
@@ -252,9 +263,10 @@ func runW(w io.Writer, args []string) error {
 }
 
 // detectRegistry builds the analyzers `detect -tools` can select: the
-// native detector (detection only, honoring the severity filter) plus the
-// three static-analysis baselines. The detector is returned alongside the
-// registry so the caller can attach observability to it.
+// native detector (detection only, honoring the severity filter), the
+// three static-analysis baselines, and the flow-sensitive taintflow
+// analyzer. The detector is returned alongside the registry so the caller
+// can attach observability to it.
 func detectRegistry(engine *patchitpy.Engine, opt detect.Options) (*diag.Registry, *detect.Detector) {
 	d := detect.New(engine.Catalog())
 	reg := diag.NewRegistry()
@@ -262,6 +274,7 @@ func detectRegistry(engine *patchitpy.Engine, opt detect.Options) (*diag.Registr
 	reg.MustRegister(querydb.New().Analyzer())
 	reg.MustRegister(semgreplite.New().Analyzer())
 	reg.MustRegister(banditlite.New().Analyzer())
+	reg.MustRegister(taint.NewAnalyzer(nil))
 	return reg, d
 }
 
@@ -270,7 +283,8 @@ func detectFiles(engine *patchitpy.Engine, w io.Writer, args []string) error {
 	severity := fs.String("severity", "", "minimum severity: low, medium, high or critical (PatchitPy rules only)")
 	format := fs.String("format", "text", "output format: text, json (JSON Lines) or sarif")
 	asJSON := fs.Bool("json", false, "shorthand for -format json")
-	tools := fs.String("tools", "patchitpy", "comma-separated analyzers: patchitpy, codeql, semgrep, bandit — or \"all\"")
+	tools := fs.String("tools", "patchitpy", "comma-separated analyzers: patchitpy, codeql, semgrep, bandit, taintflow — or \"all\"")
+	taintFilter := fs.Bool("taint", false, "enable the flow-sensitive precision filter: findings with proven-constant sink arguments are reported as suppressed")
 	jobs := fs.Int("j", 0, "scan concurrency across files (0 = GOMAXPROCS)")
 	metricsOut := fs.String("metrics-out", "", "write the scan's metrics snapshot to this file as JSON")
 	noSummary := fs.Bool("no-summary", false, "suppress the scan summary line on stderr")
@@ -289,7 +303,7 @@ func detectFiles(engine *patchitpy.Engine, w io.Writer, args []string) error {
 		return fmt.Errorf("detect: at least one file or directory required")
 	}
 
-	opt := detect.Options{}
+	opt := detect.Options{TaintFilter: *taintFilter}
 	if *severity != "" {
 		min, err := parseSeverity(*severity)
 		if err != nil {
@@ -360,9 +374,10 @@ func detectFiles(engine *patchitpy.Engine, w io.Writer, args []string) error {
 	if err != nil {
 		return err
 	}
-	total := 0
+	total, live := 0, 0
 	for _, ff := range files {
 		total += len(ff.Findings)
+		live += diag.Unsuppressed(ff.Findings)
 	}
 	if !*noSummary {
 		fmt.Fprintln(stderr, obsReg.Snapshot().SummaryLine(len(files), total))
@@ -372,7 +387,9 @@ func detectFiles(engine *patchitpy.Engine, w io.Writer, args []string) error {
 			return fmt.Errorf("detect: write metrics: %w", err)
 		}
 	}
-	if total > 0 {
+	// Suppressed findings are rendered but do not fail the scan: with the
+	// taint filter off, live == total and the exit semantics are unchanged.
+	if live > 0 {
 		return errFindings
 	}
 	return nil

@@ -143,3 +143,26 @@ func TestRunDetectJSON(t *testing.T) {
 		t.Fatalf("detect -json: err = %v, want errFindings", err)
 	}
 }
+
+// A file whose only finding has proven-constant provenance exits 0 under
+// -taint (the finding is rendered as suppressed) but 1 without it.
+func TestRunDetectTaintFilter(t *testing.T) {
+	path := writeTemp(t, "import os\ncmd = \"ls -l\"\nos.system(cmd)\n")
+	var buf strings.Builder
+	if err := runW(&buf, []string{"detect", path}); !errors.Is(err, errFindings) {
+		t.Fatalf("without -taint: err = %v, want errFindings", err)
+	}
+	buf.Reset()
+	if err := runW(&buf, []string{"detect", "-taint", path}); err != nil {
+		t.Fatalf("with -taint: err = %v, want nil (all findings suppressed)", err)
+	}
+	if !strings.Contains(buf.String(), "[suppressed: taint:clean]") {
+		t.Errorf("suppressed marker missing from output:\n%s", buf.String())
+	}
+
+	// A genuinely tainted flow still fails the scan under -taint.
+	tainted := writeTemp(t, "import os\ncmd = input()\nos.system(cmd)\n")
+	if err := run([]string{"detect", "-taint", tainted}); !errors.Is(err, errFindings) {
+		t.Fatalf("tainted file with -taint: err = %v, want errFindings", err)
+	}
+}

@@ -27,7 +27,7 @@ import (
 
 // Version is the engine version reported by the serve protocol's "ping"
 // verb and re-exported by the root package.
-const Version = "0.7.0"
+const Version = "0.8.0"
 
 // processStart anchors the uptime reported by "ping" and the
 // obs uptime gauge.
@@ -162,11 +162,17 @@ func (p *PatchitPy) Catalog() *rules.Catalog { return p.detector.Catalog() }
 
 // Report is the outcome of the detection phase.
 type Report struct {
-	// Findings are the rule matches, in source order.
+	// Findings are the rule matches, in source order. Under AnalyzeTaint,
+	// findings the precision filter proved constant stay in the slice with
+	// their Suppressed bit set.
 	Findings []detect.Finding
-	// Vulnerable is the per-sample binary judgement used by the paper.
+	// Suppressed counts the findings the taint precision filter demoted;
+	// always 0 for plain Analyze.
+	Suppressed int
+	// Vulnerable is the per-sample binary judgement used by the paper,
+	// computed over unsuppressed findings.
 	Vulnerable bool
-	// CWEs is the sorted set of distinct CWEs detected.
+	// CWEs is the sorted set of distinct CWEs among unsuppressed findings.
 	CWEs []string
 }
 
@@ -201,9 +207,13 @@ func hitMiss(hit bool) string {
 }
 
 // analyzeKey and fixKey are the request-kind cache key components.
+// analyzeTaintKey keys the taint-filtered analyze variant separately, so
+// filtered and unfiltered reports for the same source never collide (and
+// the plain analyze key material stays byte-identical to earlier versions).
 const (
-	analyzeKey = "analyze"
-	fixKey     = "fix"
+	analyzeKey      = "analyze"
+	analyzeTaintKey = "analyze|taint"
+	fixKey          = "fix"
 )
 
 // Analyze runs the detection phase on src. Repeated calls with identical
@@ -215,12 +225,35 @@ func (p *PatchitPy) Analyze(src string) Report {
 // AnalyzeContext is Analyze with a caller context, which carries the
 // tracing span tree and any context-scoped obs registry through the scan.
 func (p *PatchitPy) AnalyzeContext(ctx context.Context, src string) Report {
-	if p.analyzeCache == nil {
-		return p.analyzePrepared(ctx, p.detector.Prepare(src))
+	return p.analyzeWith(ctx, src, false)
+}
+
+// AnalyzeTaint is AnalyzeTaintContext with a background context.
+func (p *PatchitPy) AnalyzeTaint(src string) Report {
+	return p.AnalyzeTaintContext(context.Background(), src)
+}
+
+// AnalyzeTaintContext is AnalyzeContext with the taint precision filter
+// enabled: flow-gated findings whose sink argument the taint engine proves
+// constant come back with Suppressed set, and Vulnerable (plus CWEs and
+// the Suppressed count) is computed over the unsuppressed findings only.
+// Filtered reports are cached under their own request-kind key, so they
+// never collide with plain Analyze results for the same source.
+func (p *PatchitPy) AnalyzeTaintContext(ctx context.Context, src string) Report {
+	return p.analyzeWith(ctx, src, true)
+}
+
+func (p *PatchitPy) analyzeWith(ctx context.Context, src string, taint bool) Report {
+	kind, opt := analyzeKey, detect.Options{NoCache: true}
+	if taint {
+		kind, opt.TaintFilter = analyzeTaintKey, true
 	}
-	key := resultcache.Key(p.Catalog().Fingerprint(), analyzeKey, src)
+	if p.analyzeCache == nil {
+		return p.analyzePrepared(ctx, p.detector.Prepare(src), opt)
+	}
+	key := resultcache.Key(p.Catalog().Fingerprint(), kind, src)
 	report, hit := p.analyzeCache.GetOrCompute(key, func() Report {
-		return p.analyzePrepared(ctx, p.detector.Prepare(src))
+		return p.analyzePrepared(ctx, p.detector.Prepare(src), opt)
 	})
 	obs.SpanFrom(ctx).SetAttr("cache.analyze", hitMiss(hit))
 	return report.copy()
@@ -230,12 +263,23 @@ func (p *PatchitPy) AnalyzeContext(ctx context.Context, src string) Report {
 // detector-level scan uses NoCache: the engine-level caches already
 // memoize by the same key material, so a second cache layer for the same
 // request would only duplicate memory.
-func (p *PatchitPy) analyzePrepared(ctx context.Context, prep *detect.Prepared) Report {
-	findings := p.detector.ScanPreparedContext(ctx, prep, detect.Options{NoCache: true})
+func (p *PatchitPy) analyzePrepared(ctx context.Context, prep *detect.Prepared, opt detect.Options) Report {
+	opt.NoCache = true
+	findings := p.detector.ScanPreparedContext(ctx, prep, opt)
+	live := findings
+	if opt.TaintFilter {
+		live = make([]detect.Finding, 0, len(findings))
+		for _, f := range findings {
+			if !f.Suppressed {
+				live = append(live, f)
+			}
+		}
+	}
 	return Report{
 		Findings:   findings,
-		Vulnerable: len(findings) > 0,
-		CWEs:       detect.DistinctCWEs(findings),
+		Suppressed: len(findings) - len(live),
+		Vulnerable: len(live) > 0,
+		CWEs:       detect.DistinctCWEs(live),
 	}
 }
 
@@ -297,12 +341,12 @@ func (p *PatchitPy) fix(ctx context.Context, src string) FixOutcome {
 		key := resultcache.Key(p.Catalog().Fingerprint(), analyzeKey, src)
 		var hit bool
 		report, hit = p.analyzeCache.GetOrCompute(key, func() Report {
-			return p.analyzePrepared(ctx, prep)
+			return p.analyzePrepared(ctx, prep, detect.Options{})
 		})
 		obs.SpanFrom(ctx).SetAttr("cache.analyze", hitMiss(hit))
 		report = report.copy()
 	} else {
-		report = p.analyzePrepared(ctx, prep)
+		report = p.analyzePrepared(ctx, prep, detect.Options{})
 	}
 	_, patchSpan := obs.Start(ctx, "patch")
 	result := patch.Apply(src, report.Findings)

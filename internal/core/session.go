@@ -34,6 +34,12 @@ type Request struct {
 	// the registry attached with SetAnalyzers (matched case-insensitively)
 	// and answers with one per-tool result instead of the native report.
 	Tools []string `json:"tools,omitempty"`
+	// Taint, on a native "detect" request, enables the taint precision
+	// filter: flow-gated findings with proven-constant sink arguments are
+	// returned with their suppressed bit set and excluded from the
+	// vulnerable verdict. Ignored by the other verbs; absent means the
+	// response is byte-identical to pre-taint protocol versions.
+	Taint bool `json:"taint,omitempty"`
 	// Session names the buffer session an "edit" or "close" targets (the
 	// id a prior "open" response returned).
 	Session string `json:"session,omitempty"`
@@ -122,6 +128,10 @@ type FindingDTO struct {
 	Snippet  string `json:"snippet"`
 	FixNote  string `json:"fixNote,omitempty"`
 	CanFix   bool   `json:"canFix"`
+	// Suppressed and SuppressReason mark findings the taint precision
+	// filter demoted (requests with "taint": true only).
+	Suppressed     bool   `json:"suppressed,omitempty"`
+	SuppressReason string `json:"suppressReason,omitempty"`
 }
 
 // Response is one line of the JSON session protocol.
@@ -130,12 +140,16 @@ type Response struct {
 	Error      string       `json:"error,omitempty"`
 	Vulnerable bool         `json:"vulnerable,omitempty"`
 	Findings   []FindingDTO `json:"findings,omitempty"`
-	Patched    string       `json:"patched,omitempty"`
-	Imports    []string     `json:"importsAdded,omitempty"`
-	Previews   []FixPreview `json:"previews,omitempty"`
-	RuleCount  int          `json:"ruleCount,omitempty"`
-	CWEs       []string     `json:"cwes,omitempty"`
-	Stats      *StatsDTO    `json:"stats,omitempty"`
+	// TaintSuppressed counts findings the taint precision filter demoted
+	// ("detect" with "taint": true); suppressed findings stay in Findings
+	// but do not count toward Vulnerable.
+	TaintSuppressed int          `json:"taintSuppressed,omitempty"`
+	Patched         string       `json:"patched,omitempty"`
+	Imports         []string     `json:"importsAdded,omitempty"`
+	Previews        []FixPreview `json:"previews,omitempty"`
+	RuleCount       int          `json:"ruleCount,omitempty"`
+	CWEs            []string     `json:"cwes,omitempty"`
+	Stats           *StatsDTO    `json:"stats,omitempty"`
 	// Vet carries the catalog vetting report ("vet" verb).
 	Vet *VetDTO `json:"vet,omitempty"`
 	// Session and Gen identify a buffer session and its document
@@ -312,12 +326,18 @@ func (p *PatchitPy) handleCmd(ctx context.Context, req Request) Response {
 		if len(req.Tools) > 0 {
 			return p.detectTools(ctx, req)
 		}
-		report := p.AnalyzeContext(ctx, req.Code)
+		var report Report
+		if req.Taint {
+			report = p.AnalyzeTaintContext(ctx, req.Code)
+		} else {
+			report = p.AnalyzeContext(ctx, req.Code)
+		}
 		return Response{
-			OK:         true,
-			Vulnerable: report.Vulnerable,
-			Findings:   toDTOs(report.Findings),
-			CWEs:       report.CWEs,
+			OK:              true,
+			Vulnerable:      report.Vulnerable,
+			Findings:        toDTOs(report.Findings),
+			TaintSuppressed: report.Suppressed,
+			CWEs:            report.CWEs,
 		}
 	case "suggest":
 		outcome := p.FixContext(ctx, req.Code)
@@ -470,6 +490,8 @@ func toDTOs(findings []detect.Finding) []FindingDTO {
 		if f.Rule.Fix != nil {
 			dto.FixNote = f.Rule.Fix.Note
 		}
+		dto.Suppressed = f.Suppressed
+		dto.SuppressReason = f.SuppressReason
 		out = append(out, dto)
 	}
 	return out

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const constSinkApp = "import os\ncmd = \"ls -l\"\nos.system(cmd)\n"
+const taintedSinkApp = "import os\ncmd = input()\nos.system(cmd)\n"
+
+// A "detect" request with "taint": true demotes proven-constant findings:
+// they stay in the response with their suppressed bit set, the vulnerable
+// verdict flips off, and TaintSuppressed counts them.
+func TestDetectTaintProtocol(t *testing.T) {
+	p := New()
+	ctx := context.Background()
+
+	plain := p.Handle(ctx, Request{Cmd: "detect", Code: constSinkApp})
+	if !plain.OK || !plain.Vulnerable || plain.TaintSuppressed != 0 {
+		t.Fatalf("plain detect: %+v", plain)
+	}
+	for _, f := range plain.Findings {
+		if f.Suppressed || f.SuppressReason != "" {
+			t.Errorf("plain detect leaked suppression: %+v", f)
+		}
+	}
+
+	filtered := p.Handle(ctx, Request{Cmd: "detect", Code: constSinkApp, Taint: true})
+	if !filtered.OK || filtered.Vulnerable {
+		t.Fatalf("taint detect should suppress the const flow: %+v", filtered)
+	}
+	if filtered.TaintSuppressed != 1 || len(filtered.Findings) != len(plain.Findings) {
+		t.Fatalf("taint detect counts: %+v (plain had %d findings)", filtered, len(plain.Findings))
+	}
+	if len(filtered.CWEs) != 0 {
+		t.Errorf("suppressed findings still contribute CWEs: %v", filtered.CWEs)
+	}
+	var suppressed int
+	for _, f := range filtered.Findings {
+		if f.Suppressed {
+			suppressed++
+			if f.SuppressReason != "taint:clean" {
+				t.Errorf("suppress reason = %q", f.SuppressReason)
+			}
+		}
+	}
+	if suppressed != filtered.TaintSuppressed {
+		t.Errorf("suppressed findings = %d, TaintSuppressed = %d", suppressed, filtered.TaintSuppressed)
+	}
+
+	// A genuinely tainted flow is untouched by the filter.
+	tainted := p.Handle(ctx, Request{Cmd: "detect", Code: taintedSinkApp, Taint: true})
+	if !tainted.OK || !tainted.Vulnerable || tainted.TaintSuppressed != 0 {
+		t.Fatalf("tainted detect: %+v", tainted)
+	}
+}
+
+// Filtered and unfiltered reports for the same source must not share a
+// cache entry: interleaving taint and plain requests always returns the
+// verdict matching the request.
+func TestDetectTaintCacheIsolation(t *testing.T) {
+	p := New()
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if r := p.Handle(ctx, Request{Cmd: "detect", Code: constSinkApp}); !r.Vulnerable {
+			t.Fatalf("round %d: plain detect served filtered verdict: %+v", i, r)
+		}
+		if r := p.Handle(ctx, Request{Cmd: "detect", Code: constSinkApp, Taint: true}); r.Vulnerable {
+			t.Fatalf("round %d: taint detect served unfiltered verdict: %+v", i, r)
+		}
+	}
+}
+
+// With taint off the wire format must stay byte-identical to the pre-taint
+// protocol: no "taint", "suppressed", "suppressReason" or "taintSuppressed"
+// keys may appear in requests or responses.
+func TestDetectTaintOffWireIdentical(t *testing.T) {
+	reqJSON, err := json.Marshal(Request{Cmd: "detect", Code: constSinkApp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(reqJSON), "taint") {
+		t.Errorf("taint-off request leaks taint field: %s", reqJSON)
+	}
+	p := New()
+	resp := p.Handle(context.Background(), Request{Cmd: "detect", Code: constSinkApp})
+	respJSON, err := json.Marshal(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"taintSuppressed", "suppressed", "suppressReason"} {
+		if strings.Contains(string(respJSON), key) {
+			t.Errorf("taint-off response leaks %q: %s", key, respJSON)
+		}
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"github.com/dessertlab/patchitpy/internal/pytoken"
 	"github.com/dessertlab/patchitpy/internal/resultcache"
 	"github.com/dessertlab/patchitpy/internal/rules"
+	"github.com/dessertlab/patchitpy/internal/taint"
 )
 
 // Finding is one detected vulnerability occurrence.
@@ -41,6 +42,15 @@ type Finding struct {
 	// Groups holds the capture-group spans (pairs of offsets) needed by
 	// the patch engine's template expansion.
 	Groups []int
+	// Suppressed marks a finding the taint precision filter demoted: the
+	// rule fired, but the flow engine proved the flagged sink argument has
+	// constant provenance. Suppressed findings stay in the result so
+	// downstream layers can surface them as diagnostics rather than drop
+	// them. Always false unless the scan ran with Options.TaintFilter.
+	Suppressed bool
+	// SuppressReason is the machine-readable suppression attribute (e.g.
+	// "taint:clean"); empty when Suppressed is false.
+	SuppressReason string
 }
 
 // CWE returns the finding's CWE identifier.
@@ -111,6 +121,11 @@ type scanMetrics struct {
 	incRerun     *obs.Counter
 	incReplayed  *obs.Counter
 	incRescanDur *obs.Histogram
+
+	// Taint precision-filter instrumentation (Options.TaintFilter).
+	taintRuns *obs.Counter
+	taintSupp *obs.Counter
+	taintDur  *obs.Histogram
 }
 
 // SetObs attaches an observability registry: per-scan and per-rule
@@ -140,6 +155,10 @@ func (d *Detector) SetObs(reg *obs.Registry) {
 		incRerun:     reg.Counter(obs.MetricIncRulesRerun),
 		incReplayed:  reg.Counter(obs.MetricIncRulesReplayed),
 		incRescanDur: reg.Histogram(obs.MetricIncRescanTime, nil),
+
+		taintRuns: reg.Counter(obs.MetricTaintAnalyses),
+		taintSupp: reg.Counter(obs.MetricTaintSuppressed),
+		taintDur:  reg.Histogram(obs.MetricTaintDuration, nil),
 	}
 	reg.CounterFunc(obs.MetricPrefilterConsidered, func() float64 { return float64(d.rulesConsidered.Load()) })
 	reg.CounterFunc(obs.MetricPrefilterSkipped, func() float64 { return float64(d.rulesSkipped.Load()) })
@@ -257,6 +276,12 @@ type Options struct {
 	// automaton. Results are identical; this exists for benchmarking the
 	// automaton and as a correctness cross-check.
 	ContainsPrefilter bool
+	// TaintFilter enables the flow-sensitive precision filter: findings of
+	// rules carrying a FlowGate are demoted to suppressed diagnostics when
+	// the taint engine proves the gated sink argument constant at the
+	// finding's line. Off (the default) the scan never touches the taint
+	// engine and output is identical to earlier releases.
+	TaintFilter bool
 	// NoCache bypasses the scan result cache for this scan: the result is
 	// neither looked up nor stored. Results are identical either way.
 	NoCache bool
@@ -320,6 +345,11 @@ func (s optionSets) admits(r *rules.Rule) bool {
 func (o Options) fingerprint() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "s%d|f%t|np%t|cp%t", o.MinSeverity, o.FixableOnly, o.NoPrefilter, o.ContainsPrefilter)
+	if o.TaintFilter {
+		// Appended only when on, so every pre-taint fingerprint (and the
+		// cache keys derived from it) is byte-identical to prior releases.
+		b.WriteString("|tf")
+	}
 	if len(o.Categories) > 0 {
 		cats := make([]int, len(o.Categories))
 		for i, c := range o.Categories {
@@ -495,6 +525,9 @@ func (d *Detector) scanPrepared(ctx context.Context, p *Prepared, opt Options) [
 	ruleSpan.End()
 	d.rulesConsidered.Add(considered)
 	d.rulesSkipped.Add(skipped)
+	if opt.TaintFilter {
+		d.taintFilter(ctx, p, out, timed)
+	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Start != out[j].Start {
 			return out[i].Start < out[j].Start
@@ -510,6 +543,52 @@ func (d *Detector) scanPrepared(ctx context.Context, p *Prepared, opt Options) [
 	scanSpan.SetAttr("findings", len(out))
 	scanSpan.End()
 	return out
+}
+
+// SuppressReasonClean is the attribute attached to findings the taint
+// precision filter demotes: the flow engine proved the flagged sink
+// argument is built entirely from constants.
+const SuppressReasonClean = "taint:clean"
+
+// taintFilter demotes findings of FlowGate-carrying rules whose gated
+// sink argument the taint engine proves constant at the finding's line.
+// Soundness stance: only a proven-Const verdict suppresses; Unknown (the
+// engine couldn't tell) and Tainted leave the finding untouched, as does
+// a line where the engine recorded no matching sink at all.
+func (d *Detector) taintFilter(ctx context.Context, p *Prepared, out []Finding, timed bool) {
+	gated := false
+	for i := range out {
+		if out[i].Rule.FlowGate != nil {
+			gated = true
+			break
+		}
+	}
+	if !gated {
+		return
+	}
+	_, sp := obs.Start(ctx, "taint-filter")
+	a, computed := p.TaintAnalysis()
+	if timed && computed > 0 {
+		d.met.taintRuns.Inc()
+		d.met.taintDur.Observe(computed)
+	}
+	var suppressed int
+	for i := range out {
+		g := out[i].Rule.FlowGate
+		if g == nil {
+			continue
+		}
+		if prov, ok := a.Verdict(out[i].Line, g.Sink, g.Arg); ok && prov == taint.Const {
+			out[i].Suppressed = true
+			out[i].SuppressReason = SuppressReasonClean
+			suppressed++
+		}
+	}
+	if timed && suppressed > 0 {
+		d.met.taintSupp.Add(uint64(suppressed))
+	}
+	sp.SetAttr("suppressed", suppressed)
+	sp.End()
 }
 
 // matchRule runs one admitted, prefilter-passed rule's regex phase over

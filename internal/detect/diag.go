@@ -30,6 +30,8 @@ func DiagFinding(f Finding) diag.Finding {
 	if f.Rule.Fix != nil {
 		df.FixPreview = f.Rule.Fix.Note
 	}
+	df.Suppressed = f.Suppressed
+	df.SuppressReason = f.SuppressReason
 	return df
 }
 
@@ -67,9 +69,12 @@ func (a analyzer) Analyze(ctx context.Context, src string) (diag.Result, error) 
 		return diag.Result{}, err
 	}
 	fs := a.d.ScanWithContext(ctx, src, a.opt)
+	dfs := DiagFindings(fs)
 	return diag.Result{
-		Tool:       ToolName,
-		Findings:   DiagFindings(fs),
-		Vulnerable: len(fs) > 0,
+		Tool:     ToolName,
+		Findings: dfs,
+		// With the taint filter off every finding is unsuppressed, so this
+		// is exactly the pre-filter len(fs) > 0 judgement.
+		Vulnerable: diag.Unsuppressed(dfs) > 0,
 	}, nil
 }

@@ -2,6 +2,7 @@ package detect
 
 import (
 	"context"
+	"fmt"
 	"testing"
 
 	"github.com/dessertlab/patchitpy/internal/diag"
@@ -53,7 +54,7 @@ func TestAnalyzerMatchesScanWith(t *testing.T) {
 		t.Fatalf("Analyze = %+v, want %d findings", res, len(want))
 	}
 	for i := range want {
-		if res.Findings[i] != want[i] {
+		if fmt.Sprintf("%+v", res.Findings[i]) != fmt.Sprintf("%+v", want[i]) {
 			t.Errorf("finding %d = %+v, want %+v", i, res.Findings[i], want[i])
 		}
 	}

@@ -462,6 +462,9 @@ func (p *Prepared) applySpan(start, end int, repl string) {
 	if p.haveCand {
 		p.candStale = true
 	}
+	// The taint analysis has no incremental path; recompute after edits.
+	p.haveTaint = false
+	p.taintA = nil
 
 	ws, weOld := lineWindow(ix, len(src), start, end)
 	if !stale {

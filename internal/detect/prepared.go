@@ -3,8 +3,10 @@ package detect
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/dessertlab/patchitpy/internal/lineindex"
+	"github.com/dessertlab/patchitpy/internal/taint"
 )
 
 // Prepared carries the per-source artifacts every rule of a scan shares:
@@ -52,6 +54,9 @@ type Prepared struct {
 	candStale bool // cand predates pending edits; see candidatesLocked
 	cand      bitset
 
+	haveTaint bool
+	taintA    *taint.Analysis
+
 	pending *pendingEdit
 }
 
@@ -98,6 +103,22 @@ func (p *Prepared) tokLocked() tokArtifacts {
 		p.haveTok = true
 	}
 	return p.tok
+}
+
+// TaintAnalysis returns the source's taint analysis (internal/taint),
+// computing it on first call and caching it until the next edit. The
+// returned duration is the wall time of the computation that ran here;
+// zero means the cached analysis was served.
+func (p *Prepared) TaintAnalysis() (*taint.Analysis, time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.haveTaint {
+		return p.taintA, 0
+	}
+	t0 := time.Now()
+	p.taintA = taint.Analyze(p.src)
+	p.haveTaint = true
+	return p.taintA, time.Since(t0)
 }
 
 // candidates returns the automaton's candidate-rule bitset, running the

@@ -1,0 +1,121 @@
+package detect
+
+import (
+	"testing"
+
+	"github.com/dessertlab/patchitpy/internal/editor"
+)
+
+// findByRule returns the findings for one rule ID.
+func findByRule(fs []Finding, id string) []Finding {
+	var out []Finding
+	for _, f := range fs {
+		if f.Rule.ID == id {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func TestTaintFilterSuppressesProvenConst(t *testing.T) {
+	d := New(nil)
+	src := "import os\ncmd = \"ls -l\"\nos.system(cmd)\n"
+	fs := findByRule(d.ScanWith(src, Options{TaintFilter: true}), "PIP-INJ-005")
+	if len(fs) != 1 {
+		t.Fatalf("PIP-INJ-005 findings = %d, want 1", len(fs))
+	}
+	if !fs[0].Suppressed {
+		t.Error("const-provenance finding not suppressed")
+	}
+	if fs[0].SuppressReason != SuppressReasonClean {
+		t.Errorf("reason = %q, want %q", fs[0].SuppressReason, SuppressReasonClean)
+	}
+}
+
+func TestTaintFilterKeepsTaintedAndUnknown(t *testing.T) {
+	d := New(nil)
+	cases := []struct {
+		name, src string
+	}{
+		{"tainted", "import os\ncmd = input()\nos.system(cmd)\n"},
+		{"unknown", "import os\nos.system(cmd)\n"},
+	}
+	for _, tc := range cases {
+		fs := findByRule(d.ScanWith(tc.src, Options{TaintFilter: true}), "PIP-INJ-005")
+		if len(fs) != 1 {
+			t.Fatalf("%s: PIP-INJ-005 findings = %d, want 1", tc.name, len(fs))
+		}
+		if fs[0].Suppressed {
+			t.Errorf("%s: finding must not be suppressed", tc.name)
+		}
+	}
+}
+
+// TestTaintFilterOffMatchesBaseline pins the byte-identity contract: with
+// TaintFilter unset the scan never sets the suppression fields, and the
+// findings equal a filtered scan's findings in every other field.
+func TestTaintFilterOffMatchesBaseline(t *testing.T) {
+	d := New(nil)
+	src := "import os\ncmd = \"ls -l\"\nos.system(cmd)\n"
+	plain := d.ScanWith(src, Options{})
+	filtered := d.ScanWith(src, Options{TaintFilter: true})
+	if len(plain) != len(filtered) {
+		t.Fatalf("finding counts differ: %d vs %d", len(plain), len(filtered))
+	}
+	for i := range plain {
+		if plain[i].Suppressed || plain[i].SuppressReason != "" {
+			t.Errorf("unfiltered finding %d carries suppression state", i)
+		}
+		if plain[i].Rule != filtered[i].Rule || plain[i].Start != filtered[i].Start ||
+			plain[i].End != filtered[i].End || plain[i].Snippet != filtered[i].Snippet {
+			t.Errorf("finding %d differs beyond suppression fields", i)
+		}
+	}
+}
+
+// TestTaintFilterCacheIsolation interleaves filtered and unfiltered scans
+// of the same source: the result cache must key them separately, so a
+// cached filtered result can never answer an unfiltered scan.
+func TestTaintFilterCacheIsolation(t *testing.T) {
+	d := New(nil)
+	src := "import os\ncmd = \"ls -l\"\nos.system(cmd)\n"
+	for i := 0; i < 3; i++ {
+		for _, f := range d.ScanWith(src, Options{TaintFilter: true}) {
+			if f.Rule.ID == "PIP-INJ-005" && !f.Suppressed {
+				t.Fatal("filtered scan lost its suppression")
+			}
+		}
+		for _, f := range d.ScanWith(src, Options{}) {
+			if f.Suppressed {
+				t.Fatal("unfiltered scan served a suppressed cached finding")
+			}
+		}
+	}
+}
+
+// TestTaintFilterEditInvalidation ensures an edit drops the cached taint
+// analysis: a constant source edited into a tainted one must stop being
+// suppressed on rescan.
+func TestTaintFilterEditInvalidation(t *testing.T) {
+	d := New(nil)
+	p := d.Prepare("import os\ncmd = \"ls -l\"\nos.system(cmd)\n")
+	fs := findByRule(d.ScanPrepared(p, Options{TaintFilter: true, NoCache: true}), "PIP-INJ-005")
+	if len(fs) != 1 || !fs[0].Suppressed {
+		t.Fatalf("pre-edit: want one suppressed finding, got %+v", fs)
+	}
+	// Replace the string literal on line 2 (`"ls -l"`) with input().
+	edit := editor.TextEdit{
+		Range: editor.Range{
+			Start: editor.Position{Line: 1, Character: 6},
+			End:   editor.Position{Line: 1, Character: 13},
+		},
+		NewText: "input()",
+	}
+	if err := p.ApplyEdit(edit); err != nil {
+		t.Fatalf("edit: %v", err)
+	}
+	fs = findByRule(d.ScanPrepared(p, Options{TaintFilter: true, NoCache: true}), "PIP-INJ-005")
+	if len(fs) != 1 || fs[0].Suppressed {
+		t.Fatalf("post-edit: want one unsuppressed finding, got %+v", fs)
+	}
+}

@@ -56,6 +56,23 @@ type Finding struct {
 	// fix note, or a baseline's suggestion comment. Empty means the tool
 	// offers nothing beyond detection for this finding.
 	FixPreview string `json:"fixPreview,omitempty"`
+	// Suppressed marks a finding demoted by a precision pass (the taint
+	// filter): it is reported as a diagnostic rather than dropped, and
+	// excluded from the binary Vulnerable judgement.
+	Suppressed bool `json:"suppressed,omitempty"`
+	// SuppressReason is the machine-readable suppression attribute, e.g.
+	// "taint:clean". Empty when Suppressed is false.
+	SuppressReason string `json:"suppressReason,omitempty"`
+	// Flow is the source-to-sink step trace for flow-aware analyzers
+	// (taintflow); rendered into SARIF codeFlows. Nil for pattern tools.
+	Flow []FlowStep `json:"flow,omitempty"`
+}
+
+// FlowStep is one hop of a dataflow trace: a source line and what
+// happened to the tracked value there.
+type FlowStep struct {
+	Line int    `json:"line"`
+	Note string `json:"note"`
 }
 
 // Less is the canonical finding order: (line, rule ID, tool), with byte
@@ -85,6 +102,19 @@ func Sort(fs []Finding) {
 // IsSorted reports whether fs is already in canonical order.
 func IsSorted(fs []Finding) bool {
 	return sort.SliceIsSorted(fs, func(i, j int) bool { return Less(fs[i], fs[j]) })
+}
+
+// Unsuppressed returns how many findings survive precision filtering —
+// the count the binary Vulnerable judgement is taken over when a filter
+// ran. With no filter active it equals len(fs).
+func Unsuppressed(fs []Finding) int {
+	n := 0
+	for _, f := range fs {
+		if !f.Suppressed {
+			n++
+		}
+	}
+	return n
 }
 
 // Result is one analyzer's verdict for one source.

@@ -42,6 +42,13 @@ func WriteText(w io.Writer, files []FileFindings) error {
 			if f.FixPreview != "" {
 				line += " [fix available]"
 			}
+			if f.Suppressed {
+				line += " [suppressed"
+				if f.SuppressReason != "" {
+					line += ": " + f.SuppressReason
+				}
+				line += "]"
+			}
 			if _, err := fmt.Fprintln(w, line); err != nil {
 				return err
 			}

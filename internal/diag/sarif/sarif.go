@@ -58,12 +58,37 @@ type Rule struct {
 
 // Result is one finding.
 type Result struct {
-	RuleID     string            `json:"ruleId"`
-	RuleIndex  int               `json:"ruleIndex"`
-	Level      string            `json:"level"`
-	Message    Message           `json:"message"`
-	Locations  []Location        `json:"locations"`
-	Properties map[string]string `json:"properties,omitempty"`
+	RuleID       string            `json:"ruleId"`
+	RuleIndex    int               `json:"ruleIndex"`
+	Level        string            `json:"level"`
+	Message      Message           `json:"message"`
+	Locations    []Location        `json:"locations"`
+	CodeFlows    []CodeFlow        `json:"codeFlows,omitempty"`
+	Suppressions []Suppression     `json:"suppressions,omitempty"`
+	Properties   map[string]string `json:"properties,omitempty"`
+}
+
+// Suppression records why a result is demoted. Kind "external" marks a
+// suppression decided by tooling (the taint precision filter) rather than
+// an in-source annotation.
+type Suppression struct {
+	Kind          string `json:"kind"`
+	Justification string `json:"justification,omitempty"`
+}
+
+// CodeFlow is one source-to-sink trace.
+type CodeFlow struct {
+	ThreadFlows []ThreadFlow `json:"threadFlows"`
+}
+
+// ThreadFlow is the ordered step list of a code flow.
+type ThreadFlow struct {
+	Locations []ThreadFlowLocation `json:"locations"`
+}
+
+// ThreadFlowLocation is one step of a thread flow.
+type ThreadFlowLocation struct {
+	Location Location `json:"location"`
 }
 
 // Message is a SARIF text message.
@@ -71,9 +96,11 @@ type Message struct {
 	Text string `json:"text"`
 }
 
-// Location is a physical location.
+// Location is a physical location, with an optional per-step message
+// (used by thread-flow steps).
 type Location struct {
 	PhysicalLocation PhysicalLocation `json:"physicalLocation"`
+	Message          *Message         `json:"message,omitempty"`
 }
 
 // PhysicalLocation points into an artifact.
@@ -134,6 +161,17 @@ func Build(files []diag.FileFindings) Log {
 					},
 				}},
 			}
+			if len(f.Flow) > 0 {
+				res.CodeFlows = []CodeFlow{{ThreadFlows: []ThreadFlow{{
+					Locations: flowLocations(ff.File, f.Flow),
+				}}}}
+			}
+			if f.Suppressed {
+				res.Suppressions = []Suppression{{
+					Kind:          "external",
+					Justification: f.SuppressReason,
+				}}
+			}
 			if props := properties(f); len(props) > 0 {
 				res.Properties = props
 			}
@@ -166,6 +204,22 @@ func Build(files []diag.FileFindings) Log {
 		})
 	}
 	return log
+}
+
+// flowLocations renders a dataflow trace as thread-flow steps in the
+// same artifact.
+func flowLocations(uri string, flow []diag.FlowStep) []ThreadFlowLocation {
+	out := make([]ThreadFlowLocation, 0, len(flow))
+	for _, st := range flow {
+		out = append(out, ThreadFlowLocation{Location: Location{
+			PhysicalLocation: PhysicalLocation{
+				ArtifactLocation: ArtifactLocation{URI: uri},
+				Region:           &Region{StartLine: st.Line},
+			},
+			Message: &Message{Text: st.Note},
+		}})
+	}
+	return out
 }
 
 func region(f diag.Finding) *Region {

@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"github.com/dessertlab/patchitpy/internal/detect"
+	"github.com/dessertlab/patchitpy/internal/generator"
+	"github.com/dessertlab/patchitpy/internal/prompts"
+	"github.com/dessertlab/patchitpy/internal/rules"
+	"github.com/dessertlab/patchitpy/internal/workpool"
+)
+
+// scanCorpus renders every corpus sample's findings under opt at the given
+// concurrency into one deterministic string per sample.
+func scanCorpus(t *testing.T, opt detect.Options, jobs int) []string {
+	t.Helper()
+	samples, err := generator.Corpus(prompts.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := detect.New(rules.NewCatalog())
+	out := make([]string, len(samples))
+	err = workpool.Run(context.Background(), len(samples), jobs, func(i int) {
+		var b strings.Builder
+		for _, f := range det.ScanWith(samples[i].Code, opt) {
+			fmt.Fprintf(&b, "%s:%d:%d-%d:%v:%s\n", f.Rule.ID, f.Line, f.Start, f.End, f.Suppressed, f.SuppressReason)
+		}
+		out[i] = b.String()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// With the taint filter off, the 609-sample corpus scan is byte-identical
+// at any concurrency — the PR's compatibility bar: the taint layer must be
+// invisible until opted into.
+func TestTaintFilterOffCorpusByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-corpus scan")
+	}
+	j1 := scanCorpus(t, detect.Options{NoCache: true}, 1)
+	j8 := scanCorpus(t, detect.Options{NoCache: true}, 8)
+	if len(j1) != len(j8) {
+		t.Fatalf("sample counts differ: %d vs %d", len(j1), len(j8))
+	}
+	for i := range j1 {
+		if j1[i] != j8[i] {
+			t.Fatalf("sample %d differs across concurrency:\n-- j1 --\n%s\n-- j8 --\n%s", i, j1[i], j8[i])
+		}
+	}
+	// And no suppression marker may appear anywhere with the filter off.
+	for i, s := range j1 {
+		if strings.Contains(s, "true") {
+			t.Fatalf("sample %d carries a suppressed finding with the filter off:\n%s", i, s)
+		}
+	}
+}
+
+// Zero recall loss over the full corpus: every truth-vulnerable sample the
+// plain scan detects stays detected (some unsuppressed finding survives)
+// under the taint filter.
+func TestTaintFilterZeroRecallLossCorpus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-corpus scan")
+	}
+	samples, err := generator.Corpus(prompts.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 609 {
+		t.Fatalf("corpus size = %d, want 609", len(samples))
+	}
+	det := detect.New(rules.NewCatalog())
+	type verdict struct{ base, filtered bool }
+	verdicts := make([]verdict, len(samples))
+	err = workpool.Run(context.Background(), len(samples), 0, func(i int) {
+		base := det.ScanWith(samples[i].Code, detect.Options{NoCache: true})
+		filt := det.ScanWith(samples[i].Code, detect.Options{NoCache: true, TaintFilter: true})
+		v := verdict{base: len(base) > 0}
+		for _, f := range filt {
+			if !f.Suppressed {
+				v.filtered = true
+			}
+		}
+		verdicts[i] = v
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range verdicts {
+		if samples[i].Truth.Vulnerable && v.base && !v.filtered {
+			t.Errorf("sample %s/%s: true positive lost to the taint filter",
+				samples[i].Model, samples[i].PromptID)
+		}
+	}
+}

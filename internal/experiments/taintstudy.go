@@ -1,0 +1,201 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/dessertlab/patchitpy/internal/detect"
+	"github.com/dessertlab/patchitpy/internal/generator"
+	"github.com/dessertlab/patchitpy/internal/metrics"
+	"github.com/dessertlab/patchitpy/internal/rules"
+	"github.com/dessertlab/patchitpy/internal/taint"
+	"github.com/dessertlab/patchitpy/internal/workpool"
+)
+
+// Taint study configuration names: the plain regex scan, the regex scan
+// with the taint precision filter, and the standalone taintflow analyzer.
+const (
+	ConfigRegex      = "regex"
+	ConfigRegexTaint = "regex+taint"
+	ConfigTaintflow  = "taintflow"
+)
+
+// TaintConfigs lists the study's configurations in report order.
+var TaintConfigs = []string{ConfigRegex, ConfigRegexTaint, ConfigTaintflow}
+
+// TaintStudy holds the precision/recall-delta comparison the taint layer
+// is judged by: the same hand-labeled corpus scanned under each
+// configuration, scored per CWE and per flow-gated rule against the
+// authored oracle labels.
+type TaintStudy struct {
+	// Samples is the study corpus size.
+	Samples int
+	// Suppressed is the number of findings the precision filter demoted
+	// across the corpus (regex+taint configuration).
+	Suppressed int
+	// PerCWE[config][cwe] scores the per-sample verdict restricted to the
+	// sample's target CWE.
+	PerCWE map[string]map[string]*metrics.Confusion
+	// PerRule[config][rule] scores the per-sample verdict of the sample's
+	// target rule; the taintflow analyzer reports under its own TAINT-*
+	// rule IDs, so only the two regex configurations appear here.
+	PerRule map[string]map[string]*metrics.Confusion
+	// Improved lists the rules whose precision strictly improved under the
+	// filter with identical recall — the study's headline claim.
+	Improved []string
+	// Regressed lists rules that lost recall under the filter; a non-empty
+	// list fails the acceptance gate.
+	Regressed []string
+}
+
+// taintCell is one sample's verdicts under every configuration.
+type taintCell struct {
+	regexHit   bool // target rule fired
+	filterHit  bool // target rule fired and survived the filter
+	flowHit    bool // taintflow reported the sample's target CWE
+	suppressed int  // findings demoted on this sample
+}
+
+// RunTaintStudy evaluates the taint study corpus under the three
+// configurations. Deterministic at any concurrency: cells land in a
+// pre-sized slice and are folded in corpus order.
+func RunTaintStudy(ctx context.Context, opt RunOptions) (*TaintStudy, error) {
+	corpus := generator.TaintStudyCorpus()
+	det := detect.New(rules.NewCatalog())
+	flow := taint.NewAnalyzer(nil)
+
+	cells := make([]taintCell, len(corpus))
+	err := workpool.Run(ctx, len(corpus), opt.Concurrency, func(i int) {
+		s := corpus[i]
+		var c taintCell
+
+		base := det.ScanWith(s.Code, detect.Options{NoCache: true})
+		for _, f := range base {
+			if f.Rule.ID == s.RuleID {
+				c.regexHit = true
+			}
+		}
+
+		filtered := det.ScanWith(s.Code, detect.Options{NoCache: true, TaintFilter: true})
+		for _, f := range filtered {
+			if f.Suppressed {
+				c.suppressed++
+			}
+			if f.Rule.ID == s.RuleID && !f.Suppressed {
+				c.filterHit = true
+			}
+		}
+
+		if res, err := flow.Analyze(ctx, s.Code); err == nil {
+			for _, f := range res.Findings {
+				if f.CWE == s.CWE {
+					c.flowHit = true
+				}
+			}
+		}
+		cells[i] = c
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	st := &TaintStudy{
+		Samples: len(corpus),
+		PerCWE:  map[string]map[string]*metrics.Confusion{},
+		PerRule: map[string]map[string]*metrics.Confusion{},
+	}
+	for _, cfg := range TaintConfigs {
+		st.PerCWE[cfg] = map[string]*metrics.Confusion{}
+	}
+	for _, cfg := range []string{ConfigRegex, ConfigRegexTaint} {
+		st.PerRule[cfg] = map[string]*metrics.Confusion{}
+	}
+
+	add := func(m map[string]*metrics.Confusion, key string, predicted, actual bool) {
+		if m[key] == nil {
+			m[key] = &metrics.Confusion{}
+		}
+		m[key].Add(predicted, actual)
+	}
+	for i, s := range corpus {
+		c := cells[i]
+		add(st.PerCWE[ConfigRegex], s.CWE, c.regexHit, s.Vulnerable)
+		add(st.PerCWE[ConfigRegexTaint], s.CWE, c.filterHit, s.Vulnerable)
+		add(st.PerCWE[ConfigTaintflow], s.CWE, c.flowHit, s.Vulnerable)
+		add(st.PerRule[ConfigRegex], s.RuleID, c.regexHit, s.Vulnerable)
+		add(st.PerRule[ConfigRegexTaint], s.RuleID, c.filterHit, s.Vulnerable)
+		st.Suppressed += c.suppressed
+	}
+
+	for _, rule := range sortedKeys(st.PerRule[ConfigRegex]) {
+		base := st.PerRule[ConfigRegex][rule]
+		filt := st.PerRule[ConfigRegexTaint][rule]
+		if filt == nil {
+			continue
+		}
+		if filt.Recall() < base.Recall() {
+			st.Regressed = append(st.Regressed, rule)
+			continue
+		}
+		if filt.Precision() > base.Precision() {
+			st.Improved = append(st.Improved, rule)
+		}
+	}
+	return st, nil
+}
+
+// WriteTaint renders the study as a fixed-width table mirroring the other
+// report sections.
+func (st *TaintStudy) WriteTaint(w io.Writer) {
+	fmt.Fprintf(w, "TAINT STUDY — precision/recall over %d labeled samples (suppressed findings: %d)\n",
+		st.Samples, st.Suppressed)
+	fmt.Fprintf(w, "Per CWE (Precision / Recall / F1):\n")
+	fmt.Fprintf(w, "  %-10s", "CWE")
+	for _, cfg := range TaintConfigs {
+		fmt.Fprintf(w, " %-18s", cfg)
+	}
+	fmt.Fprintln(w)
+	for _, cwe := range sortedKeys(st.PerCWE[ConfigRegex]) {
+		fmt.Fprintf(w, "  %-10s", cwe)
+		for _, cfg := range TaintConfigs {
+			c := st.PerCWE[cfg][cwe]
+			if c == nil {
+				c = &metrics.Confusion{}
+			}
+			fmt.Fprintf(w, " %.2f/%.2f/%.2f     ", c.Precision(), c.Recall(), c.F1())
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "Per rule (Precision / Recall), regex vs regex+taint:\n")
+	for _, rule := range sortedKeys(st.PerRule[ConfigRegex]) {
+		base := st.PerRule[ConfigRegex][rule]
+		filt := st.PerRule[ConfigRegexTaint][rule]
+		if filt == nil {
+			filt = &metrics.Confusion{}
+		}
+		marker := ""
+		for _, id := range st.Improved {
+			if id == rule {
+				marker = "  (+precision)"
+			}
+		}
+		fmt.Fprintf(w, "  %-12s %.2f/%.2f -> %.2f/%.2f%s\n",
+			rule, base.Precision(), base.Recall(), filt.Precision(), filt.Recall(), marker)
+	}
+	if len(st.Regressed) > 0 {
+		fmt.Fprintf(w, "RECALL REGRESSIONS: %v\n", st.Regressed)
+	} else {
+		fmt.Fprintln(w, "No recall regressions: every true positive survives the filter.")
+	}
+}
+
+func sortedKeys(m map[string]*metrics.Confusion) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"github.com/dessertlab/patchitpy/internal/detect"
+	"github.com/dessertlab/patchitpy/internal/generator"
+	"github.com/dessertlab/patchitpy/internal/rules"
+)
+
+// Every study sample must actually trip its target rule — a sample whose
+// regex never fires measures nothing.
+func TestTaintStudyCorpusTripsTargetRules(t *testing.T) {
+	det := detect.New(rules.NewCatalog())
+	for _, s := range generator.TaintStudyCorpus() {
+		hit := false
+		for _, f := range det.ScanWith(s.Code, detect.Options{NoCache: true}) {
+			if f.Rule.ID == s.RuleID {
+				hit = true
+				if f.Rule.CWE != s.CWE {
+					t.Errorf("%s: rule %s has CWE %s, sample labeled %s", s.ID, s.RuleID, f.Rule.CWE, s.CWE)
+				}
+			}
+		}
+		if !hit {
+			t.Errorf("%s: target rule %s did not fire", s.ID, s.RuleID)
+		}
+	}
+}
+
+// The headline acceptance claim: under the precision filter at least one
+// rule's precision strictly improves, and no rule loses recall.
+func TestTaintStudyPrecisionImproves(t *testing.T) {
+	st, err := RunTaintStudy(context.Background(), RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Regressed) != 0 {
+		t.Fatalf("recall regressions under the taint filter: %v", st.Regressed)
+	}
+	if len(st.Improved) == 0 {
+		t.Fatal("no rule's precision improved under the taint filter")
+	}
+	if st.Suppressed == 0 {
+		t.Error("study corpus produced no suppressions")
+	}
+	// Each safe sample is a deliberate regex FP: the base configuration
+	// must score below-perfect precision somewhere for the filter to fix.
+	for _, rule := range st.Improved {
+		base := st.PerRule[ConfigRegex][rule]
+		filt := st.PerRule[ConfigRegexTaint][rule]
+		if base.FP == 0 {
+			t.Errorf("%s improved without base FPs?", rule)
+		}
+		if filt.TP != base.TP {
+			t.Errorf("%s: TP changed %d -> %d (recall must be untouched)", rule, base.TP, filt.TP)
+		}
+	}
+}
+
+// The study is deterministic at any concurrency.
+func TestTaintStudyDeterministic(t *testing.T) {
+	a, err := RunTaintStudy(context.Background(), RunOptions{Concurrency: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunTaintStudy(context.Background(), RunOptions{Concurrency: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wa, wb strings.Builder
+	a.WriteTaint(&wa)
+	b.WriteTaint(&wb)
+	if wa.String() != wb.String() {
+		t.Errorf("study output differs across concurrency:\n-- j1 --\n%s\n-- j8 --\n%s", wa.String(), wb.String())
+	}
+}
+
+// The report renders the three configurations and the no-regression line.
+func TestTaintStudyReport(t *testing.T) {
+	st, err := RunTaintStudy(context.Background(), RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	st.WriteTaint(&buf)
+	out := buf.String()
+	for _, want := range []string{"TAINT STUDY", ConfigRegex, ConfigRegexTaint, ConfigTaintflow, "No recall regressions"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package generator
+
+// TaintStudySample is one hand-authored program of the taint precision
+// study: a snippet that trips exactly one flow-gated catalog rule, labeled
+// with whether the flow is genuinely attacker-reachable. The safe samples
+// are deliberate regex false positives — the sink argument is provably
+// constant — so the study measures how much precision the taint filter
+// recovers and whether it ever costs recall.
+type TaintStudySample struct {
+	// ID names the sample ("ts-exec-const-1").
+	ID string
+	// Code is the Python snippet.
+	Code string
+	// Vulnerable is the ground-truth label: true means the gated sink
+	// really receives attacker-influenced data.
+	Vulnerable bool
+	// RuleID is the flow-gated catalog rule the snippet targets (the regex
+	// fires on every sample, vulnerable or not).
+	RuleID string
+	// CWE is the rule's weakness class, the study's per-CWE grouping key.
+	CWE string
+}
+
+// TaintStudyCorpus returns the study set: for each gated rule family, at
+// least one true positive (tainted flow, must stay detected) and one false
+// positive (constant flow, should be suppressed). The corpus lives outside
+// the scenario registry on purpose — these samples target the precision
+// filter specifically and are not part of the 609-sample paper corpus.
+func TaintStudyCorpus() []TaintStudySample {
+	return []TaintStudySample{
+		// --- exec / os.system (PIP-INJ-005, CWE-078) ---
+		{
+			ID: "ts-exec-taint-1", Vulnerable: true, RuleID: "PIP-INJ-005", CWE: "CWE-078",
+			Code: "import os\n\nhost = input()\ncmd = \"ping -c 1 \" + host\nos.system(cmd)\n",
+		},
+		{
+			ID: "ts-exec-const-1", Vulnerable: false, RuleID: "PIP-INJ-005", CWE: "CWE-078",
+			Code: "import os\n\ncmd = \"sync\"\nos.system(cmd)\n",
+		},
+		{
+			ID: "ts-exec-const-2", Vulnerable: false, RuleID: "PIP-INJ-005", CWE: "CWE-078",
+			Code: "import os\n\nflags = \"-czf\"\ncmd = \"tar \" + flags + \" backup.tgz data\"\nos.system(cmd)\n",
+		},
+		// --- exec / os.popen (PIP-INJ-006, CWE-078) ---
+		{
+			ID: "ts-popen-taint-1", Vulnerable: true, RuleID: "PIP-INJ-006", CWE: "CWE-078",
+			Code: "import os\nimport sys\n\ntarget = sys.argv[1]\nout = os.popen(\"nslookup \" + target).read()\nprint(out)\n",
+		},
+		{
+			ID: "ts-popen-const-1", Vulnerable: false, RuleID: "PIP-INJ-006", CWE: "CWE-078",
+			Code: "import os\n\nout = os.popen(\"uptime\").read()\nprint(out)\n",
+		},
+		// --- exec / subprocess shell=True (PIP-INJ-007, CWE-078) ---
+		{
+			ID: "ts-shell-taint-1", Vulnerable: true, RuleID: "PIP-INJ-007", CWE: "CWE-078",
+			Code: "import subprocess\n\nname = input()\nsubprocess.run(\"grep \" + name + \" access.log\", shell=True)\n",
+		},
+		{
+			ID: "ts-shell-const-1", Vulnerable: false, RuleID: "PIP-INJ-007", CWE: "CWE-078",
+			Code: "import subprocess\n\nsubprocess.run(\"ls -l /var/log\", shell=True)\n",
+		},
+		{
+			ID: "ts-shell-const-2", Vulnerable: false, RuleID: "PIP-INJ-007", CWE: "CWE-078",
+			Code: "import subprocess\n\narchive = \"backup.tgz\"\nsubprocess.run(\"tar -czf \" + archive + \" data\", shell=True)\n",
+		},
+		// --- eval (PIP-INJ-001, CWE-095) ---
+		{
+			ID: "ts-eval-taint-1", Vulnerable: true, RuleID: "PIP-INJ-001", CWE: "CWE-095",
+			Code: "expr = input()\nresult = eval(expr)\nprint(result)\n",
+		},
+		{
+			ID: "ts-eval-const-1", Vulnerable: false, RuleID: "PIP-INJ-001", CWE: "CWE-095",
+			Code: "formula = \"2 ** 10\"\nresult = eval(formula)\nprint(result)\n",
+		},
+		// --- exec statement (PIP-INJ-002, CWE-095) ---
+		{
+			ID: "ts-execstmt-taint-1", Vulnerable: true, RuleID: "PIP-INJ-002", CWE: "CWE-095",
+			Code: "import os\n\nsnippet = os.getenv(\"STARTUP_HOOK\")\nexec(snippet)\n",
+		},
+		{
+			ID: "ts-execstmt-const-1", Vulnerable: false, RuleID: "PIP-INJ-002", CWE: "CWE-095",
+			Code: "bootstrap = \"counter = 0\"\nexec(bootstrap)\n",
+		},
+		// --- sql concatenation (PIP-INJ-009, CWE-089) ---
+		{
+			ID: "ts-sql-taint-1", Vulnerable: true, RuleID: "PIP-INJ-009", CWE: "CWE-089",
+			Code: "def lookup(cur, request):\n    uid = request.args[\"id\"]\n    cur.execute(\"SELECT * FROM users WHERE id = \" + uid)\n    return cur.fetchall()\n",
+		},
+		{
+			ID: "ts-sql-const-1", Vulnerable: false, RuleID: "PIP-INJ-009", CWE: "CWE-089",
+			Code: "def recent(cur):\n    order = \"ORDER BY created DESC\"\n    cur.execute(\"SELECT * FROM events \" + order)\n    return cur.fetchall()\n",
+		},
+		// --- deserialization (PIP-INT-003 yaml.load, CWE-502) ---
+		{
+			ID: "ts-yaml-taint-1", Vulnerable: true, RuleID: "PIP-INT-003", CWE: "CWE-502",
+			Code: "import yaml\n\ndoc = input()\ncfg = yaml.load(doc)\nprint(cfg)\n",
+		},
+		{
+			ID: "ts-yaml-const-1", Vulnerable: false, RuleID: "PIP-INT-003", CWE: "CWE-502",
+			Code: "import yaml\n\ndefaults = \"retries: 3\"\ncfg = yaml.load(defaults)\nprint(cfg)\n",
+		},
+	}
+}

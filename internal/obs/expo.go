@@ -280,8 +280,12 @@ func (s *Snapshot) SummaryLine(files, findings int) string {
 		p50 = secondsToDuration(h.P50)
 		p99 = secondsToDuration(h.P99)
 	}
-	return fmt.Sprintf("scanned %d files, %d findings, cache hit-rate %.1f%%, rule latency p50 %s / p99 %s",
+	line := fmt.Sprintf("scanned %d files, %d findings, cache hit-rate %.1f%%, rule latency p50 %s / p99 %s",
 		files, findings, 100*s.CacheHitRate(), fmtDur(p50), fmtDur(p99))
+	if n := s.Counters[MetricTaintSuppressed]; n > 0 {
+		line += fmt.Sprintf(", %.0f taint-suppressed", n)
+	}
+	return line
 }
 
 func secondsToDuration(s float64) time.Duration {

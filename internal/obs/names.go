@@ -57,6 +57,13 @@ const (
 	MetricAnalyzerRuns     = "patchitpy_analyzer_runs_total"       // counter{tool}
 	MetricAnalyzerDuration = "patchitpy_analyzer_duration_seconds" // histogram{tool}
 
+	// Taint analysis (internal/taint via the detect precision filter and
+	// the taintflow analyzer).
+	MetricTaintAnalyses   = "patchitpy_taint_analyses_total"     // counter: taint analyses computed (cache misses)
+	MetricTaintSuppressed = "patchitpy_taint_suppressions_total" // counter: findings demoted by the precision filter
+	MetricTaintTraces     = "patchitpy_taint_traces_total"       // counter: source->sink traces reported by taintflow
+	MetricTaintDuration   = "patchitpy_taint_analysis_seconds"   // histogram: per-source taint analysis latency
+
 	// Catalog vetting (internal/rulecheck via `patchitpy vet`).
 	MetricVetRuns     = "patchitpy_vet_runs_total"           // counter: vet invocations
 	MetricVetDuration = "patchitpy_vet_duration_seconds"     // histogram: whole-vet latency

@@ -694,7 +694,7 @@ func (p *parser) parseStarOrTest() Expr {
 		pos := p.next().Pos
 		return &Starred{Value: p.parseTest(), Position: pos}
 	}
-	return p.parseTest()
+	return p.parseNamedTest()
 }
 
 func (p *parser) parseTestList() Expr { return p.parseTestListStar() }
@@ -965,6 +965,10 @@ func (p *parser) parseSubscriptIndex() Expr {
 		var lower Expr
 		if !p.at(pytoken.KindOp, ":") {
 			lower = p.parseTest()
+			if p.at(pytoken.KindOp, ":=") {
+				wpos := p.next().Pos
+				lower = &BinOp{Left: lower, Op: ":=", Right: p.parseTest(), Position: wpos}
+			}
 		}
 		if !p.at(pytoken.KindOp, ":") {
 			return lower
@@ -1128,10 +1132,6 @@ func (p *parser) parseParenAtom() Expr {
 		return e
 	}
 	first := p.parseStarOrTest()
-	if p.at(pytoken.KindOp, ":=") {
-		wpos := p.next().Pos
-		first = &BinOp{Left: first, Op: ":=", Right: p.parseTest(), Position: wpos}
-	}
 	if p.at(pytoken.KindKeyword, "for") || (p.at(pytoken.KindKeyword, "async") && p.toks[p.pos+1].Is(pytoken.KindKeyword, "for")) {
 		comp := p.parseCompTail("generator", first, nil, pos)
 		p.expect(pytoken.KindOp, ")")
@@ -1193,7 +1193,7 @@ func (p *parser) parseDictSetAtom() Expr {
 		p.expect(pytoken.KindOp, "}")
 		return d
 	}
-	first := p.parseTest()
+	first := p.parseNamedTest()
 	if p.at(pytoken.KindOp, ":") {
 		p.next()
 		value := p.parseTest()
@@ -1224,7 +1224,7 @@ func (p *parser) parseDictSetAtom() Expr {
 		if p.at(pytoken.KindOp, "}") {
 			break
 		}
-		s.Elts = append(s.Elts, p.parseTest())
+		s.Elts = append(s.Elts, p.parseNamedTest())
 	}
 	p.expect(pytoken.KindOp, "}")
 	return s

@@ -1,0 +1,139 @@
+package rulecheck
+
+import (
+	"github.com/dessertlab/patchitpy/internal/taint"
+)
+
+// checkTaint vets the flow-gate layer: every rule FlowGate must reference
+// a sink kind and argument index the taint spec table actually classifies
+// (a dangling gate would make the precision filter a silent no-op for that
+// rule), and the spec table itself must be well-formed — malformed path
+// patterns or empty argument lists never match and would likewise rot
+// silently.
+func (ck *checker) checkTaint() {
+	spec := taint.DefaultSpec()
+	kinds := spec.SinkKinds()
+
+	// argsByKind collects, per sink kind, the set of argument indices some
+	// sink spec classifies — the vocabulary a FlowGate's Arg may use.
+	argsByKind := make(map[string]map[int]bool)
+	for _, sk := range spec.Sinks {
+		if argsByKind[sk.Kind] == nil {
+			argsByKind[sk.Kind] = make(map[int]bool)
+		}
+		for _, a := range sk.Args {
+			argsByKind[sk.Kind][a] = true
+		}
+	}
+
+	for i, r := range ck.rs {
+		g := r.FlowGate
+		if g == nil {
+			continue
+		}
+		if !kinds[g.Sink] {
+			ck.add(SeverityError, "taint-gate-kind", i,
+				"flow gate references unknown sink kind %q (spec kinds: %s)", g.Sink, kindList(kinds))
+			continue
+		}
+		if g.Arg < 0 {
+			ck.add(SeverityError, "taint-gate-arg", i, "flow gate argument index %d is negative", g.Arg)
+			continue
+		}
+		if !argsByKind[g.Sink][g.Arg] {
+			ck.add(SeverityError, "taint-gate-arg", i,
+				"flow gate argument %d is classified by no %q sink spec: the filter can never suppress this rule", g.Arg, g.Sink)
+		}
+	}
+
+	ck.checkTaintSpec(spec)
+}
+
+// checkTaintSpec validates the declarative source/sink/sanitizer table
+// itself; issues are catalog-level (RuleIndex 0).
+func (ck *checker) checkTaintSpec(spec *taint.Spec) {
+	for _, src := range spec.Sources {
+		switch src.Mode {
+		case taint.ModeCall, taint.ModeObject:
+			if !taint.ValidPathPattern(src.Pattern) {
+				ck.add(SeverityError, "taint-spec-source", -1,
+					"source spec %q: malformed path pattern", src.Pattern)
+			}
+		case taint.ModeParam:
+			if src.Pattern != "" {
+				ck.add(SeverityWarning, "taint-spec-source", -1,
+					"param source spec carries pattern %q, which is ignored", src.Pattern)
+			}
+		default:
+			ck.add(SeverityError, "taint-spec-source", -1,
+				"source spec %q: unknown mode %q", src.Pattern, src.Mode)
+		}
+	}
+
+	seen := make(map[string]bool)
+	for _, sk := range spec.Sinks {
+		if sk.Kind == "" {
+			ck.add(SeverityError, "taint-spec-sink", -1, "sink spec %q: empty kind", sk.Callee)
+		}
+		if !taint.ValidPathPattern(sk.Callee) {
+			ck.add(SeverityError, "taint-spec-sink", -1, "sink spec %q: malformed callee pattern", sk.Callee)
+		}
+		if len(sk.Args) == 0 {
+			ck.add(SeverityError, "taint-spec-sink", -1,
+				"sink spec %q: no classified argument indices", sk.Callee)
+		}
+		for _, a := range sk.Args {
+			if a < 0 {
+				ck.add(SeverityError, "taint-spec-sink", -1,
+					"sink spec %q: negative argument index %d", sk.Callee, a)
+			}
+		}
+		key := sk.Kind + "\x00" + sk.Callee
+		if seen[key] {
+			ck.add(SeverityWarning, "taint-spec-sink", -1,
+				"sink spec %q: duplicate entry for kind %q", sk.Callee, sk.Kind)
+		}
+		seen[key] = true
+	}
+
+	kinds := spec.SinkKinds()
+	for _, sz := range spec.Sanitizers {
+		switch sz.Mode {
+		case taint.SanCall:
+			if !taint.ValidPathPattern(sz.Callee) {
+				ck.add(SeverityError, "taint-spec-sanitizer", -1,
+					"sanitizer spec %q: malformed callee pattern", sz.Callee)
+			}
+			if sz.Arity < 1 {
+				ck.add(SeverityError, "taint-spec-sanitizer", -1,
+					"sanitizer spec %q: arity %d, want >= 1", sz.Callee, sz.Arity)
+			}
+		case taint.SanParamstyle:
+			if !kinds[sz.AppliesTo] {
+				ck.add(SeverityError, "taint-spec-sanitizer", -1,
+					"paramstyle sanitizer applies to unknown sink kind %q", sz.AppliesTo)
+			}
+		default:
+			ck.add(SeverityError, "taint-spec-sanitizer", -1,
+				"sanitizer spec %q: unknown mode %q", sz.Callee, sz.Mode)
+		}
+	}
+}
+
+// kindList renders a kind set deterministically for messages.
+func kindList(kinds map[string]bool) string {
+	known := []string{taint.SinkExec, taint.SinkSQL, taint.SinkPath, taint.SinkEval, taint.SinkDe}
+	out := ""
+	for _, k := range known {
+		if kinds[k] {
+			if out != "" {
+				out += ", "
+			}
+			out += k
+		}
+	}
+	if out == "" {
+		return "none"
+	}
+	return out
+}

@@ -1,0 +1,93 @@
+package rulecheck
+
+import (
+	"testing"
+
+	"github.com/dessertlab/patchitpy/internal/rules"
+	"github.com/dessertlab/patchitpy/internal/taint"
+)
+
+// The shipped catalog's flow gates and the default taint spec must vet
+// clean — this is the acceptance bar for the taint layer.
+func TestShippedTaintGatesClean(t *testing.T) {
+	rep := Check(rules.NewCatalog())
+	for _, is := range rep.Issues {
+		switch is.Check {
+		case "taint-gate-kind", "taint-gate-arg", "taint-spec-source", "taint-spec-sink", "taint-spec-sanitizer":
+			t.Errorf("shipped catalog taint issue: [%s] %s", is.Check, is.Message)
+		}
+	}
+}
+
+func TestSeededGateUnknownKind(t *testing.T) {
+	r := seedRule("PIP-TST-001", `os\.system\(`)
+	r.FlowGate = &rules.FlowGate{Sink: "network", Arg: 0}
+	got := issuesFor(t, "taint-gate-kind", r)
+	if len(got) != 1 {
+		t.Fatalf("taint-gate-kind fired %d times on unknown sink kind, want 1", len(got))
+	}
+	if got[0].Severity != SeverityError {
+		t.Errorf("taint-gate-kind severity = %v, want ERROR", got[0].Severity)
+	}
+}
+
+func TestSeededGateUnclassifiedArg(t *testing.T) {
+	r := seedRule("PIP-TST-001", `os\.system\(`)
+	r.FlowGate = &rules.FlowGate{Sink: taint.SinkExec, Arg: 7}
+	if got := issuesFor(t, "taint-gate-arg", r); len(got) != 1 {
+		t.Fatalf("taint-gate-arg fired %d times on unclassified argument, want 1", len(got))
+	}
+
+	neg := seedRule("PIP-TST-002", `os\.system\(`)
+	neg.FlowGate = &rules.FlowGate{Sink: taint.SinkExec, Arg: -1}
+	if got := issuesFor(t, "taint-gate-arg", neg); len(got) != 1 {
+		t.Fatal("taint-gate-arg did not fire on a negative argument index")
+	}
+
+	// A gate the spec classifies is clean.
+	ok := seedRule("PIP-TST-003", `os\.system\(`)
+	ok.FlowGate = &rules.FlowGate{Sink: taint.SinkExec, Arg: 0}
+	if got := issuesFor(t, "taint-gate-arg", ok); len(got) != 0 {
+		t.Errorf("taint-gate-arg false positive on a valid gate: %v", got)
+	}
+}
+
+// The spec-table checks run against the default spec via Check; exercise
+// the validators directly on a deliberately broken spec.
+func TestSeededBrokenSpecTable(t *testing.T) {
+	ck := &checker{}
+	ck.checkTaintSpec(&taint.Spec{
+		Sources: []taint.SourceSpec{
+			{Pattern: "bad..path", Mode: taint.ModeCall},
+			{Pattern: "x", Mode: "bogus"},
+		},
+		Sinks: []taint.SinkSpec{
+			{Kind: "", Callee: "os.system", Args: []int{0}},
+			{Kind: taint.SinkExec, Callee: "mid.*.wild", Args: []int{0}},
+			{Kind: taint.SinkExec, Callee: "os.system"},
+			{Kind: taint.SinkExec, Callee: "os.popen", Args: []int{-2}},
+			{Kind: taint.SinkSQL, Callee: "*.execute", Args: []int{0}},
+			{Kind: taint.SinkSQL, Callee: "*.execute", Args: []int{0}},
+		},
+		Sanitizers: []taint.SanitizerSpec{
+			{Callee: "1bad", Mode: taint.SanCall, Arity: 1},
+			{Callee: "shlex.quote", Mode: taint.SanCall, Arity: 0},
+			{Mode: taint.SanParamstyle, AppliesTo: "nosuch"},
+			{Callee: "x", Mode: "strange"},
+		},
+	})
+	counts := map[string]int{}
+	for _, is := range ck.issues {
+		counts[is.Check]++
+	}
+	if counts["taint-spec-source"] != 2 {
+		t.Errorf("taint-spec-source = %d, want 2: %+v", counts["taint-spec-source"], ck.issues)
+	}
+	if counts["taint-spec-sink"] != 5 {
+		t.Errorf("taint-spec-sink = %d, want 5 (empty kind, wildcard-mid, no args, negative arg, duplicate): %+v",
+			counts["taint-spec-sink"], ck.issues)
+	}
+	if counts["taint-spec-sanitizer"] != 4 {
+		t.Errorf("taint-spec-sanitizer = %d, want 4: %+v", counts["taint-spec-sanitizer"], ck.issues)
+	}
+}

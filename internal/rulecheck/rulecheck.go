@@ -3,15 +3,18 @@
 // pipeline rests on, and this package is the analyzer that treats them —
 // not the scanned corpus — as the program under analysis.
 //
-// Five check families run over a catalog (see DESIGN.md "Rule vetting"):
+// Six check families run over a catalog (see DESIGN.md "Rule vetting"):
 // regex health (ReDoS heuristics plus a bounded worst-case probe),
 // prefilter coverage (introspecting the same literal extraction the scan
 // automaton builds), metadata integrity (CWE/OWASP tables, duplicate
 // IDs, fingerprint stability), inter-rule overlap (literal subsumption
-// and differential execution on synthesized witnesses), and
-// patch-template soundness (a fix applied to a rule's witness must
-// converge under re-scan). Issues carry an Error/Warning/Info severity;
-// `patchitpy vet` exits non-zero on any Error, which gates CI.
+// and differential execution on synthesized witnesses), patch-template
+// soundness (a fix applied to a rule's witness must converge under
+// re-scan), and taint-gate coherence (rule flow gates must reference
+// sink kinds and argument indices the taint spec table classifies, and
+// the spec table itself must be well-formed). Issues carry an
+// Error/Warning/Info severity; `patchitpy vet` exits non-zero on any
+// Error, which gates CI.
 package rulecheck
 
 import (
@@ -123,6 +126,7 @@ func Check(c *rules.Catalog) *Report {
 	ck.checkPrefilter()
 	ck.checkOverlap()
 	ck.checkTemplates()
+	ck.checkTaint()
 
 	sort.SliceStable(ck.issues, func(i, j int) bool {
 		a, b := ck.issues[i], ck.issues[j]

@@ -10,6 +10,7 @@ func integritySpecs() []spec {
 			desc:    "Unpickling attacker bytes executes arbitrary code via __reduce__ gadgets.",
 			sev:     SeverityCritical,
 			pattern: `(?m)pickle\.loads\(`,
+			gate:    &FlowGate{Sink: "deser", Arg: 0},
 			fix: &Fix{
 				Replace: `json.loads(`,
 				Imports: []string{"import json"},
@@ -22,6 +23,7 @@ func integritySpecs() []spec {
 			desc:    "Unpickling attacker streams executes arbitrary code via __reduce__ gadgets.",
 			sev:     SeverityCritical,
 			pattern: `(?m)pickle\.load\(`,
+			gate:    &FlowGate{Sink: "deser", Arg: 0},
 			fix: &Fix{
 				Replace: `json.load(`,
 				Imports: []string{"import json"},
@@ -35,6 +37,7 @@ func integritySpecs() []spec {
 			sev:      SeverityCritical,
 			pattern:  `(?m)yaml\.load\(\s*([^,)\n]+)(?:\s*,\s*[^)\n]*)?\)`,
 			excludes: `SafeLoader|safe_load`,
+			gate:     &FlowGate{Sink: "deser", Arg: 0},
 			fix: &Fix{
 				Replace: `yaml.safe_load(${1})`,
 				Note:    "Use yaml.safe_load, which only constructs plain data types.",
@@ -46,6 +49,7 @@ func integritySpecs() []spec {
 			desc:    "marshal can load code objects; crafted input crashes or executes.",
 			sev:     SeverityHigh,
 			pattern: `(?m)marshal\.loads?\(`,
+			gate:    &FlowGate{Sink: "deser", Arg: 0},
 		},
 		{
 			id: "PIP-INT-005", cwe: "CWE-502", cat: IntegrityFailures,

@@ -97,6 +97,21 @@ type Fix struct {
 	Note string
 }
 
+// FlowGate ties a rule to the taint engine's sink vocabulary for the
+// precision filter: when the enclosing scan runs with taint filtering
+// enabled and the engine proves the sink-call argument at the finding's
+// line to be of constant provenance, the finding is demoted to a
+// suppressed diagnostic. The gate never drops findings on Unknown — only
+// on proven Const (see internal/taint).
+type FlowGate struct {
+	// Sink is the taint sink kind the rule's pattern flags, e.g. "exec",
+	// "sql", "path", "eval", "deser".
+	Sink string
+	// Arg is the positional argument index of the sink call that carries
+	// the dangerous payload (0-based argv index).
+	Arg int
+}
+
 // Rule is one detection(+patching) rule.
 type Rule struct {
 	// ID is the stable rule identifier, e.g. "PIP-INJ-003".
@@ -121,6 +136,9 @@ type Rule struct {
 	Excludes *regexp.Regexp
 	// Fix is the patch template; nil marks a detection-only rule.
 	Fix *Fix
+	// FlowGate, when non-nil, lets the taint precision filter suppress
+	// findings whose flagged sink argument is proven constant.
+	FlowGate *FlowGate
 }
 
 // HasFix reports whether the rule can patch what it detects.
@@ -209,6 +227,10 @@ func fingerprint(rs []*Rule) string {
 			}
 		}
 		mix("|")
+		if r.FlowGate != nil {
+			mix(fmt.Sprintf("%s#%d", r.FlowGate.Sink, r.FlowGate.Arg))
+		}
+		mix("|")
 	}
 	return fmt.Sprintf("%016x", h)
 }
@@ -272,6 +294,7 @@ type spec struct {
 	requires string
 	excludes string
 	fix      *Fix
+	gate     *FlowGate
 }
 
 func (s spec) compile() *Rule {
@@ -284,6 +307,7 @@ func (s spec) compile() *Rule {
 		Severity:    s.sev,
 		Pattern:     regexp.MustCompile(s.pattern),
 		Fix:         s.fix,
+		FlowGate:    s.gate,
 	}
 	if s.requires != "" {
 		r.Requires = regexp.MustCompile(s.requires)

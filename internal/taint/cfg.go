@@ -1,0 +1,275 @@
+package taint
+
+import "github.com/dessertlab/patchitpy/internal/pyast"
+
+// Item is one transfer unit inside a basic block. Exactly one field is set.
+type Item struct {
+	Stmt pyast.Stmt      // a simple statement transferred in order
+	Cond pyast.Expr      // a branch/handler condition evaluated for effect
+	For  *pyast.For      // loop head: bind For.Target from an element of For.Iter
+	With *pyast.WithItem // bind With target from the context expression
+	Bind string          // bind this name to Unknown (except-as names)
+}
+
+// Block is a basic block: a straight-line item sequence with successor
+// edges. Exc, when >= 0, is the handler-dispatch block receiving
+// exceptional flow; the dataflow pass joins the environment into it before
+// and after every item, modeling that an exception can occur between any
+// two statements of a try body.
+type Block struct {
+	ID    int
+	Items []Item
+	Succs []int
+	Exc   int
+	Loop  bool // loop head (target of a back edge)
+}
+
+// CFG is the control-flow graph of one function body (or the module's
+// top-level code). Exit is a synthetic empty block collecting returns,
+// raises and fall-through.
+type CFG struct {
+	Blocks []*Block
+	Entry  int
+	Exit   int
+}
+
+// BackEdges counts loop back edges, for stats and tests.
+func (g *CFG) BackEdges() int {
+	n := 0
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			if g.Blocks[s].Loop && s <= b.ID {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+type cfgBuilder struct {
+	g          *CFG
+	breakTo    []int
+	continueTo []int
+	exc        int // current handler dispatch block, -1 when none
+}
+
+// buildCFG lowers a statement suite to a CFG.
+func buildCFG(body []pyast.Stmt) *CFG {
+	b := &cfgBuilder{g: &CFG{}, exc: -1}
+	entry := b.newBlock()
+	b.g.Entry = entry.ID
+	exit := b.newBlock()
+	b.g.Exit = exit.ID
+	last := b.buildSuite(body, entry)
+	b.edge(last, exit.ID)
+	return b.g
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{ID: len(b.g.Blocks), Exc: b.exc}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from *Block, to int) {
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// buildSuite threads stmts through cur, returning the block control falls
+// out of.
+func (b *cfgBuilder) buildSuite(stmts []pyast.Stmt, cur *Block) *Block {
+	for _, s := range stmts {
+		cur = b.buildStmt(s, cur)
+	}
+	return cur
+}
+
+func (b *cfgBuilder) buildStmt(s pyast.Stmt, cur *Block) *Block {
+	switch n := s.(type) {
+	case *pyast.If:
+		cur.Items = append(cur.Items, Item{Cond: n.Cond})
+		after := b.newBlock()
+		then := b.newBlock()
+		b.edge(cur, then.ID)
+		b.edge(b.buildSuite(n.Body, then), after.ID)
+		if len(n.Orelse) > 0 {
+			els := b.newBlock()
+			b.edge(cur, els.ID)
+			b.edge(b.buildSuite(n.Orelse, els), after.ID)
+		} else {
+			b.edge(cur, after.ID)
+		}
+		return after
+
+	case *pyast.While:
+		head := b.newBlock()
+		head.Loop = true
+		b.edge(cur, head.ID)
+		head.Items = append(head.Items, Item{Cond: n.Cond})
+		after := b.newBlock()
+		body := b.newBlock()
+		b.edge(head, body.ID)
+		b.breakTo = append(b.breakTo, after.ID)
+		b.continueTo = append(b.continueTo, head.ID)
+		b.edge(b.buildSuite(n.Body, body), head.ID) // back edge
+		b.breakTo = b.breakTo[:len(b.breakTo)-1]
+		b.continueTo = b.continueTo[:len(b.continueTo)-1]
+		if len(n.Orelse) > 0 {
+			els := b.newBlock()
+			b.edge(head, els.ID)
+			b.edge(b.buildSuite(n.Orelse, els), after.ID)
+		} else {
+			b.edge(head, after.ID)
+		}
+		return after
+
+	case *pyast.For:
+		head := b.newBlock()
+		head.Loop = true
+		b.edge(cur, head.ID)
+		head.Items = append(head.Items, Item{For: n})
+		after := b.newBlock()
+		body := b.newBlock()
+		b.edge(head, body.ID)
+		b.breakTo = append(b.breakTo, after.ID)
+		b.continueTo = append(b.continueTo, head.ID)
+		b.edge(b.buildSuite(n.Body, body), head.ID) // back edge
+		b.breakTo = b.breakTo[:len(b.breakTo)-1]
+		b.continueTo = b.continueTo[:len(b.continueTo)-1]
+		if len(n.Orelse) > 0 {
+			els := b.newBlock()
+			b.edge(head, els.ID)
+			b.edge(b.buildSuite(n.Orelse, els), after.ID)
+		} else {
+			b.edge(head, after.ID)
+		}
+		return after
+
+	case *pyast.Try:
+		return b.buildTry(n, cur)
+
+	case *pyast.With:
+		for i := range n.Items {
+			cur.Items = append(cur.Items, Item{With: &n.Items[i]})
+		}
+		return b.buildSuite(n.Body, cur)
+
+	case *pyast.Return, *pyast.Raise:
+		cur.Items = append(cur.Items, Item{Stmt: s})
+		b.edge(cur, b.g.Exit)
+		return b.newBlock() // dead continuation
+
+	case *pyast.Break:
+		if len(b.breakTo) > 0 {
+			b.edge(cur, b.breakTo[len(b.breakTo)-1])
+		} else {
+			b.edge(cur, b.g.Exit)
+		}
+		return b.newBlock()
+
+	case *pyast.Continue:
+		if len(b.continueTo) > 0 {
+			b.edge(cur, b.continueTo[len(b.continueTo)-1])
+		} else {
+			b.edge(cur, b.g.Exit)
+		}
+		return b.newBlock()
+
+	default:
+		// Simple statements, including nested FunctionDef/ClassDef whose
+		// bodies are analyzed as their own CFGs.
+		cur.Items = append(cur.Items, Item{Stmt: s})
+		return cur
+	}
+}
+
+// buildTry lowers try/except/else/finally. The body runs with Exc pointing
+// at a dispatch block that fans out to the handlers (and onward to the
+// enclosing handler for unmatched exceptions); else runs on the success
+// path only; finally joins every normal path and also flows to the exit to
+// model propagation after cleanup.
+func (b *cfgBuilder) buildTry(n *pyast.Try, cur *Block) *Block {
+	outerExc := b.exc
+	after := b.newBlock()
+
+	// With a finally clause, every exceptional path must flow through the
+	// finally block before propagating, so sinks inside it see the partial
+	// states of the try body and handlers.
+	var fin *Block
+	if len(n.Finally) > 0 {
+		fin = b.newBlock() // Exc = outerExc: exceptions inside finally propagate out
+	}
+	escape := b.g.Exit
+	if fin != nil {
+		escape = fin.ID
+	} else if outerExc >= 0 {
+		escape = outerExc
+	}
+
+	var dispatch *Block
+	if len(n.Handlers) > 0 {
+		dispatch = b.newBlock()
+		// Unmatched exceptions propagate past the handlers.
+		b.edge(dispatch, escape)
+		b.exc = dispatch.ID
+	} else if fin != nil {
+		b.exc = fin.ID
+	}
+	bodyEntry := b.newBlock()
+	b.edge(cur, bodyEntry.ID)
+	bodyEnd := b.buildSuite(n.Body, bodyEntry)
+
+	// Handlers and else run with exceptions routed to the finally block
+	// when one exists, else to the enclosing handler.
+	if fin != nil {
+		b.exc = fin.ID
+	} else {
+		b.exc = outerExc
+	}
+
+	// Normal completion continues into else (if any), then to the join.
+	successEnd := bodyEnd
+	if len(n.Orelse) > 0 {
+		els := b.newBlock()
+		b.edge(bodyEnd, els.ID)
+		successEnd = b.buildSuite(n.Orelse, els)
+	}
+
+	joinTargets := []*Block{successEnd}
+	for i := range n.Handlers {
+		h := &n.Handlers[i]
+		hb := b.newBlock()
+		b.edge(dispatch, hb.ID)
+		if h.Type != nil {
+			hb.Items = append(hb.Items, Item{Cond: h.Type})
+		}
+		if h.Name != "" {
+			hb.Items = append(hb.Items, Item{Bind: h.Name})
+		}
+		joinTargets = append(joinTargets, b.buildSuite(h.Body, hb))
+	}
+	b.exc = outerExc
+
+	if fin != nil {
+		for _, t := range joinTargets {
+			b.edge(t, fin.ID)
+		}
+		finEnd := b.buildSuite(n.Finally, fin)
+		b.edge(finEnd, after.ID)
+		// Exception propagating onward after cleanup.
+		if outerExc >= 0 {
+			b.edge(finEnd, outerExc)
+		}
+		b.edge(finEnd, b.g.Exit)
+		return after
+	}
+	for _, t := range joinTargets {
+		b.edge(t, after.ID)
+	}
+	return after
+}

@@ -1,0 +1,92 @@
+package taint
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"github.com/dessertlab/patchitpy/internal/diag"
+)
+
+// ToolName is the flow analyzer's name in the unified diagnostics model.
+const ToolName = "taintflow"
+
+// sinkCWE maps each sink kind to the weakness a tainted flow into it
+// realizes. eval uses CWE-095 to agree with the catalog's eval/exec rules.
+var sinkCWE = map[string]string{
+	SinkExec: "CWE-078",
+	SinkSQL:  "CWE-089",
+	SinkPath: "CWE-022",
+	SinkEval: "CWE-095",
+	SinkDe:   "CWE-502",
+}
+
+// sinkTitle is the human-readable weakness per sink kind.
+var sinkTitle = map[string]string{
+	SinkExec: "Tainted data reaches a command execution sink",
+	SinkSQL:  "Tainted data reaches an SQL execution sink",
+	SinkPath: "Tainted data reaches a file-path sink",
+	SinkEval: "Tainted data reaches a code evaluation sink",
+	SinkDe:   "Tainted data reaches a deserialization sink",
+}
+
+// RuleID returns the taintflow rule identifier for a sink kind, e.g.
+// "TAINT-EXEC".
+func RuleID(kind string) string { return "TAINT-" + strings.ToUpper(kind) }
+
+// DiagFindings renders the analysis' tainted sinks as canonical findings,
+// one per tainted argument, each carrying its source-to-sink step trace.
+func (a *Analysis) DiagFindings() []diag.Finding {
+	var out []diag.Finding
+	for _, hit := range a.TaintedSinks() {
+		for _, arg := range hit.Args {
+			if arg.Prov != Tainted.String() {
+				continue
+			}
+			flow := make([]diag.FlowStep, 0, len(arg.Steps))
+			for _, st := range arg.Steps {
+				flow = append(flow, diag.FlowStep{Line: st.Line, Note: st.Note})
+			}
+			out = append(out, diag.Finding{
+				Tool:     ToolName,
+				RuleID:   RuleID(hit.Kind),
+				CWE:      sinkCWE[hit.Kind],
+				Severity: "HIGH",
+				Line:     hit.Line,
+				Message: fmt.Sprintf("%s: %s() argument %d",
+					sinkTitle[hit.Kind], hit.Callee, arg.Index),
+				Flow: flow,
+			})
+		}
+	}
+	diag.Sort(out)
+	return out
+}
+
+// analyzer adapts the engine to diag.Analyzer.
+type analyzer struct{ spec *Spec }
+
+// NewAnalyzer returns the flow engine as a diag.Analyzer reporting
+// source-to-sink traces under the given spec (nil = DefaultSpec).
+func NewAnalyzer(spec *Spec) diag.Analyzer {
+	if spec == nil {
+		spec = DefaultSpec()
+	}
+	return analyzer{spec: spec}
+}
+
+// Name implements diag.Analyzer.
+func (analyzer) Name() string { return ToolName }
+
+// Analyze implements diag.Analyzer.
+func (an analyzer) Analyze(ctx context.Context, src string) (diag.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return diag.Result{}, err
+	}
+	fs := AnalyzeWith(src, an.spec).DiagFindings()
+	return diag.Result{
+		Tool:       ToolName,
+		Findings:   fs,
+		Vulnerable: len(fs) > 0,
+	}, nil
+}

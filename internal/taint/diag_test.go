@@ -1,0 +1,102 @@
+package taint
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"github.com/dessertlab/patchitpy/internal/diag"
+	"github.com/dessertlab/patchitpy/internal/diag/sarif"
+)
+
+func TestTaintflowAnalyzer(t *testing.T) {
+	a := NewAnalyzer(nil)
+	if a.Name() != ToolName {
+		t.Errorf("Name = %q, want %q", a.Name(), ToolName)
+	}
+	src := "user = input()\ncmd = \"ping \" + user\nos.system(cmd)\n"
+	res, err := a.Analyze(context.Background(), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Vulnerable || len(res.Findings) != 1 {
+		t.Fatalf("result = %+v, want one tainted-flow finding", res)
+	}
+	f := res.Findings[0]
+	if f.RuleID != "TAINT-EXEC" {
+		t.Errorf("rule = %q, want TAINT-EXEC", f.RuleID)
+	}
+	if f.CWE != "CWE-078" {
+		t.Errorf("cwe = %q, want CWE-078", f.CWE)
+	}
+	if f.Line != 3 {
+		t.Errorf("line = %d, want 3", f.Line)
+	}
+	if len(f.Flow) < 3 {
+		t.Fatalf("flow = %+v, want source/assign/sink steps", f.Flow)
+	}
+	if f.Flow[0].Line != 1 || !strings.Contains(f.Flow[0].Note, "source") {
+		t.Errorf("first step = %+v, want line-1 source", f.Flow[0])
+	}
+	if last := f.Flow[len(f.Flow)-1]; last.Line != 3 || !strings.Contains(last.Note, "sink") {
+		t.Errorf("last step = %+v, want line-3 sink", last)
+	}
+}
+
+func TestTaintflowCleanSource(t *testing.T) {
+	res, err := NewAnalyzer(nil).Analyze(context.Background(), "cmd = \"ls\"\nos.system(cmd)\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Vulnerable || len(res.Findings) != 0 {
+		t.Errorf("const flow reported: %+v", res)
+	}
+}
+
+// TestSARIFCodeFlows renders a taintflow finding through the SARIF emitter
+// and checks the trace lands in codeFlows with per-step messages.
+func TestSARIFCodeFlows(t *testing.T) {
+	src := "user = input()\neval(user)\n"
+	res, err := NewAnalyzer(nil).Analyze(context.Background(), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := sarif.Build([]diag.FileFindings{{File: "t.py", Findings: res.Findings}})
+	if len(log.Runs) != 1 || len(log.Runs[0].Results) != 1 {
+		t.Fatalf("runs = %+v", log.Runs)
+	}
+	r := log.Runs[0].Results[0]
+	if len(r.CodeFlows) != 1 || len(r.CodeFlows[0].ThreadFlows) != 1 {
+		t.Fatalf("codeFlows = %+v", r.CodeFlows)
+	}
+	locs := r.CodeFlows[0].ThreadFlows[0].Locations
+	if len(locs) < 2 {
+		t.Fatalf("thread flow steps = %+v, want source and sink", locs)
+	}
+	for _, l := range locs {
+		if l.Location.Message == nil || l.Location.Message.Text == "" {
+			t.Errorf("step without message: %+v", l)
+		}
+		if l.Location.PhysicalLocation.ArtifactLocation.URI != "t.py" {
+			t.Errorf("step URI = %q", l.Location.PhysicalLocation.ArtifactLocation.URI)
+		}
+	}
+}
+
+// TestSARIFSuppressions checks a suppressed finding carries the SARIF
+// suppressions object with the taint:clean justification.
+func TestSARIFSuppressions(t *testing.T) {
+	fs := []diag.Finding{{
+		Tool: "PatchitPy", RuleID: "PIP-INJ-005", Severity: "CRITICAL",
+		Line: 2, Message: "OS command execution via os.system",
+		Suppressed: true, SuppressReason: "taint:clean",
+	}}
+	log := sarif.Build([]diag.FileFindings{{File: "t.py", Findings: fs}})
+	r := log.Runs[0].Results[0]
+	if len(r.Suppressions) != 1 {
+		t.Fatalf("suppressions = %+v, want 1", r.Suppressions)
+	}
+	if r.Suppressions[0].Kind != "external" || r.Suppressions[0].Justification != "taint:clean" {
+		t.Errorf("suppression = %+v", r.Suppressions[0])
+	}
+}

@@ -1,0 +1,226 @@
+package taint
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/dessertlab/patchitpy/internal/pyast"
+)
+
+func mustParse(t *testing.T, src string) *pyast.Module {
+	t.Helper()
+	m, err := pyast.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return m
+}
+
+// verdictAt analyzes src and returns the verdict for (line, kind, arg 0),
+// failing the test when no sink was recorded there.
+func verdictAt(t *testing.T, src string, line int, kind string) Prov {
+	t.Helper()
+	a := Analyze(src)
+	p, ok := a.Verdict(line, kind, 0)
+	if !ok {
+		t.Fatalf("no %s sink recorded at line %d in:\n%s\nsinks: %+v", kind, line, src, a.Sinks)
+	}
+	return p
+}
+
+func TestConstProvenance(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		line int
+		kind string
+	}{
+		{"direct literal", "import os\nos.system(\"ls -l\")\n", 2, SinkExec},
+		{"via assignment", "cmd = \"ls -l\"\nos.system(cmd)\n", 2, SinkExec},
+		{"concat of literals", "cmd = \"tar -czf \" + \"backup.tar.gz\"\nos.system(cmd)\n", 2, SinkExec},
+		{"percent of literals", "q = \"SELECT * FROM %s\" % \"users\"\ncursor.execute(q)\n", 2, SinkSQL},
+		{"format of literals", "q = \"DELETE FROM {}\".format(\"logs\")\ncursor.execute(q)\n", 2, SinkSQL},
+		{"fstring of const var", "table = \"users\"\nq = f\"SELECT * FROM {table}\"\ncursor.execute(q)\n", 3, SinkSQL},
+		{"both branches const", "if flag:\n    cmd = \"ls\"\nelse:\n    cmd = \"pwd\"\nos.system(cmd)\n", 5, SinkExec},
+		{"int of literal", "n = int(\"42\")\neval(\"2 ** \" + str(n))\n", 2, SinkEval},
+		{"tuple unpack element", "a, b = \"ls\", input()\nos.system(a)\n", 2, SinkExec},
+		{"join of const list", "cmd = \" \".join([\"ls\", \"-l\"])\nos.system(cmd)\n", 2, SinkExec},
+		{"module const into function", "CMD = \"uptime\"\ndef run():\n    os.system(CMD)\n", 3, SinkExec},
+		{"subscript of const tuple", "cmds = (\"ls\", \"pwd\")\nos.system(cmds[0])\n", 2, SinkExec},
+	}
+	for _, tc := range cases {
+		if p := verdictAt(t, tc.src, tc.line, tc.kind); p != Const {
+			t.Errorf("%s: verdict = %v, want const", tc.name, p)
+		}
+	}
+}
+
+func TestTaintedProvenance(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		line int
+		kind string
+	}{
+		{"input to system", "cmd = input()\nos.system(cmd)\n", 2, SinkExec},
+		{"request into sql", "q = \"SELECT * FROM t WHERE u='\" + request.args.get(\"u\") + \"'\"\ncursor.execute(q)\n", 2, SinkSQL},
+		{"environ path", "p = os.environ[\"BASE\"]\nopen(p)\n", 2, SinkPath},
+		{"argv eval", "eval(sys.argv[1])\n", 1, SinkEval},
+		{"param source", "def handler(name):\n    os.system(\"ping \" + name)\n", 2, SinkExec},
+		{"fstring interpolation", "user = input()\nq = f\"SELECT * FROM t WHERE u = '{user}'\"\ncursor.execute(q)\n", 3, SinkSQL},
+		{"percent formatting", "u = input()\nq = \"SELECT %s\" % u\ncursor.execute(q)\n", 3, SinkSQL},
+		{"format method", "u = input()\nq = \"SELECT {}\".format(u)\ncursor.execute(q)\n", 3, SinkSQL},
+		{"augassign accumulates", "cmd = \"echo \"\ncmd += input()\nos.system(cmd)\n", 3, SinkExec},
+		{"one branch tainted", "if flag:\n    cmd = \"ls\"\nelse:\n    cmd = input()\nos.system(cmd)\n", 5, SinkExec},
+		{"loop back edge widening", "cmd = \"ls\"\nwhile more():\n    os.system(cmd)\n    cmd = input()\n", 3, SinkExec},
+		{"walrus condition", "while chunk := input():\n    os.system(chunk)\n", 2, SinkExec},
+		{"imported alias", "from subprocess import run\ncmd = input()\nrun(cmd, shell=True)\n", 3, SinkExec},
+		{"pickle deser", "data = request.data\npickle.loads(data)\n", 2, SinkDe},
+		{"with open tainted", "p = input()\nwith open(p) as f:\n    pass\n", 2, SinkPath},
+		{"container element", "parts = [\"rm\", input()]\nos.system(\" \".join(parts))\n", 2, SinkExec},
+		{"through str() call", "cmd = str(input())\nos.system(cmd)\n", 2, SinkExec},
+		{"through unknown helper", "cmd = decorate(input())\nos.system(cmd)\n", 2, SinkExec},
+		{"tainted in try seen by handler", "cmd = \"ls\"\ntry:\n    cmd = input()\n    step()\nexcept Exception:\n    os.system(cmd)\n", 6, SinkExec},
+	}
+	for _, tc := range cases {
+		if p := verdictAt(t, tc.src, tc.line, tc.kind); p != Tainted {
+			t.Errorf("%s: verdict = %v, want tainted", tc.name, p)
+		}
+	}
+}
+
+// TestUnknownNeverSuppresses pins the soundness stance: anything the engine
+// cannot prove is Unknown, which neither suppresses nor reports.
+func TestUnknownProvenance(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		line int
+		kind string
+	}{
+		{"unknown variable", "os.system(cmd)\n", 1, SinkExec},
+		{"sanitized input", "cmd = shlex.quote(input())\nos.system(cmd)\n", 2, SinkExec},
+		{"int cast of input", "n = int(input())\neval(\"f(\" + str(n) + \")\")\n", 2, SinkEval},
+		{"helper of const is opaque", "cmd = build(\"ls\")\nos.system(cmd)\n", 2, SinkExec},
+		{"missing argument", "eval()\n", 1, SinkEval},
+		{"bad stmt poisons consts", "cmd = \"ls\"\nx = = garbage\nos.system(cmd)\n", 3, SinkExec},
+		{"global declared elsewhere", "CMD = \"ls\"\ndef evil():\n    global CMD\n    CMD = input()\ndef run():\n    os.system(CMD)\n", 6, SinkExec},
+	}
+	for _, tc := range cases {
+		if p := verdictAt(t, tc.src, tc.line, tc.kind); p != Unknown {
+			t.Errorf("%s: verdict = %v, want unknown", tc.name, p)
+		}
+	}
+}
+
+func TestTraceSteps(t *testing.T) {
+	a := Analyze("user = input()\ncmd = \"ping \" + user\nos.system(cmd)\n")
+	hits := a.TaintedSinks()
+	if len(hits) != 1 {
+		t.Fatalf("tainted sinks = %d, want 1 (%+v)", len(hits), a.Sinks)
+	}
+	arg, ok := hits[0].Tainted()
+	if !ok {
+		t.Fatal("no tainted arg")
+	}
+	if len(arg.Steps) < 3 {
+		t.Fatalf("steps = %+v, want at least source/assign/sink", arg.Steps)
+	}
+	first, last := arg.Steps[0], arg.Steps[len(arg.Steps)-1]
+	if first.Line != 1 || !strings.Contains(first.Note, "source") {
+		t.Errorf("first step = %+v, want line-1 source", first)
+	}
+	if last.Line != 3 || !strings.Contains(last.Note, "sink") {
+		t.Errorf("last step = %+v, want line-3 sink", last)
+	}
+}
+
+func TestVerdictAbsentSink(t *testing.T) {
+	a := Analyze("x = 1\ny = x + 1\n")
+	if _, ok := a.Verdict(1, SinkExec, 0); ok {
+		t.Error("verdict for a line with no sink must not exist")
+	}
+	if len(a.Sinks) != 0 {
+		t.Errorf("sinks = %+v, want none", a.Sinks)
+	}
+}
+
+func TestDeadCodeSinksNotRecorded(t *testing.T) {
+	a := Analyze("def f():\n    return 1\n    os.system(input())\n")
+	if n := len(a.TaintedSinks()); n != 0 {
+		t.Errorf("tainted sinks in dead code = %d, want 0", n)
+	}
+}
+
+func TestDegradedOnTokenizerError(t *testing.T) {
+	a := Analyze("x = 'unterminated\u0000")
+	if len(a.Sinks) != 0 {
+		t.Errorf("degraded analysis must carry no sinks, got %+v", a.Sinks)
+	}
+}
+
+func TestMultipleSinksSameLine(t *testing.T) {
+	// Two exec sinks on one line: one const, one tainted. The joined
+	// verdict must not be Const — a suppression needs every hit proven.
+	src := "t = input()\nos.system(\"ls\"); os.system(t)\n"
+	if p := verdictAt(t, src, 2, SinkExec); p == Const {
+		t.Error("joined verdict for mixed same-line sinks must not be const")
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	a := Analyze("def f(x):\n    while x:\n        x = step(x)\n    return x\n")
+	if a.Stats.Functions != 1 {
+		t.Errorf("functions = %d, want 1", a.Stats.Functions)
+	}
+	if a.Stats.Blocks == 0 || a.Stats.Passes == 0 {
+		t.Errorf("stats not populated: %+v", a.Stats)
+	}
+	if a.Stats.BackEdges == 0 {
+		t.Errorf("loop should produce a back edge: %+v", a.Stats)
+	}
+}
+
+func TestCFGShapes(t *testing.T) {
+	m := mustParse(t, "if a:\n    x = 1\nelse:\n    x = 2\ny = x\n")
+	g := buildCFG(m.Body)
+	if len(g.Blocks) < 4 {
+		t.Errorf("if/else should produce >= 4 blocks, got %d", len(g.Blocks))
+	}
+	m = mustParse(t, "while a:\n    b()\n")
+	g = buildCFG(m.Body)
+	if g.BackEdges() == 0 {
+		t.Error("while loop should have a back edge")
+	}
+}
+
+func TestFStringPlaceholderExtraction(t *testing.T) {
+	cases := []struct {
+		raw  string
+		want []string
+	}{
+		{`f"hello {name}"`, []string{"name"}},
+		{`f"{a} and {b}"`, []string{"a", "b"}},
+		{`f"{{literal}} {x}"`, []string{"x"}},
+		{`f"{x!r}"`, []string{"x"}},
+		{`f"{x:>10}"`, []string{"x"}},
+		{`f"{x=}"`, []string{"x"}},
+		{`f"{d['k']}"`, []string{"d['k']"}},
+		{`f"{xs[1:3]}"`, []string{"xs[1:3]"}},
+		{`f"{f(a, b)}"`, []string{"f(a, b)"}},
+		{`f"no placeholders"`, nil},
+		{`f"{x != y}"`, []string{"x != y"}},
+	}
+	for _, tc := range cases {
+		got := fstringPlaceholders(tc.raw)
+		if len(got) != len(tc.want) {
+			t.Errorf("%s: placeholders = %q, want %q", tc.raw, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("%s: placeholder[%d] = %q, want %q", tc.raw, i, got[i], tc.want[i])
+			}
+		}
+	}
+}

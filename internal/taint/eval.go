@@ -1,0 +1,378 @@
+package taint
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/dessertlab/patchitpy/internal/pyast"
+)
+
+// strMethods are pure string-building methods: their result has exactly the
+// joined provenance of receiver and arguments, so constant inputs prove a
+// constant result (the key to suppressing `.format`/`%`-style findings).
+var strMethods = map[string]bool{
+	"format": true, "format_map": true, "join": true, "replace": true,
+	"strip": true, "lstrip": true, "rstrip": true, "upper": true,
+	"lower": true, "title": true, "capitalize": true, "casefold": true,
+	"center": true, "ljust": true, "rjust": true, "zfill": true,
+	"removeprefix": true, "removesuffix": true, "swapcase": true,
+	"expandtabs": true, "encode": true, "decode": true, "split": true,
+	"rsplit": true, "splitlines": true, "partition": true, "rpartition": true,
+}
+
+// passthroughBuiltins preserve the provenance of their arguments: a call
+// over constants yields a constant, a call over tainted data stays tainted.
+var passthroughBuiltins = map[string]bool{
+	"str": true, "repr": true, "bytes": true, "list": true, "tuple": true,
+	"set": true, "dict": true, "frozenset": true, "sorted": true,
+	"reversed": true, "len": true, "min": true, "max": true, "sum": true,
+	"abs": true, "round": true, "format": true, "ord": true, "chr": true,
+	"hex": true, "oct": true, "bin": true, "ascii": true,
+}
+
+// eval computes the abstract value of e, mutating env for walrus bindings
+// and recording sink hits during the collect pass.
+func (fa *scopeAnalysis) eval(e pyast.Expr, env Env) Value {
+	if e == nil {
+		return unknownVal()
+	}
+	switch n := e.(type) {
+	case *pyast.NumberLit, *pyast.ConstLit:
+		return constVal()
+
+	case *pyast.StringLit:
+		return fa.evalString(n, env)
+
+	case *pyast.Name:
+		if v, ok := env[n.ID]; ok {
+			return v
+		}
+		if path := fa.resolvePath(n); fa.matchAny(fa.eng.srcObjs, path) {
+			return taintedVal(n.Position.Line, "source: "+path)
+		}
+		return unknownVal()
+
+	case *pyast.Attribute:
+		if path := fa.resolvePath(n); fa.matchAny(fa.eng.srcObjs, path) {
+			return taintedVal(n.Position.Line, "source: "+path)
+		}
+		v := fa.eval(n.Value, env)
+		if v.P == Tainted {
+			return v
+		}
+		return unknownVal()
+
+	case *pyast.Subscript:
+		base := fa.eval(n.Value, env)
+		fa.eval(n.Index, env)
+		return base
+
+	case *pyast.Slice:
+		fa.eval(n.Lower, env)
+		fa.eval(n.Upper, env)
+		fa.eval(n.Step, env)
+		return unknownVal()
+
+	case *pyast.Call:
+		return fa.evalCall(n, env)
+
+	case *pyast.BinOp:
+		if n.Op == ":=" {
+			v := fa.eval(n.Right, env)
+			fa.bindTarget(n.Left, v, env)
+			return v
+		}
+		l := fa.eval(n.Left, env)
+		r := fa.eval(n.Right, env)
+		v := joinVal(l, r)
+		if v.P == Tainted && (n.Op == "+" || n.Op == "%") {
+			v = withStep(v, n.Position.Line, "through '"+n.Op+"' string building")
+		}
+		return v
+
+	case *pyast.BoolOp:
+		v := constVal()
+		for _, sub := range n.Values {
+			v = joinVal(v, fa.eval(sub, env))
+		}
+		return v
+
+	case *pyast.UnaryOp:
+		v := fa.eval(n.Operand, env)
+		if n.Op == "not" {
+			return boolResult(v)
+		}
+		return v
+
+	case *pyast.Compare:
+		v := fa.eval(n.Left, env)
+		for _, c := range n.Comparators {
+			v = joinVal(v, fa.eval(c, env))
+		}
+		// Comparisons yield booleans: one bit is never a usable payload,
+		// so cap at Unknown unless everything was constant.
+		return boolResult(v)
+
+	case *pyast.IfExp:
+		fa.eval(n.Cond, env)
+		return joinVal(fa.eval(n.Body, env), fa.eval(n.Orelse, env))
+
+	case *pyast.Lambda:
+		return unknownVal()
+
+	case *pyast.Tuple:
+		return fa.evalElts(n.Elts, env)
+	case *pyast.List:
+		return fa.evalElts(n.Elts, env)
+	case *pyast.Set:
+		return fa.evalElts(n.Elts, env)
+
+	case *pyast.Dict:
+		v := constVal()
+		for i := range n.Keys {
+			if n.Keys[i] != nil {
+				v = joinVal(v, fa.eval(n.Keys[i], env))
+			}
+			v = joinVal(v, fa.eval(n.Values[i], env))
+		}
+		return v
+
+	case *pyast.Starred:
+		return fa.eval(n.Value, env)
+
+	case *pyast.Await:
+		return fa.eval(n.Value, env)
+
+	case *pyast.Yield:
+		fa.eval(n.Value, env)
+		return unknownVal()
+
+	case *pyast.Comp:
+		return fa.evalComp(n, env)
+
+	default: // BadExpr and anything unexpected
+		return unknownVal()
+	}
+}
+
+// evalElts is the coarse container element-taint rule: a display's value is
+// the join of its elements, and subscripting it returns that join.
+func (fa *scopeAnalysis) evalElts(elts []pyast.Expr, env Env) Value {
+	v := constVal()
+	for _, e := range elts {
+		v = joinVal(v, fa.eval(e, env))
+	}
+	return v
+}
+
+// boolResult caps a boolean-producing expression at Unknown: a comparison
+// over tainted data is not itself a usable payload, and anything
+// non-constant stays unprovable.
+func boolResult(v Value) Value {
+	if v.P == Const {
+		return constVal()
+	}
+	return unknownVal()
+}
+
+// evalComp evaluates a comprehension in a child scope: generator targets
+// are bound from their iterables (coarse element taint), then the element
+// expressions are joined.
+func (fa *scopeAnalysis) evalComp(n *pyast.Comp, env Env) Value {
+	scope := cloneEnv(env)
+	for i := range n.Generators {
+		g := &n.Generators[i]
+		iv := fa.eval(g.Iter, scope)
+		fa.bindTarget(g.Target, iv, scope)
+		for _, cond := range g.Ifs {
+			fa.eval(cond, scope)
+		}
+	}
+	v := fa.eval(n.Elt, scope)
+	if n.Value != nil {
+		v = joinVal(v, fa.eval(n.Value, scope))
+	}
+	return v
+}
+
+// evalString handles literals. Non-f-strings are constants; f-strings join
+// the values of their interpolated placeholder expressions.
+func (fa *scopeAnalysis) evalString(n *pyast.StringLit, env Env) Value {
+	if !n.FString {
+		return constVal()
+	}
+	v := constVal()
+	for _, sub := range fa.eng.placeholderExprs(n) {
+		pv := fa.evalPlaceholder(sub, env)
+		v = joinVal(v, pv)
+	}
+	if v.P == Tainted {
+		v = withStep(v, n.Position.Line, "through f-string interpolation")
+	}
+	return v
+}
+
+// evalPlaceholder evaluates an f-string placeholder expression with sink
+// recording disabled: the mini-parse loses real line numbers, so any sink
+// call inside a placeholder must not produce a hit that could alias a real
+// line-1 finding.
+func (fa *scopeAnalysis) evalPlaceholder(e pyast.Expr, env Env) Value {
+	saved := fa.noRecord
+	fa.noRecord = true
+	v := fa.eval(e, env)
+	fa.noRecord = saved
+	return v
+}
+
+// placeholderExprs parses (and caches) the placeholder expressions of an
+// f-string literal. Unparseable placeholders are dropped; the caller then
+// sees fewer joins, but fstringPlaceholders already returns the raw text
+// for every brace group, and a dropped group only ever loses taint, never
+// fabricates Const — the literal part contributes Const regardless and any
+// parseable tainted placeholder still dominates the join.
+func (eng *engine) placeholderExprs(n *pyast.StringLit) []pyast.Expr {
+	if eng.fstringCache == nil {
+		eng.fstringCache = map[*pyast.StringLit][]pyast.Expr{}
+	}
+	if exprs, ok := eng.fstringCache[n]; ok {
+		return exprs
+	}
+	var exprs []pyast.Expr
+	for _, text := range fstringPlaceholders(n.Raw) {
+		m, err := pyast.Parse(text + "\n")
+		if err != nil || len(m.Errors) > 0 || len(m.Body) != 1 {
+			exprs = append(exprs, &pyast.BadExpr{})
+			continue
+		}
+		es, ok := m.Body[0].(*pyast.ExprStmt)
+		if !ok {
+			exprs = append(exprs, &pyast.BadExpr{})
+			continue
+		}
+		exprs = append(exprs, es.Value)
+	}
+	eng.fstringCache[n] = exprs
+	return exprs
+}
+
+// evalCall evaluates a call: sanitizers cap at Unknown, source calls
+// introduce taint, sink calls are recorded during the collect pass, string
+// methods and passthrough builtins preserve provenance, and unknown calls
+// float to at least Unknown while still propagating argument taint.
+func (fa *scopeAnalysis) evalCall(n *pyast.Call, env Env) Value {
+	path := fa.resolvePath(n.Func)
+
+	argVals := make([]Value, len(n.Args))
+	for i, a := range n.Args {
+		argVals[i] = fa.eval(a, env)
+	}
+	kwJoin := constVal()
+	for _, kw := range n.Keywords {
+		kwJoin = joinVal(kwJoin, fa.eval(kw.Value, env))
+	}
+	argJoin := constVal()
+	for _, v := range argVals {
+		argJoin = joinVal(argJoin, v)
+	}
+	inputs := joinVal(argJoin, kwJoin)
+
+	// Sanitizers: the result is clean; constant only for constant inputs.
+	if san, ok := fa.sanitizerFor(path); ok && san.Mode == SanCall {
+		if inputs.P == Const {
+			return constVal()
+		}
+		return unknownVal()
+	}
+
+	// Source calls.
+	if fa.matchAny(fa.eng.srcCalls, path) {
+		return taintedVal(n.Position.Line, "source: "+path+"()")
+	}
+
+	// Sink classification (collect pass only).
+	if fa.collect && !fa.noRecord && path != "" {
+		fa.recordSinks(n, path, argVals)
+	}
+
+	// Result provenance.
+	if att, ok := n.Func.(*pyast.Attribute); ok && strMethods[att.Attr] {
+		recv := fa.eval(att.Value, env)
+		return joinVal(recv, inputs)
+	}
+	if passthroughBuiltins[path] {
+		return inputs
+	}
+	fn := fa.eval(n.Func, env)
+	return joinVal(unknownVal(), joinVal(fn, inputs))
+}
+
+func (fa *scopeAnalysis) recordSinks(n *pyast.Call, path string, argVals []Value) {
+	for i := range fa.eng.spec.Sinks {
+		sk := &fa.eng.spec.Sinks[i]
+		if !MatchPath(sk.Callee, path) {
+			continue
+		}
+		hit := SinkHit{Kind: sk.Kind, Callee: path, Line: n.Position.Line, Func: fa.funcName}
+		idxs := sk.Args
+		if len(idxs) == 0 {
+			idxs = []int{0}
+		}
+		for _, idx := range idxs {
+			v := unknownVal() // absent argument: nothing provable
+			if idx >= 0 && idx < len(argVals) {
+				v = argVals[idx]
+			}
+			sa := SinkArg{Index: idx, Prov: v.P.String(), prov: v.P}
+			if v.P == Tainted {
+				sa.Steps = append(append([]Step{}, v.Steps...),
+					Step{Line: n.Position.Line, Note: fmt.Sprintf("sink: %s() argument %d [%s]", path, idx, sk.Kind)})
+			}
+			hit.Args = append(hit.Args, sa)
+		}
+		fa.eng.sinks = append(fa.eng.sinks, hit)
+	}
+}
+
+func (fa *scopeAnalysis) sanitizerFor(path string) (*SanitizerSpec, bool) {
+	if path == "" {
+		return nil, false
+	}
+	for i := range fa.eng.spec.Sanitizers {
+		s := &fa.eng.spec.Sanitizers[i]
+		if s.Mode == SanCall && MatchPath(s.Callee, path) {
+			return s, true
+		}
+	}
+	return nil, false
+}
+
+func (fa *scopeAnalysis) matchAny(patterns []string, path string) bool {
+	for _, p := range patterns {
+		if MatchPath(p, path) {
+			return true
+		}
+	}
+	return false
+}
+
+// resolvePath renders a dotted callee/object path, expanding the leading
+// segment through the module's import aliases ("from subprocess import run"
+// makes a bare run() resolve to subprocess.run).
+func (fa *scopeAnalysis) resolvePath(e pyast.Expr) string {
+	path := pyast.DottedName(e)
+	if path == "" {
+		return ""
+	}
+	root := path
+	rest := ""
+	if i := strings.IndexByte(path, '.'); i >= 0 {
+		root, rest = path[:i], path[i+1:]
+	}
+	if full, ok := fa.eng.aliases[root]; ok && full != root {
+		if rest == "" {
+			return full
+		}
+		return full + "." + rest
+	}
+	return path
+}

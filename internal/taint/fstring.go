@@ -1,0 +1,122 @@
+package taint
+
+import "strings"
+
+// fstringPlaceholders extracts the expression texts of `{...}` placeholders
+// from the raw source text of an f-string literal (including prefix and
+// quotes, possibly several implicitly-concatenated segments). `{{` and `}}`
+// escapes are respected; conversion (`!r`) and format-spec (`:>10`)
+// suffixes and the `=` self-documenting marker are stripped; quoting and
+// bracket nesting inside a placeholder are honored when looking for the
+// closing brace.
+//
+// The scan is deliberately tolerant: a malformed placeholder yields its raw
+// inner text, which will fail to parse downstream and degrade to Unknown —
+// never to Const — so extraction bugs cannot cause a wrong suppression.
+func fstringPlaceholders(raw string) []string {
+	var out []string
+	for i := 0; i < len(raw); i++ {
+		c := raw[i]
+		if c == '{' {
+			if i+1 < len(raw) && raw[i+1] == '{' {
+				i++ // literal {{
+				continue
+			}
+			inner, end := scanPlaceholder(raw, i+1)
+			if end < 0 {
+				break // unterminated; ignore the tail
+			}
+			if expr := placeholderExpr(inner); expr != "" {
+				out = append(out, expr)
+			}
+			i = end
+			continue
+		}
+		if c == '}' && i+1 < len(raw) && raw[i+1] == '}' {
+			i++ // literal }}
+		}
+	}
+	return out
+}
+
+// scanPlaceholder returns the text between raw[start] and its matching '}',
+// plus the index of that closing brace, honoring nested brackets and
+// quotes. end is -1 when unterminated.
+func scanPlaceholder(raw string, start int) (inner string, end int) {
+	depth := 0
+	for i := start; i < len(raw); i++ {
+		switch c := raw[i]; c {
+		case '\'', '"':
+			j := skipString(raw, i)
+			if j < 0 {
+				return "", -1
+			}
+			i = j
+		case '(', '[', '{':
+			depth++
+		case ')', ']':
+			depth--
+		case '}':
+			if depth == 0 {
+				return raw[start:i], i
+			}
+			depth--
+		}
+	}
+	return "", -1
+}
+
+// skipString advances past a quoted string starting at raw[i], returning
+// the index of the closing quote (or -1).
+func skipString(raw string, i int) int {
+	q := raw[i]
+	for j := i + 1; j < len(raw); j++ {
+		switch raw[j] {
+		case '\\':
+			j++
+		case q:
+			return j
+		}
+	}
+	return -1
+}
+
+// placeholderExpr strips the conversion / format-spec / self-documenting
+// suffixes from a placeholder body, leaving just the expression text.
+func placeholderExpr(inner string) string {
+	depth := 0
+	cut := len(inner)
+scan:
+	for i := 0; i < len(inner); i++ {
+		switch c := inner[i]; c {
+		case '\'', '"':
+			j := skipString(inner, i)
+			if j < 0 {
+				break scan
+			}
+			i = j
+		case '(', '[', '{':
+			depth++
+		case ')', ']', '}':
+			depth--
+		case '!':
+			// conversion marker, but not != comparison
+			if depth == 0 && (i+1 >= len(inner) || inner[i+1] != '=') {
+				cut = i
+				break scan
+			}
+		case ':':
+			if depth == 0 {
+				cut = i
+				break scan
+			}
+		}
+	}
+	expr := strings.TrimSpace(inner[:cut])
+	// `{x=}` self-documenting form
+	if strings.HasSuffix(expr, "=") && !strings.HasSuffix(expr, "==") && !strings.HasSuffix(expr, "!=") &&
+		!strings.HasSuffix(expr, ">=") && !strings.HasSuffix(expr, "<=") {
+		expr = strings.TrimSpace(expr[:len(expr)-1])
+	}
+	return expr
+}

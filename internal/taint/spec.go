@@ -1,0 +1,184 @@
+// Package taint implements an intraprocedural, flow-sensitive taint
+// analysis over internal/pyast. Each function body (plus the module's
+// top-level code) is lowered to a control-flow graph, a reaching-definitions
+// fixpoint propagates a three-point provenance lattice
+// (Const < Unknown < Tainted), and sink call sites are classified from a
+// declarative source/sink/sanitizer spec table.
+//
+// Two consumers sit on top:
+//
+//   - the detect precision filter, which demotes a regex finding to a
+//     suppressed diagnostic when the gated sink argument is *proven* of
+//     constant provenance (the analysis only suppresses on Const, never on
+//     Unknown — "don't know" keeps the finding); and
+//   - the taintflow diag analyzer, which reports source→sink traces with
+//     step-by-step flow paths.
+package taint
+
+import "strings"
+
+// Source match modes: the AST shape a source spec binds to.
+const (
+	// ModeCall marks a call expression whose callee path matches
+	// (input(), os.getenv(...)).
+	ModeCall = "call"
+	// ModeObject marks a name/attribute path that is tainted as a value
+	// (request.args, os.environ, sys.argv).
+	ModeObject = "object"
+	// ModeParam marks formal parameters of analyzed functions.
+	ModeParam = "param"
+)
+
+// Sink kinds. These are the vocabulary rule FlowGates reference.
+const (
+	SinkExec = "exec"  // shell / process execution argv
+	SinkSQL  = "sql"   // SQL statement strings
+	SinkPath = "path"  // filesystem paths
+	SinkEval = "eval"  // dynamic code evaluation
+	SinkDe   = "deser" // deserialization payloads
+)
+
+// Sanitizer modes.
+const (
+	// SanCall is a sanitizing call: the result is never tainted; it is
+	// Const only when every argument is Const.
+	SanCall = "call"
+	// SanParamstyle documents the parameterized-query placeholder
+	// discipline: tainted data passed as a separate parameter tuple to an
+	// sql sink is sanitized by the driver. The engine realizes this by
+	// only ever classifying the statement-string argument of sql sinks.
+	SanParamstyle = "paramstyle"
+)
+
+// SourceSpec declares one taint source.
+type SourceSpec struct {
+	Pattern string // dotted path pattern ("input", "request.*"); unused for ModeParam
+	Mode    string // ModeCall | ModeObject | ModeParam
+	Desc    string
+}
+
+// SinkSpec declares one dangerous call site family.
+type SinkSpec struct {
+	Kind   string // SinkExec, SinkSQL, ...
+	Callee string // dotted path pattern: exact, "pkg.*" prefix or "*.method" suffix
+	Args   []int  // positional argument indices that must stay clean
+	Desc   string
+}
+
+// SanitizerSpec declares a taint-killing construct.
+type SanitizerSpec struct {
+	Callee    string // dotted path pattern for SanCall; empty for SanParamstyle
+	Mode      string // SanCall | SanParamstyle
+	Arity     int    // max positional args a sanitizing call takes (vetted)
+	AppliesTo string // sink kind a SanParamstyle entry protects
+	Desc      string
+}
+
+// Spec is the full declarative table driving the engine.
+type Spec struct {
+	Sources    []SourceSpec
+	Sinks      []SinkSpec
+	Sanitizers []SanitizerSpec
+}
+
+// DefaultSpec returns the spec table shipped with the catalog. It is a
+// fresh value on each call so callers may extend it safely.
+func DefaultSpec() *Spec {
+	return &Spec{
+		Sources: []SourceSpec{
+			{Pattern: "input", Mode: ModeCall, Desc: "interactive stdin read"},
+			{Pattern: "raw_input", Mode: ModeCall, Desc: "py2 interactive stdin read"},
+			{Pattern: "os.getenv", Mode: ModeCall, Desc: "environment lookup"},
+			{Pattern: "request", Mode: ModeObject, Desc: "web request object"},
+			{Pattern: "request.*", Mode: ModeObject, Desc: "web request fields"},
+			{Pattern: "flask.request", Mode: ModeObject, Desc: "flask request object"},
+			{Pattern: "flask.request.*", Mode: ModeObject, Desc: "flask request fields"},
+			{Pattern: "os.environ", Mode: ModeObject, Desc: "process environment"},
+			{Pattern: "os.environ.*", Mode: ModeObject, Desc: "process environment access"},
+			{Pattern: "sys.argv", Mode: ModeObject, Desc: "command-line arguments"},
+			{Pattern: "sys.stdin", Mode: ModeObject, Desc: "raw stdin stream"},
+			{Pattern: "sys.stdin.*", Mode: ModeObject, Desc: "raw stdin reads"},
+			{Pattern: "", Mode: ModeParam, Desc: "formal parameters of snippet functions"},
+		},
+		Sinks: []SinkSpec{
+			{Kind: SinkExec, Callee: "os.system", Args: []int{0}, Desc: "shell command"},
+			{Kind: SinkExec, Callee: "os.popen", Args: []int{0}, Desc: "shell command"},
+			{Kind: SinkExec, Callee: "subprocess.*", Args: []int{0}, Desc: "process argv"},
+			{Kind: SinkExec, Callee: "commands.getoutput", Args: []int{0}, Desc: "legacy shell command"},
+			{Kind: SinkSQL, Callee: "*.execute", Args: []int{0}, Desc: "SQL statement"},
+			{Kind: SinkSQL, Callee: "*.executemany", Args: []int{0}, Desc: "SQL statement"},
+			{Kind: SinkSQL, Callee: "*.executescript", Args: []int{0}, Desc: "SQL script"},
+			{Kind: SinkPath, Callee: "open", Args: []int{0}, Desc: "file path"},
+			{Kind: SinkPath, Callee: "os.open", Args: []int{0}, Desc: "file path"},
+			{Kind: SinkPath, Callee: "io.open", Args: []int{0}, Desc: "file path"},
+			{Kind: SinkEval, Callee: "eval", Args: []int{0}, Desc: "evaluated expression"},
+			{Kind: SinkEval, Callee: "exec", Args: []int{0}, Desc: "executed statements"},
+			{Kind: SinkDe, Callee: "pickle.loads", Args: []int{0}, Desc: "pickle payload"},
+			{Kind: SinkDe, Callee: "pickle.load", Args: []int{0}, Desc: "pickle stream"},
+			{Kind: SinkDe, Callee: "marshal.loads", Args: []int{0}, Desc: "marshal payload"},
+			{Kind: SinkDe, Callee: "yaml.load", Args: []int{0}, Desc: "yaml payload"},
+		},
+		Sanitizers: []SanitizerSpec{
+			{Callee: "shlex.quote", Mode: SanCall, Arity: 1, Desc: "shell metachar quoting"},
+			{Callee: "pipes.quote", Mode: SanCall, Arity: 1, Desc: "legacy shell quoting"},
+			{Callee: "int", Mode: SanCall, Arity: 2, Desc: "integer cast"},
+			{Callee: "float", Mode: SanCall, Arity: 1, Desc: "float cast"},
+			{Mode: SanParamstyle, AppliesTo: SinkSQL, Arity: 1,
+				Desc: "parameterized-query placeholders: values passed separately from the statement"},
+		},
+	}
+}
+
+// SinkKinds returns the set of sink kinds present in the spec.
+func (s *Spec) SinkKinds() map[string]bool {
+	out := make(map[string]bool, len(s.Sinks))
+	for _, sk := range s.Sinks {
+		out[sk.Kind] = true
+	}
+	return out
+}
+
+// MatchPath reports whether a resolved dotted path matches a spec pattern.
+// Three pattern forms are supported: exact ("os.system"), package prefix
+// ("subprocess.*") and method suffix ("*.execute").
+func MatchPath(pattern, path string) bool {
+	if path == "" || pattern == "" {
+		return false
+	}
+	switch {
+	case strings.HasSuffix(pattern, ".*"):
+		return strings.HasPrefix(path, pattern[:len(pattern)-1])
+	case strings.HasPrefix(pattern, "*."):
+		return strings.HasSuffix(path, pattern[1:])
+	default:
+		return path == pattern
+	}
+}
+
+// ValidPathPattern reports whether a pattern is well-formed: a dotted
+// identifier path with at most one wildcard segment at either end.
+func ValidPathPattern(pattern string) bool {
+	if pattern == "" {
+		return false
+	}
+	segs := strings.Split(pattern, ".")
+	for i, seg := range segs {
+		if seg == "*" {
+			if i != 0 && i != len(segs)-1 {
+				return false
+			}
+			continue
+		}
+		if seg == "" {
+			return false
+		}
+		for j := 0; j < len(seg); j++ {
+			c := seg[j]
+			ok := c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (j > 0 && c >= '0' && c <= '9')
+			if !ok {
+				return false
+			}
+		}
+	}
+	return true
+}

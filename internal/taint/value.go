@@ -1,0 +1,143 @@
+package taint
+
+// Prov is the provenance lattice: Const < Unknown < Tainted, with join = max.
+// It is simultaneously a must-analysis for constness (a value is Const only
+// when every path proves it built from literals) and a may-analysis for
+// taint (a value is Tainted when any path may carry source-derived data).
+// The precision filter acts only on Const; the taintflow analyzer acts only
+// on Tainted; Unknown never triggers either.
+type Prov uint8
+
+// Lattice points, ordered.
+const (
+	Const Prov = iota
+	Unknown
+	Tainted
+)
+
+// String renders the lattice point for diagnostics and JSON.
+func (p Prov) String() string {
+	switch p {
+	case Const:
+		return "const"
+	case Tainted:
+		return "tainted"
+	default:
+		return "unknown"
+	}
+}
+
+func joinProv(a, b Prov) Prov {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Step is one hop of a taint trace: where a tainted value was introduced or
+// rebound. The chain of steps on a Value is the reaching-definitions path
+// from source to the current use.
+type Step struct {
+	Line int    `json:"line"`
+	Note string `json:"note"`
+}
+
+// maxSteps caps trace growth through loops and long assignment chains.
+const maxSteps = 10
+
+// Value is the abstract value of one variable (or expression): a lattice
+// point plus, for Tainted values, the trace of how the taint got there.
+type Value struct {
+	P     Prov
+	Steps []Step
+}
+
+func constVal() Value   { return Value{P: Const} }
+func unknownVal() Value { return Value{P: Unknown} }
+
+func taintedVal(line int, note string) Value {
+	return Value{P: Tainted, Steps: []Step{{Line: line, Note: note}}}
+}
+
+// joinVal joins two abstract values; traces are merged keeping the earliest
+// source chain (a's) when both sides are tainted.
+func joinVal(a, b Value) Value {
+	p := joinProv(a.P, b.P)
+	switch {
+	case p != Tainted:
+		return Value{P: p}
+	case a.P == Tainted:
+		return Value{P: p, Steps: a.Steps}
+	default:
+		return Value{P: p, Steps: b.Steps}
+	}
+}
+
+// withStep appends a trace hop to a tainted value, deduplicating immediate
+// repeats and respecting the step cap.
+func withStep(v Value, line int, note string) Value {
+	if v.P != Tainted {
+		return v
+	}
+	if n := len(v.Steps); n > 0 {
+		last := v.Steps[n-1]
+		if last.Line == line && last.Note == note {
+			return v
+		}
+		if n >= maxSteps {
+			return v
+		}
+	}
+	steps := make([]Step, len(v.Steps), len(v.Steps)+1)
+	copy(steps, v.Steps)
+	steps = append(steps, Step{Line: line, Note: note})
+	return Value{P: Tainted, Steps: steps}
+}
+
+// Env maps variable names to abstract values. A missing entry means the
+// variable may be unbound: reads of missing names evaluate to Unknown.
+type Env map[string]Value
+
+func cloneEnv(e Env) Env {
+	out := make(Env, len(e))
+	for k, v := range e {
+		out[k] = v
+	}
+	return out
+}
+
+// joinInto joins src into *dst, reporting whether any lattice point rose or
+// a new name appeared. Trace changes alone do not count as progress, which
+// keeps the fixpoint finite.
+func joinInto(dst *Env, src Env) bool {
+	if *dst == nil {
+		*dst = cloneEnv(src)
+		return true
+	}
+	changed := false
+	d := *dst
+	for k, sv := range src {
+		dv, ok := d[k]
+		if !ok {
+			// A name bound on only one incoming path may be unbound
+			// here; fold Unknown in so it can never prove Const.
+			nv := joinVal(Value{P: Unknown}, sv)
+			d[k] = nv
+			changed = true
+			continue
+		}
+		nv := joinVal(dv, sv)
+		if nv.P != dv.P {
+			d[k] = nv
+			changed = true
+		}
+	}
+	for k := range d {
+		if _, ok := src[k]; !ok && d[k].P == Const {
+			// Bound here but possibly not on the joining path.
+			d[k] = Value{P: Unknown}
+			changed = true
+		}
+	}
+	return changed
+}
